@@ -1,0 +1,34 @@
+//! Criterion benches for the file-system request mutators: how fast each
+//! model turns a POSIX trace into a device trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvmtypes::MIB;
+use oocfs::FsKind;
+use oocnvm_core::workload::synthetic_ooc_trace;
+
+fn bench_transforms(c: &mut Criterion) {
+    let trace = synthetic_ooc_trace(64 * MIB, 6 * MIB, 42);
+    let mut g = c.benchmark_group("fs_transform");
+    for kind in FsKind::ALL {
+        g.throughput(Throughput::Bytes(trace.total_bytes()));
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
+            b.iter(|| kind.transform(&trace));
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("synthetic_64mib", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            synthetic_ooc_trace(64 * MIB, 6 * MIB, seed)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transforms, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches for the storage simulator: the media engine itself,
+//! and one end-to-end cell per figure (7a, 8a) so regressions in the
+//! figure-regeneration pipeline show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flashsim::{DieOp, MediaConfig, MediaSim};
+use interconnect::sdr400;
+use nvmtypes::{DieIndex, NvmKind, MIB};
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::run_experiment;
+use oocnvm_core::workload::synthetic_ooc_trace;
+use ssd::StripeMap;
+
+fn bench_media_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("media_engine");
+    for kind in NvmKind::ALL {
+        let cfg = MediaConfig::paper(kind, sdr400());
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("read_die_op", kind.label()), &cfg, |b, cfg| {
+            let mut sim = MediaSim::new(*cfg);
+            let mut t = 0u64;
+            let dies = cfg.geometry.total_dies();
+            b.iter(|| {
+                let die = DieIndex((t % dies as u64) as u32);
+                let out = sim.execute(t, &DieOp::read(die, 2, 8, 0));
+                t = t.wrapping_add(1_000);
+                out.end
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_stripe_decompose(c: &mut Criterion) {
+    let map = StripeMap::default_order(nvmtypes::SsdGeometry::paper(NvmKind::Tlc));
+    let mut g = c.benchmark_group("stripe_decompose");
+    for pages in [16u64, 256, 4096] {
+        g.throughput(Throughput::Elements(pages));
+        g.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, &pages| {
+            let mut start = 0u64;
+            b.iter(|| {
+                start = start.wrapping_add(37);
+                map.decompose(start, pages)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_figure7_cells(c: &mut Criterion) {
+    // One representative cell per figure row: the full POSIX->FS->SSD
+    // pipeline for a 24 MiB workload.
+    let trace = synthetic_ooc_trace(24 * MIB, 6 * MIB, 42);
+    let mut g = c.benchmark_group("fig7_cell");
+    g.sample_size(10);
+    for cfg in [
+        SystemConfig::ion_gpfs(),
+        SystemConfig::cnl(oocfs::FsKind::Ext2),
+        SystemConfig::cnl(oocfs::FsKind::Btrfs),
+        SystemConfig::cnl_ufs(),
+    ] {
+        g.throughput(Throughput::Bytes(trace.total_bytes()));
+        g.bench_with_input(BenchmarkId::from_parameter(cfg.label), &cfg, |b, cfg| {
+            b.iter(|| run_experiment(cfg, NvmKind::Tlc, &trace).bandwidth_mb_s);
+        });
+    }
+    g.finish();
+}
+
+fn bench_figure8_cells(c: &mut Criterion) {
+    let trace = synthetic_ooc_trace(24 * MIB, 6 * MIB, 42);
+    let mut g = c.benchmark_group("fig8_cell");
+    g.sample_size(10);
+    for cfg in SystemConfig::figure8() {
+        g.throughput(Throughput::Bytes(trace.total_bytes()));
+        g.bench_with_input(BenchmarkId::from_parameter(cfg.label), &cfg, |b, cfg| {
+            b.iter(|| run_experiment(cfg, NvmKind::Pcm, &trace).bandwidth_mb_s);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_media_engine,
+    bench_stripe_decompose,
+    bench_figure7_cells,
+    bench_figure8_cells
+);
+criterion_main!(benches);

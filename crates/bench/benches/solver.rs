@@ -1,0 +1,72 @@
+//! Criterion benches for the out-of-core application substrate: dense
+//! kernels, sparse x block products (in-memory and streamed through the
+//! traced store), and whole LOBPCG solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ooc::dense::{jacobi_eigh, mgs_orthonormalize, DMatrix};
+use ooc::lobpcg::{Lobpcg, LobpcgOptions};
+use ooc::{HamiltonianSpec, OocMatrix};
+use ooctrace::capture::NullSink;
+
+fn filled(n: usize, m: usize) -> DMatrix {
+    let mut x = DMatrix::zeros(n, m);
+    for (i, v) in x.data.iter_mut().enumerate() {
+        *v = ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0;
+    }
+    x
+}
+
+fn bench_dense_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense");
+    let s = filled(4096, 24);
+    g.bench_function("mgs_4096x24", |b| b.iter(|| mgs_orthonormalize(&s, 1e-10)));
+    let a = {
+        let b = filled(24, 24);
+        let mut a = b.transpose_mul(&b);
+        for i in 0..24 {
+            a[(i, i)] += 24.0;
+        }
+        a
+    };
+    g.bench_function("jacobi_eigh_24", |b| b.iter(|| jacobi_eigh(&a)));
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmm");
+    for n in [2_000usize, 10_000] {
+        let h = HamiltonianSpec::medium(n).generate();
+        let x = filled(n, 12);
+        g.throughput(Throughput::Elements(h.nnz() as u64));
+        g.bench_with_input(BenchmarkId::new("in_memory", n), &h, |b, h| {
+            b.iter(|| h.spmm(&x));
+        });
+        let ooc = OocMatrix::build(&h, 256, 0, None);
+        g.bench_with_input(BenchmarkId::new("streamed", n), &ooc, |b, ooc| {
+            b.iter(|| ooc.spmm_traced(&x, &NullSink));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lobpcg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lobpcg");
+    g.sample_size(10);
+    let h = HamiltonianSpec::medium(2_000).generate();
+    g.bench_function("solve_n2000_m8", |b| {
+        b.iter(|| {
+            Lobpcg::new(LobpcgOptions {
+                block_size: 8,
+                max_iters: 6,
+                tol: 1e-9,
+                seed: 3,
+                precondition: true,
+            })
+            .solve(&h)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dense_kernels, bench_spmm, bench_lobpcg);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates Figure 1: bandwidth trends of networks vs NVM over time.
+
+use oocnvm_bench::banner;
+use oocnvm_core::format::Table;
+use oocnvm_core::trends::{crossover_year, figure1_points, log2_fit, TrendSeries};
+
+fn main() {
+    banner(
+        "Figure 1",
+        "trend of bandwidth over time: high-performance networks vs NVM storage",
+    );
+    let pts = figure1_points();
+    let mut t = Table::new(["year", "name", "series", "GB/s", "log2"]);
+    let mut sorted = pts.clone();
+    sorted.sort_by_key(|p| (p.year, p.name));
+    for p in &sorted {
+        t.row([
+            p.year.to_string(),
+            p.name.to_string(),
+            format!("{:?}", p.series),
+            format!("{:.4}", p.gb_s),
+            format!("{:+.2}", p.gb_s.log2()),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nexponential fits (log2 GB/s per year):");
+    for s in [TrendSeries::FlashSsd, TrendSeries::OtherNvm, TrendSeries::InfiniBand, TrendSeries::FibreChannel] {
+        let (a, b) = log2_fit(&pts, s);
+        println!(
+            "  {:?}: doubling every {:.1} years (2^({:.2} + {:.3}(year-1998)))",
+            s,
+            1.0 / b,
+            a,
+            b
+        );
+    }
+    match crossover_year(&pts) {
+        Some(y) => println!(
+            "\nbest-available NVM overtakes best-available network in {y} —\n\
+             \"even state-of-the-art network solutions are falling behind NVM bandwidth\""
+        ),
+        None => println!("\nno crossover within the dataset"),
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates Figures 10a–10d: execution-state breakdowns and PAL
+//! parallelism decompositions for TLC and PCM across all configurations.
+
+use nvmtypes::NvmKind;
+use oocnvm_bench::{banner, standard_trace};
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::{find, run_sweep, ExperimentReport};
+use oocnvm_core::format::Table;
+
+const STATES: [&str; 6] = [
+    "NonOvlp-DMA %",
+    "FlashBus %",
+    "Channel %",
+    "CellCont %",
+    "ChanCont %",
+    "CellAct %",
+];
+
+fn breakdown_table(reports: &[ExperimentReport], configs: &[SystemConfig], kind: NvmKind) -> Table {
+    let mut t = Table::new(
+        std::iter::once("config").chain(STATES).collect::<Vec<_>>(),
+    );
+    for c in configs {
+        let r = find(reports, c.label, kind).unwrap();
+        let mut row = vec![c.label.to_string()];
+        row.extend(r.breakdown_pct.iter().map(|p| format!("{p:.1}")));
+        t.row(row);
+    }
+    t
+}
+
+fn pal_table(reports: &[ExperimentReport], configs: &[SystemConfig], kind: NvmKind) -> Table {
+    let mut t = Table::new(["config", "PAL1 %", "PAL2 %", "PAL3 %", "PAL4 %"]);
+    for c in configs {
+        let r = find(reports, c.label, kind).unwrap();
+        let mut row = vec![c.label.to_string()];
+        row.extend(r.pal_pct.iter().map(|p| format!("{p:.1}")));
+        t.row(row);
+    }
+    t
+}
+
+fn main() {
+    let trace = standard_trace();
+    let configs = SystemConfig::table2();
+    let reports = run_sweep(&configs, &[NvmKind::Tlc, NvmKind::Pcm], &trace);
+
+    banner("Figure 10a", "TLC execution-time breakdown (%)");
+    print!("{}", breakdown_table(&reports, &configs, NvmKind::Tlc).render());
+
+    banner("Figure 10b", "TLC parallelism decomposition (%)");
+    print!("{}", pal_table(&reports, &configs, NvmKind::Tlc).render());
+
+    banner("Figure 10c", "PCM execution-time breakdown (%)");
+    print!("{}", breakdown_table(&reports, &configs, NvmKind::Pcm).render());
+
+    banner("Figure 10d", "PCM parallelism decomposition (%)");
+    print!("{}", pal_table(&reports, &configs, NvmKind::Pcm).render());
+
+    println!("\nobservations (paper §4.5):");
+    let ion = find(&reports, "ION-GPFS", NvmKind::Tlc).unwrap();
+    println!(
+        "  ION-GPFS TLC: {:.0}% of requests reach only PAL3, {:.0}% reach PAL4 —\n\
+         \"ION-local PCIe stays almost completely parallelism type PAL3, and almost\n\
+         never makes it to the full parallelism of PAL4\"",
+        ion.pal_pct[2], ion.pal_pct[3]
+    );
+    let ufs = find(&reports, "CNL-UFS", NvmKind::Tlc).unwrap();
+    println!(
+        "  CNL-UFS TLC: {:.0}% PAL4 — \"UFS-based architectures are able to almost\n\
+         entirely reach parallelism state PAL4\"",
+        ufs.pal_pct[3]
+    );
+    let pcm_min_pal4 = configs
+        .iter()
+        .map(|c| find(&reports, c.label, NvmKind::Pcm).unwrap().pal_pct[3])
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "  PCM: every configuration >= {pcm_min_pal4:.0}% PAL4 — \"almost entirely in state\n\
+         PAL4, a direct result of the much smaller page sizes\""
+    );
+    let n16 = find(&reports, "CNL-NATIVE-16", NvmKind::Tlc).unwrap();
+    println!(
+        "  CNL-NATIVE-16 TLC: cell activation {:.0}% of device time — \"the closer one\n\
+         can get to waiting solely on the NVM itself, the better\"",
+        n16.breakdown_pct[5]
+    );
+}

@@ -1,0 +1,84 @@
+//! Regenerates Figures 7a/7b: bandwidth achieved and bandwidth remaining
+//! for the ION-GPFS baseline and the nine compute-local file systems,
+//! across all four NVM media.
+
+use nvmtypes::NvmKind;
+use oocnvm_bench::{banner, standard_trace};
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::{find, run_sweep};
+use oocnvm_core::format::{mbps, Table};
+
+fn main() {
+    let trace = standard_trace();
+    let configs = SystemConfig::figure7();
+    let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+
+    banner("Figure 7a", "bandwidth achieved (MB/s) per file system and NVM type");
+    let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
+    for c in &configs {
+        t.row([
+            c.label.to_string(),
+            mbps(find(&reports, c.label, NvmKind::Tlc).unwrap().bandwidth_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Mlc).unwrap().bandwidth_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Slc).unwrap().bandwidth_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Pcm).unwrap().bandwidth_mb_s),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Figure 7b", "bandwidth remaining in the NVM media (MB/s)");
+    let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
+    for c in &configs {
+        t.row([
+            c.label.to_string(),
+            mbps(find(&reports, c.label, NvmKind::Tlc).unwrap().remaining_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Mlc).unwrap().remaining_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Slc).unwrap().remaining_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Pcm).unwrap().remaining_mb_s),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // The section-4.3 observations, computed from the sweep.
+    let bw = |label: &str, k| find(&reports, label, k).unwrap().bandwidth_mb_s;
+    println!("\nobservations (paper §4.3):");
+    for (kind, claim) in [
+        (NvmKind::Tlc, "7%"),
+        (NvmKind::Mlc, "78%"),
+        (NvmKind::Slc, "108%"),
+    ] {
+        let ion = bw("ION-GPFS", kind);
+        let worst = configs
+            .iter()
+            .filter(|c| !c.fs.is_ion())
+            .map(|c| bw(c.label, kind))
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  worst CNL FS vs ION-GPFS on {}: +{:.0}%   (paper: +{claim})",
+            kind.label(),
+            (worst / ion - 1.0) * 100.0
+        );
+    }
+    let e2 = bw("CNL-EXT2", NvmKind::Tlc);
+    let bt = bw("CNL-BTRFS", NvmKind::Tlc);
+    println!(
+        "  ext2 -> BTRFS on TLC: x{:.2}   (paper: 'a factor of 2')",
+        bt / e2
+    );
+    let e4 = bw("CNL-EXT4", NvmKind::Tlc);
+    let e4l = bw("CNL-EXT4-L", NvmKind::Tlc);
+    println!(
+        "  ext4 -> ext4-L on TLC: +{:.0} MB/s   (paper: 'about 1GB/s')",
+        e4l - e4
+    );
+    let pcm: Vec<f64> = configs
+        .iter()
+        .filter(|c| !c.fs.is_ion())
+        .map(|c| bw(c.label, NvmKind::Pcm))
+        .collect();
+    let spread = pcm.iter().cloned().fold(0.0, f64::max)
+        / pcm.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "  PCM spread across CNL file systems: x{spread:.2}   (paper: PCM 'obscures the differences')"
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates Figures 8a/8b: bandwidth achieved and remaining for the
+//! device-improvement ladder — CNL-UFS, CNL-BRIDGE-16, CNL-NATIVE-8,
+//! CNL-NATIVE-16.
+
+use nvmtypes::NvmKind;
+use oocnvm_bench::{banner, standard_trace};
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::{find, run_sweep};
+use oocnvm_core::format::{mbps, Table};
+
+fn main() {
+    let trace = standard_trace();
+    let configs = SystemConfig::figure8();
+    let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+
+    banner("Figure 8a", "bandwidth achieved (MB/s) through the device improvements");
+    let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
+    for c in &configs {
+        t.row([
+            c.label.to_string(),
+            mbps(find(&reports, c.label, NvmKind::Tlc).unwrap().bandwidth_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Mlc).unwrap().bandwidth_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Slc).unwrap().bandwidth_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Pcm).unwrap().bandwidth_mb_s),
+        ]);
+    }
+    print!("{}", t.render());
+
+    banner("Figure 8b", "bandwidth remaining in the NVM media (MB/s)");
+    let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
+    for c in &configs {
+        t.row([
+            c.label.to_string(),
+            mbps(find(&reports, c.label, NvmKind::Tlc).unwrap().remaining_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Mlc).unwrap().remaining_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Slc).unwrap().remaining_mb_s),
+            mbps(find(&reports, c.label, NvmKind::Pcm).unwrap().remaining_mb_s),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let bw = |label: &str, k| find(&reports, label, k).unwrap().bandwidth_mb_s;
+    println!("\nobservations (paper §4.4):");
+    let mean = |label: &str| {
+        NvmKind::ALL.iter().map(|&k| bw(label, k)).sum::<f64>() / 4.0
+    };
+    println!(
+        "  BRIDGE-16 over UFS-x8 (mean): +{:.0}%   (paper: 'increases only marginally')",
+        (mean("CNL-BRIDGE-16") / mean("CNL-UFS") - 1.0) * 100.0
+    );
+    println!(
+        "  NATIVE-8 over BRIDGE-16 (mean): x{:.1}   (paper: 'a factor of 2, despite half the lanes')",
+        mean("CNL-NATIVE-8") / mean("CNL-BRIDGE-16")
+    );
+    // ION reference for the 16x / 8x claims.
+    let ion_reports = run_sweep(&[SystemConfig::ion_gpfs()], &NvmKind::ALL, &trace);
+    let ion = |k| find(&ion_reports, "ION-GPFS", k).unwrap().bandwidth_mb_s;
+    println!(
+        "  NATIVE-16 over ION-GPFS on PCM: x{:.1}   (paper: 'an incredible factor of 16')",
+        bw("CNL-NATIVE-16", NvmKind::Pcm) / ion(NvmKind::Pcm)
+    );
+    println!(
+        "  NATIVE-16 over ION-GPFS on TLC: x{:.1}   (paper: 'an increase of 8 times')",
+        bw("CNL-NATIVE-16", NvmKind::Tlc) / ion(NvmKind::Tlc)
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerates the paper's §7 headline numbers:
+//!
+//! * compute-local SSDs beat client-remote SSDs by ~108% on average,
+//! * UFS adds ~52% over the traditional-file-system CNL baseline,
+//! * the hardware improvements add another ~250%,
+//! * end-to-end: ~10.3x over ION-local NVM.
+
+use nvmtypes::NvmKind;
+use oocnvm_bench::{banner, standard_trace};
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::{find, run_sweep};
+
+fn main() {
+    banner("§7 headline", "average improvements across NVM media");
+    let trace = standard_trace();
+    let configs = SystemConfig::table2();
+    let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+    let bw = |label: &str, k| find(&reports, label, k).unwrap().bandwidth_mb_s;
+
+    // Baseline CNL = the traditional (non-UFS) local file systems.
+    let trad: Vec<&str> = vec![
+        "CNL-JFS",
+        "CNL-BTRFS",
+        "CNL-XFS",
+        "CNL-REISERFS",
+        "CNL-EXT2",
+        "CNL-EXT3",
+        "CNL-EXT4",
+        "CNL-EXT4-L",
+    ];
+
+    let mut cnl_vs_ion = Vec::new();
+    let mut ufs_vs_cnl = Vec::new();
+    let mut hw_vs_ufs = Vec::new();
+    let mut total = Vec::new();
+    for k in NvmKind::ALL {
+        let ion = bw("ION-GPFS", k);
+        let cnl_mean = trad.iter().map(|l| bw(l, k)).sum::<f64>() / trad.len() as f64;
+        let ufs = bw("CNL-UFS", k);
+        let n16 = bw("CNL-NATIVE-16", k);
+        cnl_vs_ion.push(cnl_mean / ion - 1.0);
+        ufs_vs_cnl.push(ufs / cnl_mean - 1.0);
+        hw_vs_ufs.push(n16 / ufs - 1.0);
+        total.push(n16 / ion);
+        println!(
+            "  {}: ION {:.0}  CNL-mean {:.0}  UFS {:.0}  NATIVE-16 {:.0}  (x{:.1} end-to-end)",
+            k.label(),
+            ion,
+            cnl_mean,
+            ufs,
+            n16,
+            n16 / ion
+        );
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!(
+        "  compute-local vs client-remote SSDs: +{:.0}%   (paper: 'on average 108%')",
+        avg(&cnl_vs_ion) * 100.0
+    );
+    println!(
+        "  UFS over the baseline CNL approaches: +{:.0}%   (paper: 'an additional 52%')",
+        avg(&ufs_vs_cnl) * 100.0
+    );
+    println!(
+        "  hardware-optimized SSDs over UFS: +{:.0}%   (paper: 'an additional 250%')",
+        avg(&hw_vs_ufs) * 100.0
+    );
+    println!(
+        "  overall NATIVE-16 vs ION-local: x{:.1}   (paper: 'a relative improvement of 10.3 times')",
+        avg(&total)
+    );
+}

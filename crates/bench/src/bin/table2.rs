@@ -1,0 +1,33 @@
+//! Regenerates Table 2: the evaluated software and hardware configurations.
+
+use oocnvm_bench::banner;
+use oocnvm_core::config::{Controller, SystemConfig};
+use oocnvm_core::format::Table;
+
+fn main() {
+    banner("Table 2", "relevant software and hardware configurations evaluated");
+    let mut t = Table::new([
+        "Location-FileSystem",
+        "PCIe Controller",
+        "PCIe Bus",
+        "Interface/Speed",
+        "PCIe Lanes",
+    ]);
+    for cfg in SystemConfig::table2() {
+        t.row([
+            cfg.label.to_string(),
+            match cfg.controller {
+                Controller::Bridged => "Bridged".into(),
+                Controller::Native => "Native".into(),
+            },
+            match cfg.pcie_gen {
+                interconnect::PcieGen::Gen2 => "2.0".to_string(),
+                interconnect::PcieGen::Gen3 => "3.0".to_string(),
+                interconnect::PcieGen::Gen4 => "4.0".to_string(),
+            },
+            cfg.bus.label().to_string(),
+            cfg.lanes.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}

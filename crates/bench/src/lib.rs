@@ -1,0 +1,55 @@
+//! # oocnvm-bench — figure and table regeneration
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run --release -p oocnvm-bench --bin <name>`):
+//!
+//! | binary     | regenerates |
+//! |------------|-------------|
+//! | `table1`   | Table 1 — NVM latency matrix |
+//! | `table2`   | Table 2 — evaluated configurations |
+//! | `fig1`     | Figure 1 — network vs NVM bandwidth trends |
+//! | `fig6`     | Figure 6 — POSIX vs sub-GPFS access patterns |
+//! | `fig7`     | Figures 7a/7b — bandwidth achieved / remaining per FS |
+//! | `fig8`     | Figures 8a/8b — device-improvement bandwidths |
+//! | `fig9`     | Figures 9a/9b — channel / package utilization |
+//! | `fig10`    | Figures 10a–10d — execution breakdown + parallelism |
+//! | `headline` | §7's headline ratios (108% / 52% / 250% / 10.3x) |
+//! | `calibrate`| the full sweep in one table (development aid) |
+//!
+//! Criterion benches (`cargo bench -p oocnvm-bench`) time the simulator
+//! and solver themselves and run the ablations DESIGN.md calls out.
+
+use nvmtypes::MIB;
+use oocnvm_core::workload::synthetic_ooc_trace;
+use ooctrace::PosixTrace;
+
+/// The standard experiment workload: a read-dominant out-of-core panel
+/// sweep. Size defaults to 256 MiB and can be scaled with the
+/// `OOCNVM_TRACE_MIB` environment variable (the paper's traces cover tens
+/// of GiB; bandwidths converge well before that).
+pub fn standard_trace() -> PosixTrace {
+    let mib = std::env::var("OOCNVM_TRACE_MIB")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(256);
+    synthetic_ooc_trace(mib * MIB, 6 * MIB, 42)
+}
+
+/// Prints a figure banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("==============================================================");
+    println!("{id} — {caption}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_trace_is_read_only_and_sized() {
+        let t = standard_trace();
+        assert!(t.total_bytes() >= 256 * MIB);
+        assert!((t.read_fraction() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cluster-level scaling: the architectural motivation of Figures 2/3.
+//!
+//! Carver's OoC partition dedicates 40 compute nodes and 10 I/O nodes
+//! (20 PCIe SSDs) to out-of-core computation. Every CN's accesses to
+//! ION-resident NVM share the IONs' SSDs and the fabric; compute-local
+//! NVM scales with the node count instead. This module turns the
+//! simulator's single-node measurements into cluster aggregates.
+
+use crate::config::SystemConfig;
+use crate::experiment::run_experiment;
+use nvmtypes::NvmKind;
+use ooctrace::PosixTrace;
+use serde::Serialize;
+
+/// Static description of the cluster (defaults follow Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClusterSpec {
+    /// I/O nodes serving the OoC partition.
+    pub ions: u32,
+    /// PCIe SSDs per ION.
+    pub ssds_per_ion: u32,
+    /// Fabric bisection bandwidth available to the OoC partition, MB/s
+    /// (a QDR 4X fat-tree corner; the per-CN link is modelled by the
+    /// ION-GPFS experiment itself).
+    pub bisection_mb_s: f64,
+}
+
+impl ClusterSpec {
+    /// Carver's OoC sub-cluster: 10 IONs, 20 PCIe SSDs, and a bisection
+    /// sized for its 40-node partition.
+    pub fn carver() -> ClusterSpec {
+        ClusterSpec { ions: 10, ssds_per_ion: 2, bisection_mb_s: 40.0 * 4000.0 * 0.5 }
+    }
+}
+
+/// Aggregate delivered bandwidth at one node count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScalingPoint {
+    /// Compute nodes running the OoC application.
+    pub nodes: u32,
+    /// ION-remote aggregate, MB/s.
+    pub ion_mb_s: f64,
+    /// Compute-local aggregate, MB/s.
+    pub cnl_mb_s: f64,
+}
+
+/// Single-node calibration inputs measured by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodeRates {
+    /// What one CN extracts from the ION path (network + GPFS + SSD).
+    pub per_cn_ion_mb_s: f64,
+    /// What one ION's SSD delivers to GPFS-shaped traffic (no network):
+    /// the server-side ceiling.
+    pub per_ion_ssd_mb_s: f64,
+    /// What one CN extracts from its local SSD through UFS.
+    pub per_cn_local_mb_s: f64,
+}
+
+impl NodeRates {
+    /// Measures the three rates with the simulator on `trace` / `kind`.
+    pub fn measure(kind: NvmKind, trace: &PosixTrace) -> NodeRates {
+        let ion = run_experiment(&SystemConfig::ion_gpfs(), kind, trace);
+        let local = run_experiment(&SystemConfig::cnl_ufs(), kind, trace);
+        // Server-side ceiling: GPFS-shaped block traffic on the bridged
+        // device without the fabric hop.
+        let mut server_cfg = SystemConfig::ion_gpfs();
+        server_cfg.location = crate::config::Location::ComputeLocal;
+        let server = run_experiment(&server_cfg, kind, trace);
+        NodeRates {
+            per_cn_ion_mb_s: ion.bandwidth_mb_s,
+            per_ion_ssd_mb_s: server.bandwidth_mb_s,
+            per_cn_local_mb_s: local.bandwidth_mb_s,
+        }
+    }
+}
+
+/// Aggregate bandwidth curves as the application scales out.
+///
+/// ION-remote: `min(N x per-CN rate, IONs x server ceiling, bisection)`.
+/// Compute-local: `N x per-CN local rate` — no shared term at all.
+pub fn scaling_curve(
+    spec: &ClusterSpec,
+    rates: &NodeRates,
+    node_counts: &[u32],
+) -> Vec<ScalingPoint> {
+    node_counts
+        .iter()
+        .map(|&n| ScalingPoint {
+            nodes: n,
+            ion_mb_s: (n as f64 * rates.per_cn_ion_mb_s)
+                .min(spec.ions as f64 * rates.per_ion_ssd_mb_s)
+                .min(spec.bisection_mb_s),
+            cnl_mb_s: n as f64 * rates.per_cn_local_mb_s,
+        })
+        .collect()
+}
+
+/// The node count at which the ION path stops scaling (its aggregate is
+/// within 1% of the shared ceiling).
+pub fn ion_saturation_nodes(spec: &ClusterSpec, rates: &NodeRates) -> u32 {
+    let ceiling = (spec.ions as f64 * rates.per_ion_ssd_mb_s).min(spec.bisection_mb_s);
+    (ceiling / rates.per_cn_ion_mb_s).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> NodeRates {
+        NodeRates { per_cn_ion_mb_s: 800.0, per_ion_ssd_mb_s: 1500.0, per_cn_local_mb_s: 3000.0 }
+    }
+
+    #[test]
+    fn cnl_scales_linearly_ion_saturates() {
+        let spec = ClusterSpec::carver();
+        let curve = scaling_curve(&spec, &rates(), &[1, 10, 40, 80]);
+        // Linear CNL.
+        assert_eq!(curve[2].cnl_mb_s, 40.0 * 3000.0);
+        assert_eq!(curve[3].cnl_mb_s, 2.0 * curve[2].cnl_mb_s);
+        // ION capped by 10 x 1500 = 15000 from ~19 nodes on.
+        assert_eq!(curve[2].ion_mb_s, 15_000.0);
+        assert_eq!(curve[3].ion_mb_s, 15_000.0);
+        assert!(curve[0].ion_mb_s < 1000.0 + 1e-9);
+    }
+
+    #[test]
+    fn saturation_point_matches_arithmetic() {
+        let spec = ClusterSpec::carver();
+        // 15000 / 800 = 18.75 -> 19 nodes.
+        assert_eq!(ion_saturation_nodes(&spec, &rates()), 19);
+    }
+
+    #[test]
+    fn bisection_can_be_the_binding_constraint() {
+        let mut spec = ClusterSpec::carver();
+        spec.bisection_mb_s = 5_000.0;
+        let curve = scaling_curve(&spec, &rates(), &[40]);
+        assert_eq!(curve[0].ion_mb_s, 5_000.0);
+    }
+
+    #[test]
+    fn measured_rates_order_sensibly() {
+        let trace = crate::workload::synthetic_ooc_trace(24 * nvmtypes::MIB, 4 * nvmtypes::MIB, 7);
+        let r = NodeRates::measure(NvmKind::Slc, &trace);
+        // Removing the fabric can only help; local UFS beats both.
+        assert!(r.per_ion_ssd_mb_s > r.per_cn_ion_mb_s);
+        assert!(r.per_cn_local_mb_s > r.per_cn_ion_mb_s);
+    }
+}

@@ -1,0 +1,123 @@
+//! The experiment driver: configuration × medium × workload → report.
+
+use crate::config::SystemConfig;
+use nvmtypes::NvmKind;
+use ooctrace::PosixTrace;
+use rayon::prelude::*;
+use serde::Serialize;
+use ssd::RunReport;
+
+/// Result of running one workload on one configuration with one medium.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// Configuration label (Figure x-axis).
+    pub label: &'static str,
+    /// NVM medium.
+    pub kind: NvmKind,
+    /// End-to-end bandwidth, MB/s (Figures 7a/8a).
+    pub bandwidth_mb_s: f64,
+    /// Bandwidth remaining in the media, MB/s (Figures 7b/8b).
+    pub remaining_mb_s: f64,
+    /// Channel-level utilization, `[0, 1]` (Figure 9a).
+    pub channel_util: f64,
+    /// Package-level utilization, `[0, 1]` (Figure 9b).
+    pub package_util: f64,
+    /// Execution-state breakdown percentages in Figure-10 legend order.
+    pub breakdown_pct: [f64; 6],
+    /// PAL1..PAL4 percentages (Figures 10b/10d).
+    pub pal_pct: [f64; 4],
+    /// Full device report for deeper digging.
+    pub run: RunReport,
+}
+
+/// Runs `config` with `kind` media against the application's POSIX trace:
+/// mutates the trace through the configuration's file system, then replays
+/// the block trace on the configured device.
+pub fn run_experiment(config: &SystemConfig, kind: NvmKind, posix: &PosixTrace) -> ExperimentReport {
+    let block = config.fs.transform(posix);
+    let device = config.device(kind);
+    let run = device.run(&block);
+    ExperimentReport {
+        label: config.label,
+        kind,
+        bandwidth_mb_s: run.bandwidth_mb_s,
+        remaining_mb_s: run.media.remaining_mb_s,
+        channel_util: run.media.channel_util,
+        package_util: run.media.package_util,
+        breakdown_pct: run.media.breakdown.percent(),
+        pal_pct: run.pal.percent(),
+        run,
+    }
+}
+
+/// Runs every `(config, kind)` pair in parallel with rayon; results are in
+/// `configs`-major order.
+pub fn run_sweep(
+    configs: &[SystemConfig],
+    kinds: &[NvmKind],
+    posix: &PosixTrace,
+) -> Vec<ExperimentReport> {
+    let pairs: Vec<(SystemConfig, NvmKind)> = configs
+        .iter()
+        .flat_map(|c| kinds.iter().map(move |&k| (*c, k)))
+        .collect();
+    pairs
+        .into_par_iter()
+        .map(|(c, k)| run_experiment(&c, k, posix))
+        .collect()
+}
+
+/// Looks a report up by label and medium.
+pub fn find<'a>(
+    reports: &'a [ExperimentReport],
+    label: &str,
+    kind: NvmKind,
+) -> Option<&'a ExperimentReport> {
+    reports.iter().find(|r| r.label == label && r.kind == kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::synthetic_ooc_trace;
+    use nvmtypes::MIB;
+
+    #[test]
+    fn single_experiment_produces_sane_numbers() {
+        let trace = synthetic_ooc_trace(16 * MIB, 2 * MIB, 3);
+        let rep = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &trace);
+        assert!(rep.bandwidth_mb_s > 100.0);
+        assert!(rep.channel_util > 0.0 && rep.channel_util <= 1.0);
+        assert!((rep.breakdown_pct.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+        assert!((rep.pal_pct.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_covers_all_pairs_in_order() {
+        let trace = synthetic_ooc_trace(8 * MIB, MIB, 3);
+        let configs = [SystemConfig::cnl_ufs(), SystemConfig::cnl_native16()];
+        let kinds = [NvmKind::Slc, NvmKind::Pcm];
+        let reports = run_sweep(&configs, &kinds, &trace);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].label, "CNL-UFS");
+        assert_eq!(reports[0].kind, NvmKind::Slc);
+        assert_eq!(reports[3].label, "CNL-NATIVE-16");
+        assert_eq!(reports[3].kind, NvmKind::Pcm);
+        assert!(find(&reports, "CNL-UFS", NvmKind::Pcm).is_some());
+        assert!(find(&reports, "missing", NvmKind::Pcm).is_none());
+    }
+
+    #[test]
+    fn cnl_beats_ion_on_the_same_workload() {
+        // The paper's headline direction, at reduced scale.
+        let trace = synthetic_ooc_trace(24 * MIB, 2 * MIB, 9);
+        let ion = run_experiment(&SystemConfig::ion_gpfs(), NvmKind::Slc, &trace);
+        let cnl = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Slc, &trace);
+        assert!(
+            cnl.bandwidth_mb_s > ion.bandwidth_mb_s,
+            "cnl {} vs ion {}",
+            cnl.bandwidth_mb_s,
+            ion.bandwidth_mb_s
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Workload builders: synthetic out-of-core sweeps and real LOBPCG traces.
+
+use nvmtypes::IoOp;
+use ooc::lobpcg::{Lobpcg, LobpcgOptions, TracedOperator};
+use ooc::{HamiltonianSpec, OocMatrix};
+use ooctrace::{PosixTrace, TraceCapture, TraceRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A fast synthetic stand-in for the out-of-core eigensolver's I/O: a
+/// read-only sequential panel sweep over one large file, repeated until
+/// `total_bytes` have been read — the shape §3.1 describes ("most OoC
+/// computations are heavily read-intensive and require many iterations").
+///
+/// `record_size` is the application's POSIX read granularity (one matrix
+/// panel). `seed` perturbs record sizes by ±12% so traces are not
+/// artificially uniform.
+pub fn synthetic_ooc_trace(total_bytes: u64, record_size: u64, seed: u64) -> PosixTrace {
+    assert!(record_size >= 4096, "panel reads are large");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trace = PosixTrace::new();
+    // The matrix file is a quarter of the volume: four sweeps on average.
+    let file_len = (total_bytes / 4).max(record_size);
+    let mut pos = 0u64;
+    let mut moved = 0u64;
+    let mut t = 0u64;
+    while moved < total_bytes {
+        let jitter = 1.0 + rng.gen_range(-0.12..0.12);
+        let len = (((record_size as f64 * jitter) as u64).max(4096))
+            .min(file_len - pos)
+            .min(total_bytes - moved);
+        trace.push(TraceRecord { t, op: IoOp::Read, file: 0, offset: pos, len });
+        t += 1;
+        pos += len;
+        if pos >= file_len {
+            pos = 0;
+        }
+        moved += len;
+    }
+    trace
+}
+
+/// Captures the POSIX-level trace of a *real* LOBPCG run: builds a
+/// synthetic nuclear-CI Hamiltonian, serialises it into an out-of-core
+/// panel store, and records every panel read the eigensolver performs.
+///
+/// Returns the trace together with the solver's eigenvalues so callers can
+/// assert the computation (not just the I/O) was real.
+pub fn lobpcg_posix_trace(
+    n: usize,
+    block_size: usize,
+    max_iters: usize,
+    rows_per_panel: usize,
+) -> (PosixTrace, Vec<f64>) {
+    let h = HamiltonianSpec::medium(n).generate();
+    let diag: Vec<f64> = (0..h.n).map(|i| h.get(i, i)).collect();
+    let ooc = OocMatrix::build(&h, rows_per_panel, 0, None);
+    let cap = TraceCapture::new();
+    let op = TracedOperator::new(&ooc, &cap).with_diagonal(diag);
+    let solver = Lobpcg::new(LobpcgOptions {
+        block_size,
+        max_iters,
+        tol: 1e-6,
+        seed: 13,
+        precondition: true,
+    });
+    let result = solver.solve(&op);
+    (cap.into_trace(), result.eigenvalues)
+}
+
+/// An out-of-core graph-analytics workload (the intro's other OoC family:
+/// external-memory BFS and PageRank, the paper's [34]/[44]). Each
+/// "superstep" streams a large sequential run of edge blocks (file 0) and
+/// sprinkles small random reads into the vertex-state array (file 1);
+/// `random_fraction` sets the byte share of the random component.
+pub fn graph_ooc_trace(
+    total_bytes: u64,
+    edge_block: u64,
+    random_fraction: f64,
+    seed: u64,
+) -> PosixTrace {
+    assert!((0.0..=0.9).contains(&random_fraction));
+    assert!(edge_block >= 64 * 1024);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9a17);
+    let mut trace = PosixTrace::new();
+    let edge_file = (total_bytes / 3).max(edge_block);
+    let vertex_file = (edge_file / 8).max(1 << 20);
+    let vertex_read = 8 * 1024u64;
+    let mut edge_pos = 0u64;
+    let mut moved = 0u64;
+    let mut t = 0u64;
+    while moved < total_bytes {
+        // One edge block, sequential with wraparound.
+        let len = edge_block.min(edge_file - edge_pos);
+        trace.push(TraceRecord { t, op: IoOp::Read, file: 0, offset: edge_pos, len });
+        t += 1;
+        edge_pos = (edge_pos + len) % edge_file;
+        moved += len;
+        // Random vertex-state touches to keep the byte ratio.
+        let mut random_due =
+            (len as f64 * random_fraction / (1.0 - random_fraction)) as u64;
+        while random_due >= vertex_read && moved < total_bytes {
+            let off = rng.gen_range(0..vertex_file / vertex_read) * vertex_read;
+            trace.push(TraceRecord { t, op: IoOp::Read, file: 1, offset: off, len: vertex_read });
+            t += 1;
+            random_due -= vertex_read;
+            moved += vertex_read;
+        }
+    }
+    trace
+}
+
+/// A hybrid-checkpointing workload (the related-work scenario of the
+/// paper's [33]): the read-dominant OoC sweep interleaved with periodic
+/// large sequential checkpoint writes to a separate file. Exercises the
+/// device's program, erase-before-write and wear paths alongside reads.
+pub fn checkpoint_trace(
+    read_bytes: u64,
+    ckpt_interval_bytes: u64,
+    ckpt_bytes: u64,
+    record_size: u64,
+    seed: u64,
+) -> PosixTrace {
+    assert!(ckpt_interval_bytes >= record_size && ckpt_bytes >= 4096);
+    let base = synthetic_ooc_trace(read_bytes, record_size, seed);
+    let mut out = PosixTrace::new();
+    let mut since_ckpt = 0u64;
+    let mut ckpt_cursor = 0u64;
+    let mut t = 0u64;
+    for rec in base.records {
+        out.push(TraceRecord { t, ..rec });
+        t += 1;
+        since_ckpt += rec.len;
+        if since_ckpt >= ckpt_interval_bytes {
+            since_ckpt -= ckpt_interval_bytes;
+            // One checkpoint burst: sequential appends to file 1 in
+            // record-size pieces.
+            let mut left = ckpt_bytes;
+            while left > 0 {
+                let len = left.min(record_size);
+                out.push(TraceRecord { t, op: IoOp::Write, file: 1, offset: ckpt_cursor, len });
+                t += 1;
+                ckpt_cursor += len;
+                left -= len;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_trace_volume_and_shape() {
+        let tr = synthetic_ooc_trace(64 << 20, 4 << 20, 1);
+        assert!(tr.total_bytes() >= 64 << 20);
+        assert!((tr.read_fraction() - 1.0).abs() < 1e-12);
+        // Mostly sequential within the file.
+        let stats = ooctrace::AccessStats::of_posix(&tr);
+        assert!(stats.sequentiality > 0.7, "sequentiality {}", stats.sequentiality);
+    }
+
+    #[test]
+    fn synthetic_trace_is_deterministic_per_seed() {
+        assert_eq!(synthetic_ooc_trace(8 << 20, 1 << 20, 5), synthetic_ooc_trace(8 << 20, 1 << 20, 5));
+        assert_ne!(synthetic_ooc_trace(8 << 20, 1 << 20, 5), synthetic_ooc_trace(8 << 20, 1 << 20, 6));
+    }
+
+    #[test]
+    fn graph_trace_mixes_sequential_and_random() {
+        let tr = graph_ooc_trace(64 << 20, 1 << 20, 0.25, 3);
+        assert!(tr.total_bytes() >= 64 << 20);
+        assert!((tr.read_fraction() - 1.0).abs() < 1e-12);
+        // Random bytes land near the requested share.
+        let random: u64 = tr.records.iter().filter(|r| r.file == 1).map(|r| r.len).sum();
+        let share = random as f64 / tr.total_bytes() as f64;
+        assert!((0.15..0.35).contains(&share), "random share {share}");
+        // Vertex touches are small, edge blocks large.
+        assert!(tr.records.iter().filter(|r| r.file == 1).all(|r| r.len == 8192));
+        assert!(tr.records.iter().filter(|r| r.file == 0).any(|r| r.len >= 1 << 20));
+    }
+
+    #[test]
+    fn graph_trace_random_share_zero_is_pure_streaming() {
+        let tr = graph_ooc_trace(16 << 20, 1 << 20, 0.0, 3);
+        assert!(tr.records.iter().all(|r| r.file == 0));
+    }
+
+    #[test]
+    fn checkpoint_trace_mixes_reads_and_writes() {
+        let tr = checkpoint_trace(64 << 20, 16 << 20, 8 << 20, 4 << 20, 3);
+        // Roughly one 8 MiB checkpoint per 16 MiB read: ~1/3 writes.
+        let rf = tr.read_fraction();
+        assert!((0.6..0.75).contains(&rf), "read fraction {rf}");
+        // Checkpoint writes append sequentially in file 1.
+        let writes: Vec<_> = tr.records.iter().filter(|r| !r.op.is_read()).collect();
+        assert!(!writes.is_empty());
+        for w in writes.windows(2) {
+            assert_eq!(w[1].offset, w[0].offset + w[0].len);
+            assert_eq!(w[0].file, 1);
+        }
+    }
+
+    #[test]
+    fn lobpcg_trace_is_read_only_panel_sweeps() {
+        let (tr, eigs) = lobpcg_posix_trace(600, 4, 8, 100);
+        assert!(!tr.is_empty());
+        assert!((tr.read_fraction() - 1.0).abs() < 1e-12);
+        // 6 panels per sweep; at least the initial apply plus iterations.
+        assert!(tr.len() >= 12, "only {} records", tr.len());
+        // Eigenvalues are finite and ascending.
+        assert!(eigs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(eigs.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on the file-system request mutators.
+
+use nvmtypes::IoOp;
+use oocfs::{FileSystemModel, FsKind, FsModel, FsParams, GpfsModel};
+use ooctrace::{PosixTrace, TraceRecord};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = PosixTrace> {
+    prop::collection::vec((0u64..64, 1u64..32, 0u32..3), 1..30).prop_map(|recs| {
+        let mut t = PosixTrace::new();
+        for (i, (off, blocks, file)) in recs.into_iter().enumerate() {
+            t.push(TraceRecord {
+                t: i as u64,
+                op: IoOp::Read,
+                file,
+                offset: off * 4096,
+                len: blocks * 4096,
+            });
+        }
+        t
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = FsParams> {
+    (
+        prop_oneof![Just(4096u32), Just(8192), Just(16384)],
+        1u32..32,
+        1u64..32,
+        0.0..0.6f64,
+        prop::option::of(1u64..64),
+        1u32..16,
+        0u64..1000,
+    )
+        .prop_map(|(block, max_mul, extent_mul, entropy, meta, qd, seed)| FsParams {
+            name: "prop",
+            block_size: block,
+            max_request: block * max_mul,
+            mean_extent: block as u64 * extent_mul.max(1),
+            placement_entropy: entropy,
+            metadata_read_interval: meta.map(|m| m * block as u64),
+            journal_commit_interval: None,
+            journal_data: false,
+            queue_depth: qd,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_valid_params_conserve_data_bytes(
+        trace in arb_trace(),
+        params in arb_params(),
+    ) {
+        // Block-round the expectation per record (offsets are 4K-aligned
+        // but the FS block size may be larger).
+        let bs = params.block_size as u64;
+        let expect: u64 = trace
+            .records
+            .iter()
+            .map(|r| (r.offset + r.len).div_ceil(bs) * bs - r.offset / bs * bs)
+            .sum();
+        let out = FsModel::new(params).transform(&trace);
+        prop_assert_eq!(out.data_bytes(), expect);
+        // Requests respect the coalescing cap and queue depth survives.
+        prop_assert!(out.requests.iter().filter(|r| !r.sync).all(|r| r.len <= params.max_request as u64));
+        prop_assert_eq!(out.queue_depth, params.queue_depth);
+    }
+
+    #[test]
+    fn gpfs_conserves_bytes_for_any_stripe(
+        trace in arb_trace(),
+        stripe_kib in 4u64..2048,
+    ) {
+        let model = GpfsModel::new().with_stripe(stripe_kib * 1024);
+        let out = model.transform(&trace);
+        prop_assert_eq!(out.total_bytes(), trace.total_bytes());
+        prop_assert!(out.requests.iter().all(|r| r.len <= model.transfer_size));
+    }
+
+    #[test]
+    fn catalogue_transforms_never_panic_and_stay_deterministic(
+        trace in arb_trace(),
+    ) {
+        for kind in FsKind::ALL {
+            let a = kind.transform(&trace);
+            let b = kind.transform(&trace);
+            prop_assert_eq!(a, b, "{} non-deterministic", kind.label());
+        }
+    }
+}
+
+#[test]
+fn ufs_mean_request_matches_posix_mean() {
+    let mut trace = PosixTrace::new();
+    for i in 0..16u64 {
+        trace.push(TraceRecord { t: i, op: IoOp::Read, file: 0, offset: i << 20, len: 1 << 20 });
+    }
+    let out = FsKind::Ufs.transform(&trace);
+    assert_eq!(out.mean_request_size(), (1 << 20) as f64);
+}

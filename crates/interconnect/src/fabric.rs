@@ -1,0 +1,71 @@
+//! Cluster fabrics: the network hops of the ION-remote data path.
+//!
+//! Carver (§2.2, Figure 3) connects compute nodes to I/O nodes with QDR 4X
+//! InfiniBand ("4GB/sec" in the figure) and attaches external RAID storage
+//! to the IONs over Fibre Channel.
+
+use crate::link::Link;
+
+/// QDR 4X InfiniBand: 4 lanes x 10 Gb/s signalling with 8b/10b encoding
+/// = 32 Gb/s = 4 GB/s payload. Per-message cost covers the verbs round
+/// trip plus the parallel-file-system client/server exchange that every
+/// GPFS block access pays.
+pub fn infiniband_qdr_4x() -> Link {
+    Link { name: "IB-QDR-4X", bytes_per_ns: 4.0, per_request_ns: 25_000 }
+}
+
+/// FDR 4X InfiniBand (the generation after the paper's QDR): 4 x 14 Gb/s
+/// with 64b/66b encoding = ~6.8 GB/s payload.
+pub fn infiniband_fdr_4x() -> Link {
+    // 4 lanes x 14.0625 Gb/s x 64/66 encoding = 54.5 Gb/s = ~6.8 B/ns.
+    Link {
+        name: "IB-FDR-4X",
+        bytes_per_ns: 4.0 * 14.0625 * (64.0 / 66.0) / 8.0,
+        per_request_ns: 20_000,
+    }
+}
+
+/// 8G Fibre Channel: 8.5 Gb/s signalling, 8b/10b = 680 MB/s payload.
+/// Used between IONs and external RAID enclosures; not on the SSD path,
+/// but needed to model the magnetic-storage baseline.
+pub fn fibre_channel_8g() -> Link {
+    Link { name: "FC-8G", bytes_per_ns: 0.85 * 0.8, per_request_ns: 10_000 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qdr_4x_is_4_gb_s() {
+        assert!((infiniband_qdr_4x().bytes_per_ns - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fibre_channel_is_680_mb_s() {
+        assert!((fibre_channel_8g().mb_s() - 680.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_is_faster_than_fc_but_has_higher_per_message_cost_than_pcie() {
+        use crate::pcie::{pcie, PcieGen};
+        let ib = infiniband_qdr_4x();
+        assert!(ib.bytes_per_ns > fibre_channel_8g().bytes_per_ns);
+        assert!(ib.per_request_ns > pcie(PcieGen::Gen2, 8).per_request_ns);
+    }
+
+    #[test]
+    fn fdr_is_about_6_8_gb_s_and_faster_than_qdr() {
+        let fdr = infiniband_fdr_4x();
+        assert!((fdr.bytes_per_ns - 6.818).abs() < 0.01, "got {}", fdr.bytes_per_ns);
+        assert!(fdr.bytes_per_ns > infiniband_qdr_4x().bytes_per_ns);
+    }
+
+    #[test]
+    fn figure1_premise_nvm_outpaces_network() {
+        // The paper's Figure-1 premise: a modern PCIe-3.0 x16 SSD interface
+        // exceeds a QDR-4X InfiniBand point-to-point link.
+        use crate::pcie::{pcie, PcieGen};
+        assert!(pcie(PcieGen::Gen3, 16).bytes_per_ns > infiniband_qdr_4x().bytes_per_ns);
+    }
+}

@@ -1,0 +1,34 @@
+//! # interconnect — host-side link and bus models
+//!
+//! Models every wire between the out-of-core application and the NVM dies
+//! that the paper varies (§3.3, Figure 5):
+//!
+//! * **PCIe** 2.0 (5 GT/s, 8b/10b encoding — 20% line overhead) and 3.0
+//!   (8 GT/s, 128b/130b — 1.5% overhead), at 4/8/16 lanes.
+//! * **SATA-6G bridges** inside "bridged" PCIe SSDs built from SATA-era
+//!   controllers: extra protocol-conversion latency and 8b/10b framing.
+//! * **ONFi NVM buses**: the state-of-the-art ONFi-3 400 MHz SDR bus and
+//!   the paper's proposed DDR-800 (DDR3-1600-like) future bus.
+//! * **Cluster fabrics**: QDR 4X InfiniBand (the Carver machine's fabric)
+//!   and 8G Fibre Channel.
+//!
+//! All models reduce to a [`Link`]: an effective payload bandwidth plus a
+//! per-request latency, which the SSD simulator treats as a serially
+//! reusable resource. [`LinkChain`] composes links end-to-end
+//! (min-bandwidth, sum-latency), which is how the ION-remote data path
+//! (SSD → ION PCIe → InfiniBand → compute node) is expressed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod link;
+pub mod onfi;
+pub mod pcie;
+pub mod sata;
+
+pub use fabric::{fibre_channel_8g, infiniband_fdr_4x, infiniband_qdr_4x};
+pub use link::{Link, LinkChain};
+pub use onfi::{ddr800, sdr400, NvmBusSpeed};
+pub use pcie::{pcie, PcieGen};
+pub use sata::sata_6g_bridge;

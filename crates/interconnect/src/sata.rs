@@ -1,0 +1,55 @@
+//! SATA-6G bridge hop inside "bridged" PCIe SSDs.
+//!
+//! §3.3, Figure 5a: ad-hoc PCIe SSDs are frequently built from SATA-era
+//! NAND controllers sitting behind a SATA-host/SATA-device pair and a PCIe
+//! endpoint. Every request pays protocol re-encoding, and the SATA link's
+//! 8b/10b encoding caps each internal controller at 600 MB/s of payload.
+
+use crate::link::Link;
+
+/// One internal SATA-6G controller link of a bridged PCIe SSD.
+///
+/// `controllers` is how many such internal controllers the device stripes
+/// across (each serves a subset of the channels); the returned link models
+/// their aggregate with the bridge's per-request conversion cost.
+pub fn sata_6g_bridge(controllers: u32) -> Link {
+    assert!(controllers > 0, "a bridged SSD has at least one internal controller");
+    // 6 Gb/s * 8/10 encoding = 4.8 Gb/s = 0.6 B/ns payload per controller.
+    let per_controller = 6.0 * (8.0 / 10.0) / 8.0;
+    Link {
+        name: "SATA6G-bridge",
+        bytes_per_ns: per_controller * controllers as f64,
+        // Protocol conversion (SATA FIS <-> PCIe TLP) costs a few µs per
+        // command on commodity bridge chips.
+        per_request_ns: 3_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_controller_is_600_mb_s() {
+        let l = sata_6g_bridge(1);
+        assert!((l.mb_s() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_scales_with_controllers() {
+        let l = sata_6g_bridge(8);
+        assert!((l.bytes_per_ns - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bridge_costs_more_per_request_than_native_pcie() {
+        use crate::pcie::{pcie, PcieGen};
+        assert!(sata_6g_bridge(8).per_request_ns > pcie(PcieGen::Gen3, 8).per_request_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_controllers_rejected() {
+        sata_6g_bridge(0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # nvmtypes — shared vocabulary for the `oocnvm` workspace
+//!
+//! This crate holds the types every other crate in the workspace speaks:
+//!
+//! * [`NvmKind`] — the four NVM media evaluated by the paper (SLC, MLC and
+//!   TLC NAND flash, plus phase-change memory).
+//! * [`MediaTiming`] — the Table-1 latency matrix (page size, read, write
+//!   and erase latencies per medium), including the LSB/CSB/MSB program
+//!   latency variation of multi-level NAND.
+//! * [`SsdGeometry`] — channels / packages / dies / planes / blocks / pages,
+//!   defaulting to the paper's 8-channel, 64-package, 128-die device.
+//! * [`HostRequest`] / [`IoOp`] — byte-addressed I/O requests as seen at the
+//!   host interface.
+//!
+//! Everything here is plain data: no simulation logic lives in this crate.
+//!
+//! Reference: Jung et al., *Exploring the Future of Out-Of-Core Computing
+//! with Compute-Local Non-Volatile Memory*, SC '13, Table 1 and §2.3/§4.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod energy;
+pub mod geometry;
+pub mod kind;
+pub mod latency;
+pub mod request;
+pub mod time;
+
+pub use bus::BusTiming;
+pub use energy::MediaEnergy;
+pub use geometry::{DieIndex, PhysLoc, SsdGeometry};
+pub use kind::{NvmKind, PageClass};
+pub use latency::MediaTiming;
+pub use request::{HostRequest, IoOp};
+pub use time::{bytes_per_ns_from_mb_s, mb_per_s, transfer_time, Nanos, GIB, KIB, MIB};

@@ -1,0 +1,92 @@
+//! Simulation time and bandwidth conversion helpers.
+//!
+//! The whole workspace measures time in integer **nanoseconds** ([`Nanos`]).
+//! Bandwidths are carried as `f64` bytes-per-nanosecond internally (which is
+//! numerically identical to GB/s) and reported as MB/s, matching the axes of
+//! the paper's figures.
+
+/// Simulation timestamp / duration in nanoseconds.
+pub type Nanos = u64;
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte (2^20 bytes).
+pub const MIB: u64 = 1024 * 1024;
+/// One gibibyte (2^30 bytes).
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+/// Nanoseconds per microsecond.
+pub const US: Nanos = 1_000;
+/// Nanoseconds per millisecond.
+pub const MS: Nanos = 1_000_000;
+/// Nanoseconds per second.
+pub const SEC: Nanos = 1_000_000_000;
+
+/// Converts a decimal MB/s figure (as used on the paper's axes) to bytes
+/// per nanosecond.
+///
+/// `1 MB/s == 1e6 bytes / 1e9 ns == 1e-3 bytes/ns`.
+#[inline]
+pub fn bytes_per_ns_from_mb_s(mb_per_sec: f64) -> f64 {
+    mb_per_sec * 1e-3
+}
+
+/// Reports a transfer of `bytes` over `dur` nanoseconds as decimal MB/s.
+///
+/// Returns 0.0 for a zero-length duration so callers need not special-case
+/// empty runs.
+#[inline]
+pub fn mb_per_s(bytes: u64, dur: Nanos) -> f64 {
+    if dur == 0 {
+        return 0.0;
+    }
+    (bytes as f64 / dur as f64) * 1e3
+}
+
+/// Time (ns, rounded up) to move `bytes` at `bytes_per_ns`.
+///
+/// # Panics
+/// Panics in debug builds if `bytes_per_ns` is not strictly positive.
+#[inline]
+pub fn transfer_time(bytes: u64, bytes_per_ns: f64) -> Nanos {
+    debug_assert!(bytes_per_ns > 0.0, "bandwidth must be positive");
+    (bytes as f64 / bytes_per_ns).ceil() as Nanos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_s_round_trip() {
+        // 1 GiB in 1 second is ~1073.7 MB/s.
+        let bw = mb_per_s(GIB, SEC);
+        assert!((bw - 1073.741824).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_duration_is_zero_bandwidth() {
+        assert_eq!(mb_per_s(12345, 0), 0.0);
+    }
+
+    #[test]
+    fn bytes_per_ns_matches_gb_s() {
+        // 4000 MB/s == 4 GB/s == 4 bytes/ns.
+        assert!((bytes_per_ns_from_mb_s(4000.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 10 bytes at 3 bytes/ns -> ceil(3.33) = 4 ns.
+        assert_eq!(transfer_time(10, 3.0), 4);
+        assert_eq!(transfer_time(0, 3.0), 0);
+    }
+
+    #[test]
+    fn unit_constants_consistent() {
+        assert_eq!(MIB, KIB * KIB);
+        assert_eq!(GIB, KIB * MIB);
+        assert_eq!(SEC, 1_000 * MS);
+        assert_eq!(MS, 1_000 * US);
+    }
+}

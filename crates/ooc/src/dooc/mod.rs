@@ -1,0 +1,32 @@
+//! DOoC+LAF / DataCutter-style middleware (§2.1 of the paper).
+//!
+//! The paper's application does not talk to storage directly: it runs on
+//! **DOoC**, "a distributed data storage and scheduler with OoC
+//! capabilities", which sits atop **DataCutter**, "a middleware that
+//! abstracts dataflows via the concept of filters and streams". This
+//! module rebuilds those three layers:
+//!
+//! * [`pool`] — the distributed data-storage layer: an immutable, keyed
+//!   data pool with an explicit memory budget, LRU eviction, and
+//!   background prefetching ("supports basic prefetching, automatic
+//!   memory management ... large disk-located arrays are immutable once
+//!   written, removing any need for complicated coherency mechanisms");
+//! * [`sched`] — the hierarchical data-aware scheduler: a dependency-DAG
+//!   executor that prefers ready tasks whose inputs are already resident
+//!   ("cognizant of data-dependencies and performs task reordering to
+//!   maximize parallelism and performance");
+//! * [`filter`] — DataCutter's filter/stream abstraction: filters
+//!   transform flows of chunks between producers and consumers over
+//!   bounded channels;
+//! * [`migrate`] — §3.1's extension: data migration between pools and
+//!   between a monolithic pool and a node's memory (the pre-load path).
+
+pub mod filter;
+pub mod migrate;
+pub mod pool;
+pub mod sched;
+
+pub use filter::{Filter, Pipeline};
+pub use migrate::{checkout, migrate, migrate_matching, MigrationReport};
+pub use pool::{DataPool, PoolStats, Prefetcher};
+pub use sched::{TaskGraph, TaskId};

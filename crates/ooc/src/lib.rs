@@ -1,0 +1,44 @@
+//! # ooc — the out-of-core application substrate
+//!
+//! The paper's workload (§2.1) is a configuration-interaction nuclear
+//! structure calculation: a parallel iterative eigensolver — LOBPCG — whose
+//! dominant cost is repeatedly multiplying the enormous sparse many-body
+//! Hamiltonian `H` against a tall skinny block of vectors `Ψ` (10–20
+//! columns), with `H` preprocessed once and streamed from capacity storage
+//! every iteration. This crate builds that application for real:
+//!
+//! * [`dense`] — the small dense kernels an eigensolver needs (column-major
+//!   matrices, Cholesky, modified Gram–Schmidt, a cyclic Jacobi symmetric
+//!   eigensolver for the Rayleigh–Ritz step);
+//! * [`sparse`] — CSR sparse matrices with rayon-parallel `SpMM`;
+//! * [`hamiltonian`] — a synthetic sparse symmetric "nuclear CI"
+//!   Hamiltonian generator (banded many-body structure plus scattered
+//!   interaction blocks), substituting for the MFDn matrices the paper
+//!   reads from Carver's storage;
+//! * [`store`] — the out-of-core matrix store: `H` is serialised into row
+//!   panels on a simulated device and every panel read is captured as a
+//!   POSIX-level trace record (§4.2's tracing methodology);
+//! * [`lobpcg`] — the locally optimal block preconditioned conjugate
+//!   gradient eigensolver [Knyazev '01], reading `H` through the store
+//!   each iteration;
+//! * [`dooc`] — the DOoC+LAF / DataCutter middleware layer (§2.1): an
+//!   immutable keyed data pool with memory management and prefetching, a
+//!   data-aware task scheduler, and a filter/stream dataflow runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod dooc;
+pub mod hamiltonian;
+pub mod lobpcg;
+pub mod matrixmarket;
+pub mod sparse;
+pub mod store;
+
+pub use dense::DMatrix;
+pub use hamiltonian::HamiltonianSpec;
+pub use lobpcg::{Lobpcg, LobpcgOptions, LobpcgResult};
+pub use matrixmarket::{from_matrix_market, to_matrix_market};
+pub use sparse::CsrMatrix;
+pub use store::{OocMatrix, OocStore};

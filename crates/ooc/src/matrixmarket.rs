@@ -1,0 +1,175 @@
+//! Matrix Market (`.mtx`) interchange for sparse operators.
+//!
+//! The MFDn Hamiltonians the paper computes with are distributed in
+//! standard sparse interchange formats; Matrix Market coordinate format is
+//! the lingua franca. This module writes and reads the `coordinate real
+//! general/symmetric` dialects so externally produced operators can drive
+//! the out-of-core pipeline.
+
+use crate::sparse::CsrMatrix;
+
+/// Serialises a square CSR matrix as `matrix coordinate real general`
+/// (1-based indices, one entry per line).
+pub fn to_matrix_market(m: &CsrMatrix) -> String {
+    let mut out = String::with_capacity(64 + m.nnz() * 24);
+    out.push_str("%%MatrixMarket matrix coordinate real general\n");
+    out.push_str("% written by oocnvm\n");
+    out.push_str(&format!("{} {} {}\n", m.n, m.n, m.nnz()));
+    for i in 0..m.n {
+        let (lo, hi) = (m.row_ptr[i] as usize, m.row_ptr[i + 1] as usize);
+        for k in lo..hi {
+            out.push_str(&format!("{} {} {:e}\n", i + 1, m.col_idx[k] + 1, m.values[k]));
+        }
+    }
+    out
+}
+
+/// Parses Matrix Market `coordinate real` input (general or symmetric) into
+/// CSR. Symmetric inputs are expanded to full storage. Pattern/complex
+/// fields and non-square shapes are rejected.
+pub fn from_matrix_market(text: &str) -> Result<CsrMatrix, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty input")?;
+    let h: Vec<&str> = header.split_whitespace().collect();
+    if h.len() < 5 || !h[0].starts_with("%%MatrixMarket") {
+        return Err("missing %%MatrixMarket header".into());
+    }
+    if h[1] != "matrix" || h[2] != "coordinate" {
+        return Err(format!("unsupported object/format: {} {}", h[1], h[2]));
+    }
+    if h[3] != "real" && h[3] != "integer" {
+        return Err(format!("unsupported field: {}", h[3]));
+    }
+    let symmetric = match h[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(format!("unsupported symmetry: {other}")),
+    };
+
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut entries: Vec<(u32, u32, f64)> = Vec::new();
+    for (lineno, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match dims {
+            None => {
+                if fields.len() != 3 {
+                    return Err(format!("line {}: bad size line", lineno + 1));
+                }
+                let rows: usize = fields[0].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let cols: usize = fields[1].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let nnz: usize = fields[2].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                if rows != cols {
+                    return Err(format!("matrix must be square, got {rows}x{cols}"));
+                }
+                dims = Some((rows, cols, nnz));
+                entries.reserve(nnz);
+            }
+            Some((rows, _, _)) => {
+                if fields.len() < 3 {
+                    return Err(format!("line {}: bad entry", lineno + 1));
+                }
+                let i: usize = fields[0].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let j: usize = fields[1].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let v: f64 = fields[2].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                if i == 0 || j == 0 || i > rows || j > rows {
+                    return Err(format!("line {}: index out of range", lineno + 1));
+                }
+                entries.push(((i - 1) as u32, (j - 1) as u32, v));
+                if symmetric && i != j {
+                    entries.push(((j - 1) as u32, (i - 1) as u32, v));
+                }
+            }
+        }
+    }
+    let (n, _, declared) = dims.ok_or("missing size line")?;
+    let base = if symmetric {
+        // Declared counts the stored triangle only.
+        entries.iter().filter(|&&(i, j, _)| i <= j).count()
+    } else {
+        entries.len()
+    };
+    if base != declared {
+        return Err(format!("entry count {base} != declared {declared}"));
+    }
+    let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for (i, j, v) in entries {
+        rows[i as usize].push((j, v));
+    }
+    for row in &mut rows {
+        row.sort_by_key(|&(c, _)| c);
+        // Duplicate entries sum, as the format specifies.
+        let mut dedup: Vec<(u32, f64)> = Vec::with_capacity(row.len());
+        for &(c, v) in row.iter() {
+            match dedup.last_mut() {
+                Some(last) if last.0 == c => last.1 += v,
+                _ => dedup.push((c, v)),
+            }
+        }
+        *row = dedup;
+    }
+    Ok(CsrMatrix::from_rows(n, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamiltonian::HamiltonianSpec;
+
+    #[test]
+    fn round_trip_preserves_the_matrix() {
+        let h = HamiltonianSpec::tiny(80).generate();
+        let text = to_matrix_market(&h);
+        let back = from_matrix_market(&text).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn symmetric_input_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 4\n1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 2.0\n";
+        let m = from_matrix_market(text).unwrap();
+        assert_eq!(m.get(0, 1), -1.0);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn duplicates_sum() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 3\n1 1 1.0\n1 1 2.5\n2 2 1.0\n";
+        let m = from_matrix_market(text).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(from_matrix_market("").is_err());
+        assert!(from_matrix_market("%%MatrixMarket matrix array real general\n1 1\n").is_err());
+        assert!(from_matrix_market("%%MatrixMarket matrix coordinate complex general\n1 1 0\n").is_err());
+        assert!(from_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 3 0\n"
+        )
+        .is_err());
+        assert!(from_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"
+        )
+        .is_err());
+        assert!(from_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n\
+                    2 2 1\n\n% another\n2 1 4.5\n";
+        let m = from_matrix_market(text).unwrap();
+        assert_eq!(m.get(1, 0), 4.5);
+    }
+}

@@ -1,0 +1,226 @@
+//! CSR sparse matrices with rayon-parallel sparse × dense-block products.
+
+use crate::dense::DMatrix;
+use rayon::prelude::*;
+
+/// Compressed-sparse-row matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Rows (== columns; the workspace only needs square operators).
+    pub n: usize,
+    /// Row pointers, `len == n + 1`.
+    pub row_ptr: Vec<u64>,
+    /// Column indices, ascending within each row.
+    pub col_idx: Vec<u32>,
+    /// Values, parallel to `col_idx`.
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from per-row `(col, value)` lists (must be sorted by column).
+    pub fn from_rows(n: usize, rows: Vec<Vec<(u32, f64)>>) -> CsrMatrix {
+        assert_eq!(rows.len(), n);
+        let nnz: usize = rows.iter().map(|r| r.len()).sum();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0u64);
+        for row in rows {
+            let mut prev: Option<u32> = None;
+            for (c, v) in row {
+                assert!((c as usize) < n, "column out of range");
+                if let Some(p) = prev {
+                    assert!(c > p, "columns must be strictly ascending");
+                }
+                prev = Some(c);
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len() as u64);
+        }
+        CsrMatrix { n, row_ptr, col_idx, values }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Entry accessor (O(log row length)); 0.0 for structural zeros.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        match self.col_idx[lo..hi].binary_search(&(j as u32)) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Checks structural validity (monotone pointers, sorted columns).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.n + 1 {
+            return Err("row_ptr length".into());
+        }
+        if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() != self.nnz() as u64 {
+            return Err("row_ptr endpoints".into());
+        }
+        for i in 0..self.n {
+            let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            if lo > hi {
+                return Err(format!("row {i}: non-monotone row_ptr"));
+            }
+            for w in self.col_idx[lo..hi].windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {i}: unsorted columns"));
+                }
+            }
+            if let Some(&last) = self.col_idx[lo..hi].last() {
+                if last as usize >= self.n {
+                    return Err(format!("row {i}: column out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Is the matrix numerically symmetric?
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            for k in lo..hi {
+                let j = self.col_idx[k] as usize;
+                if (self.values[k] - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Sparse × dense block: `Y = A * X`, parallel over rows.
+    pub fn spmm(&self, x: &DMatrix) -> DMatrix {
+        assert_eq!(x.nrows, self.n, "operand height mismatch");
+        let m = x.ncols;
+        let mut y = DMatrix::zeros(self.n, m);
+        // Split Y into row chunks and process independently: the row-major
+        // scatter into a column-major Y is handled by chunking columns of Y
+        // per thread instead — compute into a row-major buffer then copy.
+        let rows: Vec<Vec<f64>> = (0..self.n)
+            .into_par_iter()
+            .map(|i| {
+                let mut acc = vec![0.0f64; m];
+                let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+                for k in lo..hi {
+                    let j = self.col_idx[k] as usize;
+                    let v = self.values[k];
+                    for (c, a) in acc.iter_mut().enumerate() {
+                        *a += v * x.col(c)[j];
+                    }
+                }
+                acc
+            })
+            .collect();
+        for (i, row) in rows.into_iter().enumerate() {
+            for (c, v) in row.into_iter().enumerate() {
+                y.col_mut(c)[i] = v;
+            }
+        }
+        y
+    }
+
+    /// Applies only rows `[r0, r1)` of the operator: `Y[r0..r1, :] += A[r0..r1, :] * X`.
+    /// This is the panel kernel the out-of-core SpMM streams with.
+    pub fn spmm_rows_into(&self, r0: usize, r1: usize, x: &DMatrix, y: &mut DMatrix) {
+        assert!(r0 <= r1 && r1 <= self.n);
+        assert_eq!(x.nrows, self.n);
+        assert_eq!(y.nrows, self.n);
+        assert_eq!(x.ncols, y.ncols);
+        for i in r0..r1 {
+            let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            for k in lo..hi {
+                let j = self.col_idx[k] as usize;
+                let v = self.values[k];
+                for c in 0..x.ncols {
+                    y.col_mut(c)[i] += v * x.col(c)[j];
+                }
+            }
+        }
+    }
+
+    /// Dense copy (tests only; O(n^2) memory).
+    pub fn to_dense(&self) -> DMatrix {
+        let mut d = DMatrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            for k in lo..hi {
+                d[(i, self.col_idx[k] as usize)] = self.values[k];
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [[2,-1,0],[-1,2,-1],[0,-1,2]]
+        CsrMatrix::from_rows(
+            3,
+            vec![
+                vec![(0, 2.0), (1, -1.0)],
+                vec![(0, -1.0), (1, 2.0), (2, -1.0)],
+                vec![(1, -1.0), (2, 2.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        let a = small();
+        a.validate().unwrap();
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(1, 2), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = small();
+        let x = DMatrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[0.0, 3.0]]);
+        let y = a.spmm(&x);
+        let want = a.to_dense().matmul(&x);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((y[(i, j)] - want[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn panel_kernel_matches_full_spmm() {
+        let a = small();
+        let x = DMatrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let full = a.spmm(&x);
+        let mut y = DMatrix::zeros(3, 1);
+        a.spmm_rows_into(0, 2, &x, &mut y);
+        a.spmm_rows_into(2, 3, &x, &mut y);
+        for i in 0..3 {
+            assert!((y[(i, 0)] - full[(i, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_columns() {
+        CsrMatrix::from_rows(2, vec![vec![(1, 1.0), (0, 1.0)], vec![]]);
+    }
+
+    #[test]
+    fn asymmetry_detected() {
+        let a = CsrMatrix::from_rows(2, vec![vec![(1, 5.0)], vec![]]);
+        assert!(!a.is_symmetric(1e-12));
+    }
+}

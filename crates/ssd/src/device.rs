@@ -1,0 +1,525 @@
+//! The closed-loop device engine: queueing, translation, media dispatch,
+//! host DMA, and run accounting.
+
+use crate::config::SsdConfig;
+use crate::ftl::Ftl;
+use crate::mapping::StripeMap;
+use crate::report::{LatencyStats, RunReport};
+use flashsim::intervals::{merge, uncovered_len, Interval};
+use flashsim::{DieOp, MediaSim, PalHistogram, PalLevel};
+use nvmtypes::{HostRequest, IoOp, Nanos};
+use ooctrace::BlockTrace;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulated SSD (or network-attached SSD) ready to replay block traces.
+///
+/// Each call to [`SsdDevice::run`] replays one trace against a fresh device
+/// state with a **closed-loop** issue discipline: the trace's queue depth
+/// (capped by the device's NCQ depth) bounds how many requests are
+/// outstanding; a new request issues when a slot frees. Requests flagged
+/// [`HostRequest::sync`] are dependency barriers: nothing later may issue
+/// until they complete — this is how file-system metadata lookups and
+/// journal commits serialise the device (§3.2).
+///
+/// ```
+/// use flashsim::MediaConfig;
+/// use interconnect::{pcie, LinkChain, PcieGen};
+/// use nvmtypes::{BusTiming, HostRequest, NvmKind};
+/// use ooctrace::BlockTrace;
+/// use ssd::{SsdConfig, SsdDevice};
+///
+/// let media = MediaConfig::paper(NvmKind::Slc, BusTiming { name: "sdr", bytes_per_ns: 0.4 });
+/// let host = LinkChain::single(pcie(PcieGen::Gen2, 8));
+/// let device = SsdDevice::new(SsdConfig::new(media, host).with_ufs());
+/// let trace = BlockTrace::from_requests(
+///     (0..16).map(|i| HostRequest::read(i * (1 << 20), 1 << 20)).collect(),
+///     16,
+/// );
+/// let report = device.run(&trace);
+/// assert!(report.bandwidth_mb_s > 500.0);
+/// assert_eq!(report.total_bytes, 16 << 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsdDevice {
+    cfg: SsdConfig,
+    /// Stripe-rows pre-erased before the run (write workloads).
+    pub pre_erased_rows: u64,
+}
+
+/// Per-request PAL tracking state, reused across requests.
+struct PalTracker {
+    /// Bitmask of dies-in-channel touched, per channel.
+    chan_dies: Vec<u32>,
+    touched: Vec<u32>,
+    multiplane: bool,
+}
+
+impl PalTracker {
+    fn new(channels: usize) -> PalTracker {
+        PalTracker { chan_dies: vec![0; channels], touched: Vec::new(), multiplane: false }
+    }
+
+    fn reset(&mut self) {
+        for &c in &self.touched {
+            self.chan_dies[c as usize] = 0;
+        }
+        self.touched.clear();
+        self.multiplane = false;
+    }
+
+    fn observe(&mut self, channel: u32, die_in_channel: u32, planes: u32) {
+        if self.chan_dies[channel as usize] == 0 {
+            self.touched.push(channel);
+        }
+        self.chan_dies[channel as usize] |= 1 << die_in_channel;
+        if planes > 1 {
+            self.multiplane = true;
+        }
+    }
+
+    fn classify(&self) -> PalLevel {
+        let die_interleaved = self
+            .touched
+            .iter()
+            .any(|&c| self.chan_dies[c as usize].count_ones() > 1);
+        PalLevel::classify(die_interleaved, self.multiplane)
+    }
+}
+
+impl SsdDevice {
+    /// New device for a configuration.
+    pub fn new(cfg: SsdConfig) -> SsdDevice {
+        // Steady state: the log allocator must erase before every new
+        // block-row it enters (a fresh-from-trim device would set this
+        // high).
+        SsdDevice { cfg, pre_erased_rows: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Replays `trace` against a fresh device state.
+    pub fn run(&self, trace: &BlockTrace) -> RunReport {
+        let cfg = &self.cfg;
+        let geometry = cfg.media.geometry;
+        let page_size = cfg.media.timing.page_size as u64;
+        let mut media = MediaSim::new(cfg.media);
+        let map = StripeMap::new(geometry, cfg.stripe_order);
+        let mut ftl = Ftl::new(cfg.ftl, geometry, self.pre_erased_rows)
+            .with_page_size(cfg.media.timing.page_size);
+        let host = cfg.host.effective();
+        let qd = cfg.ncq_depth.min(trace.queue_depth).max(1) as usize;
+
+        let mut inflight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(qd + 1);
+        let mut prev_issue: Nanos = 0;
+        let mut host_free: Nanos = 0;
+        let mut last_media_end: Nanos = 0;
+        let mut makespan: Nanos = 0;
+        let mut host_busy: Nanos = 0;
+        let mut dma_intervals: Vec<Interval> = Vec::with_capacity(trace.len());
+        let mut pal_hist = PalHistogram::default();
+        let mut pal = PalTracker::new(geometry.channels as usize);
+        let mut latencies: Vec<Nanos> = Vec::with_capacity(trace.len());
+        let firmware = cfg.ftl.firmware_ns();
+        let split_bytes = cfg.ftl.max_transaction_bytes().unwrap_or(u64::MAX);
+
+        for req in &trace.requests {
+            // Closed-loop arrival.
+            let mut issue = prev_issue;
+            if inflight.len() >= qd {
+                if let Some(Reverse(c)) = inflight.pop() {
+                    issue = issue.max(c);
+                }
+            }
+
+            pal.reset();
+            let completion = match req.op {
+                IoOp::Read => {
+                    let media_end = self.dispatch_media(
+                        &mut media,
+                        &map,
+                        &mut ftl,
+                        &mut pal,
+                        req,
+                        issue,
+                        firmware,
+                        split_bytes,
+                        page_size,
+                        &mut last_media_end,
+                    );
+                    // Device buffer -> host DMA after media completes.
+                    let dma_start = media_end.max(host_free);
+                    let dma_end = dma_start + host.request_ns(req.len);
+                    host_free = dma_end;
+                    host_busy += dma_end - dma_start;
+                    dma_intervals.push((dma_start, dma_end));
+                    dma_end
+                }
+                IoOp::Write => {
+                    // Host -> device buffer DMA before media programs.
+                    let dma_start = issue.max(host_free);
+                    let dma_end = dma_start + host.request_ns(req.len);
+                    host_free = dma_end;
+                    host_busy += dma_end - dma_start;
+                    dma_intervals.push((dma_start, dma_end));
+                    self.dispatch_media(
+                        &mut media,
+                        &map,
+                        &mut ftl,
+                        &mut pal,
+                        req,
+                        dma_end,
+                        firmware,
+                        split_bytes,
+                        page_size,
+                        &mut last_media_end,
+                    )
+                }
+            };
+            pal_hist.add(pal.classify());
+            latencies.push(completion.saturating_sub(issue));
+            makespan = makespan.max(completion);
+            if req.sync {
+                // Dependency barrier: nothing later may issue until this
+                // request (a metadata lookup or journal commit) completes.
+                // Already-inflight requests keep going.
+                prev_issue = completion;
+            } else {
+                inflight.push(Reverse(completion));
+                prev_issue = issue;
+            }
+        }
+
+        // Host-DMA accounting. A request's DMA phase never overlaps its
+        // own media phase (reads transfer after sensing, writes before
+        // programming), so the lifecycle bucket of Figure 10 is the full
+        // host-transfer time; `dma_media_idle` additionally measures how
+        // much of it the device spent fully idle (the network-starvation
+        // signature of the ION configurations).
+        let stats = media.into_stats();
+        let busy = merge(stats.die_intervals.iter().map(|&(_, s, e)| (s, e)).collect());
+        let dma_media_idle: Nanos = dma_intervals
+            .iter()
+            .map(|&(s, e)| uncovered_len(s, e, &busy))
+            .sum();
+
+        let energy = flashsim::energy::assess(&stats, &cfg.media, makespan);
+        let media_report = stats.finalize(&cfg.media, makespan, host_busy);
+        let total_bytes = trace.total_bytes();
+        let data_bytes = trace.data_bytes();
+        RunReport {
+            makespan,
+            requests: trace.len() as u64,
+            total_bytes,
+            data_bytes,
+            bandwidth_mb_s: nvmtypes::mb_per_s(total_bytes, makespan),
+            data_bandwidth_mb_s: nvmtypes::mb_per_s(data_bytes, makespan),
+            host_busy,
+            dma_media_idle,
+            media: media_report,
+            pal: pal_hist,
+            wear: ftl.wear().clone(),
+            energy,
+            latency: LatencyStats::from_latencies(latencies),
+        }
+    }
+
+    /// Translates one request and executes its die-ops; returns the media
+    /// completion time.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_media(
+        &self,
+        media: &mut MediaSim,
+        map: &StripeMap,
+        ftl: &mut Ftl,
+        pal: &mut PalTracker,
+        req: &HostRequest,
+        start: Nanos,
+        firmware: Nanos,
+        split_bytes: u64,
+        page_size: u64,
+        last_media_end: &mut Nanos,
+    ) -> Nanos {
+        let geometry = map.geometry();
+        let channels = geometry.channels;
+        let planes_per_die = geometry.planes_per_die as u64;
+        let mut media_end = start;
+        let mut offset = req.offset;
+        let mut remaining = req.len;
+        let mut split_idx: u64 = 0;
+        let capacity_pages = geometry.total_pages();
+
+        while remaining > 0 {
+            let chunk = remaining.min(split_bytes);
+            split_idx += 1;
+            // Each internal transaction pays firmware processing.
+            let mut t0 = start + firmware * split_idx;
+            if !self.cfg.paq {
+                // Without physically-addressed queueing the controller
+                // serialises media service per transaction.
+                t0 = t0.max(*last_media_end);
+            }
+            let piece = HostRequest { op: req.op, offset, len: chunk, sync: req.sync };
+            let first = piece.first_page(page_size as u32) % capacity_pages;
+            let count = piece.page_count(page_size as u32);
+
+            let (lpn, erase_rows, gc_moves) = match req.op {
+                IoOp::Read => (ftl.translate_read(first, count) % capacity_pages, 0, 0),
+                IoOp::Write => {
+                    let placement = ftl.translate_write(first, count);
+                    (
+                        placement.start_lpn % capacity_pages,
+                        placement.rows_to_erase,
+                        placement.gc_moves,
+                    )
+                }
+            };
+
+            if gc_moves > 0 {
+                // Garbage collection ahead of the host data: read the
+                // survivors, rewrite them at the frontier.
+                let gc_pages = (gc_moves * 4096).div_ceil(page_size).max(1);
+                for run in map.decompose(lpn, gc_pages) {
+                    let r = media.execute(t0, &DieOp::read(run.die, run.planes, run.pages, run.start_row));
+                    media_end = media_end.max(r.end);
+                    let w = media.execute(r.end, &DieOp::write(run.die, run.planes, run.pages, run.start_row));
+                    media_end = media_end.max(w.end);
+                }
+            }
+
+            if erase_rows > 0 {
+                // Erase the new block-row(s) on every die before programming.
+                for die in 0..geometry.total_dies() {
+                    let blocks = erase_rows * planes_per_die;
+                    let out = media.execute(t0, &DieOp::erase(nvmtypes::DieIndex(die), blocks));
+                    media_end = media_end.max(out.end);
+                }
+            }
+
+            for run in map.decompose(lpn, count) {
+                let op = match req.op {
+                    IoOp::Read => DieOp::read(run.die, run.planes, run.pages, run.start_row),
+                    IoOp::Write => DieOp::write(run.die, run.planes, run.pages, run.start_row),
+                };
+                let out = media.execute(t0, &op);
+                media_end = media_end.max(out.end);
+                pal.observe(run.die.channel(geometry), run.die.0 / channels, run.planes);
+            }
+
+            offset += chunk;
+            remaining -= chunk;
+        }
+        *last_media_end = (*last_media_end).max(media_end);
+        media_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim::MediaConfig;
+    use interconnect::{pcie, LinkChain, PcieGen};
+    use nvmtypes::{BusTiming, NvmKind, MIB};
+
+    fn sdr400() -> BusTiming {
+        BusTiming { name: "ONFi3-SDR-400", bytes_per_ns: 0.4 }
+    }
+
+    fn paper_device(kind: NvmKind) -> SsdDevice {
+        let media = MediaConfig::paper(kind, sdr400());
+        let cfg = SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen2, 8)));
+        SsdDevice::new(cfg)
+    }
+
+    fn seq_read_trace(total: u64, req: u64, qd: u32) -> BlockTrace {
+        let mut reqs = Vec::new();
+        let mut off = 0;
+        while off < total {
+            reqs.push(HostRequest::read(off, req.min(total - off)));
+            off += req;
+        }
+        BlockTrace::from_requests(reqs, qd)
+    }
+
+    #[test]
+    fn sequential_read_delivers_positive_bandwidth() {
+        let dev = paper_device(NvmKind::Tlc);
+        let rep = dev.run(&seq_read_trace(64 * MIB, MIB, 32));
+        assert!(rep.bandwidth_mb_s > 100.0, "got {}", rep.bandwidth_mb_s);
+        assert_eq!(rep.total_bytes, 64 * MIB);
+        assert!(rep.makespan > 0);
+    }
+
+    #[test]
+    fn ufs_outperforms_traditional_ftl_on_large_requests() {
+        let media = MediaConfig::paper(NvmKind::Tlc, sdr400());
+        let host = LinkChain::single(pcie(PcieGen::Gen2, 8));
+        let trad = SsdDevice::new(SsdConfig::new(media, host.clone()));
+        let ufs = SsdDevice::new(SsdConfig::new(media, host).with_ufs());
+        let trace = seq_read_trace(64 * MIB, 4 * MIB, 32);
+        let a = trad.run(&trace);
+        let b = ufs.run(&trace);
+        assert!(
+            b.bandwidth_mb_s > a.bandwidth_mb_s,
+            "ufs {} vs trad {}",
+            b.bandwidth_mb_s,
+            a.bandwidth_mb_s
+        );
+    }
+
+    #[test]
+    fn ufs_large_requests_reach_pal4() {
+        let dev = SsdDevice::new(
+            SsdConfig::new(
+                MediaConfig::paper(NvmKind::Tlc, sdr400()),
+                LinkChain::single(pcie(PcieGen::Gen2, 8)),
+            )
+            .with_ufs(),
+        );
+        let rep = dev.run(&seq_read_trace(64 * MIB, 4 * MIB, 32));
+        let p = rep.pal.percent();
+        assert!(p[3] > 90.0, "PAL4 was {p:?}");
+    }
+
+    #[test]
+    fn tiny_requests_stay_at_low_pal() {
+        // Single-page reads never interleave dies or planes.
+        let dev = paper_device(NvmKind::Tlc);
+        let reqs: Vec<HostRequest> =
+            (0..64).map(|i| HostRequest::read(i * 8192, 8192)).collect();
+        let rep = dev.run(&BlockTrace::from_requests(reqs, 8));
+        let p = rep.pal.percent();
+        assert!(p[0] > 99.0, "PAL1 was {p:?}");
+    }
+
+    #[test]
+    fn deeper_queue_helps_small_requests() {
+        let dev = paper_device(NvmKind::Tlc);
+        let shallow = dev.run(&seq_read_trace(32 * MIB, 128 * 1024, 2));
+        let deep = dev.run(&seq_read_trace(32 * MIB, 128 * 1024, 32));
+        assert!(
+            deep.bandwidth_mb_s > shallow.bandwidth_mb_s * 1.5,
+            "deep {} vs shallow {}",
+            deep.bandwidth_mb_s,
+            shallow.bandwidth_mb_s
+        );
+    }
+
+    #[test]
+    fn sync_requests_act_as_barriers() {
+        let dev = paper_device(NvmKind::Tlc);
+        let total = 32 * MIB;
+        let plain = dev.run(&seq_read_trace(total, 256 * 1024, 16));
+        // Same workload with a sync metadata read every 8 data requests.
+        let mut reqs = Vec::new();
+        let mut off = 0;
+        let mut i = 0;
+        while off < total {
+            if i % 8 == 7 {
+                reqs.push(HostRequest::read(off, 4096).synchronous());
+            }
+            reqs.push(HostRequest::read(off, 256 * 1024));
+            off += 256 * 1024;
+            i += 1;
+        }
+        let stalled = dev.run(&BlockTrace::from_requests(reqs, 16));
+        assert!(
+            stalled.data_bandwidth_mb_s < plain.data_bandwidth_mb_s * 0.8,
+            "stalled {} vs plain {}",
+            stalled.data_bandwidth_mb_s,
+            plain.data_bandwidth_mb_s
+        );
+    }
+
+    #[test]
+    fn pcm_obscures_request_size_differences() {
+        // §4.3: PCM's read speed hides file-system differences behind the
+        // interface ceiling.
+        let dev = paper_device(NvmKind::Pcm);
+        let small = dev.run(&seq_read_trace(32 * MIB, 64 * 1024, 4));
+        let large = dev.run(&seq_read_trace(32 * MIB, 2 * MIB, 4));
+        let ratio = large.bandwidth_mb_s / small.bandwidth_mb_s;
+        assert!(ratio < 1.5, "PCM ratio {ratio} too large");
+        // While on TLC the same change matters a lot: 150 µs senses starve
+        // a shallow queue of small requests.
+        let tlc = paper_device(NvmKind::Tlc);
+        let ts = tlc.run(&seq_read_trace(32 * MIB, 64 * 1024, 4));
+        let tl = tlc.run(&seq_read_trace(32 * MIB, 2 * MIB, 4));
+        let tlc_ratio = tl.bandwidth_mb_s / ts.bandwidth_mb_s;
+        assert!(tlc_ratio > 2.0 * ratio, "tlc {tlc_ratio} vs pcm {ratio}");
+    }
+
+    #[test]
+    fn writes_trigger_erases_and_wear() {
+        let mut dev = paper_device(NvmKind::Slc);
+        dev.pre_erased_rows = 0;
+        let mut reqs = Vec::new();
+        for i in 0..64u64 {
+            reqs.push(HostRequest::write(i * MIB, MIB));
+        }
+        let rep = dev.run(&BlockTrace::from_requests(reqs, 8));
+        assert!(rep.wear.erases > 0);
+        assert!(rep.bandwidth_mb_s > 0.0);
+    }
+
+    #[test]
+    fn paq_improves_concurrent_service() {
+        let media = MediaConfig::paper(NvmKind::Tlc, sdr400());
+        let host = LinkChain::single(pcie(PcieGen::Gen2, 8));
+        let with_paq = SsdDevice::new(SsdConfig::new(media, host.clone()));
+        let without = SsdDevice::new(SsdConfig::new(media, host).without_paq());
+        let trace = seq_read_trace(32 * MIB, 128 * 1024, 32);
+        let a = with_paq.run(&trace);
+        let b = without.run(&trace);
+        assert!(
+            a.bandwidth_mb_s > b.bandwidth_mb_s,
+            "paq {} vs nopaq {}",
+            a.bandwidth_mb_s,
+            b.bandwidth_mb_s
+        );
+    }
+
+    #[test]
+    fn breakdown_buckets_are_all_populated_for_mixed_load() {
+        let dev = paper_device(NvmKind::Tlc);
+        let rep = dev.run(&seq_read_trace(32 * MIB, 256 * 1024, 16));
+        let b = &rep.media.breakdown;
+        assert!(b.cell_activation > 0);
+        assert!(b.channel_activation > 0);
+        assert!(b.flash_bus_activation > 0);
+        assert!((b.percent().iter().sum::<f64>() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_percentiles_reflect_media_speed() {
+        // Single-page reads at queue depth 1: latency is sense-dominated,
+        // so the Table-1 hierarchy shows through directly.
+        let slc = paper_device(NvmKind::Slc);
+        let tlc = paper_device(NvmKind::Tlc);
+        let trace = |page: u64| {
+            ooctrace::BlockTrace::from_requests(
+                (0..64).map(|i| HostRequest::read(i * page, page)).collect(),
+                1,
+            )
+        };
+        let a = slc.run(&trace(2048));
+        let b = tlc.run(&trace(8192));
+        assert!(a.latency.p50 > 0);
+        assert!(b.latency.p50 > a.latency.p50, "TLC p50 {} vs SLC {}", b.latency.p50, a.latency.p50);
+        assert!(b.latency.p99 >= b.latency.p50);
+        assert!(b.latency.max >= b.latency.p99);
+    }
+
+    #[test]
+    fn report_conserves_bytes() {
+        let dev = paper_device(NvmKind::Mlc);
+        let trace = seq_read_trace(16 * MIB, MIB, 8);
+        let rep = dev.run(&trace);
+        // Media moved at least the payload (page-aligned over-read allowed).
+        assert!(rep.media.bytes >= rep.total_bytes);
+        assert_eq!(rep.requests, trace.len() as u64);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ssd — the SSD assembly around the media simulator
+//!
+//! Where `flashsim` models dies and channels, this crate models the rest of
+//! the device and its host attachment (§3.2–§3.3 of the paper):
+//!
+//! * [`mapping`] — the striping layout that spreads a contiguous logical
+//!   page run over channels, planes, dies and packages, and its
+//!   decomposition of host requests into per-die operations;
+//! * [`ftl`] — the flash translation layer of a traditional SSD
+//!   (firmware latency, transaction splitting, log-structured write
+//!   allocation with erase-before-write and wear accounting) and the
+//!   paper's **UFS direct mode**, which elevates the FTL into the host and
+//!   passes application requests straight through as NVM transactions;
+//! * [`device`] — the closed-loop request engine: an NCQ-style queue,
+//!   PAQ-style out-of-order die service, host-side DMA over a
+//!   [`interconnect::LinkChain`], sync/barrier semantics for metadata and
+//!   journal traffic, and non-overlapped-DMA accounting;
+//! * [`report`] — the per-run results every figure of the paper is
+//!   computed from (bandwidth, utilization, execution breakdown, PAL
+//!   histogram, bandwidth remaining).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod device;
+pub mod ftl;
+pub mod mapping;
+pub mod report;
+
+pub use config::{FtlMode, SsdConfig};
+pub use device::SsdDevice;
+pub use mapping::{Dim, DieRun, StripeMap};
+pub use report::{LatencyStats, RunReport};

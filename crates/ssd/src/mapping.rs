@@ -1,0 +1,301 @@
+//! Physical striping layout and request decomposition.
+//!
+//! Consecutive logical pages are spread across the device's parallelism
+//! dimensions in a configurable order. One *stripe* covers every
+//! `(channel, package, die, plane)` slot exactly once; logical page `lpn`
+//! occupies slot `lpn % stripe_width` of row `lpn / stripe_width`.
+//!
+//! The default order — channel first, then plane, then die, then package —
+//! is the page-allocation strategy that makes small requests stripe over
+//! channels (PAL1), medium requests engage multi-plane mode (PAL3), and
+//! only large requests reach die interleaving (PAL4), which is exactly the
+//! progression the paper observes between striped parallel-file-system
+//! traffic and large UFS transactions (§4.5).
+
+use nvmtypes::{DieIndex, SsdGeometry};
+use serde::{Deserialize, Serialize};
+
+/// A parallelism dimension of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// Channel (shared bus) index.
+    Channel,
+    /// Package within a channel.
+    Package,
+    /// Die within a package.
+    Die,
+    /// Plane within a die.
+    Plane,
+}
+
+/// The default allocation order: stripe channels fastest, then planes,
+/// then dies, then packages.
+pub const DEFAULT_ORDER: [Dim; 4] = [Dim::Channel, Dim::Plane, Dim::Die, Dim::Package];
+
+/// The work a single die receives from one host request: `pages` pages
+/// engaging `planes` distinct planes, starting around plane-row
+/// `start_row`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DieRun {
+    /// Target die.
+    pub die: DieIndex,
+    /// Distinct planes engaged (1..=planes_per_die).
+    pub planes: u32,
+    /// Pages moved on this die.
+    pub pages: u64,
+    /// Representative page index within the plane (drives program-latency
+    /// classes and PCM read jitter).
+    pub start_row: u64,
+}
+
+/// Deterministic logical-page → physical-slot mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StripeMap {
+    geometry: SsdGeometry,
+    order: [Dim; 4],
+    sizes: [u64; 4],
+}
+
+impl StripeMap {
+    /// Builds a map for `geometry` striping in `order` (fastest-varying
+    /// dimension first).
+    ///
+    /// # Panics
+    /// Panics if `order` repeats a dimension.
+    pub fn new(geometry: SsdGeometry, order: [Dim; 4]) -> StripeMap {
+        let mut seen = [false; 4];
+        for d in order {
+            let i = match d {
+                Dim::Channel => 0,
+                Dim::Package => 1,
+                Dim::Die => 2,
+                Dim::Plane => 3,
+            };
+            assert!(!seen[i], "stripe order repeats {:?}", d);
+            seen[i] = true;
+        }
+        let size_of = |d: Dim| -> u64 {
+            match d {
+                Dim::Channel => geometry.channels as u64,
+                Dim::Package => geometry.packages_per_channel as u64,
+                Dim::Die => geometry.dies_per_package as u64,
+                Dim::Plane => geometry.planes_per_die as u64,
+            }
+        };
+        StripeMap { geometry, order, sizes: order.map(size_of) }
+    }
+
+    /// Map with the default order.
+    pub fn default_order(geometry: SsdGeometry) -> StripeMap {
+        StripeMap::new(geometry, DEFAULT_ORDER)
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &SsdGeometry {
+        &self.geometry
+    }
+
+    /// Number of `(channel, package, die, plane)` slots in one stripe.
+    pub fn stripe_width(&self) -> u64 {
+        self.sizes.iter().product()
+    }
+
+    /// Physical slot of stripe position `pos` (`0 <= pos < stripe_width`):
+    /// returns the die and the plane within it.
+    pub fn locate(&self, pos: u64) -> (DieIndex, u32) {
+        debug_assert!(pos < self.stripe_width());
+        let mut rem = pos;
+        let (mut ch, mut pkg, mut die, mut plane) = (0u64, 0u64, 0u64, 0u64);
+        for (i, d) in self.order.iter().enumerate() {
+            let idx = rem % self.sizes[i];
+            rem /= self.sizes[i];
+            match d {
+                Dim::Channel => ch = idx,
+                Dim::Package => pkg = idx,
+                Dim::Die => die = idx,
+                Dim::Plane => plane = idx,
+            }
+        }
+        (
+            DieIndex::from_parts(&self.geometry, ch as u32, pkg as u32, die as u32),
+            plane as u32,
+        )
+    }
+
+    /// Decomposes the contiguous logical page run `[start_lpn,
+    /// start_lpn + count)` into per-die work. Runs are returned in
+    /// ascending die order; each die's `planes` is the number of distinct
+    /// planes its pages land on.
+    pub fn decompose(&self, start_lpn: u64, count: u64) -> Vec<DieRun> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let w = self.stripe_width();
+        let full_rows = count / w;
+        let rem = count % w;
+        let n_dies = self.geometry.total_dies() as usize;
+        let planes_per_die = self.geometry.planes_per_die;
+
+        // pages[d], plane_mask[d] accumulated per die.
+        let mut pages = vec![0u64; n_dies];
+        let mut plane_mask = vec![0u32; n_dies];
+
+        if full_rows > 0 {
+            // Every slot is hit `full_rows` times: each die gets
+            // planes_per_die slots per stripe.
+            for d in 0..n_dies {
+                pages[d] += full_rows * planes_per_die as u64;
+                plane_mask[d] |= (1u32 << planes_per_die) - 1;
+            }
+        }
+        for i in 0..rem {
+            let pos = (start_lpn + full_rows * w + i) % w;
+            let (die, plane) = self.locate(pos);
+            pages[die.0 as usize] += 1;
+            plane_mask[die.0 as usize] |= 1 << plane;
+        }
+
+        let start_row = start_lpn / w;
+        let mut runs = Vec::new();
+        for d in 0..n_dies {
+            if pages[d] > 0 {
+                runs.push(DieRun {
+                    die: DieIndex(d as u32),
+                    planes: plane_mask[d].count_ones().max(1),
+                    pages: pages[d],
+                    start_row,
+                });
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmtypes::NvmKind;
+
+    fn paper_map() -> StripeMap {
+        StripeMap::default_order(SsdGeometry::paper(NvmKind::Tlc))
+    }
+
+    #[test]
+    fn stripe_width_is_all_slots() {
+        assert_eq!(paper_map().stripe_width(), 8 * 8 * 2 * 2);
+    }
+
+    #[test]
+    fn locate_covers_every_slot_once() {
+        let m = StripeMap::default_order(SsdGeometry::tiny());
+        let mut seen = std::collections::HashSet::new();
+        for pos in 0..m.stripe_width() {
+            let (die, plane) = m.locate(pos);
+            assert!(seen.insert((die, plane)), "slot repeated at pos {pos}");
+        }
+        assert_eq!(seen.len() as u64, m.stripe_width());
+    }
+
+    #[test]
+    fn default_order_strides_channels_first() {
+        let m = paper_map();
+        let g = *m.geometry();
+        // Positions 0..8 land on distinct channels, same plane/die/package.
+        for pos in 0..8 {
+            let (die, plane) = m.locate(pos);
+            assert_eq!(die.channel(&g), pos as u32);
+            assert_eq!(plane, 0);
+        }
+        // Position 8 wraps to plane 1 of channel 0.
+        let (die, plane) = m.locate(8);
+        assert_eq!(die.channel(&g), 0);
+        assert_eq!(plane, 1);
+    }
+
+    #[test]
+    fn small_request_is_channel_striped_single_plane() {
+        // 8 TLC pages (64 KiB): one page per channel, plane 0 only.
+        let runs = paper_map().decompose(0, 8);
+        assert_eq!(runs.len(), 8);
+        for r in &runs {
+            assert_eq!(r.pages, 1);
+            assert_eq!(r.planes, 1);
+        }
+    }
+
+    #[test]
+    fn medium_request_reaches_multiplane() {
+        // 16 pages (128 KiB): both planes of package-0 dies, no die interleave.
+        let runs = paper_map().decompose(0, 16);
+        assert_eq!(runs.len(), 8);
+        for r in &runs {
+            assert_eq!(r.pages, 2);
+            assert_eq!(r.planes, 2);
+        }
+    }
+
+    #[test]
+    fn large_request_reaches_die_interleaving() {
+        // 32 pages: two dies per channel engaged.
+        let runs = paper_map().decompose(0, 32);
+        assert_eq!(runs.len(), 16);
+        let g = *paper_map().geometry();
+        let mut per_channel = std::collections::HashMap::new();
+        for r in &runs {
+            *per_channel.entry(r.die.channel(&g)).or_insert(0u32) += 1;
+        }
+        assert!(per_channel.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn full_stripe_touches_every_die() {
+        let m = paper_map();
+        let runs = m.decompose(0, m.stripe_width());
+        assert_eq!(runs.len(), 128);
+        for r in &runs {
+            assert_eq!(r.pages, 2);
+            assert_eq!(r.planes, 2);
+        }
+    }
+
+    #[test]
+    fn decomposition_conserves_pages() {
+        let m = StripeMap::default_order(SsdGeometry::tiny());
+        for start in [0u64, 3, 17, 250] {
+            for count in [1u64, 5, 16, 33, 100] {
+                let total: u64 = m.decompose(start, count).iter().map(|r| r.pages).sum();
+                assert_eq!(total, count, "start={start} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_piece_can_interleave_dies_without_multiplane() {
+        // §4.5 PAL2: fragments that straddle the die boundary of the stripe
+        // touch two dies, each on a single plane.
+        let m = paper_map();
+        // Positions 14..18: channels 6,7 on plane 1 (die 0) then channels
+        // 0,1 on plane 0 (die 1).
+        let runs = m.decompose(14, 4);
+        assert_eq!(runs.len(), 4);
+        assert!(runs.iter().all(|r| r.planes == 1));
+        let g = *m.geometry();
+        let chans: std::collections::HashSet<u32> =
+            runs.iter().map(|r| r.die.channel(&g)).collect();
+        assert_eq!(chans.len(), 4);
+    }
+
+    #[test]
+    fn empty_decomposition() {
+        assert!(paper_map().decompose(42, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats")]
+    fn rejects_duplicate_dims() {
+        StripeMap::new(
+            SsdGeometry::tiny(),
+            [Dim::Channel, Dim::Channel, Dim::Die, Dim::Plane],
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-run results: the numbers every figure of the paper is drawn from.
+
+use crate::ftl::WearStats;
+use flashsim::{EnergyReport, MediaReport, PalHistogram};
+use nvmtypes::Nanos;
+use serde::Serialize;
+
+/// Request-latency distribution summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct LatencyStats {
+    /// Median request latency, ns.
+    pub p50: Nanos,
+    /// 95th percentile, ns.
+    pub p95: Nanos,
+    /// 99th percentile, ns.
+    pub p99: Nanos,
+    /// Worst request, ns.
+    pub max: Nanos,
+}
+
+impl LatencyStats {
+    /// Summarises a set of per-request latencies (consumes and sorts).
+    pub fn from_latencies(mut lat: Vec<Nanos>) -> LatencyStats {
+        if lat.is_empty() {
+            return LatencyStats::default();
+        }
+        lat.sort_unstable();
+        let pick = |q_num: usize, q_den: usize| {
+            let idx = (lat.len() * q_num / q_den).min(lat.len() - 1);
+            lat[idx]
+        };
+        LatencyStats { p50: pick(1, 2), p95: pick(95, 100), p99: pick(99, 100), max: *lat.last().unwrap() }
+    }
+}
+
+/// Results of replaying one block trace through one device configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// End-to-end simulated time, ns.
+    pub makespan: Nanos,
+    /// Requests processed.
+    pub requests: u64,
+    /// Total bytes moved, including file-system metadata/journal traffic.
+    pub total_bytes: u64,
+    /// Application-payload bytes (non-sync requests).
+    pub data_bytes: u64,
+    /// End-to-end throughput over all bytes, MB/s (Figures 7a/8a).
+    pub bandwidth_mb_s: f64,
+    /// End-to-end throughput counting application payload only, MB/s.
+    pub data_bandwidth_mb_s: f64,
+    /// Time the host link spent transferring, ns.
+    pub host_busy: Nanos,
+    /// Portion of host-transfer time during which the media was completely
+    /// idle — the network-starvation signature of ION-remote storage.
+    pub dma_media_idle: Nanos,
+    /// Media-side report: utilizations, execution breakdown, headroom.
+    pub media: MediaReport,
+    /// Parallelism-level distribution over requests (Figures 10b/10d).
+    pub pal: PalHistogram,
+    /// Wear accounting from the FTL's log allocator.
+    pub wear: WearStats,
+    /// Energy accounting for the run.
+    pub energy: EnergyReport,
+    /// Per-request latency percentiles.
+    pub latency: LatencyStats,
+}
+
+impl RunReport {
+    /// The bandwidth-remaining headroom metric (Figures 7b/8b), MB/s.
+    pub fn remaining_mb_s(&self) -> f64 {
+        self.media.remaining_mb_s
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:>8.1} MB/s  ({} reqs, {:.1}% chan, {:.1}% pkg, PAL4 {:.1}%)",
+            self.bandwidth_mb_s,
+            self.requests,
+            self.media.channel_util * 100.0,
+            self.media.package_util * 100.0,
+            self.pal.percent()[3],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_latencies_are_zero() {
+        assert_eq!(LatencyStats::from_latencies(vec![]), LatencyStats::default());
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let lat: Vec<Nanos> = (1..=1000).collect();
+        let s = LatencyStats::from_latencies(lat);
+        assert_eq!(s.p50, 501);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_latencies(vec![42]);
+        assert_eq!(s.p50, 42);
+        assert_eq!(s.max, 42);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests on the FTL's allocator, garbage collector and the
+//! stripe map.
+
+use nvmtypes::{NvmKind, SsdGeometry};
+use proptest::prelude::*;
+use ssd::mapping::{Dim, StripeMap};
+use ssd::{FtlMode, SsdConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stripe_orders_all_conserve_pages(
+        perm in 0usize..24,
+        start in 0u64..10_000,
+        count in 1u64..2_000,
+    ) {
+        // Enumerate the 24 permutations of the four dimensions.
+        let dims = [Dim::Channel, Dim::Package, Dim::Die, Dim::Plane];
+        let mut order = dims;
+        // Simple Lehmer decode of `perm`.
+        let mut pool: Vec<Dim> = dims.to_vec();
+        let mut p = perm;
+        for slot in 0..4 {
+            let idx = p % pool.len();
+            p /= pool.len().max(1);
+            order[slot] = pool.remove(idx);
+        }
+        let map = StripeMap::new(SsdGeometry::tiny(), order);
+        let runs = map.decompose(start, count);
+        let total: u64 = runs.iter().map(|r| r.pages).sum();
+        prop_assert_eq!(total, count);
+        // Every slot of a full stripe is hit exactly once.
+        let full = map.decompose(0, map.stripe_width());
+        let g = *map.geometry();
+        prop_assert_eq!(full.len() as u32, g.total_dies());
+    }
+
+    #[test]
+    fn ftl_write_placements_never_alias_within_a_row(
+        writes in prop::collection::vec((0u64..512, 1u64..16), 1..40),
+    ) {
+        use ssd::ftl::Ftl;
+        let mut ftl = Ftl::new(
+            FtlMode::traditional_default(),
+            SsdGeometry::tiny(),
+            0,
+        )
+        .with_page_size(8192);
+        let mut placements: Vec<(u64, u64)> = Vec::new();
+        for &(lpn, pages) in &writes {
+            let p = ftl.translate_write(lpn, pages);
+            placements.push((p.start_lpn, pages));
+        }
+        // Log allocation: physical placements advance monotonically until
+        // the log wraps, and never overlap each other.
+        for w in placements.windows(2) {
+            let (a_start, a_pages) = w[0];
+            let (b_start, _) = w[1];
+            if b_start > a_start {
+                // Bytes -> 4 KiB units -> pages; end in page space.
+                let a_units = (a_pages * 8192).div_ceil(4096);
+                let a_end = a_start + a_units * 4096 / 8192;
+                prop_assert!(b_start >= a_end, "overlap: {:?} then {:?}", w[0], w[1]);
+            }
+            // Otherwise the log wrapped, which is fine.
+        }
+        // WAF is always >= 1 and finite.
+        let waf = ftl.wear().waf();
+        prop_assert!(waf >= 1.0 && waf.is_finite());
+    }
+}
+
+#[test]
+fn ssd_config_builders_are_idempotent() {
+    use flashsim::MediaConfig;
+    use interconnect::{pcie, LinkChain, PcieGen};
+    use nvmtypes::BusTiming;
+    let media = MediaConfig::tiny(NvmKind::Slc, BusTiming { name: "t", bytes_per_ns: 0.4 });
+    let cfg = SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen3, 8)))
+        .with_ufs()
+        .with_ufs()
+        .without_paq()
+        .without_paq();
+    assert!(matches!(cfg.ftl, FtlMode::Ufs { .. }));
+    assert!(!cfg.paq);
+}

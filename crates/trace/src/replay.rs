@@ -1,0 +1,132 @@
+//! Trace surgery: slicing, merging and time-dilating captured traces.
+//!
+//! The paper replays traces captured on one system through models of
+//! another; these utilities cover the bookkeeping that workflow needs —
+//! isolating one file's stream, interleaving multiple clients' captures
+//! (the many-compute-node case), and rescaling timestamps.
+
+use crate::record::{PosixTrace, TraceRecord};
+
+/// Extracts only the records touching `file`, preserving order and
+/// timestamps.
+pub fn filter_file(trace: &PosixTrace, file: u32) -> PosixTrace {
+    PosixTrace {
+        records: trace.records.iter().filter(|r| r.file == file).copied().collect(),
+    }
+}
+
+/// Splits a trace at `byte_budget`: the first piece moves at most that
+/// many bytes, the rest goes to the second piece (records are not split).
+pub fn split_at_bytes(trace: &PosixTrace, byte_budget: u64) -> (PosixTrace, PosixTrace) {
+    let mut head = PosixTrace::new();
+    let mut tail = PosixTrace::new();
+    let mut moved = 0u64;
+    for rec in &trace.records {
+        if moved + rec.len <= byte_budget {
+            moved += rec.len;
+            head.records.push(*rec);
+        } else {
+            tail.records.push(*rec);
+        }
+    }
+    (head, tail)
+}
+
+/// Merges several clients' traces by timestamp (stable on ties), remapping
+/// each input's file ids into a distinct range so client A's file 0 and
+/// client B's file 0 stay distinct (`file' = client * stride + file`).
+///
+/// # Panics
+/// Panics if any input uses a file id >= `stride`.
+pub fn merge_clients(traces: &[PosixTrace], stride: u32) -> PosixTrace {
+    let mut all: Vec<TraceRecord> = Vec::new();
+    for (client, trace) in traces.iter().enumerate() {
+        for rec in &trace.records {
+            assert!(rec.file < stride, "file id {} exceeds stride {stride}", rec.file);
+            all.push(TraceRecord { file: client as u32 * stride + rec.file, ..*rec });
+        }
+    }
+    all.sort_by_key(|r| r.t);
+    PosixTrace { records: all }
+}
+
+/// Rescales timestamps by `num/den` (e.g. 1/2 halves all gaps — a faster
+/// compute phase between I/O bursts).
+pub fn dilate_time(trace: &PosixTrace, num: u64, den: u64) -> PosixTrace {
+    assert!(den > 0);
+    PosixTrace {
+        records: trace
+            .records
+            .iter()
+            .map(|r| TraceRecord { t: r.t * num / den, ..*r })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmtypes::IoOp;
+
+    fn rec(t: u64, file: u32, offset: u64, len: u64) -> TraceRecord {
+        TraceRecord { t, op: IoOp::Read, file, offset, len }
+    }
+
+    fn sample() -> PosixTrace {
+        PosixTrace {
+            records: vec![rec(0, 0, 0, 100), rec(5, 1, 0, 200), rec(10, 0, 100, 300)],
+        }
+    }
+
+    #[test]
+    fn filter_keeps_only_the_file() {
+        let f0 = filter_file(&sample(), 0);
+        assert_eq!(f0.len(), 2);
+        assert!(f0.records.iter().all(|r| r.file == 0));
+        assert_eq!(f0.total_bytes(), 400);
+    }
+
+    #[test]
+    fn split_respects_the_byte_budget() {
+        let (head, tail) = split_at_bytes(&sample(), 350);
+        assert_eq!(head.total_bytes(), 300); // 100 + 200; the 300 won't fit
+        assert_eq!(tail.total_bytes(), 300);
+        assert_eq!(head.len() + tail.len(), 3);
+    }
+
+    #[test]
+    fn split_with_huge_budget_keeps_everything() {
+        let (head, tail) = split_at_bytes(&sample(), u64::MAX);
+        assert_eq!(head.len(), 3);
+        assert!(tail.is_empty());
+    }
+
+    #[test]
+    fn merge_interleaves_by_time_and_separates_files() {
+        let a = PosixTrace { records: vec![rec(0, 0, 0, 10), rec(10, 0, 10, 10)] };
+        let b = PosixTrace { records: vec![rec(5, 0, 0, 20)] };
+        let merged = merge_clients(&[a, b], 16);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.records[0].file, 0); // client 0
+        assert_eq!(merged.records[1].file, 16); // client 1, file 0
+        assert_eq!(merged.records[2].t, 10);
+        // Time-sorted.
+        assert!(merged.records.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds stride")]
+    fn merge_rejects_file_ids_beyond_stride() {
+        let a = PosixTrace { records: vec![rec(0, 20, 0, 10)] };
+        merge_clients(&[a], 16);
+    }
+
+    #[test]
+    fn dilation_scales_gaps() {
+        let d = dilate_time(&sample(), 1, 2);
+        assert_eq!(d.records[1].t, 2);
+        assert_eq!(d.records[2].t, 5);
+        let back = dilate_time(&sample(), 3, 1);
+        assert_eq!(back.records[2].t, 30);
+    }
+}

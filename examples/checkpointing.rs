@@ -1,0 +1,67 @@
+//! Checkpointing on compute-local NVM (extension; the paper's related
+//! work [33] uses NVM as a write-back checkpoint target).
+//!
+//! Interleaves the OoC read sweep with periodic checkpoint bursts and
+//! shows how the write path (program latencies, erase-before-write, wear)
+//! behaves across media and translation modes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example checkpointing
+//! ```
+
+use oocnvm::core::format::Table;
+use oocnvm::core::workload::checkpoint_trace;
+use oocnvm::oocfs::FsKind;
+use oocnvm::prelude::*;
+
+fn main() {
+    // 192 MiB of reads with an 8 MiB checkpoint every 32 MiB.
+    let trace = checkpoint_trace(192 * MIB, 32 * MIB, 8 * MIB, 4 * MIB, 17);
+    println!(
+        "workload: {} records, {} MiB total, {:.0}% reads\n",
+        trace.len(),
+        trace.total_bytes() >> 20,
+        trace.read_fraction() * 100.0
+    );
+
+    let mut table = Table::new([
+        "medium",
+        "UFS MB/s",
+        "ext4 MB/s",
+        "erases (ext4)",
+        "ckpt energy mJ",
+    ]);
+    for kind in NvmKind::ALL {
+        let ufs = run_experiment(&SystemConfig::cnl_ufs(), kind, &trace);
+        let ext4 = run_experiment(&SystemConfig::cnl(FsKind::Ext4), kind, &trace);
+        table.row([
+            kind.label().to_string(),
+            format!("{:.0}", ufs.bandwidth_mb_s),
+            format!("{:.0}", ext4.bandwidth_mb_s),
+            format!("{}", ext4.run.wear.erases),
+            format!("{:.1}", ext4.run.energy.program_mj + ext4.run.energy.erase_mj),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // The asymmetric-program-latency story.
+    let slc = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Slc, &trace);
+    let tlc = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &trace);
+    println!(
+        "\nTLC checkpoints cost {:.1}x SLC's wall clock for the same workload —\n\
+         MSB pages program at 6 ms vs SLC's uniform 250 us (Table 1), which is\n\
+         why write-heavy layers belong on SLC or PCM while the read-dominant\n\
+         Hamiltonian lives happily on dense TLC.",
+        slc.bandwidth_mb_s / tlc.bandwidth_mb_s
+    );
+    let pcm = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Pcm, &trace);
+    println!(
+        "PCM sustains {:.0} MB/s — its 35 us writes on 64-byte pages make it no\n\
+         write-bandwidth champion (Table 1), but each checkpoint costs an order\n\
+         of magnitude less energy and no millisecond erase stalls, matching\n\
+         §2.3's judgement that PCM endurance suits it to read-intensive OoC\n\
+         duty with occasional writes.",
+        pcm.bandwidth_mb_s
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: simulate the paper's compute-local UFS configuration
+//! against a synthetic out-of-core read workload and print the numbers
+//! every figure in the paper is built from.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use oocnvm::prelude::*;
+
+fn main() {
+    // 1. A read-dominant out-of-core workload: 256 MiB of 6 MiB panel
+    //    reads, the shape the LOBPCG eigensolver emits (§3.1).
+    let trace = synthetic_ooc_trace(256 * MIB, 6 * MIB, 42);
+    println!(
+        "workload: {} POSIX records, {} MiB, {:.0}% reads",
+        trace.len(),
+        trace.total_bytes() >> 20,
+        trace.read_fraction() * 100.0
+    );
+
+    // 2. Two of the paper's Table-2 configurations.
+    let ion = SystemConfig::ion_gpfs();
+    let cnl = SystemConfig::cnl_ufs();
+
+    // 3. Run both on TLC NAND and compare.
+    for config in [&ion, &cnl] {
+        let report = run_experiment(config, NvmKind::Tlc, &trace);
+        println!(
+            "\n{:<14} {:>8.1} MB/s  (makespan {:.1} ms)",
+            report.label,
+            report.bandwidth_mb_s,
+            report.run.makespan as f64 / 1e6
+        );
+        println!(
+            "    channel util {:>5.1}%   package util {:>5.1}%   PAL4 {:>5.1}%",
+            report.channel_util * 100.0,
+            report.package_util * 100.0,
+            report.pal_pct[3]
+        );
+        let b = report.breakdown_pct;
+        println!(
+            "    time: dma {:.1}%  flash-bus {:.1}%  channel {:.1}%  cell-cont {:.1}%  chan-cont {:.1}%  cell {:.1}%",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        );
+    }
+
+    let ion_bw = run_experiment(&ion, NvmKind::Tlc, &trace).bandwidth_mb_s;
+    let cnl_bw = run_experiment(&cnl, NvmKind::Tlc, &trace).bandwidth_mb_s;
+    println!(
+        "\nmigrating the SSD from the I/O node to the compute node: x{:.1}",
+        cnl_bw / ion_bw
+    );
+}

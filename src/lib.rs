@@ -1,0 +1,56 @@
+//! # oocnvm — compute-local NVM for out-of-core HPC
+//!
+//! Facade crate for the `oocnvm` workspace, a from-scratch Rust reproduction
+//! of Jung et al., *Exploring the Future of Out-Of-Core Computing with
+//! Compute-Local Non-Volatile Memory* (SC '13).
+//!
+//! The workspace builds every system the paper describes:
+//!
+//! * [`flashsim`] — a transaction-accurate NVM media timing simulator
+//!   (the paper's NANDFlashSim substrate) with per-state execution
+//!   accounting and PAL1–PAL4 parallelism classification,
+//! * [`interconnect`] — PCIe 2.0/3.0, SATA-bridged, ONFi SDR/DDR and
+//!   InfiniBand link models,
+//! * [`ssd`] — the SSD assembly: FTL, UFS direct mode, queueing,
+//! * [`oocfs`] — file-system request-transformation models (ext2/3/4,
+//!   ext4-L, XFS, JFS, ReiserFS, BTRFS, GPFS striping) plus the paper's
+//!   Unified File System,
+//! * [`ooc`] — the out-of-core application substrate: a synthetic nuclear-CI
+//!   Hamiltonian, a real LOBPCG block eigensolver, an out-of-core matrix
+//!   store, and DOoC-style data pools / data-aware scheduling,
+//! * [`ooctrace`] — two-level I/O trace capture and replay,
+//! * [`oocnvm_core`] — the Table-2 system configurations and the experiment
+//!   driver that regenerates every table and figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oocnvm::prelude::*;
+//!
+//! // Run the paper's CNL-UFS configuration on TLC NAND against a small
+//! // synthetic out-of-core read workload.
+//! let config = SystemConfig::cnl_ufs();
+//! let trace = synthetic_ooc_trace(16 * MIB, 1 * MIB, 42);
+//! let report = run_experiment(&config, NvmKind::Tlc, &trace);
+//! assert!(report.bandwidth_mb_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use flashsim;
+pub use interconnect;
+pub use nvmtypes;
+pub use ooc;
+pub use oocfs;
+pub use oocnvm_core as core;
+pub use ooctrace;
+pub use ssd;
+
+/// Commonly used items, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use nvmtypes::{HostRequest, IoOp, MediaTiming, NvmKind, SsdGeometry, GIB, KIB, MIB};
+    pub use oocnvm_core::config::SystemConfig;
+    pub use oocnvm_core::experiment::{run_experiment, ExperimentReport};
+    pub use oocnvm_core::workload::synthetic_ooc_trace;
+    pub use ooctrace::{PosixTrace, TraceRecord};
+}

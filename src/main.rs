@@ -1,0 +1,151 @@
+//! `oocnvm` — command-line front end for the workspace.
+//!
+//! ```text
+//! oocnvm run --config <label> --media <slc|mlc|tlc|pcm> [--mib N] [--record-kib K]
+//! oocnvm sweep [--mib N]                     full Table-2 x media sweep
+//! oocnvm solve --n <dim> [--block B] [--iters I]   LOBPCG demo run
+//! oocnvm list                                available configurations
+//! ```
+
+use oocnvm::core::config::SystemConfig;
+use oocnvm::core::experiment::{run_experiment, run_sweep};
+use oocnvm::core::format::Table;
+use oocnvm::ooc::lobpcg::{Lobpcg, LobpcgOptions};
+use oocnvm::ooc::HamiltonianSpec;
+use oocnvm::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  oocnvm run --config <label> --media <slc|mlc|tlc|pcm> [--mib N] [--record-kib K]\n  \
+         oocnvm sweep [--mib N]\n  oocnvm solve --n <dim> [--block B] [--iters I]\n  oocnvm list"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal `--key value` argument scanner.
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn media_by_name(name: &str) -> Option<NvmKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "slc" => NvmKind::Slc,
+        "mlc" => NvmKind::Mlc,
+        "tlc" => NvmKind::Tlc,
+        "pcm" => NvmKind::Pcm,
+        _ => return None,
+    })
+}
+
+fn config_by_label(label: &str) -> Option<SystemConfig> {
+    SystemConfig::table2()
+        .into_iter()
+        .find(|c| c.label.eq_ignore_ascii_case(label))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available configurations (Table 2):");
+            for c in SystemConfig::table2() {
+                println!("  {}", c.table2_row());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(cfg) = flag(&args, "--config").and_then(|l| config_by_label(&l)) else {
+                eprintln!("unknown or missing --config (try `oocnvm list`)");
+                return usage();
+            };
+            let Some(kind) = flag(&args, "--media").and_then(|m| media_by_name(&m)) else {
+                eprintln!("unknown or missing --media");
+                return usage();
+            };
+            let mib = flag(&args, "--mib").and_then(|v| v.parse().ok()).unwrap_or(128u64);
+            let rec =
+                flag(&args, "--record-kib").and_then(|v| v.parse().ok()).unwrap_or(6144u64);
+            let trace = synthetic_ooc_trace(mib * MIB, rec * 1024, 42);
+            let report = run_experiment(&cfg, kind, &trace);
+            println!("{} on {} ({mib} MiB workload):", report.label, kind.label());
+            println!("  bandwidth:      {:>9.1} MB/s", report.bandwidth_mb_s);
+            println!("  makespan:       {:>9.2} ms", report.run.makespan as f64 / 1e6);
+            println!("  channel util:   {:>9.1} %", report.channel_util * 100.0);
+            println!("  package util:   {:>9.1} %", report.package_util * 100.0);
+            println!(
+                "  PAL1..4:        {:>5.1} / {:.1} / {:.1} / {:.1} %",
+                report.pal_pct[0], report.pal_pct[1], report.pal_pct[2], report.pal_pct[3]
+            );
+            println!(
+                "  latency:        p50 {:.2} ms / p99 {:.2} ms / max {:.2} ms",
+                report.run.latency.p50 as f64 / 1e6,
+                report.run.latency.p99 as f64 / 1e6,
+                report.run.latency.max as f64 / 1e6
+            );
+            println!(
+                "  energy:         {:>9.1} mJ ({:.2} nJ/B, {:.2} W mean)",
+                report.run.energy.total_mj(),
+                report.run.energy.nj_per_byte(),
+                report.run.energy.mean_power_w(report.run.makespan)
+            );
+            if report.run.wear.erases > 0 {
+                println!(
+                    "  wear:           {} erases, WAF {:.2}",
+                    report.run.wear.erases,
+                    report.run.wear.waf()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("sweep") => {
+            let mib = flag(&args, "--mib").and_then(|v| v.parse().ok()).unwrap_or(128u64);
+            let trace = synthetic_ooc_trace(mib * MIB, 6 * MIB, 42);
+            let configs = SystemConfig::table2();
+            let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+            let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
+            for c in &configs {
+                let get = |k| {
+                    oocnvm::core::experiment::find(&reports, c.label, k)
+                        .map(|r| format!("{:.0}", r.bandwidth_mb_s))
+                        .unwrap_or_default()
+                };
+                t.row([
+                    c.label.to_string(),
+                    get(NvmKind::Tlc),
+                    get(NvmKind::Mlc),
+                    get(NvmKind::Slc),
+                    get(NvmKind::Pcm),
+                ]);
+            }
+            print!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        Some("solve") => {
+            let Some(n) = flag(&args, "--n").and_then(|v| v.parse::<usize>().ok()) else {
+                return usage();
+            };
+            let block = flag(&args, "--block").and_then(|v| v.parse().ok()).unwrap_or(8usize);
+            let iters = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(100usize);
+            let h = HamiltonianSpec::medium(n).generate();
+            println!("H: n={} nnz={}", h.n, h.nnz());
+            let result = Lobpcg::new(LobpcgOptions {
+                block_size: block,
+                max_iters: iters,
+                tol: 1e-7,
+                seed: 13,
+                precondition: true,
+            })
+            .solve(&h);
+            println!(
+                "converged={} in {} iterations ({} operator applications)",
+                result.converged, result.iterations, result.operator_applies
+            );
+            for (k, v) in result.eigenvalues.iter().enumerate() {
+                println!("  lambda_{k} = {v:.8}  (residual {:.2e})", result.residuals[k]);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,255 @@
+//! Integration tests asserting that every figure of the paper reproduces
+//! in *shape*: who wins, by roughly what factor, and where the crossovers
+//! fall (§4.3–§4.5, §7).
+
+use nvmtypes::{NvmKind, MIB};
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::{find, run_experiment, run_sweep, ExperimentReport};
+use oocnvm_core::workload::synthetic_ooc_trace;
+use ooctrace::PosixTrace;
+
+fn trace() -> PosixTrace {
+    synthetic_ooc_trace(96 * MIB, 6 * MIB, 42)
+}
+
+fn sweep(configs: &[SystemConfig], kinds: &[NvmKind]) -> Vec<ExperimentReport> {
+    run_sweep(configs, kinds, &trace())
+}
+
+#[test]
+fn fig7a_compute_local_beats_ion_for_every_fs_and_medium() {
+    let configs = SystemConfig::figure7();
+    let reports = sweep(&configs, &NvmKind::ALL);
+    for kind in NvmKind::ALL {
+        let ion = find(&reports, "ION-GPFS", kind).unwrap().bandwidth_mb_s;
+        for c in configs.iter().filter(|c| !c.fs.is_ion()) {
+            let bw = find(&reports, c.label, kind).unwrap().bandwidth_mb_s;
+            assert!(
+                bw > ion,
+                "{} ({}) {bw:.0} MB/s did not beat ION-GPFS {ion:.0}",
+                c.label,
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig7a_file_system_ordering_on_tlc() {
+    let configs = SystemConfig::figure7();
+    let reports = sweep(&configs, &[NvmKind::Tlc]);
+    let bw = |l: &str| find(&reports, l, NvmKind::Tlc).unwrap().bandwidth_mb_s;
+    // ext2 is the worst local file system...
+    let locals = ["CNL-JFS", "CNL-BTRFS", "CNL-XFS", "CNL-REISERFS", "CNL-EXT3", "CNL-EXT4", "CNL-EXT4-L", "CNL-UFS"];
+    for l in locals {
+        assert!(bw(l) > bw("CNL-EXT2"), "{l} below ext2");
+    }
+    // ...BTRFS the best non-tuned one, by about a factor of 2 over ext2...
+    for l in ["CNL-JFS", "CNL-XFS", "CNL-REISERFS", "CNL-EXT2", "CNL-EXT3", "CNL-EXT4"] {
+        assert!(bw("CNL-BTRFS") > bw(l), "btrfs not above {l}");
+    }
+    let factor = bw("CNL-BTRFS") / bw("CNL-EXT2");
+    assert!((1.6..=3.2).contains(&factor), "btrfs/ext2 factor {factor}");
+    // ...ext4-L gains large-request bandwidth over ext4 ("about 1GB/s")...
+    let gain = bw("CNL-EXT4-L") - bw("CNL-EXT4");
+    assert!((500.0..=1800.0).contains(&gain), "ext4-L gain {gain}");
+    // ...and UFS tops everything.
+    for c in &SystemConfig::figure7()[..9] {
+        assert!(bw("CNL-UFS") > bw(c.label), "UFS not above {}", c.label);
+    }
+}
+
+#[test]
+fn fig7a_pcm_obscures_file_system_differences() {
+    let configs = SystemConfig::figure7();
+    let reports = sweep(&configs, &[NvmKind::Pcm, NvmKind::Tlc]);
+    let spread = |kind: NvmKind| {
+        let values: Vec<f64> = configs
+            .iter()
+            .filter(|c| !c.fs.is_ion())
+            .map(|c| find(&reports, c.label, kind).unwrap().bandwidth_mb_s)
+            .collect();
+        values.iter().cloned().fold(0.0, f64::max)
+            / values.iter().cloned().fold(f64::INFINITY, f64::min)
+    };
+    assert!(spread(NvmKind::Pcm) < 1.25, "PCM spread {}", spread(NvmKind::Pcm));
+    assert!(
+        spread(NvmKind::Tlc) > 2.0 * spread(NvmKind::Pcm),
+        "TLC spread {} vs PCM {}",
+        spread(NvmKind::Tlc),
+        spread(NvmKind::Pcm)
+    );
+}
+
+#[test]
+fn fig7b_media_headroom_shape() {
+    // §4.3: the ION media idles on the network and leaves the most
+    // bandwidth untouched; PCM's cells are never the constraint, so its
+    // headroom dwarfs NAND's under every file system. (The paper's claim
+    // that UFS leaves *more* than the other CNL file systems does not
+    // survive a bandwidth-consistent headroom definition — see
+    // EXPERIMENTS.md — so it is not asserted here.)
+    let configs = SystemConfig::figure7();
+    let reports = sweep(&configs, &[NvmKind::Tlc, NvmKind::Pcm]);
+    let rem = |l: &str, k| find(&reports, l, k).unwrap().remaining_mb_s;
+    for c in configs.iter().filter(|c| !c.fs.is_ion()) {
+        assert!(
+            rem("ION-GPFS", NvmKind::Tlc) >= rem(c.label, NvmKind::Tlc),
+            "ION not above {}",
+            c.label
+        );
+        assert!(rem(c.label, NvmKind::Pcm) > 5.0 * rem(c.label, NvmKind::Tlc));
+    }
+}
+
+#[test]
+fn fig8a_device_improvement_ladder() {
+    let configs = SystemConfig::figure8();
+    let reports = sweep(&configs, &NvmKind::ALL);
+    let mean = |l: &str| {
+        NvmKind::ALL
+            .iter()
+            .map(|&k| find(&reports, l, k).unwrap().bandwidth_mb_s)
+            .sum::<f64>()
+            / 4.0
+    };
+    // Expanding lanes on the bridged architecture barely helps...
+    let bridge_gain = mean("CNL-BRIDGE-16") / mean("CNL-UFS") - 1.0;
+    assert!(bridge_gain >= 0.0 && bridge_gain < 0.15, "bridge gain {bridge_gain}");
+    // ...while going native doubles it despite half the lanes...
+    let native_factor = mean("CNL-NATIVE-8") / mean("CNL-BRIDGE-16");
+    assert!((1.7..=3.2).contains(&native_factor), "native factor {native_factor}");
+    // ...and 16 native lanes expose still more.
+    assert!(mean("CNL-NATIVE-16") > 1.2 * mean("CNL-NATIVE-8"));
+}
+
+#[test]
+fn fig8_end_to_end_factors_over_ion() {
+    let mut configs = vec![SystemConfig::ion_gpfs(), SystemConfig::cnl_native16()];
+    configs.push(SystemConfig::cnl_ufs());
+    let reports = sweep(&configs, &NvmKind::ALL);
+    // §4.4: PCM improves by an order of magnitude (paper: 16x); TLC by
+    // nearly as much (paper: 8x).
+    for kind in [NvmKind::Pcm, NvmKind::Tlc] {
+        let ion = find(&reports, "ION-GPFS", kind).unwrap().bandwidth_mb_s;
+        let n16 = find(&reports, "CNL-NATIVE-16", kind).unwrap().bandwidth_mb_s;
+        let factor = n16 / ion;
+        assert!(
+            (6.0..=20.0).contains(&factor),
+            "{} end-to-end factor {factor}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn fig8b_native16_drains_nand_media_headroom() {
+    let configs = SystemConfig::figure8();
+    let reports = sweep(&configs, &[NvmKind::Tlc]);
+    let rem = |l: &str| find(&reports, l, NvmKind::Tlc).unwrap().remaining_mb_s;
+    assert!(rem("CNL-NATIVE-16") < rem("CNL-NATIVE-8"));
+    assert!(rem("CNL-NATIVE-8") < rem("CNL-UFS"));
+}
+
+#[test]
+fn fig9_utilization_pattern() {
+    let configs = [SystemConfig::ion_gpfs(), SystemConfig::cnl_ufs(), SystemConfig::cnl(oocfs::FsKind::Ext2)];
+    let reports = sweep(&configs, &[NvmKind::Tlc]);
+    let ion = find(&reports, "ION-GPFS", NvmKind::Tlc).unwrap();
+    let ufs = find(&reports, "CNL-UFS", NvmKind::Tlc).unwrap();
+    // §4.5's "altogether unexpected result": ION keeps its channels busy
+    // (striping randomizes across channels)...
+    assert!(ion.channel_util > 0.85, "ION channel util {}", ion.channel_util);
+    // ...but its packages idle.
+    assert!(ion.package_util < 0.4, "ION package util {}", ion.package_util);
+    assert!(ion.package_util < ufs.package_util * 0.5);
+    // UFS reaches near-full utilization of both.
+    assert!(ufs.channel_util > 0.95);
+    assert!(ufs.package_util > 0.9);
+}
+
+#[test]
+fn fig10_parallelism_claims() {
+    let configs = [SystemConfig::ion_gpfs(), SystemConfig::cnl_ufs(), SystemConfig::cnl(oocfs::FsKind::Ext2)];
+    let reports = sweep(&configs, &[NvmKind::Tlc, NvmKind::Pcm]);
+    // ION-local TLC stays almost completely at PAL3, almost never PAL4.
+    let ion = find(&reports, "ION-GPFS", NvmKind::Tlc).unwrap();
+    assert!(ion.pal_pct[2] > 70.0, "ION PAL3 {}", ion.pal_pct[2]);
+    assert!(ion.pal_pct[3] < 15.0, "ION PAL4 {}", ion.pal_pct[3]);
+    // UFS almost entirely reaches PAL4.
+    let ufs = find(&reports, "CNL-UFS", NvmKind::Tlc).unwrap();
+    assert!(ufs.pal_pct[3] > 90.0, "UFS PAL4 {}", ufs.pal_pct[3]);
+    // PCM is almost entirely PAL4 irrespective of configuration.
+    for label in ["ION-GPFS", "CNL-UFS", "CNL-EXT2"] {
+        let r = find(&reports, label, NvmKind::Pcm).unwrap();
+        assert!(r.pal_pct[3] > 85.0, "{label} PCM PAL4 {}", r.pal_pct[3]);
+    }
+}
+
+#[test]
+fn fig10_execution_breakdown_claims() {
+    let configs = [
+        SystemConfig::ion_gpfs(),
+        SystemConfig::cnl(oocfs::FsKind::Ext4),
+        SystemConfig::cnl_ufs(),
+        SystemConfig::cnl_native16(),
+    ];
+    let reports = sweep(&configs, &[NvmKind::Tlc]);
+    let pct = |l: &str| find(&reports, l, NvmKind::Tlc).unwrap().breakdown_pct;
+    // ION spends a significantly larger proportion in non-overlapped DMA
+    // than any other case.
+    for other in ["CNL-EXT4", "CNL-UFS", "CNL-NATIVE-16"] {
+        assert!(
+            pct("ION-GPFS")[0] > 2.0 * pct(other)[0],
+            "ION dma {} vs {other} {}",
+            pct("ION-GPFS")[0],
+            pct(other)[0]
+        );
+    }
+    // UFS drastically reduces bus-activity share vs a traditional FS.
+    let bus = |p: [f64; 6]| p[1] + p[2];
+    assert!(bus(pct("CNL-UFS")) < 0.6 * bus(pct("CNL-EXT4")));
+    // Toward the right of the figure, cell activation's share grows.
+    assert!(pct("CNL-NATIVE-16")[5] > pct("CNL-UFS")[5]);
+}
+
+#[test]
+fn headline_ratios_hold() {
+    let t = trace();
+    let configs = SystemConfig::table2();
+    let reports = run_sweep(&configs, &NvmKind::ALL, &t);
+    let bw = |l: &str, k| find(&reports, l, k).unwrap().bandwidth_mb_s;
+    let trad = ["CNL-JFS", "CNL-BTRFS", "CNL-XFS", "CNL-REISERFS", "CNL-EXT2", "CNL-EXT3", "CNL-EXT4", "CNL-EXT4-L"];
+    let mut cnl_vs_ion = 0.0;
+    let mut ufs_vs_cnl = 0.0;
+    let mut hw_vs_ufs = 0.0;
+    let mut overall = 0.0;
+    for k in NvmKind::ALL {
+        let ion = bw("ION-GPFS", k);
+        let cnl = trad.iter().map(|l| bw(l, k)).sum::<f64>() / trad.len() as f64;
+        cnl_vs_ion += cnl / ion - 1.0;
+        ufs_vs_cnl += bw("CNL-UFS", k) / cnl - 1.0;
+        hw_vs_ufs += bw("CNL-NATIVE-16", k) / bw("CNL-UFS", k) - 1.0;
+        overall += bw("CNL-NATIVE-16", k) / ion;
+    }
+    cnl_vs_ion /= 4.0;
+    ufs_vs_cnl /= 4.0;
+    hw_vs_ufs /= 4.0;
+    overall /= 4.0;
+    // Paper: +108%, +52%, +250%, 10.3x. Bands allow simulator-vs-testbed
+    // differences while pinning the order of magnitude.
+    assert!((0.6..=2.2).contains(&cnl_vs_ion), "cnl vs ion {cnl_vs_ion}");
+    assert!((0.15..=1.0).contains(&ufs_vs_cnl), "ufs vs cnl {ufs_vs_cnl}");
+    assert!((1.5..=4.5).contains(&hw_vs_ufs), "hw vs ufs {hw_vs_ufs}");
+    assert!((6.0..=16.0).contains(&overall), "overall {overall}");
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let t = trace();
+    let a = run_experiment(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Tlc, &t);
+    let b = run_experiment(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Tlc, &t);
+    assert_eq!(a.run.makespan, b.run.makespan);
+    assert_eq!(a.run.total_bytes, b.run.total_bytes);
+    assert_eq!(a.pal_pct, b.pal_pct);
+}

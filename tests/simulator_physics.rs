@@ -1,0 +1,186 @@
+//! Physics-sanity tests on the simulator: ceilings, monotonicities, and
+//! the hardware relationships the paper's §3.3 analysis predicts.
+
+use flashsim::MediaConfig;
+use interconnect::{ddr800, pcie, sdr400, LinkChain, PcieGen};
+use nvmtypes::{HostRequest, NvmKind, MIB};
+use ooctrace::BlockTrace;
+use ssd::{SsdConfig, SsdDevice};
+
+fn seq_trace(total: u64, req: u64, qd: u32) -> BlockTrace {
+    let mut reqs = Vec::new();
+    let mut off = 0;
+    while off < total {
+        reqs.push(HostRequest::read(off, req.min(total - off)));
+        off += req;
+    }
+    BlockTrace::from_requests(reqs, qd)
+}
+
+fn run(kind: NvmKind, bus: nvmtypes::BusTiming, gen: PcieGen, lanes: u32, trace: &BlockTrace) -> ssd::RunReport {
+    let media = MediaConfig::paper(kind, bus);
+    let dev = SsdDevice::new(SsdConfig::new(media, LinkChain::single(pcie(gen, lanes))).with_ufs());
+    dev.run(trace)
+}
+
+#[test]
+fn bandwidth_never_exceeds_media_bus_aggregate() {
+    let trace = seq_trace(64 * MIB, 4 * MIB, 32);
+    for kind in NvmKind::ALL {
+        let rep = run(kind, sdr400(), PcieGen::Gen3, 16, &trace);
+        // 8 channels x 400 MB/s = 3200 MB/s, plus small rounding headroom.
+        assert!(
+            rep.bandwidth_mb_s <= 3300.0,
+            "{}: {} exceeded the ONFi-3 aggregate",
+            kind.label(),
+            rep.bandwidth_mb_s
+        );
+    }
+}
+
+#[test]
+fn bandwidth_never_exceeds_host_link() {
+    let trace = seq_trace(64 * MIB, 4 * MIB, 32);
+    let rep = run(NvmKind::Pcm, ddr800(), PcieGen::Gen2, 4, &trace);
+    // PCIe 2.0 x4 = 2000 MB/s payload.
+    assert!(rep.bandwidth_mb_s <= 2050.0, "bw {}", rep.bandwidth_mb_s);
+}
+
+#[test]
+fn ddr_bus_beats_sdr_bus_when_media_is_bus_limited() {
+    let trace = seq_trace(64 * MIB, 4 * MIB, 32);
+    for kind in NvmKind::ALL {
+        let slow = run(kind, sdr400(), PcieGen::Gen3, 16, &trace);
+        let fast = run(kind, ddr800(), PcieGen::Gen3, 16, &trace);
+        assert!(
+            fast.bandwidth_mb_s > slow.bandwidth_mb_s,
+            "{}: ddr {} vs sdr {}",
+            kind.label(),
+            fast.bandwidth_mb_s,
+            slow.bandwidth_mb_s
+        );
+    }
+}
+
+#[test]
+fn more_lanes_never_hurt() {
+    let trace = seq_trace(64 * MIB, 4 * MIB, 32);
+    for (gen, bus) in [(PcieGen::Gen2, sdr400()), (PcieGen::Gen3, ddr800())] {
+        let mut prev = 0.0;
+        for lanes in [4, 8, 16] {
+            let rep = run(NvmKind::Pcm, bus, gen, lanes, &trace);
+            assert!(
+                rep.bandwidth_mb_s >= prev * 0.999,
+                "{lanes} lanes slower: {} < {prev}",
+                rep.bandwidth_mb_s
+            );
+            prev = rep.bandwidth_mb_s;
+        }
+    }
+}
+
+#[test]
+fn pcm_never_loses_to_tlc_on_reads() {
+    // Table 1: PCM reads are three orders of magnitude faster than TLC.
+    for (req, qd) in [(64 * 1024, 4), (512 * 1024, 8), (4 * MIB, 32)] {
+        let trace = seq_trace(32 * MIB, req, qd);
+        let pcm = run(NvmKind::Pcm, sdr400(), PcieGen::Gen2, 8, &trace);
+        let tlc = run(NvmKind::Tlc, sdr400(), PcieGen::Gen2, 8, &trace);
+        assert!(
+            pcm.bandwidth_mb_s >= tlc.bandwidth_mb_s * 0.98,
+            "req={req}: pcm {} vs tlc {}",
+            pcm.bandwidth_mb_s,
+            tlc.bandwidth_mb_s
+        );
+    }
+}
+
+#[test]
+fn read_latency_hierarchy_follows_table1() {
+    // Single-request latency (queue depth 1, one page-sized read).
+    let mut makespans = Vec::new();
+    for kind in [NvmKind::Slc, NvmKind::Mlc, NvmKind::Tlc] {
+        let page = nvmtypes::MediaTiming::table1(kind).page_size as u64;
+        let trace = BlockTrace::from_requests(vec![HostRequest::read(0, page)], 1);
+        let rep = run(kind, sdr400(), PcieGen::Gen2, 8, &trace);
+        makespans.push(rep.makespan);
+    }
+    assert!(makespans[0] < makespans[1], "SLC !< MLC: {makespans:?}");
+    assert!(makespans[1] < makespans[2], "MLC !< TLC: {makespans:?}");
+}
+
+#[test]
+fn write_heavy_workloads_pay_program_and_erase_costs() {
+    let reads = seq_trace(16 * MIB, MIB, 16);
+    let writes = BlockTrace::from_requests(
+        (0..16).map(|i| HostRequest::write(i * MIB, MIB)).collect(),
+        16,
+    );
+    for kind in NvmKind::ALL {
+        let media = MediaConfig::paper(kind, sdr400());
+        let mut dev = SsdDevice::new(
+            SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen2, 8))),
+        );
+        dev.pre_erased_rows = 0;
+        let r = dev.run(&reads);
+        let w = dev.run(&writes);
+        assert!(
+            w.bandwidth_mb_s < r.bandwidth_mb_s,
+            "{}: writes {} not slower than reads {}",
+            kind.label(),
+            w.bandwidth_mb_s,
+            r.bandwidth_mb_s
+        );
+        assert!(w.wear.erases > 0, "{}: no erases recorded", kind.label());
+    }
+}
+
+#[test]
+fn slc_endures_writes_better_than_tlc() {
+    // Program-latency asymmetry: TLC MSB pages at 6 ms vs SLC's uniform
+    // 250 µs make TLC write bandwidth collapse.
+    let writes = BlockTrace::from_requests(
+        (0..32).map(|i| HostRequest::write(i * MIB, MIB)).collect(),
+        16,
+    );
+    let media_slc = MediaConfig::paper(NvmKind::Slc, sdr400());
+    let media_tlc = MediaConfig::paper(NvmKind::Tlc, sdr400());
+    let host = LinkChain::single(pcie(PcieGen::Gen2, 8));
+    let slc = SsdDevice::new(SsdConfig::new(media_slc, host.clone())).run(&writes);
+    let tlc = SsdDevice::new(SsdConfig::new(media_tlc, host)).run(&writes);
+    assert!(
+        slc.bandwidth_mb_s > 2.0 * tlc.bandwidth_mb_s,
+        "slc {} vs tlc {}",
+        slc.bandwidth_mb_s,
+        tlc.bandwidth_mb_s
+    );
+}
+
+#[test]
+fn paq_and_queue_depth_monotonicity() {
+    let media = MediaConfig::paper(NvmKind::Tlc, sdr400());
+    let host = LinkChain::single(pcie(PcieGen::Gen2, 8));
+    // Deeper queues help a fixed small-request stream.
+    let dev = SsdDevice::new(SsdConfig::new(media, host.clone()));
+    let mut prev = 0.0;
+    for qd in [1, 4, 16] {
+        let rep = dev.run(&seq_trace(16 * MIB, 128 * 1024, qd));
+        assert!(rep.bandwidth_mb_s >= prev * 0.999, "qd={qd} slower");
+        prev = rep.bandwidth_mb_s;
+    }
+    // PAQ at least matches serialized service.
+    let nopaq = SsdDevice::new(SsdConfig::new(media, host).without_paq());
+    let trace = seq_trace(16 * MIB, 128 * 1024, 16);
+    assert!(dev.run(&trace).bandwidth_mb_s >= nopaq.run(&trace).bandwidth_mb_s);
+}
+
+#[test]
+fn utilization_saturates_with_load() {
+    let media = MediaConfig::paper(NvmKind::Tlc, sdr400());
+    let host = LinkChain::single(pcie(PcieGen::Gen2, 8));
+    let dev = SsdDevice::new(SsdConfig::new(media, host).with_ufs());
+    let light = dev.run(&seq_trace(8 * MIB, 64 * 1024, 1));
+    let heavy = dev.run(&seq_trace(64 * MIB, 4 * MIB, 32));
+    assert!(heavy.media.package_util > light.media.package_util);
+    assert!(heavy.media.channel_util >= light.media.channel_util * 0.99);
+}
