@@ -11,9 +11,13 @@ fn bench_transforms(c: &mut Criterion) {
     let mut g = c.benchmark_group("fs_transform");
     for kind in FsKind::ALL {
         g.throughput(Throughput::Bytes(trace.total_bytes()));
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
-            b.iter(|| kind.transform(&trace));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| kind.transform(&trace));
+            },
+        );
     }
     g.finish();
 }

@@ -16,17 +16,21 @@ fn bench_media_engine(c: &mut Criterion) {
     for kind in NvmKind::ALL {
         let cfg = MediaConfig::paper(kind, sdr400());
         g.throughput(Throughput::Elements(1));
-        g.bench_with_input(BenchmarkId::new("read_die_op", kind.label()), &cfg, |b, cfg| {
-            let mut sim = MediaSim::new(*cfg);
-            let mut t = 0u64;
-            let dies = cfg.geometry.total_dies();
-            b.iter(|| {
-                let die = DieIndex((t % dies as u64) as u32);
-                let out = sim.execute(t, &DieOp::read(die, 2, 8, 0));
-                t = t.wrapping_add(1_000);
-                out.end
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("read_die_op", kind.label()),
+            &cfg,
+            |b, cfg| {
+                let mut sim = MediaSim::new(*cfg);
+                let mut t = 0u64;
+                let dies = cfg.geometry.total_dies();
+                b.iter(|| {
+                    let die = DieIndex((t % dies as u64) as u32);
+                    let out = sim.execute(t, &DieOp::read(die, 2, 8, 0));
+                    t = t.wrapping_add(1_000);
+                    out.end
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -5,7 +5,10 @@
 //! Hamiltonian store; the GPFS panel is the same trace after the striping
 //! mutation. The paper's observation: "GPFS divides up what was
 //! previously largely sequential in the compute-local trace".
-
+// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
+// inventoried per-file in `simlint.allow` (counts may only decrease).
+// New code must return typed errors; see docs/INVARIANTS.md.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use oocfs::FsKind;
 use oocnvm_bench::banner;
 use ooctrace::stats::{block_scatter, posix_scatter, ScatterPoint};
@@ -19,12 +22,17 @@ fn ascii_scatter(points: &[ScatterPoint], rows: usize, cols: usize) -> String {
     }
     let max_seq = points.iter().map(|p| p.seq).max().unwrap().max(1);
     let min_addr = points.iter().map(|p| p.addr).min().unwrap();
-    let max_addr = points.iter().map(|p| p.addr).max().unwrap().max(min_addr + 1);
+    let max_addr = points
+        .iter()
+        .map(|p| p.addr)
+        .max()
+        .unwrap()
+        .max(min_addr + 1);
     let mut grid = vec![vec![' '; cols]; rows];
     for p in points {
         let x = ((p.seq as f64 / max_seq as f64) * (cols - 1) as f64) as usize;
-        let y = (((p.addr - min_addr) as f64 / (max_addr - min_addr) as f64)
-            * (rows - 1) as f64) as usize;
+        let y = (((p.addr - min_addr) as f64 / (max_addr - min_addr) as f64) * (rows - 1) as f64)
+            as usize;
         grid[rows - 1 - y][x] = '*';
     }
     let mut out = String::new();

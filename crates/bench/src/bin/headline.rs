@@ -4,7 +4,10 @@
 //! * UFS adds ~52% over the traditional-file-system CNL baseline,
 //! * the hardware improvements add another ~250%,
 //! * end-to-end: ~10.3x over ION-local NVM.
-
+// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
+// inventoried per-file in `simlint.allow` (counts may only decrease).
+// New code must return typed errors; see docs/INVARIANTS.md.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::SystemConfig;

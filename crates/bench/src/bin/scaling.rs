@@ -1,14 +1,20 @@
 //! Cluster-scaling analysis (extension): the architectural motivation of
 //! Figures 2/3. A 40-CN/10-ION Carver-style partition shares the IONs'
 //! SSDs and the fabric; compute-local SSDs scale with the node count.
-
+// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
+// inventoried per-file in `simlint.allow` (counts may only decrease).
+// New code must return typed errors; see docs/INVARIANTS.md.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::cluster::{ion_saturation_nodes, scaling_curve, ClusterSpec, NodeRates};
 use oocnvm_core::format::Table;
 
 fn main() {
-    banner("Scaling", "aggregate delivered bandwidth as the OoC application scales out");
+    banner(
+        "Scaling",
+        "aggregate delivered bandwidth as the OoC application scales out",
+    );
     let trace = standard_trace();
     let spec = ClusterSpec::carver();
     println!(
@@ -29,7 +35,12 @@ fn main() {
         );
         let nodes = [1u32, 2, 4, 8, 16, 40, 64];
         let curve = scaling_curve(&spec, &rates, &nodes);
-        let mut t = Table::new(["nodes", "ION aggregate MB/s", "CNL aggregate MB/s", "CNL/ION"]);
+        let mut t = Table::new([
+            "nodes",
+            "ION aggregate MB/s",
+            "CNL aggregate MB/s",
+            "CNL/ION",
+        ]);
         for p in &curve {
             t.row([
                 p.nodes.to_string(),
@@ -43,7 +54,11 @@ fn main() {
             "ION path stops scaling at {} nodes; at the paper's 40-node partition the\n\
              compute-local architecture delivers {:.1}x the aggregate bandwidth.\n",
             ion_saturation_nodes(&spec, &rates),
-            curve.iter().find(|p| p.nodes == 40).map(|p| p.cnl_mb_s / p.ion_mb_s).unwrap_or(0.0)
+            curve
+                .iter()
+                .find(|p| p.nodes == 40)
+                .map(|p| p.cnl_mb_s / p.ion_mb_s)
+                .unwrap_or(0.0)
         );
     }
 }

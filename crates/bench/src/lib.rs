@@ -18,7 +18,10 @@
 //!
 //! Criterion benches (`cargo bench -p oocnvm-bench`) time the simulator
 //! and solver themselves and run the ablations DESIGN.md calls out.
-
+// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
+// inventoried per-file in `simlint.allow` (counts may only decrease).
+// New code must return typed errors; see docs/INVARIANTS.md.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::MIB;
 use oocnvm_core::workload::synthetic_ooc_trace;
 use ooctrace::PosixTrace;

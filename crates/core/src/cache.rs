@@ -12,7 +12,7 @@
 
 use ooctrace::PosixTrace;
 use serde::Serialize;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Result of replaying a trace through an LRU block cache.
 #[derive(Debug, Clone, Serialize)]
@@ -48,7 +48,7 @@ pub fn replay_lru(trace: &PosixTrace, capacity_bytes: u64, block_size: u64) -> C
     let capacity_blocks = capacity_bytes / block_size;
     // LRU: stamp -> block (ordered), block -> stamp.
     let mut by_age: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut stamp_of: HashMap<u64, u64> = HashMap::new();
+    let mut stamp_of: BTreeMap<u64, u64> = BTreeMap::new();
     let mut clock: u64 = 0;
     let (mut accesses, mut hits) = (0u64, 0u64);
     let (mut win_acc, mut win_hit) = (0u64, 0u64);
@@ -97,7 +97,12 @@ pub fn replay_lru(trace: &PosixTrace, capacity_bytes: u64, block_size: u64) -> C
             warm_bytes = Some(bytes_seen);
         }
     }
-    CacheReplay { accesses, hits, timeline, warm_bytes }
+    CacheReplay {
+        accesses,
+        hits,
+        timeline,
+        warm_bytes,
+    }
 }
 
 /// Reuse-distance profile of a trace at `block_size` granularity.
@@ -118,7 +123,8 @@ impl ReuseStats {
     /// The capacity (bytes) an LRU cache would need for at least half of
     /// the re-accesses to hit.
     pub fn capacity_for_half_hits(&self, block_size: u64) -> Option<u64> {
-        self.median_distance.map(|d| d.saturating_add(1) * block_size)
+        self.median_distance
+            .map(|d| d.saturating_add(1) * block_size)
     }
 }
 
@@ -129,7 +135,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Fenwick {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     fn add(&mut self, mut i: usize, delta: i64) {
@@ -168,7 +176,7 @@ pub fn reuse_distances(trace: &PosixTrace, block_size: u64) -> ReuseStats {
     }
     let n = sequence.len();
     let mut fen = Fenwick::new(n);
-    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    let mut last_pos: BTreeMap<u64, usize> = BTreeMap::new();
     let mut histogram = vec![0u64; 48];
     let mut cold = 0u64;
     let mut distances: Vec<u64> = Vec::new();
@@ -179,7 +187,11 @@ pub fn reuse_distances(trace: &PosixTrace, block_size: u64) -> ReuseStats {
                 let upto_pos = if pos == 0 { 0 } else { fen.prefix(pos - 1) };
                 let upto_prev = fen.prefix(prev);
                 let d = upto_pos - upto_prev;
-                let bucket = if d <= 1 { 0 } else { 63 - d.leading_zeros() as usize };
+                let bucket = if d <= 1 {
+                    0
+                } else {
+                    63 - d.leading_zeros() as usize
+                };
                 histogram[bucket.min(47)] += 1;
                 distances.push(d);
                 fen.add(prev, -1);
@@ -195,10 +207,15 @@ pub fn reuse_distances(trace: &PosixTrace, block_size: u64) -> ReuseStats {
     } else {
         Some(distances[distances.len() / 2])
     };
-    while histogram.len() > 1 && *histogram.last().unwrap() == 0 {
+    while histogram.len() > 1 && histogram.last() == Some(&0) {
         histogram.pop();
     }
-    ReuseStats { histogram, cold, reaccesses: distances.len() as u64, median_distance }
+    ReuseStats {
+        histogram,
+        cold,
+        reaccesses: distances.len() as u64,
+        median_distance,
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +230,13 @@ mod tests {
         let mut i = 0;
         for _ in 0..sweeps {
             for b in 0..blocks {
-                t.push(TraceRecord { t: i, op: IoOp::Read, file: 0, offset: b * 4096, len: 4096 });
+                t.push(TraceRecord {
+                    t: i,
+                    op: IoOp::Read,
+                    file: 0,
+                    offset: b * 4096,
+                    len: 4096,
+                });
                 i += 1;
             }
         }
@@ -235,10 +258,17 @@ mod tests {
         let trace = sweeping_trace(512, 4);
         let replay = replay_lru(&trace, 512 * 4096, 4096);
         // 3 of 4 sweeps hit.
-        assert!((replay.hit_ratio() - 0.75).abs() < 0.01, "{}", replay.hit_ratio());
+        assert!(
+            (replay.hit_ratio() - 0.75).abs() < 0.01,
+            "{}",
+            replay.hit_ratio()
+        );
         let warm = replay.warm_bytes.expect("warms");
         // Heat-up costs about one full sweep.
-        assert!(warm >= 512 * 4096 && warm <= 2 * 512 * 4096 + 256 * 4096, "warm {warm}");
+        assert!(
+            warm >= 512 * 4096 && warm <= 2 * 512 * 4096 + 256 * 4096,
+            "warm {warm}"
+        );
     }
 
     #[test]
@@ -256,7 +286,13 @@ mod tests {
     fn immediate_reuse_has_distance_zero() {
         let mut t = PosixTrace::new();
         for i in 0..10u64 {
-            t.push(TraceRecord { t: i, op: IoOp::Read, file: 0, offset: 0, len: 4096 });
+            t.push(TraceRecord {
+                t: i,
+                op: IoOp::Read,
+                file: 0,
+                offset: 0,
+                len: 4096,
+            });
         }
         let stats = reuse_distances(&t, 4096);
         assert_eq!(stats.cold, 1);
@@ -269,8 +305,20 @@ mod tests {
     #[test]
     fn distinct_files_do_not_alias() {
         let mut t = PosixTrace::new();
-        t.push(TraceRecord { t: 0, op: IoOp::Read, file: 0, offset: 0, len: 4096 });
-        t.push(TraceRecord { t: 1, op: IoOp::Read, file: 1, offset: 0, len: 4096 });
+        t.push(TraceRecord {
+            t: 0,
+            op: IoOp::Read,
+            file: 0,
+            offset: 0,
+            len: 4096,
+        });
+        t.push(TraceRecord {
+            t: 1,
+            op: IoOp::Read,
+            file: 1,
+            offset: 0,
+            len: 4096,
+        });
         let replay = replay_lru(&t, 1 << 20, 4096);
         assert_eq!(replay.hits, 0);
         let stats = reuse_distances(&t, 4096);
@@ -283,9 +331,17 @@ mod tests {
         let mut t = PosixTrace::new();
         let mut x = 1u64;
         for i in 0..4000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let blk = (x >> 33) % 1000;
-            t.push(TraceRecord { t: i, op: IoOp::Read, file: 0, offset: blk * 4096, len: 4096 });
+            t.push(TraceRecord {
+                t: i,
+                op: IoOp::Read,
+                file: 0,
+                offset: blk * 4096,
+                len: 4096,
+            });
         }
         let stats = reuse_distances(&t, 4096);
         // Median distance near the footprint scale, far above trivial.

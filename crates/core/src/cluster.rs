@@ -29,7 +29,11 @@ impl ClusterSpec {
     /// Carver's OoC sub-cluster: 10 IONs, 20 PCIe SSDs, and a bisection
     /// sized for its 40-node partition.
     pub fn carver() -> ClusterSpec {
-        ClusterSpec { ions: 10, ssds_per_ion: 2, bisection_mb_s: 40.0 * 4000.0 * 0.5 }
+        ClusterSpec {
+            ions: 10,
+            ssds_per_ion: 2,
+            bisection_mb_s: 40.0 * 4000.0 * 0.5,
+        }
     }
 }
 
@@ -107,7 +111,11 @@ mod tests {
     use super::*;
 
     fn rates() -> NodeRates {
-        NodeRates { per_cn_ion_mb_s: 800.0, per_ion_ssd_mb_s: 1500.0, per_cn_local_mb_s: 3000.0 }
+        NodeRates {
+            per_cn_ion_mb_s: 800.0,
+            per_ion_ssd_mb_s: 1500.0,
+            per_cn_local_mb_s: 3000.0,
+        }
     }
 
     #[test]

@@ -99,7 +99,11 @@ impl SystemConfig {
     /// CNL-BRIDGE-16: UFS with 16 PCIe-2.0 lanes, still bridged —
     /// demonstrating that lane count alone barely helps (§4.4).
     pub fn cnl_bridge16() -> SystemConfig {
-        SystemConfig { label: "CNL-BRIDGE-16", lanes: 16, ..SystemConfig::cnl_ufs() }
+        SystemConfig {
+            label: "CNL-BRIDGE-16",
+            lanes: 16,
+            ..SystemConfig::cnl_ufs()
+        }
     }
 
     /// CNL-NATIVE-8: UFS on a native PCIe-3.0 x8 controller with the
@@ -118,7 +122,11 @@ impl SystemConfig {
     /// CNL-NATIVE-16: the full future stack — native PCIe 3.0 x16,
     /// DDR-800 NVM bus, UFS.
     pub fn cnl_native16() -> SystemConfig {
-        SystemConfig { label: "CNL-NATIVE-16", lanes: 16, ..SystemConfig::cnl_native8() }
+        SystemConfig {
+            label: "CNL-NATIVE-16",
+            lanes: 16,
+            ..SystemConfig::cnl_native8()
+        }
     }
 
     /// All thirteen rows of Table 2, in the paper's order.
@@ -223,7 +231,10 @@ mod tests {
     fn figure_subsets() {
         assert_eq!(SystemConfig::figure7().len(), 10);
         let f8: Vec<_> = SystemConfig::figure8().iter().map(|c| c.label).collect();
-        assert_eq!(f8, ["CNL-UFS", "CNL-BRIDGE-16", "CNL-NATIVE-8", "CNL-NATIVE-16"]);
+        assert_eq!(
+            f8,
+            ["CNL-UFS", "CNL-BRIDGE-16", "CNL-NATIVE-8", "CNL-NATIVE-16"]
+        );
     }
 
     #[test]
@@ -245,10 +256,16 @@ mod tests {
     #[test]
     fn ufs_rows_use_ufs_translation() {
         for cfg in SystemConfig::figure8() {
-            assert!(matches!(cfg.device(NvmKind::Tlc).config().ftl, FtlMode::Ufs { .. }));
+            assert!(matches!(
+                cfg.device(NvmKind::Tlc).config().ftl,
+                FtlMode::Ufs { .. }
+            ));
         }
         let ext4 = SystemConfig::cnl(FsKind::Ext4);
-        assert!(matches!(ext4.device(NvmKind::Tlc).config().ftl, FtlMode::Traditional { .. }));
+        assert!(matches!(
+            ext4.device(NvmKind::Tlc).config().ftl,
+            FtlMode::Traditional { .. }
+        ));
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub struct ExperimentReport {
 /// Runs `config` with `kind` media against the application's POSIX trace:
 /// mutates the trace through the configuration's file system, then replays
 /// the block trace on the configured device.
-pub fn run_experiment(config: &SystemConfig, kind: NvmKind, posix: &PosixTrace) -> ExperimentReport {
+pub fn run_experiment(
+    config: &SystemConfig,
+    kind: NvmKind,
+    posix: &PosixTrace,
+) -> ExperimentReport {
     let block = config.fs.transform(posix);
     let device = config.device(kind);
     let run = device.run(&block);

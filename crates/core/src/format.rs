@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Table with column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -48,7 +51,10 @@ impl Table {
                 if i > 0 {
                     line.push_str("  ");
                 }
-                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-');
+                let numeric = c
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-');
                 if numeric && i > 0 {
                     line.push_str(&format!("{:>width$}", c, width = widths[i]));
                 } else {

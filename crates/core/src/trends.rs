@@ -40,33 +40,153 @@ pub fn figure1_points() -> Vec<TrendPoint> {
     use TrendSeries::*;
     vec![
         // Storage devices (early magnetic tail, then SSDs).
-        TrendPoint { name: "Winchester", year: 1998, gb_s: 0.0156, series: FlashSsd },
-        TrendPoint { name: "A25FB", year: 2001, gb_s: 0.031, series: FlashSsd },
-        TrendPoint { name: "ST-Zeus", year: 2004, gb_s: 0.06, series: FlashSsd },
-        TrendPoint { name: "Intel-X25", year: 2008, gb_s: 0.25, series: FlashSsd },
-        TrendPoint { name: "SF-1000", year: 2009, gb_s: 0.5, series: FlashSsd },
-        TrendPoint { name: "ioDrive", year: 2010, gb_s: 0.75, series: FlashSsd },
-        TrendPoint { name: "Z-Drive R4", year: 2011, gb_s: 2.8, series: FlashSsd },
-        TrendPoint { name: "ioDrive2", year: 2012, gb_s: 3.0, series: FlashSsd },
-        TrendPoint { name: "ioDrive Octal", year: 2012, gb_s: 6.0, series: FlashSsd },
-        TrendPoint { name: "Future PCIe SSD", year: 2015, gb_s: 8.0, series: FlashSsd },
+        TrendPoint {
+            name: "Winchester",
+            year: 1998,
+            gb_s: 0.0156,
+            series: FlashSsd,
+        },
+        TrendPoint {
+            name: "A25FB",
+            year: 2001,
+            gb_s: 0.031,
+            series: FlashSsd,
+        },
+        TrendPoint {
+            name: "ST-Zeus",
+            year: 2004,
+            gb_s: 0.06,
+            series: FlashSsd,
+        },
+        TrendPoint {
+            name: "Intel-X25",
+            year: 2008,
+            gb_s: 0.25,
+            series: FlashSsd,
+        },
+        TrendPoint {
+            name: "SF-1000",
+            year: 2009,
+            gb_s: 0.5,
+            series: FlashSsd,
+        },
+        TrendPoint {
+            name: "ioDrive",
+            year: 2010,
+            gb_s: 0.75,
+            series: FlashSsd,
+        },
+        TrendPoint {
+            name: "Z-Drive R4",
+            year: 2011,
+            gb_s: 2.8,
+            series: FlashSsd,
+        },
+        TrendPoint {
+            name: "ioDrive2",
+            year: 2012,
+            gb_s: 3.0,
+            series: FlashSsd,
+        },
+        TrendPoint {
+            name: "ioDrive Octal",
+            year: 2012,
+            gb_s: 6.0,
+            series: FlashSsd,
+        },
+        TrendPoint {
+            name: "Future PCIe SSD",
+            year: 2015,
+            gb_s: 8.0,
+            series: FlashSsd,
+        },
         // Non-flash NVM.
-        TrendPoint { name: "Silicon Disk II (RAM-SSD)", year: 2005, gb_s: 0.125, series: OtherNvm },
-        TrendPoint { name: "Onyx PCM Prototype", year: 2011, gb_s: 1.1, series: OtherNvm },
-        TrendPoint { name: "NonFlash-NVM SSD", year: 2013, gb_s: 4.0, series: OtherNvm },
-        TrendPoint { name: "Future Multi-channel PCM-SSD", year: 2016, gb_s: 16.0, series: OtherNvm },
+        TrendPoint {
+            name: "Silicon Disk II (RAM-SSD)",
+            year: 2005,
+            gb_s: 0.125,
+            series: OtherNvm,
+        },
+        TrendPoint {
+            name: "Onyx PCM Prototype",
+            year: 2011,
+            gb_s: 1.1,
+            series: OtherNvm,
+        },
+        TrendPoint {
+            name: "NonFlash-NVM SSD",
+            year: 2013,
+            gb_s: 4.0,
+            series: OtherNvm,
+        },
+        TrendPoint {
+            name: "Future Multi-channel PCM-SSD",
+            year: 2016,
+            gb_s: 16.0,
+            series: OtherNvm,
+        },
         // InfiniBand generations (4X links).
-        TrendPoint { name: "IB SDR 4X", year: 2002, gb_s: 1.0, series: InfiniBand },
-        TrendPoint { name: "IB DDR 4X", year: 2005, gb_s: 2.0, series: InfiniBand },
-        TrendPoint { name: "IB QDR 4X", year: 2008, gb_s: 4.0, series: InfiniBand },
-        TrendPoint { name: "IB FDR 4X", year: 2011, gb_s: 6.8, series: InfiniBand },
-        TrendPoint { name: "IB EDR 4X", year: 2014, gb_s: 12.1, series: InfiniBand },
+        TrendPoint {
+            name: "IB SDR 4X",
+            year: 2002,
+            gb_s: 1.0,
+            series: InfiniBand,
+        },
+        TrendPoint {
+            name: "IB DDR 4X",
+            year: 2005,
+            gb_s: 2.0,
+            series: InfiniBand,
+        },
+        TrendPoint {
+            name: "IB QDR 4X",
+            year: 2008,
+            gb_s: 4.0,
+            series: InfiniBand,
+        },
+        TrendPoint {
+            name: "IB FDR 4X",
+            year: 2011,
+            gb_s: 6.8,
+            series: InfiniBand,
+        },
+        TrendPoint {
+            name: "IB EDR 4X",
+            year: 2014,
+            gb_s: 12.1,
+            series: InfiniBand,
+        },
         // Fibre Channel generations.
-        TrendPoint { name: "FC 1G", year: 1998, gb_s: 0.1, series: FibreChannel },
-        TrendPoint { name: "FC 2G", year: 2001, gb_s: 0.2, series: FibreChannel },
-        TrendPoint { name: "FC 4G", year: 2004, gb_s: 0.4, series: FibreChannel },
-        TrendPoint { name: "FC 8G", year: 2008, gb_s: 0.8, series: FibreChannel },
-        TrendPoint { name: "FC 16G", year: 2012, gb_s: 1.6, series: FibreChannel },
+        TrendPoint {
+            name: "FC 1G",
+            year: 1998,
+            gb_s: 0.1,
+            series: FibreChannel,
+        },
+        TrendPoint {
+            name: "FC 2G",
+            year: 2001,
+            gb_s: 0.2,
+            series: FibreChannel,
+        },
+        TrendPoint {
+            name: "FC 4G",
+            year: 2004,
+            gb_s: 0.4,
+            series: FibreChannel,
+        },
+        TrendPoint {
+            name: "FC 8G",
+            year: 2008,
+            gb_s: 0.8,
+            series: FibreChannel,
+        },
+        TrendPoint {
+            name: "FC 16G",
+            year: 2012,
+            gb_s: 1.6,
+            series: FibreChannel,
+        },
     ]
 }
 
@@ -104,11 +224,12 @@ pub fn crossover_year(points: &[TrendPoint]) -> Option<u32> {
             .map(|p| p.gb_s)
             .fold(0.0, f64::max)
     };
-    let is_nvm = |p: &TrendPoint| {
-        matches!(p.series, TrendSeries::FlashSsd | TrendSeries::OtherNvm)
-    };
+    let is_nvm = |p: &TrendPoint| matches!(p.series, TrendSeries::FlashSsd | TrendSeries::OtherNvm);
     let is_net = |p: &TrendPoint| {
-        matches!(p.series, TrendSeries::InfiniBand | TrendSeries::FibreChannel)
+        matches!(
+            p.series,
+            TrendSeries::InfiniBand | TrendSeries::FibreChannel
+        )
     };
     years
         .into_iter()
@@ -157,9 +278,24 @@ mod tests {
     #[test]
     fn fit_reproduces_a_perfect_exponential() {
         let pts = vec![
-            TrendPoint { name: "a", year: 2000, gb_s: 1.0, series: TrendSeries::FlashSsd },
-            TrendPoint { name: "b", year: 2002, gb_s: 4.0, series: TrendSeries::FlashSsd },
-            TrendPoint { name: "c", year: 2004, gb_s: 16.0, series: TrendSeries::FlashSsd },
+            TrendPoint {
+                name: "a",
+                year: 2000,
+                gb_s: 1.0,
+                series: TrendSeries::FlashSsd,
+            },
+            TrendPoint {
+                name: "b",
+                year: 2002,
+                gb_s: 4.0,
+                series: TrendSeries::FlashSsd,
+            },
+            TrendPoint {
+                name: "c",
+                year: 2004,
+                gb_s: 16.0,
+                series: TrendSeries::FlashSsd,
+            },
         ];
         let (a, b) = log2_fit(&pts, TrendSeries::FlashSsd);
         assert!((b - 1.0).abs() < 1e-9); // doubling every year

@@ -29,7 +29,13 @@ pub fn synthetic_ooc_trace(total_bytes: u64, record_size: u64, seed: u64) -> Pos
         let len = (((record_size as f64 * jitter) as u64).max(4096))
             .min(file_len - pos)
             .min(total_bytes - moved);
-        trace.push(TraceRecord { t, op: IoOp::Read, file: 0, offset: pos, len });
+        trace.push(TraceRecord {
+            t,
+            op: IoOp::Read,
+            file: 0,
+            offset: pos,
+            len,
+        });
         t += 1;
         pos += len;
         if pos >= file_len {
@@ -92,16 +98,27 @@ pub fn graph_ooc_trace(
     while moved < total_bytes {
         // One edge block, sequential with wraparound.
         let len = edge_block.min(edge_file - edge_pos);
-        trace.push(TraceRecord { t, op: IoOp::Read, file: 0, offset: edge_pos, len });
+        trace.push(TraceRecord {
+            t,
+            op: IoOp::Read,
+            file: 0,
+            offset: edge_pos,
+            len,
+        });
         t += 1;
         edge_pos = (edge_pos + len) % edge_file;
         moved += len;
         // Random vertex-state touches to keep the byte ratio.
-        let mut random_due =
-            (len as f64 * random_fraction / (1.0 - random_fraction)) as u64;
+        let mut random_due = (len as f64 * random_fraction / (1.0 - random_fraction)) as u64;
         while random_due >= vertex_read && moved < total_bytes {
             let off = rng.gen_range(0..vertex_file / vertex_read) * vertex_read;
-            trace.push(TraceRecord { t, op: IoOp::Read, file: 1, offset: off, len: vertex_read });
+            trace.push(TraceRecord {
+                t,
+                op: IoOp::Read,
+                file: 1,
+                offset: off,
+                len: vertex_read,
+            });
             t += 1;
             random_due -= vertex_read;
             moved += vertex_read;
@@ -138,7 +155,13 @@ pub fn checkpoint_trace(
             let mut left = ckpt_bytes;
             while left > 0 {
                 let len = left.min(record_size);
-                out.push(TraceRecord { t, op: IoOp::Write, file: 1, offset: ckpt_cursor, len });
+                out.push(TraceRecord {
+                    t,
+                    op: IoOp::Write,
+                    file: 1,
+                    offset: ckpt_cursor,
+                    len,
+                });
                 t += 1;
                 ckpt_cursor += len;
                 left -= len;
@@ -159,13 +182,23 @@ mod tests {
         assert!((tr.read_fraction() - 1.0).abs() < 1e-12);
         // Mostly sequential within the file.
         let stats = ooctrace::AccessStats::of_posix(&tr);
-        assert!(stats.sequentiality > 0.7, "sequentiality {}", stats.sequentiality);
+        assert!(
+            stats.sequentiality > 0.7,
+            "sequentiality {}",
+            stats.sequentiality
+        );
     }
 
     #[test]
     fn synthetic_trace_is_deterministic_per_seed() {
-        assert_eq!(synthetic_ooc_trace(8 << 20, 1 << 20, 5), synthetic_ooc_trace(8 << 20, 1 << 20, 5));
-        assert_ne!(synthetic_ooc_trace(8 << 20, 1 << 20, 5), synthetic_ooc_trace(8 << 20, 1 << 20, 6));
+        assert_eq!(
+            synthetic_ooc_trace(8 << 20, 1 << 20, 5),
+            synthetic_ooc_trace(8 << 20, 1 << 20, 5)
+        );
+        assert_ne!(
+            synthetic_ooc_trace(8 << 20, 1 << 20, 5),
+            synthetic_ooc_trace(8 << 20, 1 << 20, 6)
+        );
     }
 
     #[test]
@@ -174,12 +207,25 @@ mod tests {
         assert!(tr.total_bytes() >= 64 << 20);
         assert!((tr.read_fraction() - 1.0).abs() < 1e-12);
         // Random bytes land near the requested share.
-        let random: u64 = tr.records.iter().filter(|r| r.file == 1).map(|r| r.len).sum();
+        let random: u64 = tr
+            .records
+            .iter()
+            .filter(|r| r.file == 1)
+            .map(|r| r.len)
+            .sum();
         let share = random as f64 / tr.total_bytes() as f64;
         assert!((0.15..0.35).contains(&share), "random share {share}");
         // Vertex touches are small, edge blocks large.
-        assert!(tr.records.iter().filter(|r| r.file == 1).all(|r| r.len == 8192));
-        assert!(tr.records.iter().filter(|r| r.file == 0).any(|r| r.len >= 1 << 20));
+        assert!(tr
+            .records
+            .iter()
+            .filter(|r| r.file == 1)
+            .all(|r| r.len == 8192));
+        assert!(tr
+            .records
+            .iter()
+            .filter(|r| r.file == 0)
+            .any(|r| r.len >= 1 << 20));
     }
 
     #[test]

@@ -44,19 +44,20 @@ impl MediaConfig {
 
     /// Time for one page to cross the channel bus, ns.
     pub fn page_transfer_ns(&self) -> nvmtypes::Nanos {
-        self.bus.transfer_ns(self.timing.page_size as u64)
+        self.bus.transfer_ns(u64::from(self.timing.page_size))
     }
 
     /// Aggregate cell-level read bandwidth of all dies with all planes
     /// streaming, bytes/ns. This is the "NVM media" capability that the
     /// bandwidth-remaining metric measures headroom against.
     pub fn cell_aggregate_read_bw(&self) -> f64 {
-        self.timing.die_read_bw(self.geometry.planes_per_die) * self.geometry.total_dies() as f64
+        self.timing.die_read_bw(self.geometry.planes_per_die)
+            * f64::from(self.geometry.total_dies())
     }
 
     /// Aggregate channel-bus bandwidth, bytes/ns.
     pub fn bus_aggregate_bw(&self) -> f64 {
-        self.bus.bytes_per_ns * self.geometry.channels as f64
+        self.bus.bytes_per_ns * f64::from(self.geometry.channels)
     }
 
     /// The device's deliverable media read bandwidth: the lesser of cell
@@ -71,7 +72,10 @@ mod tests {
     use super::*;
 
     fn sdr400() -> BusTiming {
-        BusTiming { name: "ONFi3-SDR-400", bytes_per_ns: 0.4 }
+        BusTiming {
+            name: "ONFi3-SDR-400",
+            bytes_per_ns: 0.4,
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::config::MediaConfig;
 use crate::stats::RawStats;
+use nvmtypes::convert::approx_f64;
 use nvmtypes::{MediaEnergy, Nanos};
 use serde::Serialize;
 
@@ -35,7 +36,7 @@ impl EnergyReport {
         if self.bytes == 0 {
             0.0
         } else {
-            self.total_mj() * 1e6 / self.bytes as f64
+            self.total_mj() * 1e6 / approx_f64(self.bytes)
         }
     }
 
@@ -45,7 +46,7 @@ impl EnergyReport {
             0.0
         } else {
             // mJ / ns = MW; convert to W.
-            self.total_mj() / makespan as f64 * 1e9 * 1e-3
+            self.total_mj() / approx_f64(makespan) * 1e9 * 1e-3
         }
     }
 }
@@ -53,18 +54,18 @@ impl EnergyReport {
 /// Assesses the energy of a finished run from its raw media accounting.
 pub fn assess(stats: &RawStats, cfg: &MediaConfig, makespan: Nanos) -> EnergyReport {
     let e = MediaEnergy::typical(cfg.timing.kind);
-    let page = cfg.timing.page_size as u64;
+    let page = u64::from(cfg.timing.page_size);
     let pages_read = stats.bytes_read / page;
     let pages_written = stats.bytes_written / page;
     let moved = stats.bytes_read + stats.bytes_written;
-    let dies = cfg.geometry.total_dies() as f64;
+    let dies = f64::from(cfg.geometry.total_dies());
     EnergyReport {
-        read_mj: pages_read as f64 * e.read_nj_per_page * 1e-6,
-        program_mj: pages_written as f64 * e.program_nj_per_page * 1e-6,
-        erase_mj: stats.blocks_erased as f64 * e.erase_nj_per_block * 1e-6,
-        bus_mj: moved as f64 * e.bus_nj_per_byte * 1e-6,
+        read_mj: approx_f64(pages_read) * e.read_nj_per_page * 1e-6,
+        program_mj: approx_f64(pages_written) * e.program_nj_per_page * 1e-6,
+        erase_mj: approx_f64(stats.blocks_erased) * e.erase_nj_per_block * 1e-6,
+        bus_mj: approx_f64(moved) * e.bus_nj_per_byte * 1e-6,
         // idle_mw_per_die * dies * seconds -> mJ.
-        static_mj: e.idle_mw_per_die * dies * (makespan as f64 * 1e-9),
+        static_mj: e.idle_mw_per_die * dies * (approx_f64(makespan) * 1e-9),
         bytes: moved,
     }
 }
@@ -77,7 +78,13 @@ mod tests {
     use nvmtypes::{BusTiming, DieIndex, NvmKind};
 
     fn run_reads(kind: NvmKind, ops: u64) -> (RawStats, MediaConfig, Nanos) {
-        let cfg = MediaConfig::tiny(kind, BusTiming { name: "t", bytes_per_ns: 0.4 });
+        let cfg = MediaConfig::tiny(
+            kind,
+            BusTiming {
+                name: "t",
+                bytes_per_ns: 0.4,
+            },
+        );
         let mut sim = MediaSim::new(cfg);
         let mut end = 0;
         for i in 0..ops {
@@ -101,7 +108,13 @@ mod tests {
     fn pcm_reads_use_less_dynamic_energy_than_tlc() {
         // Same payload bytes on both media.
         let (st, ct, mt) = run_reads(NvmKind::Tlc, 8); // 8 * 4 * 8 KiB
-        let cfgp = MediaConfig::tiny(NvmKind::Pcm, BusTiming { name: "t", bytes_per_ns: 0.4 });
+        let cfgp = MediaConfig::tiny(
+            NvmKind::Pcm,
+            BusTiming {
+                name: "t",
+                bytes_per_ns: 0.4,
+            },
+        );
         let mut simp = MediaSim::new(cfgp);
         let mut endp = 0;
         for i in 0..8u64 {
@@ -119,7 +132,13 @@ mod tests {
 
     #[test]
     fn erase_energy_counted() {
-        let cfg = MediaConfig::tiny(NvmKind::Slc, BusTiming { name: "t", bytes_per_ns: 0.4 });
+        let cfg = MediaConfig::tiny(
+            NvmKind::Slc,
+            BusTiming {
+                name: "t",
+                bytes_per_ns: 0.4,
+            },
+        );
         let mut sim = MediaSim::new(cfg);
         let out = sim.execute(0, &DieOp::erase(DieIndex(0), 3));
         let rep = assess(sim.stats(), &cfg, out.end);

@@ -4,6 +4,7 @@
 use crate::config::MediaConfig;
 use crate::op::{DieOp, OpKind};
 use crate::stats::RawStats;
+use nvmtypes::convert::usize_from_u32;
 use nvmtypes::Nanos;
 
 /// Start/end times of one executed die-op.
@@ -52,10 +53,11 @@ pub struct MediaSim {
 
 impl MediaSim {
     /// New simulator for the given media configuration.
-    pub fn new(cfg: MediaConfig) -> MediaSim {
-        cfg.geometry.validate().expect("invalid geometry");
-        let channels = cfg.geometry.channels as usize;
-        let dies = cfg.geometry.total_dies() as usize;
+    pub fn new(mut cfg: MediaConfig) -> MediaSim {
+        debug_assert!(cfg.geometry.validate().is_ok(), "invalid geometry");
+        cfg.geometry = cfg.geometry.sanitized();
+        let channels = usize_from_u32(cfg.geometry.channels);
+        let dies = usize_from_u32(cfg.geometry.total_dies());
         MediaSim {
             cfg,
             chan_free: vec![0; channels],
@@ -96,13 +98,13 @@ impl MediaSim {
         );
         assert!(op.pages >= 1, "die-op must move at least one page/block");
 
-        let die = op.die.0 as usize;
-        let ch = op.die.channel(g) as usize;
+        let die = usize_from_u32(op.die.0);
+        let ch = usize_from_u32(op.die.channel(g));
         let t = &self.cfg.timing;
         let page_xfer = self.cfg.page_transfer_ns();
         let batches = op.batches();
         let cell_total = op.cell_time(t);
-        let payload = op.pages * t.page_size as u64;
+        let payload = op.pages * u64::from(t.page_size);
 
         let t_start = arrival.max(self.die_free[die]);
         let cell_wait = (t_start - arrival).min(self.die_last_busy[die]);
@@ -124,7 +126,7 @@ impl MediaSim {
                     (chan_start - first_ready).min(self.chan_last_xfer[ch]);
                 let bus_end = chan_start + x + f;
                 let prod_end = t_start + cell_total;
-                let tail = op.pages.min(op.planes as u64) * page_xfer;
+                let tail = op.pages.min(u64::from(op.planes)) * page_xfer;
                 let end = bus_end.max(prod_end + tail);
                 self.chan_free[ch] = bus_end;
                 self.chan_last_xfer[ch] = x + f;
@@ -136,8 +138,15 @@ impl MediaSim {
                 // With cache registers the die re-arms as soon as the last
                 // sense lands in the spare register; otherwise it holds its
                 // registers until the bus drains.
-                self.die_free[die] = if self.cfg.cache_registers { prod_end.max(t_start + t.t_read) } else { end };
-                DieOpOutcome { start: t_start, end }
+                self.die_free[die] = if self.cfg.cache_registers {
+                    prod_end.max(t_start + t.t_read)
+                } else {
+                    end
+                };
+                DieOpOutcome {
+                    start: t_start,
+                    end,
+                }
             }
             OpKind::Write => {
                 let x = op.pages * page_xfer;
@@ -148,7 +157,8 @@ impl MediaSim {
                 let bus_end = chan_start + x + f;
                 // Programming of the first batch starts once its pages are in
                 // the die's registers.
-                let first_in = chan_start + t.t_cmd + op.pages.min(op.planes as u64) * page_xfer;
+                let first_in =
+                    chan_start + t.t_cmd + op.pages.min(u64::from(op.planes)) * page_xfer;
                 let end = bus_end.max(first_in + cell_total);
                 self.chan_free[ch] = bus_end;
                 self.chan_last_xfer[ch] = x + f;
@@ -158,7 +168,10 @@ impl MediaSim {
                 self.stats.cell_activation += cell_total;
                 self.stats.bytes_written += payload;
                 self.die_free[die] = end;
-                DieOpOutcome { start: t_start, end }
+                DieOpOutcome {
+                    start: t_start,
+                    end,
+                }
             }
             OpKind::Erase => {
                 // No data on the channel; only a command handshake.
@@ -168,7 +181,10 @@ impl MediaSim {
                 self.stats.cell_activation += cell_total;
                 self.stats.blocks_erased += op.pages;
                 self.die_free[die] = end;
-                DieOpOutcome { start: t_start, end }
+                DieOpOutcome {
+                    start: t_start,
+                    end,
+                }
             }
         };
 
@@ -188,7 +204,10 @@ mod tests {
     use nvmtypes::{BusTiming, DieIndex, NvmKind};
 
     fn sdr400() -> BusTiming {
-        BusTiming { name: "ONFi3-SDR-400", bytes_per_ns: 0.4 }
+        BusTiming {
+            name: "ONFi3-SDR-400",
+            bytes_per_ns: 0.4,
+        }
     }
 
     fn tlc_sim() -> MediaSim {

@@ -1,5 +1,6 @@
 //! Die-level operations: the unit of work the media simulator executes.
 
+use nvmtypes::convert::u64_from_usize;
 use nvmtypes::{DieIndex, MediaTiming, Nanos};
 use serde::{Deserialize, Serialize};
 
@@ -39,23 +40,41 @@ pub struct DieOp {
 impl DieOp {
     /// Read `pages` pages on `die` using `planes` planes.
     pub fn read(die: DieIndex, planes: u32, pages: u64, start_page: u64) -> DieOp {
-        DieOp { die, planes, pages, start_page, kind: OpKind::Read }
+        DieOp {
+            die,
+            planes,
+            pages,
+            start_page,
+            kind: OpKind::Read,
+        }
     }
 
     /// Program `pages` pages on `die` using `planes` planes.
     pub fn write(die: DieIndex, planes: u32, pages: u64, start_page: u64) -> DieOp {
-        DieOp { die, planes, pages, start_page, kind: OpKind::Write }
+        DieOp {
+            die,
+            planes,
+            pages,
+            start_page,
+            kind: OpKind::Write,
+        }
     }
 
     /// Erase `blocks` blocks on `die`.
     pub fn erase(die: DieIndex, blocks: u64) -> DieOp {
-        DieOp { die, planes: 1, pages: blocks, start_page: 0, kind: OpKind::Erase }
+        DieOp {
+            die,
+            planes: 1,
+            pages: blocks,
+            start_page: 0,
+            kind: OpKind::Erase,
+        }
     }
 
     /// Number of cell activations: pages grouped `planes` at a time.
     pub fn batches(&self) -> u64 {
         debug_assert!(self.planes >= 1);
-        self.pages.div_ceil(self.planes as u64)
+        self.pages.div_ceil(u64::from(self.planes))
     }
 
     /// Total cell time for this op's batches, honouring per-page-class
@@ -92,7 +111,7 @@ pub fn sum_write_latency(t: &MediaTiming, start: u64, count: u64) -> Nanos {
         nvmtypes::NvmKind::Mlc => &[t.t_write_lsb, t.t_write_msb],
         nvmtypes::NvmKind::Tlc => &[t.t_write_lsb, t.t_write_csb, t.t_write_msb],
     };
-    let l = cycle.len() as u64;
+    let l = u64_from_usize(cycle.len());
     let cycle_sum: Nanos = cycle.iter().sum();
     let full = count / l;
     let mut total = full * cycle_sum;
@@ -154,7 +173,11 @@ mod tests {
         for start in 0..7u64 {
             for count in 0..10u64 {
                 let naive: Nanos = (0..count).map(|i| t.write_latency_at(start + i)).sum();
-                assert_eq!(sum_write_latency(&t, start, count), naive, "start={start} count={count}");
+                assert_eq!(
+                    sum_write_latency(&t, start, count),
+                    naive,
+                    "start={start} count={count}"
+                );
             }
         }
     }

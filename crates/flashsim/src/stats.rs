@@ -3,6 +3,7 @@
 
 use crate::config::MediaConfig;
 use crate::intervals::{merge, union_len, Interval};
+use nvmtypes::convert::{approx_f64, usize_from_u32};
 use nvmtypes::Nanos;
 use serde::Serialize;
 
@@ -79,7 +80,8 @@ impl PalHistogram {
         if total == 0 {
             return [0.0; 4];
         }
-        self.counts.map(|c| 100.0 * c as f64 / total as f64)
+        self.counts
+            .map(|c| 100.0 * approx_f64(c) / approx_f64(total))
     }
 }
 
@@ -122,7 +124,7 @@ impl ExecBreakdown {
         if total == 0 {
             return [0.0; 6];
         }
-        let f = |v: Nanos| 100.0 * v as f64 / total as f64;
+        let f = |v: Nanos| 100.0 * approx_f64(v) / approx_f64(total);
         [
             f(self.non_overlapped_dma),
             f(self.flash_bus_activation),
@@ -233,21 +235,20 @@ impl RawStats {
         non_overlapped_dma: Nanos,
     ) -> MediaReport {
         let g = &cfg.geometry;
-        let all: Vec<Interval> =
-            self.die_intervals.iter().map(|&(_, s, e)| (s, e)).collect();
+        let all: Vec<Interval> = self.die_intervals.iter().map(|&(_, s, e)| (s, e)).collect();
         let busy = merge(all);
         let active_span: Nanos = busy.iter().map(|&(s, e)| e - s).sum();
 
         // "Kept busy" utilizations (Figure 9): a package is busy while any
         // of its dies serves a request; a channel is busy while any die on
         // it serves a request.
-        let n_pkg = g.total_packages() as usize;
-        let n_chan = g.channels as usize;
+        let n_pkg = usize_from_u32(g.total_packages());
+        let n_chan = usize_from_u32(g.channels);
         let mut per_pkg: Vec<Vec<Interval>> = vec![Vec::new(); n_pkg];
         let mut per_chan: Vec<Vec<Interval>> = vec![Vec::new(); n_chan];
         for &(die, s, e) in &self.die_intervals {
-            per_pkg[(die % g.total_packages()) as usize].push((s, e));
-            per_chan[(die % g.channels) as usize].push((s, e));
+            per_pkg[usize_from_u32(die % g.total_packages())].push((s, e));
+            per_chan[usize_from_u32(die % g.channels)].push((s, e));
         }
         let pkg_busy_total: Nanos = per_pkg.into_iter().map(union_len).sum();
         let chan_busy_total: Nanos = per_chan.into_iter().map(union_len).sum();
@@ -255,23 +256,25 @@ impl RawStats {
         let channel_util = if active_span == 0 {
             0.0
         } else {
-            (chan_busy_total as f64 / (g.channels as u64 * active_span) as f64).min(1.0)
+            (approx_f64(chan_busy_total) / approx_f64(u64::from(g.channels) * active_span)).min(1.0)
         };
         let package_util = if active_span == 0 {
             0.0
         } else {
-            (pkg_busy_total as f64 / (g.total_packages() as u64 * active_span) as f64).min(1.0)
+            (approx_f64(pkg_busy_total) / approx_f64(u64::from(g.total_packages()) * active_span))
+                .min(1.0)
         };
         let die_util = if makespan == 0 {
             0.0
         } else {
             let total: Nanos = self.die_busy.iter().sum();
-            (total as f64 / (g.total_dies() as u64 * makespan) as f64).min(1.0)
+            (approx_f64(total) / approx_f64(u64::from(g.total_dies()) * makespan)).min(1.0)
         };
         let cell_util = if makespan == 0 {
             0.0
         } else {
-            (self.cell_activation as f64 / (g.total_dies() as u64 * makespan) as f64).min(1.0)
+            (approx_f64(self.cell_activation) / approx_f64(u64::from(g.total_dies()) * makespan))
+                .min(1.0)
         };
 
         let remaining_bpns = (1.0 - cell_util) * cfg.cell_aggregate_read_bw();

@@ -5,7 +5,10 @@ use nvmtypes::{BusTiming, DieIndex, MediaTiming, NvmKind, SsdGeometry};
 use proptest::prelude::*;
 
 fn sdr400() -> BusTiming {
-    BusTiming { name: "ONFi3-SDR-400", bytes_per_ns: 0.4 }
+    BusTiming {
+        name: "ONFi3-SDR-400",
+        bytes_per_ns: 0.4,
+    }
 }
 
 fn arb_op(dies: u32, planes: u32) -> impl Strategy<Value = DieOp> {

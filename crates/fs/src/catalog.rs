@@ -206,7 +206,23 @@ impl FsKind {
         match self {
             FsKind::IonGpfs => Box::new(GpfsModel::new()),
             FsKind::Ufs => Box::new(UfsModel::new()),
-            other => Box::new(FsModel::new(other.params().expect("local fs has params"))),
+            FsKind::Ext2
+            | FsKind::Ext3
+            | FsKind::Jfs
+            | FsKind::ReiserFs
+            | FsKind::Xfs
+            | FsKind::Ext4
+            | FsKind::Btrfs
+            | FsKind::Ext4L => {
+                // Every local kind carries validating parameters by
+                // construction (see `all_params_validate`); should that
+                // invariant ever break, the identity mapping is a
+                // deterministic, non-panicking fallback.
+                match self.params().map(FsModel::new) {
+                    Some(Ok(m)) => Box::new(m),
+                    Some(Err(_)) | None => Box::new(UfsModel::new()),
+                }
+            }
         }
     }
 
@@ -225,7 +241,13 @@ mod tests {
     fn seq_posix(records: u64, len: u64) -> PosixTrace {
         let mut t = PosixTrace::new();
         for i in 0..records {
-            t.push(TraceRecord { t: i, op: IoOp::Read, file: 0, offset: i * len, len });
+            t.push(TraceRecord {
+                t: i,
+                op: IoOp::Read,
+                file: 0,
+                offset: i * len,
+                len,
+            });
         }
         t
     }
@@ -291,7 +313,11 @@ mod tests {
     fn ext2_stalls_more_than_ext4() {
         let posix = seq_posix(16, 4 << 20);
         let syncs = |k: FsKind| {
-            k.transform(&posix).requests.iter().filter(|r| r.sync).count()
+            k.transform(&posix)
+                .requests
+                .iter()
+                .filter(|r| r.sync)
+                .count()
         };
         assert!(syncs(FsKind::Ext2) > 2 * syncs(FsKind::Ext4));
         assert_eq!(syncs(FsKind::Ufs), 0);

@@ -78,7 +78,7 @@ impl GpfsModel {
     /// Physical address of stripe `idx` of `file`.
     fn stripe_base(&self, file: u32, idx: u64) -> u64 {
         let slots = DATA_SPAN / self.stripe_size;
-        let slot = splitmix64(self.seed ^ ((file as u64) << 40) ^ idx) % slots;
+        let slot = splitmix64(self.seed ^ (u64::from(file) << 40) ^ idx) % slots;
         DATA_BASE + slot * self.stripe_size
     }
 }
@@ -140,7 +140,13 @@ mod tests {
     fn seq_posix(records: u64, len: u64) -> PosixTrace {
         let mut t = PosixTrace::new();
         for i in 0..records {
-            t.push(TraceRecord { t: i, op: IoOp::Read, file: 0, offset: i * len, len });
+            t.push(TraceRecord {
+                t: i,
+                op: IoOp::Read,
+                file: 0,
+                offset: i * len,
+                len,
+            });
         }
         t
     }
@@ -178,7 +184,13 @@ mod tests {
         let m = GpfsModel::new();
         let mut posix = seq_posix(4, 1 << 20);
         for i in 0..4u64 {
-            posix.push(TraceRecord { t: 10 + i, op: IoOp::Read, file: 0, offset: i << 20, len: 1 << 20 });
+            posix.push(TraceRecord {
+                t: 10 + i,
+                op: IoOp::Read,
+                file: 0,
+                offset: i << 20,
+                len: 1 << 20,
+            });
         }
         let out = m.transform(&posix);
         let mut addrs: Vec<u64> = out.requests.iter().map(|r| r.offset).collect();

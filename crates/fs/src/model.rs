@@ -2,11 +2,12 @@
 
 use crate::params::FsParams;
 use crate::FileSystemModel;
+use nvmtypes::convert::{approx_f64, trunc_u64};
 use nvmtypes::{HostRequest, IoOp};
 use ooctrace::{BlockTrace, PosixTrace, TraceRecord};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Start of the metadata region (inode tables, indirect blocks, trees).
 const META_BASE: u64 = 0;
@@ -51,13 +52,11 @@ pub struct FsModel {
 }
 
 impl FsModel {
-    /// Builds the model, validating the parameters.
-    ///
-    /// # Panics
-    /// Panics on invalid parameters (see [`FsParams::validate`]).
-    pub fn new(params: FsParams) -> FsModel {
-        params.validate().expect("invalid file-system parameters");
-        FsModel { params }
+    /// Builds the model, validating the parameters (see
+    /// [`FsParams::validate`]).
+    pub fn new(params: FsParams) -> Result<FsModel, String> {
+        params.validate()?;
+        Ok(FsModel { params })
     }
 
     /// The parameters in force.
@@ -72,11 +71,11 @@ impl FsModel {
         cursor: &mut u64,
         rng: &mut SmallRng,
     ) {
-        let bs = self.params.block_size as u64;
+        let bs = u64::from(self.params.block_size);
         while layout.mapped_until < until {
             // Extent length: 0.5x..1.5x the mean, block-rounded, >= 1 block.
             let jitter = rng.gen_range(0.5..1.5);
-            let len = (((self.params.mean_extent as f64 * jitter) as u64) / bs).max(1) * bs;
+            let len = (trunc_u64(approx_f64(self.params.mean_extent) * jitter) / bs).max(1) * bs;
             // Placement: continue at the cursor or jump.
             if rng.gen_bool(self.params.placement_entropy) {
                 let jump = rng.gen_range(0..DATA_SPAN / bs) * bs;
@@ -102,7 +101,7 @@ impl FsModel {
         len: u64,
         out: &mut Vec<HostRequest>,
     ) {
-        let max_req = self.params.max_request as u64;
+        let max_req = u64::from(self.params.max_request);
         let mut pos = start;
         let end = start + len;
         // Find the first extent containing `pos`.
@@ -120,17 +119,27 @@ impl FsModel {
                 Some(p) if p.offset + p.len == phys && p.len + take <= max_req => {
                     p.len += take;
                 }
-                _ => {
+                Some(_) | None => {
                     if let Some(p) = pending.take() {
                         out.push(p);
                     }
-                    pending = Some(HostRequest { op, offset: phys, len: take, sync: false });
+                    pending = Some(HostRequest {
+                        op,
+                        offset: phys,
+                        len: take,
+                        sync: false,
+                    });
                 }
             }
             // Split oversized pending requests into max_request pieces.
             if let Some(mut p) = pending.take() {
                 while p.len > max_req {
-                    out.push(HostRequest { op, offset: p.offset, len: max_req, sync: false });
+                    out.push(HostRequest {
+                        op,
+                        offset: p.offset,
+                        len: max_req,
+                        sync: false,
+                    });
                     p.offset += max_req;
                     p.len -= max_req;
                 }
@@ -155,9 +164,9 @@ impl FileSystemModel for FsModel {
     }
 
     fn transform(&self, posix: &PosixTrace) -> BlockTrace {
-        let bs = self.params.block_size as u64;
+        let bs = u64::from(self.params.block_size);
         let mut rng = SmallRng::seed_from_u64(self.params.seed);
-        let mut layouts: HashMap<u32, FileLayout> = HashMap::new();
+        let mut layouts: BTreeMap<u32, FileLayout> = BTreeMap::new();
         let mut cursor = DATA_BASE;
         let mut out: Vec<HostRequest> = Vec::with_capacity(posix.len() * 4);
         let mut meta_counter: u64 = 0;
@@ -192,7 +201,7 @@ impl FileSystemModel for FsModel {
                 if self.params.journal_data {
                     let mut left = end - start;
                     while left > 0 {
-                        let len = left.min(self.params.max_request as u64);
+                        let len = left.min(u64::from(self.params.max_request));
                         if journal_cursor + len > JOURNAL_BASE + JOURNAL_SPAN {
                             journal_cursor = JOURNAL_BASE;
                         }
@@ -235,11 +244,14 @@ pub struct UfsModel {
 impl UfsModel {
     /// UFS with default layout.
     pub fn new() -> UfsModel {
-        UfsModel { file_spacing: 16 << 30, queue_depth: 32 }
+        UfsModel {
+            file_spacing: 16 << 30,
+            queue_depth: 32,
+        }
     }
 
     fn map(&self, rec: &TraceRecord) -> u64 {
-        rec.file as u64 * self.file_spacing + rec.offset
+        u64::from(rec.file) * self.file_spacing + rec.offset
     }
 }
 
@@ -253,7 +265,12 @@ impl FileSystemModel for UfsModel {
             .records
             .iter()
             .filter(|r| r.len > 0)
-            .map(|r| HostRequest { op: r.op, offset: self.map(r), len: r.len, sync: false })
+            .map(|r| HostRequest {
+                op: r.op,
+                offset: self.map(r),
+                len: r.len,
+                sync: false,
+            })
             .collect();
         BlockTrace::from_requests(requests, self.queue_depth)
     }
@@ -281,14 +298,20 @@ mod tests {
     fn seq_posix(records: u64, len: u64) -> PosixTrace {
         let mut t = PosixTrace::new();
         for i in 0..records {
-            t.push(TraceRecord { t: i, op: IoOp::Read, file: 0, offset: i * len, len });
+            t.push(TraceRecord {
+                t: i,
+                op: IoOp::Read,
+                file: 0,
+                offset: i * len,
+                len,
+            });
         }
         t
     }
 
     #[test]
     fn data_bytes_are_conserved() {
-        let m = FsModel::new(params("t"));
+        let m = FsModel::new(params("t")).expect("valid params");
         let posix = seq_posix(16, 1 << 20);
         let out = m.transform(&posix);
         // Aligned records: block-rounding adds nothing.
@@ -297,9 +320,15 @@ mod tests {
 
     #[test]
     fn unaligned_records_round_to_blocks() {
-        let m = FsModel::new(params("t"));
+        let m = FsModel::new(params("t")).expect("valid params");
         let mut posix = PosixTrace::new();
-        posix.push(TraceRecord { t: 0, op: IoOp::Read, file: 0, offset: 100, len: 5000 });
+        posix.push(TraceRecord {
+            t: 0,
+            op: IoOp::Read,
+            file: 0,
+            offset: 100,
+            len: 5000,
+        });
         let out = m.transform(&posix);
         // [100, 5100) rounds to [0, 8192).
         assert_eq!(out.data_bytes(), 8192);
@@ -307,23 +336,27 @@ mod tests {
 
     #[test]
     fn transform_is_deterministic() {
-        let m = FsModel::new(params("t"));
+        let m = FsModel::new(params("t")).expect("valid params");
         let posix = seq_posix(32, 1 << 20);
         assert_eq!(m.transform(&posix), m.transform(&posix));
     }
 
     #[test]
     fn requests_respect_max_request() {
-        let m = FsModel::new(params("t"));
+        let m = FsModel::new(params("t")).expect("valid params");
         let out = m.transform(&seq_posix(8, 4 << 20));
         assert!(out.requests.iter().all(|r| r.len <= 128 * 1024));
     }
 
     #[test]
     fn metadata_reads_are_injected_and_synchronous() {
-        let m = FsModel::new(params("t"));
+        let m = FsModel::new(params("t")).expect("valid params");
         let out = m.transform(&seq_posix(16, 1 << 20));
-        let meta: Vec<_> = out.requests.iter().filter(|r| r.sync && r.op.is_read()).collect();
+        let meta: Vec<_> = out
+            .requests
+            .iter()
+            .filter(|r| r.sync && r.op.is_read())
+            .collect();
         // 16 MiB of data at one per MiB.
         assert_eq!(meta.len(), 16);
         assert!(meta.iter().all(|r| r.offset < META_SPAN));
@@ -331,17 +364,26 @@ mod tests {
 
     #[test]
     fn journal_commits_only_for_writes() {
-        let m = FsModel::new(params("t"));
+        let m = FsModel::new(params("t")).expect("valid params");
         let reads = m.transform(&seq_posix(16, 1 << 20));
         assert!(!reads.requests.iter().any(|r| r.sync && !r.op.is_read()));
 
         let mut posix = PosixTrace::new();
         for i in 0..16u64 {
-            posix.push(TraceRecord { t: i, op: IoOp::Write, file: 0, offset: i << 20, len: 1 << 20 });
+            posix.push(TraceRecord {
+                t: i,
+                op: IoOp::Write,
+                file: 0,
+                offset: i << 20,
+                len: 1 << 20,
+            });
         }
         let writes = m.transform(&posix);
-        let commits: Vec<_> =
-            writes.requests.iter().filter(|r| r.sync && !r.op.is_read()).collect();
+        let commits: Vec<_> = writes
+            .requests
+            .iter()
+            .filter(|r| r.sync && !r.op.is_read())
+            .collect();
         assert_eq!(commits.len(), 4); // 16 MiB at one per 4 MiB
         assert!(commits
             .iter()
@@ -352,12 +394,20 @@ mod tests {
     fn data_journaling_doubles_write_volume() {
         let mut p = params("dj");
         p.journal_data = true;
-        let m = FsModel::new(p);
+        let m = FsModel::new(p).expect("valid params");
         let mut posix = PosixTrace::new();
         for i in 0..8u64 {
-            posix.push(TraceRecord { t: i, op: IoOp::Write, file: 0, offset: i << 20, len: 1 << 20 });
+            posix.push(TraceRecord {
+                t: i,
+                op: IoOp::Write,
+                file: 0,
+                offset: i << 20,
+                len: 1 << 20,
+            });
         }
-        let ordered = FsModel::new(params("ord")).transform(&posix);
+        let ordered = FsModel::new(params("ord"))
+            .expect("valid params")
+            .transform(&posix);
         let journaled = m.transform(&posix);
         // Journal-data writes the payload twice (plus commit records).
         assert!(journaled.total_bytes() >= 2 * posix.total_bytes());
@@ -366,18 +416,29 @@ mod tests {
         let in_journal = journaled
             .requests
             .iter()
-            .filter(|r| !r.op.is_read() && !r.sync && r.offset >= JOURNAL_BASE && r.offset < JOURNAL_BASE + JOURNAL_SPAN)
+            .filter(|r| {
+                !r.op.is_read()
+                    && !r.sync
+                    && r.offset >= JOURNAL_BASE
+                    && r.offset < JOURNAL_BASE + JOURNAL_SPAN
+            })
             .count();
         assert!(in_journal > 0);
     }
 
     #[test]
     fn rereading_reuses_the_same_layout() {
-        let m = FsModel::new(params("t"));
+        let m = FsModel::new(params("t")).expect("valid params");
         let mut posix = seq_posix(8, 1 << 20);
         // Second sweep over the same file.
         for i in 0..8u64 {
-            posix.push(TraceRecord { t: 100 + i, op: IoOp::Read, file: 0, offset: i << 20, len: 1 << 20 });
+            posix.push(TraceRecord {
+                t: 100 + i,
+                op: IoOp::Read,
+                file: 0,
+                offset: i << 20,
+                len: 1 << 20,
+            });
         }
         let out = m.transform(&posix);
         let data: Vec<_> = out.requests.iter().filter(|r| !r.sync).collect();
@@ -398,8 +459,8 @@ mod tests {
         bad.mean_extent = 64 * 1024;
         bad.placement_entropy = 0.5;
         let posix = seq_posix(32, 1 << 20);
-        let g = FsModel::new(good).transform(&posix);
-        let b = FsModel::new(bad).transform(&posix);
+        let g = FsModel::new(good).expect("valid params").transform(&posix);
+        let b = FsModel::new(bad).expect("valid params").transform(&posix);
         assert!(g.mean_request_size() > 2.0 * b.mean_request_size());
     }
 
@@ -419,8 +480,20 @@ mod tests {
     fn ufs_separates_files() {
         let m = UfsModel::new();
         let mut posix = PosixTrace::new();
-        posix.push(TraceRecord { t: 0, op: IoOp::Read, file: 0, offset: 0, len: 4096 });
-        posix.push(TraceRecord { t: 1, op: IoOp::Read, file: 1, offset: 0, len: 4096 });
+        posix.push(TraceRecord {
+            t: 0,
+            op: IoOp::Read,
+            file: 0,
+            offset: 0,
+            len: 4096,
+        });
+        posix.push(TraceRecord {
+            t: 1,
+            op: IoOp::Read,
+            file: 1,
+            offset: 0,
+            len: 4096,
+        });
         let out = m.transform(&posix);
         assert_eq!(out.requests[1].offset - out.requests[0].offset, 16 << 30);
     }

@@ -60,7 +60,7 @@ impl FsParams {
         if self.max_request < self.block_size {
             return Err(format!("{}: max_request below block_size", self.name));
         }
-        if self.mean_extent < self.block_size as u64 {
+        if self.mean_extent < u64::from(self.block_size) {
             return Err(format!("{}: mean_extent below block_size", self.name));
         }
         if !(0.0..=1.0).contains(&self.placement_entropy) {

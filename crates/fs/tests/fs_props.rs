@@ -31,18 +31,20 @@ fn arb_params() -> impl Strategy<Value = FsParams> {
         1u32..16,
         0u64..1000,
     )
-        .prop_map(|(block, max_mul, extent_mul, entropy, meta, qd, seed)| FsParams {
-            name: "prop",
-            block_size: block,
-            max_request: block * max_mul,
-            mean_extent: block as u64 * extent_mul.max(1),
-            placement_entropy: entropy,
-            metadata_read_interval: meta.map(|m| m * block as u64),
-            journal_commit_interval: None,
-            journal_data: false,
-            queue_depth: qd,
-            seed,
-        })
+        .prop_map(
+            |(block, max_mul, extent_mul, entropy, meta, qd, seed)| FsParams {
+                name: "prop",
+                block_size: block,
+                max_request: block * max_mul,
+                mean_extent: block as u64 * extent_mul.max(1),
+                placement_entropy: entropy,
+                metadata_read_interval: meta.map(|m| m * block as u64),
+                journal_commit_interval: None,
+                journal_data: false,
+                queue_depth: qd,
+                seed,
+            },
+        )
 }
 
 proptest! {
@@ -61,7 +63,7 @@ proptest! {
             .iter()
             .map(|r| (r.offset + r.len).div_ceil(bs) * bs - r.offset / bs * bs)
             .sum();
-        let out = FsModel::new(params).transform(&trace);
+        let out = FsModel::new(params).expect("valid params").transform(&trace);
         prop_assert_eq!(out.data_bytes(), expect);
         // Requests respect the coalescing cap and queue depth survives.
         prop_assert!(out.requests.iter().filter(|r| !r.sync).all(|r| r.len <= params.max_request as u64));
@@ -95,7 +97,13 @@ proptest! {
 fn ufs_mean_request_matches_posix_mean() {
     let mut trace = PosixTrace::new();
     for i in 0..16u64 {
-        trace.push(TraceRecord { t: i, op: IoOp::Read, file: 0, offset: i << 20, len: 1 << 20 });
+        trace.push(TraceRecord {
+            t: i,
+            op: IoOp::Read,
+            file: 0,
+            offset: i << 20,
+            len: 1 << 20,
+        });
     }
     let out = FsKind::Ufs.transform(&trace);
     assert_eq!(out.mean_request_size(), (1 << 20) as f64);

@@ -11,7 +11,11 @@ use crate::link::Link;
 /// trip plus the parallel-file-system client/server exchange that every
 /// GPFS block access pays.
 pub fn infiniband_qdr_4x() -> Link {
-    Link { name: "IB-QDR-4X", bytes_per_ns: 4.0, per_request_ns: 25_000 }
+    Link {
+        name: "IB-QDR-4X",
+        bytes_per_ns: 4.0,
+        per_request_ns: 25_000,
+    }
 }
 
 /// FDR 4X InfiniBand (the generation after the paper's QDR): 4 x 14 Gb/s
@@ -29,7 +33,11 @@ pub fn infiniband_fdr_4x() -> Link {
 /// Used between IONs and external RAID enclosures; not on the SSD path,
 /// but needed to model the magnetic-storage baseline.
 pub fn fibre_channel_8g() -> Link {
-    Link { name: "FC-8G", bytes_per_ns: 0.85 * 0.8, per_request_ns: 10_000 }
+    Link {
+        name: "FC-8G",
+        bytes_per_ns: 0.85 * 0.8,
+        per_request_ns: 10_000,
+    }
 }
 
 #[cfg(test)]
@@ -57,7 +65,11 @@ mod tests {
     #[test]
     fn fdr_is_about_6_8_gb_s_and_faster_than_qdr() {
         let fdr = infiniband_fdr_4x();
-        assert!((fdr.bytes_per_ns - 6.818).abs() < 0.01, "got {}", fdr.bytes_per_ns);
+        assert!(
+            (fdr.bytes_per_ns - 6.818).abs() < 0.01,
+            "got {}",
+            fdr.bytes_per_ns
+        );
         assert!(fdr.bytes_per_ns > infiniband_qdr_4x().bytes_per_ns);
     }
 

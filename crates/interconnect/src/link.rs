@@ -23,7 +23,11 @@ pub struct Link {
 impl Link {
     /// Constructs a link directly from an effective MB/s figure.
     pub fn from_mb_s(name: &'static str, mb_s: f64, per_request_ns: Nanos) -> Link {
-        Link { name, bytes_per_ns: nvmtypes::bytes_per_ns_from_mb_s(mb_s), per_request_ns }
+        Link {
+            name,
+            bytes_per_ns: nvmtypes::bytes_per_ns_from_mb_s(mb_s),
+            per_request_ns,
+        }
     }
 
     /// Time to move one request of `bytes` across the link, including the
@@ -67,14 +71,21 @@ impl LinkChain {
     /// # Panics
     /// Panics if the chain is empty.
     pub fn effective(&self) -> Link {
-        assert!(!self.links.is_empty(), "cannot collapse an empty link chain");
+        assert!(
+            !self.links.is_empty(),
+            "cannot collapse an empty link chain"
+        );
         let bytes_per_ns = self
             .links
             .iter()
             .map(|l| l.bytes_per_ns)
             .fold(f64::INFINITY, f64::min);
         let per_request_ns = self.links.iter().map(|l| l.per_request_ns).sum();
-        Link { name: "chain", bytes_per_ns, per_request_ns }
+        Link {
+            name: "chain",
+            bytes_per_ns,
+            per_request_ns,
+        }
     }
 
     /// Name of the narrowest hop — the bottleneck of the path.
@@ -93,7 +104,11 @@ mod tests {
 
     #[test]
     fn request_time_includes_setup() {
-        let l = Link { name: "t", bytes_per_ns: 1.0, per_request_ns: 100 };
+        let l = Link {
+            name: "t",
+            bytes_per_ns: 1.0,
+            per_request_ns: 100,
+        };
         assert_eq!(l.request_ns(1000), 1100);
     }
 
@@ -106,8 +121,16 @@ mod tests {
 
     #[test]
     fn chain_takes_min_bandwidth_and_sums_latency() {
-        let fast = Link { name: "fast", bytes_per_ns: 4.0, per_request_ns: 500 };
-        let slow = Link { name: "slow", bytes_per_ns: 1.0, per_request_ns: 1300 };
+        let fast = Link {
+            name: "fast",
+            bytes_per_ns: 4.0,
+            per_request_ns: 500,
+        };
+        let slow = Link {
+            name: "slow",
+            bytes_per_ns: 1.0,
+            per_request_ns: 1300,
+        };
         let eff = LinkChain::single(fast).then(slow).effective();
         assert!((eff.bytes_per_ns - 1.0).abs() < 1e-12);
         assert_eq!(eff.per_request_ns, 1800);
@@ -115,8 +138,16 @@ mod tests {
 
     #[test]
     fn bottleneck_names_narrowest_hop() {
-        let fast = Link { name: "fast", bytes_per_ns: 4.0, per_request_ns: 0 };
-        let slow = Link { name: "slow", bytes_per_ns: 1.0, per_request_ns: 0 };
+        let fast = Link {
+            name: "fast",
+            bytes_per_ns: 4.0,
+            per_request_ns: 0,
+        };
+        let slow = Link {
+            name: "slow",
+            bytes_per_ns: 1.0,
+            per_request_ns: 0,
+        };
         let chain = LinkChain::single(fast).then(slow);
         assert_eq!(chain.bottleneck(), "slow");
     }

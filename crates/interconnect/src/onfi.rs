@@ -39,12 +39,18 @@ impl NvmBusSpeed {
 
 /// ONFi-3 bus: 400 MHz SDR x 8 bits = 400 MB/s (0.4 B/ns) per channel.
 pub fn sdr400() -> BusTiming {
-    BusTiming { name: "ONFi3-SDR-400", bytes_per_ns: 0.4 }
+    BusTiming {
+        name: "ONFi3-SDR-400",
+        bytes_per_ns: 0.4,
+    }
 }
 
 /// Future DDR bus: 800 MHz DDR x 8 bits = 1600 MB/s (1.6 B/ns) per channel.
 pub fn ddr800() -> BusTiming {
-    BusTiming { name: "DDR-800", bytes_per_ns: 1.6 }
+    BusTiming {
+        name: "DDR-800",
+        bytes_per_ns: 1.6,
+    }
 }
 
 #[cfg(test)]

@@ -61,7 +61,10 @@ impl PcieGen {
 /// it is the same for both generations (the paper treats re-encoding
 /// *computation* time as marginal and focuses on bandwidth).
 pub fn pcie(gen: PcieGen, lanes: u32) -> Link {
-    assert!(matches!(lanes, 1 | 2 | 4 | 8 | 16), "PCIe lane widths are powers of two up to 16");
+    assert!(
+        matches!(lanes, 1 | 2 | 4 | 8 | 16),
+        "PCIe lane widths are powers of two up to 16"
+    );
     let name: &'static str = match (gen, lanes) {
         (PcieGen::Gen2, 4) => "PCIe2.0x4",
         (PcieGen::Gen2, 8) => "PCIe2.0x8",
@@ -76,7 +79,11 @@ pub fn pcie(gen: PcieGen, lanes: u32) -> Link {
         (PcieGen::Gen3, _) => "PCIe3.0",
         (PcieGen::Gen4, _) => "PCIe4.0",
     };
-    Link { name, bytes_per_ns: gen.lane_bytes_per_ns() * lanes as f64, per_request_ns: 1_000 }
+    Link {
+        name,
+        bytes_per_ns: gen.lane_bytes_per_ns() * f64::from(lanes),
+        per_request_ns: 1_000,
+    }
 }
 
 #[cfg(test)]

@@ -13,12 +13,15 @@ use crate::link::Link;
 /// across (each serves a subset of the channels); the returned link models
 /// their aggregate with the bridge's per-request conversion cost.
 pub fn sata_6g_bridge(controllers: u32) -> Link {
-    assert!(controllers > 0, "a bridged SSD has at least one internal controller");
+    assert!(
+        controllers > 0,
+        "a bridged SSD has at least one internal controller"
+    );
     // 6 Gb/s * 8/10 encoding = 4.8 Gb/s = 0.6 B/ns payload per controller.
     let per_controller = 6.0 * (8.0 / 10.0) / 8.0;
     Link {
         name: "SATA6G-bridge",
-        bytes_per_ns: per_controller * controllers as f64,
+        bytes_per_ns: per_controller * f64::from(controllers),
         // Protocol conversion (SATA FIS <-> PCIe TLP) costs a few µs per
         // command on commodity bridge chips.
         per_request_ns: 3_000,

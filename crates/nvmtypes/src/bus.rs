@@ -26,7 +26,10 @@ mod tests {
 
     #[test]
     fn transfer_ns_matches_rate() {
-        let bus = BusTiming { name: "test", bytes_per_ns: 0.4 };
+        let bus = BusTiming {
+            name: "test",
+            bytes_per_ns: 0.4,
+        };
         // 8192 bytes at 0.4 B/ns = 20480 ns.
         assert_eq!(bus.transfer_ns(8192), 20_480);
     }

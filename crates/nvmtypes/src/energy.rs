@@ -74,7 +74,7 @@ impl MediaEnergy {
 
     /// Read energy per byte, nJ (page energy amortised over the page).
     pub fn read_nj_per_byte(&self, page_size: u32) -> f64 {
-        self.read_nj_per_page / page_size as f64
+        self.read_nj_per_page / f64::from(page_size)
     }
 }
 
@@ -95,8 +95,8 @@ mod tests {
     fn pcm_reads_are_cheapest_per_byte() {
         use crate::latency::MediaTiming;
         for kind in [NvmKind::Slc, NvmKind::Mlc, NvmKind::Tlc] {
-            let nand = MediaEnergy::typical(kind)
-                .read_nj_per_byte(MediaTiming::table1(kind).page_size);
+            let nand =
+                MediaEnergy::typical(kind).read_nj_per_byte(MediaTiming::table1(kind).page_size);
             let pcm = MediaEnergy::typical(NvmKind::Pcm)
                 .read_nj_per_byte(MediaTiming::table1(NvmKind::Pcm).page_size);
             assert!(pcm < nand, "{kind:?}");

@@ -77,28 +77,45 @@ impl SsdGeometry {
 
     /// Pages per die across all its planes.
     pub fn pages_per_die(&self) -> u64 {
-        self.planes_per_die as u64 * self.blocks_per_plane as u64 * self.pages_per_block as u64
+        u64::from(self.planes_per_die)
+            * u64::from(self.blocks_per_plane)
+            * u64::from(self.pages_per_block)
     }
 
     /// Pages per single plane.
     pub fn pages_per_plane(&self) -> u64 {
-        self.blocks_per_plane as u64 * self.pages_per_block as u64
+        u64::from(self.blocks_per_plane) * u64::from(self.pages_per_block)
     }
 
     /// Total pages in the device.
     pub fn total_pages(&self) -> u64 {
-        self.pages_per_die() * self.total_dies() as u64
+        self.pages_per_die() * u64::from(self.total_dies())
     }
 
     /// Raw capacity in bytes for a given page size.
     pub fn capacity_bytes(&self, page_size: u32) -> u64 {
-        self.total_pages() * page_size as u64
+        self.total_pages() * u64::from(page_size)
     }
 
     /// Number of distinct `(die, plane)` pairs — the width of the device's
     /// maximum striping pattern.
     pub fn total_plane_slots(&self) -> u64 {
-        self.total_dies() as u64 * self.planes_per_die as u64
+        u64::from(self.total_dies()) * u64::from(self.planes_per_die)
+    }
+
+    /// A well-defined copy of this geometry: every dimension clamped to
+    /// at least 1. A zero-sized dimension has no physical meaning and
+    /// would poison downstream index arithmetic; the simulators sanitize
+    /// rather than panic on such (deserialised or hand-built) configs.
+    #[must_use]
+    pub fn sanitized(mut self) -> SsdGeometry {
+        self.channels = self.channels.max(1);
+        self.packages_per_channel = self.packages_per_channel.max(1);
+        self.dies_per_package = self.dies_per_package.max(1);
+        self.planes_per_die = self.planes_per_die.max(1);
+        self.blocks_per_plane = self.blocks_per_plane.max(1);
+        self.pages_per_block = self.pages_per_block.max(1);
+        self
     }
 
     /// Checks internal consistency; useful for deserialised configs.

@@ -89,11 +89,16 @@ impl PageClass {
                     PageClass::Msb
                 }
             }
-            NvmKind::Tlc => match page_index % 3 {
-                0 => PageClass::Lsb,
-                1 => PageClass::Csb,
-                _ => PageClass::Msb,
-            },
+            NvmKind::Tlc => {
+                let r = page_index % 3;
+                if r == 0 {
+                    PageClass::Lsb
+                } else if r == 1 {
+                    PageClass::Csb
+                } else {
+                    PageClass::Msb
+                }
+            }
         }
     }
 }
@@ -132,7 +137,9 @@ mod tests {
 
     #[test]
     fn tlc_cycles_three_classes() {
-        let classes: Vec<_> = (0..6).map(|i| PageClass::of_page(NvmKind::Tlc, i)).collect();
+        let classes: Vec<_> = (0..6)
+            .map(|i| PageClass::of_page(NvmKind::Tlc, i))
+            .collect();
         assert_eq!(
             classes,
             [

@@ -148,7 +148,7 @@ impl MediaTiming {
     /// Peak cell-level read bandwidth of a single die in bytes/ns, assuming
     /// all `planes` of the die stream reads concurrently (multi-plane mode).
     pub fn die_read_bw(&self, planes: u32) -> f64 {
-        (self.page_size as f64 * planes as f64) / self.t_read as f64
+        (f64::from(self.page_size) * f64::from(planes)) / crate::convert::approx_f64(self.t_read)
     }
 }
 

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod convert;
 pub mod energy;
 pub mod geometry;
 pub mod kind;
@@ -29,6 +30,9 @@ pub mod request;
 pub mod time;
 
 pub use bus::BusTiming;
+pub use convert::{
+    approx_f64, trunc_u64, try_u32, u32_from, u64_from_usize, usize_from, usize_from_u32,
+};
 pub use energy::MediaEnergy;
 pub use geometry::{DieIndex, PhysLoc, SsdGeometry};
 pub use kind::{NvmKind, PageClass};

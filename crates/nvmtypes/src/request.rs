@@ -38,12 +38,22 @@ pub struct HostRequest {
 impl HostRequest {
     /// Convenience constructor for an asynchronous read.
     pub fn read(offset: u64, len: u64) -> HostRequest {
-        HostRequest { op: IoOp::Read, offset, len, sync: false }
+        HostRequest {
+            op: IoOp::Read,
+            offset,
+            len,
+            sync: false,
+        }
     }
 
     /// Convenience constructor for an asynchronous write.
     pub fn write(offset: u64, len: u64) -> HostRequest {
-        HostRequest { op: IoOp::Write, offset, len, sync: false }
+        HostRequest {
+            op: IoOp::Write,
+            offset,
+            len,
+            sync: false,
+        }
     }
 
     /// Marks the request as a synchronous barrier (see [`HostRequest::sync`]).
@@ -59,7 +69,7 @@ impl HostRequest {
 
     /// First device page covered, for a given page size.
     pub fn first_page(&self, page_size: u32) -> u64 {
-        self.offset / page_size as u64
+        self.offset / u64::from(page_size)
     }
 
     /// Number of device pages covered (including partial head/tail pages).
@@ -67,7 +77,7 @@ impl HostRequest {
         if self.len == 0 {
             return 0;
         }
-        let ps = page_size as u64;
+        let ps = u64::from(page_size);
         let first = self.offset / ps;
         let last = (self.end() - 1) / ps;
         last - first + 1

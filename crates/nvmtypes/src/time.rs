@@ -40,7 +40,7 @@ pub fn mb_per_s(bytes: u64, dur: Nanos) -> f64 {
     if dur == 0 {
         return 0.0;
     }
-    (bytes as f64 / dur as f64) * 1e3
+    (crate::convert::approx_f64(bytes) / crate::convert::approx_f64(dur)) * 1e3
 }
 
 /// Time (ns, rounded up) to move `bytes` at `bytes_per_ns`.
@@ -50,7 +50,7 @@ pub fn mb_per_s(bytes: u64, dur: Nanos) -> f64 {
 #[inline]
 pub fn transfer_time(bytes: u64, bytes_per_ns: f64) -> Nanos {
     debug_assert!(bytes_per_ns > 0.0, "bandwidth must be positive");
-    (bytes as f64 / bytes_per_ns).ceil() as Nanos
+    crate::convert::trunc_u64((crate::convert::approx_f64(bytes) / bytes_per_ns).ceil())
 }
 
 #[cfg(test)]

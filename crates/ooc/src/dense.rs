@@ -23,7 +23,11 @@ pub struct DMatrix {
 impl DMatrix {
     /// Zero matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> DMatrix {
-        DMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        DMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Identity matrix.

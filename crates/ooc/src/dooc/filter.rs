@@ -27,7 +27,10 @@ pub struct Pipeline {
 impl Pipeline {
     /// Empty pipeline with a stream depth of 8 chunks.
     pub fn new() -> Pipeline {
-        Pipeline { filters: Vec::new(), stream_depth: 8 }
+        Pipeline {
+            filters: Vec::new(),
+            stream_depth: 8,
+        }
     }
 
     /// Appends a stage.
@@ -103,7 +106,12 @@ mod tests {
     struct Doubler;
     impl Filter for Doubler {
         fn process(&mut self, chunk: Bytes, emit: &mut dyn FnMut(Bytes)) {
-            emit(Bytes::from(chunk.iter().map(|&b| b.wrapping_mul(2)).collect::<Vec<u8>>()));
+            emit(Bytes::from(
+                chunk
+                    .iter()
+                    .map(|&b| b.wrapping_mul(2))
+                    .collect::<Vec<u8>>(),
+            ));
         }
     }
 
@@ -133,7 +141,10 @@ mod tests {
         let out = Pipeline::new()
             .then(Doubler)
             .run(vec![Bytes::from_static(&[1, 2]), Bytes::from_static(&[3])]);
-        assert_eq!(out, vec![Bytes::from_static(&[2, 4]), Bytes::from_static(&[6])]);
+        assert_eq!(
+            out,
+            vec![Bytes::from_static(&[2, 4]), Bytes::from_static(&[6])]
+        );
     }
 
     #[test]

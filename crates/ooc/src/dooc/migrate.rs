@@ -63,8 +63,7 @@ where
     F: Fn(&str) -> bool + Send + Sync,
 {
     assert!(workers >= 1);
-    let selected: Vec<String> =
-        keys.iter().filter(|k| filter(k)).cloned().collect();
+    let selected: Vec<String> = keys.iter().filter(|k| filter(k)).cloned().collect();
     let chunks: Vec<&[String]> = selected
         .chunks(selected.len().div_ceil(workers).max(1))
         .collect();
@@ -77,7 +76,10 @@ where
                 scope.spawn(move || migrate(&src, &dst, chunk))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("migration worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("migration worker"))
+            .collect()
     });
     let mut total = MigrationReport::default();
     for r in reports {

@@ -58,7 +58,11 @@ impl DataPool {
     pub fn new(capacity_bytes: u64) -> DataPool {
         DataPool {
             capacity: capacity_bytes,
-            inner: Mutex::new(Inner { map: HashMap::new(), used: 0, clock: 0 }),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                used: 0,
+                clock: 0,
+            }),
             stats: PoolStats::default(),
         }
     }
@@ -123,7 +127,13 @@ impl DataPool {
         }
         let arc = Arc::new(data);
         inner.used += size;
-        inner.map.insert(key.to_string(), Entry { data: Arc::clone(&arc), last_use: clock });
+        inner.map.insert(
+            key.to_string(),
+            Entry {
+                data: Arc::clone(&arc),
+                last_use: clock,
+            },
+        );
         arc
     }
 
@@ -171,7 +181,11 @@ impl Prefetcher {
                 }
             }));
         }
-        Prefetcher { tx: Some(tx), handles, outstanding }
+        Prefetcher {
+            tx: Some(tx),
+            handles,
+            outstanding,
+        }
     }
 
     /// Queues a prefetch.

@@ -37,12 +37,18 @@ impl Default for TaskGraph {
 impl TaskGraph {
     /// Empty graph without data-awareness.
     pub fn new() -> TaskGraph {
-        TaskGraph { tasks: Vec::new(), pool: None }
+        TaskGraph {
+            tasks: Vec::new(),
+            pool: None,
+        }
     }
 
     /// Empty graph scoring readiness against `pool` residency.
     pub fn with_pool(pool: Arc<DataPool>) -> TaskGraph {
-        TaskGraph { tasks: Vec::new(), pool: Some(pool) }
+        TaskGraph {
+            tasks: Vec::new(),
+            pool: Some(pool),
+        }
     }
 
     /// Adds a task depending on `deps`; returns its id.
@@ -106,8 +112,12 @@ impl TaskGraph {
             self.tasks.iter().map(|t| t.dependents.clone()).collect();
         let names: Vec<String> = self.tasks.iter().map(|t| t.name.clone()).collect();
         let inputs: Vec<Vec<String>> = self.tasks.iter().map(|t| t.inputs.clone()).collect();
-        let mut bodies: HashMap<TaskId, TaskFn> =
-            self.tasks.into_iter().enumerate().map(|(i, t)| (i, t.run)).collect();
+        let mut bodies: HashMap<TaskId, TaskFn> = self
+            .tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.run))
+            .collect();
 
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<TaskId>();
         let (job_tx, job_rx) = crossbeam::channel::unbounded::<(TaskId, TaskFn)>();
@@ -125,8 +135,9 @@ impl TaskGraph {
             }));
         }
 
-        let mut ready: Vec<TaskId> =
-            (0..deps_left.len()).filter(|&i| deps_left[i] == 0).collect();
+        let mut ready: Vec<TaskId> = (0..deps_left.len())
+            .filter(|&i| deps_left[i] == 0)
+            .collect();
         let mut order = Vec::with_capacity(deps_left.len());
         let mut running = 0usize;
         let mut remaining = deps_left.len();

@@ -28,13 +28,23 @@ pub struct HamiltonianSpec {
 impl HamiltonianSpec {
     /// A small spec for tests.
     pub fn tiny(n: usize) -> HamiltonianSpec {
-        HamiltonianSpec { n, band: 4, couplings_per_row: 2, seed: 42 }
+        HamiltonianSpec {
+            n,
+            band: 4,
+            couplings_per_row: 2,
+            seed: 42,
+        }
     }
 
     /// A medium spec whose serialised panels reach hundreds of MiB —
     /// enough to exercise out-of-core streaming.
     pub fn medium(n: usize) -> HamiltonianSpec {
-        HamiltonianSpec { n, band: 16, couplings_per_row: 8, seed: 20130817 }
+        HamiltonianSpec {
+            n,
+            band: 16,
+            couplings_per_row: 8,
+            seed: 20130817,
+        }
     }
 
     /// Generates the symmetric CSR matrix.
@@ -120,8 +130,20 @@ mod tests {
 
     #[test]
     fn density_scales_with_parameters() {
-        let sparse = HamiltonianSpec { n: 300, band: 2, couplings_per_row: 1, seed: 1 }.generate();
-        let dense = HamiltonianSpec { n: 300, band: 12, couplings_per_row: 6, seed: 1 }.generate();
+        let sparse = HamiltonianSpec {
+            n: 300,
+            band: 2,
+            couplings_per_row: 1,
+            seed: 1,
+        }
+        .generate();
+        let dense = HamiltonianSpec {
+            n: 300,
+            band: 12,
+            couplings_per_row: 6,
+            seed: 1,
+        }
+        .generate();
         assert!(dense.nnz() > 3 * sparse.nnz());
     }
 

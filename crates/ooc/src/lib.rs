@@ -24,7 +24,10 @@
 //! * [`dooc`] — the DOoC+LAF / DataCutter middleware layer (§2.1): an
 //!   immutable keyed data pool with memory management and prefetching, a
 //!   data-aware task scheduler, and a filter/stream dataflow runner.
-
+// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
+// inventoried per-file in `simlint.allow` (counts may only decrease).
+// New code must return typed errors; see docs/INVARIANTS.md.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -54,7 +54,11 @@ pub struct TracedOperator<'a> {
 impl<'a> TracedOperator<'a> {
     /// Wraps an out-of-core matrix with a sink.
     pub fn new(matrix: &'a OocMatrix, sink: &'a dyn TraceSink) -> TracedOperator<'a> {
-        TracedOperator { matrix, sink, diag: None }
+        TracedOperator {
+            matrix,
+            sink,
+            diag: None,
+        }
     }
 
     /// Supplies a precomputed diagonal (for preconditioning).
@@ -98,7 +102,13 @@ pub struct LobpcgOptions {
 
 impl Default for LobpcgOptions {
     fn default() -> Self {
-        LobpcgOptions { block_size: 8, max_iters: 200, tol: 1e-8, seed: 7, precondition: true }
+        LobpcgOptions {
+            block_size: 8,
+            max_iters: 200,
+            tol: 1e-8,
+            seed: 7,
+            precondition: true,
+        }
     }
 }
 
@@ -164,11 +174,16 @@ impl Lobpcg {
     pub fn solve(&self, op: &dyn Operator) -> LobpcgResult {
         let n = op.dim();
         let m = self.options.block_size;
-        assert!(m >= 1 && 3 * m <= n, "block size {m} unusable for dimension {n}");
+        assert!(
+            m >= 1 && 3 * m <= n,
+            "block size {m} unusable for dimension {n}"
+        );
         let mut rng = SmallRng::seed_from_u64(self.options.seed);
         let inv_diag: Option<Vec<f64>> = if self.options.precondition {
             op.diagonal().map(|d| {
-                d.into_iter().map(|v| if v.abs() > 1e-12 { 1.0 / v } else { 1.0 }).collect()
+                d.into_iter()
+                    .map(|v| if v.abs() > 1e-12 { 1.0 / v } else { 1.0 })
+                    .collect()
             })
         } else {
             None
@@ -328,8 +343,7 @@ mod tests {
     #[test]
     fn diagonal_matrix_is_exact() {
         let n = 64;
-        let rows: Vec<Vec<(u32, f64)>> =
-            (0..n).map(|i| vec![(i as u32, (i + 1) as f64)]).collect();
+        let rows: Vec<Vec<(u32, f64)>> = (0..n).map(|i| vec![(i as u32, (i + 1) as f64)]).collect();
         let a = CsrMatrix::from_rows(n, rows);
         let res = Lobpcg::new(LobpcgOptions {
             block_size: 3,
@@ -383,9 +397,19 @@ mod tests {
             })
             .collect();
         let a = CsrMatrix::from_rows(n, rows);
-        let base = LobpcgOptions { block_size: 3, max_iters: 500, tol: 1e-7, seed: 11, precondition: false };
+        let base = LobpcgOptions {
+            block_size: 3,
+            max_iters: 500,
+            tol: 1e-7,
+            seed: 11,
+            precondition: false,
+        };
         let plain = Lobpcg::new(base).solve(&a);
-        let pre = Lobpcg::new(LobpcgOptions { precondition: true, ..base }).solve(&a);
+        let pre = Lobpcg::new(LobpcgOptions {
+            precondition: true,
+            ..base
+        })
+        .solve(&a);
         assert!(pre.converged);
         assert!(
             pre.iterations <= plain.iterations,
@@ -399,6 +423,10 @@ mod tests {
     #[should_panic(expected = "unusable")]
     fn rejects_oversized_block() {
         let a = laplacian(8);
-        Lobpcg::new(LobpcgOptions { block_size: 4, ..Default::default() }).solve(&a);
+        Lobpcg::new(LobpcgOptions {
+            block_size: 4,
+            ..Default::default()
+        })
+        .solve(&a);
     }
 }

@@ -18,7 +18,12 @@ pub fn to_matrix_market(m: &CsrMatrix) -> String {
     for i in 0..m.n {
         let (lo, hi) = (m.row_ptr[i] as usize, m.row_ptr[i + 1] as usize);
         for k in lo..hi {
-            out.push_str(&format!("{} {} {:e}\n", i + 1, m.col_idx[k] + 1, m.values[k]));
+            out.push_str(&format!(
+                "{} {} {:e}\n",
+                i + 1,
+                m.col_idx[k] + 1,
+                m.values[k]
+            ));
         }
     }
     out
@@ -59,9 +64,15 @@ pub fn from_matrix_market(text: &str) -> Result<CsrMatrix, String> {
                 if fields.len() != 3 {
                     return Err(format!("line {}: bad size line", lineno + 1));
                 }
-                let rows: usize = fields[0].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                let cols: usize = fields[1].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                let nnz: usize = fields[2].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let rows: usize = fields[0]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let cols: usize = fields[1]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let nnz: usize = fields[2]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
                 if rows != cols {
                     return Err(format!("matrix must be square, got {rows}x{cols}"));
                 }
@@ -72,9 +83,15 @@ pub fn from_matrix_market(text: &str) -> Result<CsrMatrix, String> {
                 if fields.len() < 3 {
                     return Err(format!("line {}: bad entry", lineno + 1));
                 }
-                let i: usize = fields[0].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                let j: usize = fields[1].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                let v: f64 = fields[2].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let i: usize = fields[0]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let j: usize = fields[1]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let v: f64 = fields[2]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
                 if i == 0 || j == 0 || i > rows || j > rows {
                     return Err(format!("line {}: index out of range", lineno + 1));
                 }
@@ -150,11 +167,13 @@ mod tests {
     fn rejects_bad_inputs() {
         assert!(from_matrix_market("").is_err());
         assert!(from_matrix_market("%%MatrixMarket matrix array real general\n1 1\n").is_err());
-        assert!(from_matrix_market("%%MatrixMarket matrix coordinate complex general\n1 1 0\n").is_err());
-        assert!(from_matrix_market(
-            "%%MatrixMarket matrix coordinate real general\n2 3 0\n"
-        )
-        .is_err());
+        assert!(
+            from_matrix_market("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+                .is_err()
+        );
+        assert!(
+            from_matrix_market("%%MatrixMarket matrix coordinate real general\n2 3 0\n").is_err()
+        );
         assert!(from_matrix_market(
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"
         )

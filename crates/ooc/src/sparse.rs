@@ -38,7 +38,12 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len() as u64);
         }
-        CsrMatrix { n, row_ptr, col_idx, values }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of stored entries.

@@ -24,7 +24,9 @@ pub struct OocStore {
 impl OocStore {
     /// Wraps serialised bytes.
     pub fn new(data: Vec<u8>) -> OocStore {
-        OocStore { data: Arc::new(data) }
+        OocStore {
+            data: Arc::new(data),
+        }
     }
 
     /// Size in bytes.
@@ -81,7 +83,10 @@ impl CsrPanel {
     pub fn spmm_into(&self, x: &DMatrix, y: &mut DMatrix) {
         for local in 0..self.rows() {
             let i = self.row_start + local;
-            let (lo, hi) = (self.row_ptr[local] as usize, self.row_ptr[local + 1] as usize);
+            let (lo, hi) = (
+                self.row_ptr[local] as usize,
+                self.row_ptr[local + 1] as usize,
+            );
             for k in lo..hi {
                 let j = self.col_idx[k] as usize;
                 let v = self.values[k];
@@ -152,10 +157,20 @@ impl OocMatrix {
             if let Some(s) = sink {
                 s.record(IoOp::Write, file_id, offset, len);
             }
-            panels.push(PanelMeta { row_start: r0, row_end: r1, offset, len });
+            panels.push(PanelMeta {
+                row_start: r0,
+                row_end: r1,
+                offset,
+                len,
+            });
             r0 = r1;
         }
-        OocMatrix { n: matrix.n, panels, store: OocStore::new(data), file_id }
+        OocMatrix {
+            n: matrix.n,
+            panels,
+            store: OocStore::new(data),
+            file_id,
+        }
     }
 
     /// Total serialised size in bytes.
@@ -177,16 +192,25 @@ impl OocMatrix {
         }
         let mut col_idx = Vec::with_capacity(nnz);
         for _ in 0..nnz {
-            col_idx.push(u32::from_le_bytes(buf[at..at + 4].try_into().expect("short")));
+            col_idx.push(u32::from_le_bytes(
+                buf[at..at + 4].try_into().expect("short"),
+            ));
             at += 4;
         }
         at = at.div_ceil(8) * 8;
         let mut values = Vec::with_capacity(nnz);
         for _ in 0..nnz {
-            values.push(f64::from_le_bytes(buf[at..at + 8].try_into().expect("short")));
+            values.push(f64::from_le_bytes(
+                buf[at..at + 8].try_into().expect("short"),
+            ));
             at += 8;
         }
-        CsrPanel { row_start: meta.row_start, row_ptr, col_idx, values }
+        CsrPanel {
+            row_start: meta.row_start,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Out-of-core SpMM: streams every panel through `sink` and multiplies.
@@ -219,7 +243,10 @@ mod tests {
             let p = ooc.read_panel(idx, &cap);
             nnz += p.values.len();
             // Rows match the directory.
-            assert_eq!(p.rows(), ooc.panels[idx].row_end - ooc.panels[idx].row_start);
+            assert_eq!(
+                p.rows(),
+                ooc.panels[idx].row_end - ooc.panels[idx].row_start
+            );
         }
         assert_eq!(nnz, h.nnz());
     }

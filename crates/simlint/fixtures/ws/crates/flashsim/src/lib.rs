@@ -1,0 +1,35 @@
+// Fixture: violations in a STRICT crate (`flashsim`). Expected findings:
+//   no_panic x3 (unwrap, expect, panic!)  — not allowlistable here
+//   wall_clock x2 (Instant::now, SystemTime)
+// This file is never compiled; simlint reads it as text via `--root`.
+use std::time::Instant;
+
+pub fn wall_clock_read() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch_millis() -> u64 {
+    let _ = std::time::SystemTime::now();
+    0
+}
+
+pub fn panics(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expects(v: Option<u32>) -> u32 {
+    v.expect("fixture")
+}
+
+pub fn explodes() {
+    panic!("fixture");
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: this unwrap must NOT be counted.
+    #[test]
+    fn exempt() {
+        Some(1u32).unwrap();
+    }
+}

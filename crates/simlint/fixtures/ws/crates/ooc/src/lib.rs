@@ -1,0 +1,18 @@
+// Fixture: a no_panic violation in a PERMISSIVE crate (`ooc`) — this one
+// IS allowlistable, unlike the ones in the flashsim fixture. Expected:
+//   no_panic x1 (unwrap)
+// bare_cast / wall_clock rules are out of scope for `ooc`, so the cast
+// and clock below must NOT be counted.
+use std::time::Instant;
+
+pub fn permissive(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn unscoped_cast(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn unscoped_clock() -> Instant {
+    Instant::now()
+}

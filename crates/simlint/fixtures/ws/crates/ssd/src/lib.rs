@@ -1,0 +1,23 @@
+// Fixture: determinism + unit-safety violations in a simulator-state
+// crate (`ssd`). Expected findings:
+//   nondeterministic_collection x2 (HashMap, HashSet — one mention each)
+//   bare_cast x2 (`as u64`, `as f64`)
+// `LinkedHashMap` must NOT fire (left word boundary), and the casts in
+// the comment / string literal below must NOT fire (cleaned text).
+pub type Map = std::collections::HashMap<u64, u64>;
+pub type Set = std::collections::HashSet<u64>;
+
+pub struct LinkedHashMapLike;
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn ratio(x: u32) -> f64 {
+    x as f64
+}
+
+pub fn innocuous() -> &'static str {
+    // not a cast: 1 as u64 inside a comment
+    "also not a cast: 2 as u64"
+}

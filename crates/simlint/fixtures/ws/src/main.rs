@@ -1,0 +1,40 @@
+// Fixture: enum_wildcard violations in the root package. Expected:
+//   enum_wildcard x2 — one match *on* a watched enum with a `_ =>` arm,
+//   one match classifying *into* a watched enum via its arm bodies.
+// The third match is over an unwatched enum and must NOT fire.
+pub enum NvmKind {
+    Slc,
+    Mlc,
+    Tlc,
+    Pcm,
+}
+
+pub enum Unwatched {
+    A,
+    B,
+}
+
+pub fn bits_per_cell(k: NvmKind) -> u32 {
+    match k {
+        NvmKind::Slc => 1,
+        NvmKind::Mlc => 2,
+        _ => 3,
+    }
+}
+
+pub fn classify(bits: u32) -> NvmKind {
+    match bits {
+        1 => NvmKind::Slc,
+        2 => NvmKind::Mlc,
+        _ => NvmKind::Tlc,
+    }
+}
+
+pub fn unwatched(u: Unwatched) -> u32 {
+    match u {
+        Unwatched::A => 0,
+        _ => 1,
+    }
+}
+
+fn main() {}

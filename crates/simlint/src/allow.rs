@@ -1,0 +1,162 @@
+//! The burn-down allowlist (`simlint.allow`).
+//!
+//! Format: one entry per line, `<rule> <path> <count>`, `#` comments.
+//! The tool requires the file to track reality *exactly*: more findings
+//! than allowed is a violation; fewer is a stale entry that must be
+//! ratcheted down. Counts therefore only ever decrease over time, and
+//! the self-test suite pins the totals below their seed baselines.
+
+use crate::rules::Rule;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parsed allowlist: `(rule, path) -> allowed count`.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    entries: BTreeMap<(Rule, String), usize>,
+}
+
+/// A problem found while parsing the allowlist file.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number in `simlint.allow`.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl Allowlist {
+    /// Parses the allowlist text.
+    pub fn parse(text: &str) -> Result<Allowlist, ParseError> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(ParseError {
+                    line: idx + 1,
+                    message: format!("expected `<rule> <path> <count>`, got `{line}`"),
+                });
+            };
+            let Some(rule) = Rule::from_id(rule) else {
+                return Err(ParseError {
+                    line: idx + 1,
+                    message: format!("unknown rule `{rule}`"),
+                });
+            };
+            let Ok(count) = count.parse::<usize>() else {
+                return Err(ParseError {
+                    line: idx + 1,
+                    message: format!("bad count `{count}`"),
+                });
+            };
+            if count == 0 {
+                return Err(ParseError {
+                    line: idx + 1,
+                    message: "zero-count entries must be deleted, not listed".to_string(),
+                });
+            }
+            if entries.insert((rule, path.to_string()), count).is_some() {
+                return Err(ParseError {
+                    line: idx + 1,
+                    message: format!("duplicate entry for {} {}", rule.id(), path),
+                });
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Allowed count for a `(rule, path)` pair.
+    pub fn allowed(&self, rule: Rule, path: &str) -> usize {
+        self.entries
+            .get(&(rule, path.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterates all entries in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rule, &str, usize)> {
+        self.entries.iter().map(|((r, p), c)| (*r, p.as_str(), *c))
+    }
+
+    /// Total allowed count for one rule.
+    pub fn total(&self, rule: Rule) -> usize {
+        self.entries
+            .iter()
+            .filter(|((r, _), _)| *r == rule)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Builds an allowlist from observed per-file counts.
+    pub fn from_counts(counts: &BTreeMap<(Rule, String), usize>) -> Allowlist {
+        Allowlist {
+            entries: counts
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .map(|(k, &c)| (k.clone(), c))
+                .collect(),
+        }
+    }
+
+    /// Renders the canonical file format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# simlint burn-down allowlist.\n\
+             # Format: <rule> <path> <count>. Counts may only ratchet DOWN:\n\
+             # fix a violation, then decrement (or delete) its entry here.\n\
+             # Regenerate with `cargo run -p simlint -- --write-allow` after\n\
+             # fixing; adding or raising entries is rejected in review and by\n\
+             # the simlint self-tests, which pin totals below seed baselines.\n",
+        );
+        let mut last_rule: Option<Rule> = None;
+        for ((rule, path), count) in &self.entries {
+            if last_rule != Some(*rule) {
+                out.push('\n');
+                last_rule = Some(*rule);
+            }
+            let _ = writeln!(out, "{} {} {}", rule.id(), path, count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text =
+            "# header\nno_panic crates/ooc/src/store.rs 3\nbare_cast crates/ssd/src/ftl.rs 2\n";
+        let a = Allowlist::parse(text).expect("parses");
+        assert_eq!(a.allowed(Rule::NoPanic, "crates/ooc/src/store.rs"), 3);
+        assert_eq!(a.allowed(Rule::BareCast, "crates/ssd/src/ftl.rs"), 2);
+        assert_eq!(a.allowed(Rule::BareCast, "crates/ssd/src/other.rs"), 0);
+        let rendered = a.render();
+        let b = Allowlist::parse(&rendered).expect("canonical form parses");
+        assert_eq!(b.allowed(Rule::NoPanic, "crates/ooc/src/store.rs"), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Allowlist::parse("no_panic onlytwo\n").is_err());
+        assert!(Allowlist::parse("bogus_rule a.rs 1\n").is_err());
+        assert!(Allowlist::parse("no_panic a.rs zero\n").is_err());
+        assert!(Allowlist::parse("no_panic a.rs 0\n").is_err());
+        assert!(Allowlist::parse("no_panic a.rs 1\nno_panic a.rs 2\n").is_err());
+    }
+
+    #[test]
+    fn totals_sum_per_rule() {
+        let a = Allowlist::parse("no_panic a.rs 2\nno_panic b.rs 3\nbare_cast a.rs 7\n")
+            .expect("parses");
+        assert_eq!(a.total(Rule::NoPanic), 5);
+        assert_eq!(a.total(Rule::BareCast), 7);
+    }
+}

@@ -1,0 +1,322 @@
+//! `simlint` — workspace-specific static analysis for the NVM simulator.
+//!
+//! The paper's headline comparisons (CNL vs ION bandwidth, ~10.3x
+//! end-to-end speedup) rest on a cycle-accurate simulator whose runs must
+//! be *bit-identical* given the same inputs. This tool enforces the
+//! source-level invariants that keep it that way:
+//!
+//! * **no-panic** — hot paths return typed errors instead of panicking;
+//! * **determinism** — no `HashMap`/`HashSet` in simulator state, no
+//!   wall-clock or OS entropy inside the simulators;
+//! * **unit-safety** — nanosecond/byte/energy arithmetic uses checked
+//!   conversions from `nvmtypes`, not bare `as` casts;
+//! * **exhaustiveness** — `match`es over media/filesystem enums list
+//!   every variant, so adding a PCM mode is a compile error, not a
+//!   silent fall-through.
+//!
+//! Existing violations are enumerated in `simlint.allow` and may only
+//! ratchet down (see [`allow`]). Run via `cargo run -p simlint`; see
+//! `docs/INVARIANTS.md` for the rule catalogue and how to extend it.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use allow::Allowlist;
+use rules::{Finding, Rule};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` must stay entirely panic-free: the simulator
+/// pipeline itself. `no_panic` findings here are *not* allowlistable.
+pub const STRICT_NO_PANIC_CRATES: [&str; 5] = ["flashsim", "ssd", "interconnect", "fs", "nvmtypes"];
+
+/// Crates whose state must iterate deterministically.
+const DETERMINISM_CRATES: [&str; 7] = [
+    "flashsim",
+    "ssd",
+    "interconnect",
+    "fs",
+    "nvmtypes",
+    "core",
+    "trace",
+];
+
+/// Crates forbidden from consulting wall clocks or OS entropy.
+const SIMULATED_TIME_CRATES: [&str; 3] = ["flashsim", "ssd", "interconnect"];
+
+/// Crates doing ns/bytes/energy arithmetic, where bare `as` casts are
+/// tracked and burned down.
+const UNIT_MATH_CRATES: [&str; 5] = ["flashsim", "ssd", "interconnect", "fs", "nvmtypes"];
+
+/// A finding bound to the file it occurred in.
+#[derive(Debug, Clone)]
+pub struct Located {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The underlying finding.
+    pub finding: Finding,
+}
+
+/// Result of scanning the workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, sorted by path then line.
+    pub findings: Vec<Located>,
+    /// Per-`(rule, path)` counts.
+    pub counts: BTreeMap<(Rule, String), usize>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Total findings for one rule.
+    pub fn total(&self, rule: Rule) -> usize {
+        self.counts
+            .iter()
+            .filter(|((r, _), _)| *r == rule)
+            .map(|(_, c)| c)
+            .sum()
+    }
+}
+
+/// Outcome of checking a [`Report`] against an [`Allowlist`].
+#[derive(Debug, Default)]
+pub struct Verdict {
+    /// Findings exceeding their allowance, with the excess count.
+    pub violations: Vec<String>,
+    /// Allowlist entries exceeding reality (must ratchet down).
+    pub stale: Vec<String>,
+    /// Allowlist entries that are not allowlistable (strict scopes).
+    pub forbidden: Vec<String>,
+}
+
+impl Verdict {
+    /// `true` when the workspace is clean.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty() && self.forbidden.is_empty()
+    }
+}
+
+/// Which rules apply to a workspace-relative file path.
+pub fn rules_for(path: &str) -> Vec<Rule> {
+    let Some(krate) = source_crate(path) else {
+        return Vec::new();
+    };
+    let mut rules = vec![Rule::NoPanic, Rule::EnumWildcard];
+    if DETERMINISM_CRATES.contains(&krate) {
+        rules.push(Rule::NondeterministicCollection);
+    }
+    if SIMULATED_TIME_CRATES.contains(&krate) {
+        rules.push(Rule::WallClock);
+    }
+    if UNIT_MATH_CRATES.contains(&krate) {
+        rules.push(Rule::BareCast);
+    }
+    rules
+}
+
+/// Extracts the crate name for an in-scope production source path:
+/// `crates/<name>/src/**.rs` or the root package's `src/**.rs` (as
+/// `"oocnvm"`). Everything else — vendor shims, tests, benches,
+/// fixtures, examples — is out of scope.
+pub fn source_crate(path: &str) -> Option<&str> {
+    if !path.ends_with(".rs") {
+        return None;
+    }
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let (krate, tail) = rest.split_once('/')?;
+        if krate == "simlint" {
+            // The linter lints itself, but not its violation fixtures.
+            return if tail.starts_with("src/") {
+                Some("simlint")
+            } else {
+                None
+            };
+        }
+        return if tail.starts_with("src/") {
+            Some(krate)
+        } else {
+            None
+        };
+    }
+    if path.starts_with("src/") {
+        return Some("oocnvm");
+    }
+    None
+}
+
+/// Scans one file's source text under the rules for its path.
+pub fn scan_source(path: &str, source: &str) -> Vec<Located> {
+    let clean = lexer::clean_source(source);
+    let mut out = Vec::new();
+    for rule in rules_for(path) {
+        let findings = match rule {
+            Rule::NoPanic => rules::no_panic(&clean),
+            Rule::NondeterministicCollection => rules::nondeterministic_collection(&clean),
+            Rule::WallClock => rules::wall_clock(&clean),
+            Rule::BareCast => rules::bare_cast(&clean),
+            Rule::EnumWildcard => rules::enum_wildcard(&clean),
+        };
+        out.extend(findings.into_iter().map(|finding| Located {
+            path: path.to_string(),
+            finding,
+        }));
+    }
+    out.sort_by(|a, b| a.finding.line.cmp(&b.finding.line));
+    out
+}
+
+/// Walks the workspace and scans every in-scope file.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        if rules_for(&rel).is_empty() {
+            continue;
+        }
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        report.files_scanned += 1;
+        for located in scan_source(&rel, &source) {
+            *report
+                .counts
+                .entry((located.finding.rule, located.path.clone()))
+                .or_insert(0) += 1;
+            report.findings.push(located);
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.finding.line).cmp(&(&b.path, b.finding.line)));
+    Ok(report)
+}
+
+/// Recursively collects workspace-relative `.rs` paths, skipping
+/// directories that are never in scope.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | ".git" | "fixtures") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks a report against the allowlist, applying strict-scope policy.
+pub fn check(report: &Report, allow: &Allowlist) -> Verdict {
+    let mut verdict = Verdict::default();
+    // Forbidden allowlist entries: no_panic in strict crates.
+    for (rule, path, count) in allow.iter() {
+        if rule == Rule::NoPanic {
+            if let Some(krate) = source_crate(path) {
+                if STRICT_NO_PANIC_CRATES.contains(&krate) {
+                    verdict.forbidden.push(format!(
+                        "{path}: `no_panic` is not allowlistable in strict crate `{krate}` ({count} entries)"
+                    ));
+                }
+            }
+        }
+        // Stale: allowance exceeds reality (including files now clean).
+        let actual = report
+            .counts
+            .get(&(rule, path.to_string()))
+            .copied()
+            .unwrap_or(0);
+        if count > actual {
+            verdict.stale.push(format!(
+                "{path}: allowlist grants {count} `{}` but only {actual} remain — ratchet it down",
+                rule.id()
+            ));
+        }
+    }
+    // Violations: reality exceeds allowance.
+    for ((rule, path), &actual) in &report.counts {
+        let allowed = allow.allowed(*rule, path);
+        if actual > allowed {
+            let detail: Vec<String> = report
+                .findings
+                .iter()
+                .filter(|l| l.finding.rule == *rule && &l.path == path)
+                .map(|l| format!("  {}:{}: {}", l.path, l.finding.line, l.finding.message))
+                .collect();
+            verdict.violations.push(format!(
+                "{path}: {actual} `{}` finding(s), {allowed} allowed:\n{}",
+                rule.id(),
+                detail.join("\n")
+            ));
+        }
+    }
+    verdict
+}
+
+/// Locates the workspace root from the simlint crate's own manifest dir.
+pub fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| String::from("."));
+    let p = PathBuf::from(manifest);
+    // crates/simlint -> workspace root.
+    p.parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_classification() {
+        assert_eq!(
+            source_crate("crates/flashsim/src/engine.rs"),
+            Some("flashsim")
+        );
+        assert_eq!(source_crate("crates/ssd/tests/ftl_props.rs"), None);
+        assert_eq!(source_crate("crates/simlint/fixtures/bad.rs"), None);
+        assert_eq!(source_crate("crates/simlint/src/lib.rs"), Some("simlint"));
+        assert_eq!(source_crate("src/main.rs"), Some("oocnvm"));
+        assert_eq!(source_crate("vendor/rand/src/lib.rs"), None);
+        assert_eq!(source_crate("tests/extensions.rs"), None);
+    }
+
+    #[test]
+    fn rule_scoping_follows_crate_role() {
+        let fs = rules_for("crates/flashsim/src/engine.rs");
+        assert!(fs.contains(&Rule::WallClock) && fs.contains(&Rule::BareCast));
+        let ooc = rules_for("crates/ooc/src/lobpcg.rs");
+        assert!(ooc.contains(&Rule::NoPanic) && !ooc.contains(&Rule::WallClock));
+        assert!(!ooc.contains(&Rule::BareCast));
+        assert!(rules_for("vendor/rand/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn check_flags_violation_stale_and_forbidden() {
+        let mut report = Report::default();
+        report
+            .counts
+            .insert((Rule::BareCast, "crates/ssd/src/ftl.rs".into()), 2);
+        let allow = Allowlist::parse(
+            "bare_cast crates/ssd/src/ftl.rs 5\nno_panic crates/flashsim/src/engine.rs 1\n",
+        )
+        .expect("parses");
+        let v = check(&report, &allow);
+        assert_eq!(v.stale.len(), 2, "over-granted cast + clean no_panic file");
+        assert_eq!(v.forbidden.len(), 1, "strict-crate no_panic entry");
+        assert!(v.violations.is_empty());
+        assert!(!v.ok());
+    }
+}

@@ -1,0 +1,145 @@
+//! CLI for `simlint`.
+//!
+//! ```text
+//! cargo run -p simlint                 # gate: scan + check allowlist
+//! cargo run -p simlint -- --list       # print every finding (allowed too)
+//! cargo run -p simlint -- --write-allow  # regenerate simlint.allow
+//! cargo run -p simlint -- --root DIR   # scan a different tree
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations/stale/forbidden entries, 2 usage or
+//! I/O errors.
+
+use simlint::allow::Allowlist;
+use simlint::rules::Rule;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    write_allow: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut root = simlint::workspace_root();
+    let mut write_allow = false;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root needs a directory")?;
+                root = PathBuf::from(dir);
+            }
+            "--write-allow" => write_allow = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: simlint [--root DIR] [--list] [--write-allow]",
+                ))
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Options {
+        root,
+        write_allow,
+        list,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match simlint::scan_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow_path = opts.root.join("simlint.allow");
+    if opts.write_allow {
+        let allow = Allowlist::from_counts(&report.counts);
+        if let Err(e) = std::fs::write(&allow_path, allow.render()) {
+            eprintln!("simlint: cannot write {}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "simlint: wrote {} from current findings",
+            allow_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!(
+                    "simlint: {}:{}: {}",
+                    allow_path.display(),
+                    e.line,
+                    e.message
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Allowlist::default(),
+    };
+
+    if opts.list {
+        for l in &report.findings {
+            println!(
+                "{}:{}: [{}] {}",
+                l.path,
+                l.finding.line,
+                l.finding.rule.id(),
+                l.finding.message
+            );
+        }
+    }
+
+    let verdict = simlint::check(&report, &allow);
+    println!(
+        "simlint: scanned {} files; findings by rule:",
+        report.files_scanned
+    );
+    for rule in Rule::ALL {
+        println!(
+            "  {:<28} {:>4} found / {:>4} allowed",
+            rule.id(),
+            report.total(rule),
+            allow.total(rule)
+        );
+    }
+
+    if verdict.ok() {
+        println!("simlint: clean (all findings within the burn-down allowlist)");
+        return ExitCode::SUCCESS;
+    }
+    for v in &verdict.violations {
+        eprintln!("simlint: violation: {v}");
+    }
+    for s in &verdict.stale {
+        eprintln!("simlint: stale allowlist entry: {s}");
+    }
+    for f in &verdict.forbidden {
+        eprintln!("simlint: forbidden allowlist entry: {f}");
+    }
+    eprintln!(
+        "simlint: FAILED — {} violation(s), {} stale, {} forbidden",
+        verdict.violations.len(),
+        verdict.stale.len(),
+        verdict.forbidden.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,226 @@
+//! Self-tests for the `simlint` gate.
+//!
+//! Three layers:
+//!
+//! 1. **Fixture corpus** (`fixtures/ws/`): a miniature workspace whose
+//!    files each trigger specific rules. The scanner must find exactly
+//!    the planted violations — no more (negative cases: test code,
+//!    comments, strings, word boundaries, out-of-scope crates).
+//! 2. **Gate behaviour**: the `simlint` binary must exit nonzero on the
+//!    fixture corpus and clean on the real workspace.
+//! 3. **Ratchet**: `simlint.allow` may only burn down — totals are
+//!    pinned strictly below the seed baselines, and strict-crate
+//!    `no_panic` entries are rejected outright.
+
+use simlint::allow::Allowlist;
+use simlint::rules::Rule;
+use simlint::{check, scan_workspace, source_crate, STRICT_NO_PANIC_CRATES};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Seed-baseline `no_panic` count; the allowlist must stay strictly below.
+const SEED_NO_PANIC: usize = 86;
+/// Seed-baseline `bare_cast` count; ditto.
+const SEED_BARE_CAST: usize = 256;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn real_root() -> PathBuf {
+    simlint::workspace_root()
+}
+
+#[test]
+fn fixture_corpus_triggers_every_rule_exactly() {
+    let report = scan_workspace(&fixture_root()).expect("fixture scan");
+    assert_eq!(report.files_scanned, 4, "fixture corpus shape changed");
+    // Strict-crate panics and clocks (flashsim fixture).
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::NoPanic, "crates/flashsim/src/lib.rs".into())),
+        Some(&3),
+        "unwrap + expect + panic! in non-test code; test-module unwrap exempt"
+    );
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::WallClock, "crates/flashsim/src/lib.rs".into())),
+        Some(&2),
+        "Instant::now + SystemTime"
+    );
+    // Determinism and unit-safety (ssd fixture).
+    assert_eq!(
+        report.counts.get(&(
+            Rule::NondeterministicCollection,
+            "crates/ssd/src/lib.rs".into()
+        )),
+        Some(&2),
+        "HashMap + HashSet; LinkedHashMapLike must not fire"
+    );
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::BareCast, "crates/ssd/src/lib.rs".into())),
+        Some(&2),
+        "two real casts; comment/string casts must not fire"
+    );
+    // Permissive-crate panic (ooc fixture) — counted, but allowlistable.
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::NoPanic, "crates/ooc/src/lib.rs".into())),
+        Some(&1)
+    );
+    // Out-of-scope rules must not fire in ooc (cast + clock present there).
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::BareCast, "crates/ooc/src/lib.rs".into())),
+        None
+    );
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::WallClock, "crates/ooc/src/lib.rs".into())),
+        None
+    );
+    // Exhaustiveness (root-package fixture): one match *on* and one
+    // classification *into* a watched enum; the unwatched match exempt.
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::EnumWildcard, "src/main.rs".into())),
+        Some(&2)
+    );
+    // Totals: every rule fires somewhere in the corpus.
+    for rule in Rule::ALL {
+        assert!(report.total(rule) > 0, "{} never fired", rule.id());
+    }
+}
+
+#[test]
+fn fixture_corpus_fails_the_gate() {
+    // Library level: empty allowlist -> violations for every planted file.
+    let report = scan_workspace(&fixture_root()).expect("fixture scan");
+    let verdict = check(&report, &Allowlist::default());
+    assert!(!verdict.ok());
+    assert_eq!(
+        verdict.violations.len(),
+        6,
+        "one violation per (rule, file)"
+    );
+    assert!(verdict.stale.is_empty() && verdict.forbidden.is_empty());
+
+    // Binary level: the gate must exit nonzero on the corpus.
+    let status = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--root"])
+        .arg(fixture_root())
+        .status()
+        .expect("run simlint binary");
+    assert_eq!(status.code(), Some(1), "gate must fail on the fixtures");
+}
+
+#[test]
+fn strict_crate_panics_cannot_be_allowlisted() {
+    // Even a fully up-to-date allowlist cannot excuse no_panic findings
+    // in the strict simulator crates.
+    let report = scan_workspace(&fixture_root()).expect("fixture scan");
+    let allow = Allowlist::from_counts(&report.counts);
+    let verdict = check(&report, &allow);
+    assert!(verdict.violations.is_empty(), "all counts covered");
+    assert!(verdict.stale.is_empty());
+    assert_eq!(
+        verdict.forbidden.len(),
+        1,
+        "the flashsim no_panic entry is forbidden"
+    );
+    assert!(verdict.forbidden[0].contains("crates/flashsim/src/lib.rs"));
+    assert!(!verdict.ok());
+}
+
+#[test]
+fn allowlist_only_ratchets_down() {
+    // Granting more than reality is a stale entry: the gate forces the
+    // allowlist to track the actual count exactly, so it can only shrink.
+    let report = scan_workspace(&fixture_root()).expect("fixture scan");
+    let mut counts = report.counts.clone();
+    if let Some(c) = counts.get_mut(&(Rule::NoPanic, "crates/ooc/src/lib.rs".into())) {
+        *c += 1; // pretend a violation was fixed without ratcheting
+    }
+    let inflated = Allowlist::from_counts(&counts);
+    let verdict = check(&report, &inflated);
+    assert!(
+        verdict
+            .stale
+            .iter()
+            .any(|s| s.contains("crates/ooc/src/lib.rs")),
+        "over-granted entry must be reported as stale"
+    );
+    assert!(!verdict.ok());
+}
+
+#[test]
+fn real_workspace_is_clean_under_its_allowlist() {
+    let root = real_root();
+    let report = scan_workspace(&root).expect("workspace scan");
+    let text = std::fs::read_to_string(root.join("simlint.allow")).expect("simlint.allow exists");
+    let allow = Allowlist::parse(&text).expect("simlint.allow parses");
+    let verdict = check(&report, &allow);
+    assert!(
+        verdict.ok(),
+        "workspace gate broken:\nviolations: {:?}\nstale: {:?}\nforbidden: {:?}",
+        verdict.violations,
+        verdict.stale,
+        verdict.forbidden
+    );
+}
+
+#[test]
+fn allowlist_totals_stay_below_seed_baselines() {
+    let text =
+        std::fs::read_to_string(real_root().join("simlint.allow")).expect("simlint.allow exists");
+    let allow = Allowlist::parse(&text).expect("simlint.allow parses");
+    let no_panic = allow.total(Rule::NoPanic);
+    let bare_cast = allow.total(Rule::BareCast);
+    assert!(
+        no_panic < SEED_NO_PANIC,
+        "no_panic allowance {no_panic} must stay strictly below the seed baseline {SEED_NO_PANIC}"
+    );
+    assert!(
+        bare_cast < SEED_BARE_CAST,
+        "bare_cast allowance {bare_cast} must stay strictly below the seed baseline {SEED_BARE_CAST}"
+    );
+    // Simulator-state determinism has no burn-down budget at all.
+    assert_eq!(allow.total(Rule::NondeterministicCollection), 0);
+    assert_eq!(allow.total(Rule::WallClock), 0);
+    assert_eq!(allow.total(Rule::EnumWildcard), 0);
+}
+
+#[test]
+fn no_strict_crate_no_panic_entries_in_allowlist() {
+    let text =
+        std::fs::read_to_string(real_root().join("simlint.allow")).expect("simlint.allow exists");
+    let allow = Allowlist::parse(&text).expect("simlint.allow parses");
+    for (rule, path, count) in allow.iter() {
+        if rule != Rule::NoPanic {
+            continue;
+        }
+        let krate = source_crate(path).expect("allowlist paths are in scope");
+        assert!(
+            !STRICT_NO_PANIC_CRATES.contains(&krate),
+            "{path}: {count} no_panic entries in strict crate `{krate}`"
+        );
+    }
+}
+
+#[test]
+fn gate_is_clean_on_the_real_workspace() {
+    let status = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--root"])
+        .arg(real_root())
+        .status()
+        .expect("run simlint binary");
+    assert_eq!(status.code(), Some(0), "gate must pass on the workspace");
+}

@@ -32,7 +32,10 @@ impl FtlMode {
     /// A typical traditional FTL: 20 µs of firmware work per request,
     /// 2 MiB internal transactions (the controller's DMA segment limit).
     pub fn traditional_default() -> FtlMode {
-        FtlMode::Traditional { firmware_ns: 20_000, max_transaction_bytes: 2 << 20 }
+        FtlMode::Traditional {
+            firmware_ns: 20_000,
+            max_transaction_bytes: 2 << 20,
+        }
     }
 
     /// UFS direct mode with 2 µs residual processing.
@@ -50,7 +53,10 @@ impl FtlMode {
     /// Internal transaction-size cap, if any.
     pub fn max_transaction_bytes(&self) -> Option<u64> {
         match *self {
-            FtlMode::Traditional { max_transaction_bytes, .. } => Some(max_transaction_bytes),
+            FtlMode::Traditional {
+                max_transaction_bytes,
+                ..
+            } => Some(max_transaction_bytes),
             FtlMode::Ufs { .. } => None,
         }
     }
@@ -116,7 +122,13 @@ mod tests {
     use nvmtypes::{BusTiming, NvmKind};
 
     fn cfg() -> SsdConfig {
-        let media = MediaConfig::tiny(NvmKind::Tlc, BusTiming { name: "t", bytes_per_ns: 0.4 });
+        let media = MediaConfig::tiny(
+            NvmKind::Tlc,
+            BusTiming {
+                name: "t",
+                bytes_per_ns: 0.4,
+            },
+        );
         SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen2, 8)))
     }
 

@@ -7,6 +7,7 @@ use crate::mapping::StripeMap;
 use crate::report::{LatencyStats, RunReport};
 use flashsim::intervals::{merge, uncovered_len, Interval};
 use flashsim::{DieOp, MediaSim, PalHistogram, PalLevel};
+use nvmtypes::convert::{u32_from, u64_from_usize, usize_from_u32};
 use nvmtypes::{HostRequest, IoOp, Nanos};
 use ooctrace::BlockTrace;
 use std::cmp::Reverse;
@@ -57,22 +58,26 @@ struct PalTracker {
 
 impl PalTracker {
     fn new(channels: usize) -> PalTracker {
-        PalTracker { chan_dies: vec![0; channels], touched: Vec::new(), multiplane: false }
+        PalTracker {
+            chan_dies: vec![0; channels],
+            touched: Vec::new(),
+            multiplane: false,
+        }
     }
 
     fn reset(&mut self) {
         for &c in &self.touched {
-            self.chan_dies[c as usize] = 0;
+            self.chan_dies[usize_from_u32(c)] = 0;
         }
         self.touched.clear();
         self.multiplane = false;
     }
 
     fn observe(&mut self, channel: u32, die_in_channel: u32, planes: u32) {
-        if self.chan_dies[channel as usize] == 0 {
+        if self.chan_dies[usize_from_u32(channel)] == 0 {
             self.touched.push(channel);
         }
-        self.chan_dies[channel as usize] |= 1 << die_in_channel;
+        self.chan_dies[usize_from_u32(channel)] |= 1 << die_in_channel;
         if planes > 1 {
             self.multiplane = true;
         }
@@ -82,7 +87,7 @@ impl PalTracker {
         let die_interleaved = self
             .touched
             .iter()
-            .any(|&c| self.chan_dies[c as usize].count_ones() > 1);
+            .any(|&c| self.chan_dies[usize_from_u32(c)].count_ones() > 1);
         PalLevel::classify(die_interleaved, self.multiplane)
     }
 }
@@ -93,7 +98,10 @@ impl SsdDevice {
         // Steady state: the log allocator must erase before every new
         // block-row it enters (a fresh-from-trim device would set this
         // high).
-        SsdDevice { cfg, pre_erased_rows: 0 }
+        SsdDevice {
+            cfg,
+            pre_erased_rows: 0,
+        }
     }
 
     /// The configuration.
@@ -105,13 +113,13 @@ impl SsdDevice {
     pub fn run(&self, trace: &BlockTrace) -> RunReport {
         let cfg = &self.cfg;
         let geometry = cfg.media.geometry;
-        let page_size = cfg.media.timing.page_size as u64;
+        let page_size = u64::from(cfg.media.timing.page_size);
         let mut media = MediaSim::new(cfg.media);
         let map = StripeMap::new(geometry, cfg.stripe_order);
         let mut ftl = Ftl::new(cfg.ftl, geometry, self.pre_erased_rows)
             .with_page_size(cfg.media.timing.page_size);
         let host = cfg.host.effective();
-        let qd = cfg.ncq_depth.min(trace.queue_depth).max(1) as usize;
+        let qd = usize_from_u32(cfg.ncq_depth.min(trace.queue_depth).max(1));
 
         let mut inflight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(qd + 1);
         let mut prev_issue: Nanos = 0;
@@ -121,7 +129,7 @@ impl SsdDevice {
         let mut host_busy: Nanos = 0;
         let mut dma_intervals: Vec<Interval> = Vec::with_capacity(trace.len());
         let mut pal_hist = PalHistogram::default();
-        let mut pal = PalTracker::new(geometry.channels as usize);
+        let mut pal = PalTracker::new(usize_from_u32(geometry.channels));
         let mut latencies: Vec<Nanos> = Vec::with_capacity(trace.len());
         let firmware = cfg.ftl.firmware_ns();
         let split_bytes = cfg.ftl.max_transaction_bytes().unwrap_or(u64::MAX);
@@ -200,7 +208,13 @@ impl SsdDevice {
         // much of it the device spent fully idle (the network-starvation
         // signature of the ION configurations).
         let stats = media.into_stats();
-        let busy = merge(stats.die_intervals.iter().map(|&(_, s, e)| (s, e)).collect());
+        let busy = merge(
+            stats
+                .die_intervals
+                .iter()
+                .map(|&(_, s, e)| (s, e))
+                .collect(),
+        );
         let dma_media_idle: Nanos = dma_intervals
             .iter()
             .map(|&(s, e)| uncovered_len(s, e, &busy))
@@ -212,7 +226,7 @@ impl SsdDevice {
         let data_bytes = trace.data_bytes();
         RunReport {
             makespan,
-            requests: trace.len() as u64,
+            requests: u64_from_usize(trace.len()),
             total_bytes,
             data_bytes,
             bandwidth_mb_s: nvmtypes::mb_per_s(total_bytes, makespan),
@@ -245,7 +259,7 @@ impl SsdDevice {
     ) -> Nanos {
         let geometry = map.geometry();
         let channels = geometry.channels;
-        let planes_per_die = geometry.planes_per_die as u64;
+        let planes_per_die = u64::from(geometry.planes_per_die);
         let mut media_end = start;
         let mut offset = req.offset;
         let mut remaining = req.len;
@@ -262,9 +276,14 @@ impl SsdDevice {
                 // serialises media service per transaction.
                 t0 = t0.max(*last_media_end);
             }
-            let piece = HostRequest { op: req.op, offset, len: chunk, sync: req.sync };
-            let first = piece.first_page(page_size as u32) % capacity_pages;
-            let count = piece.page_count(page_size as u32);
+            let piece = HostRequest {
+                op: req.op,
+                offset,
+                len: chunk,
+                sync: req.sync,
+            };
+            let first = piece.first_page(u32_from(page_size)) % capacity_pages;
+            let count = piece.page_count(u32_from(page_size));
 
             let (lpn, erase_rows, gc_moves) = match req.op {
                 IoOp::Read => (ftl.translate_read(first, count) % capacity_pages, 0, 0),
@@ -283,9 +302,15 @@ impl SsdDevice {
                 // survivors, rewrite them at the frontier.
                 let gc_pages = (gc_moves * 4096).div_ceil(page_size).max(1);
                 for run in map.decompose(lpn, gc_pages) {
-                    let r = media.execute(t0, &DieOp::read(run.die, run.planes, run.pages, run.start_row));
+                    let r = media.execute(
+                        t0,
+                        &DieOp::read(run.die, run.planes, run.pages, run.start_row),
+                    );
                     media_end = media_end.max(r.end);
-                    let w = media.execute(r.end, &DieOp::write(run.die, run.planes, run.pages, run.start_row));
+                    let w = media.execute(
+                        r.end,
+                        &DieOp::write(run.die, run.planes, run.pages, run.start_row),
+                    );
                     media_end = media_end.max(w.end);
                 }
             }
@@ -325,7 +350,10 @@ mod tests {
     use nvmtypes::{BusTiming, NvmKind, MIB};
 
     fn sdr400() -> BusTiming {
-        BusTiming { name: "ONFi3-SDR-400", bytes_per_ns: 0.4 }
+        BusTiming {
+            name: "ONFi3-SDR-400",
+            bytes_per_ns: 0.4,
+        }
     }
 
     fn paper_device(kind: NvmKind) -> SsdDevice {
@@ -388,8 +416,7 @@ mod tests {
     fn tiny_requests_stay_at_low_pal() {
         // Single-page reads never interleave dies or planes.
         let dev = paper_device(NvmKind::Tlc);
-        let reqs: Vec<HostRequest> =
-            (0..64).map(|i| HostRequest::read(i * 8192, 8192)).collect();
+        let reqs: Vec<HostRequest> = (0..64).map(|i| HostRequest::read(i * 8192, 8192)).collect();
         let rep = dev.run(&BlockTrace::from_requests(reqs, 8));
         let p = rep.pal.percent();
         assert!(p[0] > 99.0, "PAL1 was {p:?}");
@@ -508,7 +535,12 @@ mod tests {
         let a = slc.run(&trace(2048));
         let b = tlc.run(&trace(8192));
         assert!(a.latency.p50 > 0);
-        assert!(b.latency.p50 > a.latency.p50, "TLC p50 {} vs SLC {}", b.latency.p50, a.latency.p50);
+        assert!(
+            b.latency.p50 > a.latency.p50,
+            "TLC p50 {} vs SLC {}",
+            b.latency.p50,
+            a.latency.p50
+        );
         assert!(b.latency.p99 >= b.latency.p50);
         assert!(b.latency.max >= b.latency.p99);
     }

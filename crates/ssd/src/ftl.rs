@@ -21,9 +21,10 @@
 //! in-place just like reads, and erases are explicit application actions.
 
 use crate::config::FtlMode;
+use nvmtypes::convert::{approx_f64, u32_from, u64_from_usize, usize_from};
 use nvmtypes::SsdGeometry;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Wear-levelling and garbage-collection statistics.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -53,7 +54,8 @@ impl WearStats {
         if nz.is_empty() {
             0.0
         } else {
-            nz.iter().map(|&c| c as u64).sum::<u64>() as f64 / nz.len() as f64
+            approx_f64(nz.iter().map(|&c| u64::from(c)).sum::<u64>())
+                / approx_f64(u64_from_usize(nz.len()))
         }
     }
 
@@ -63,8 +65,8 @@ impl WearStats {
         if self.host_units_written == 0 {
             1.0
         } else {
-            (self.host_units_written + self.gc_units_written) as f64
-                / self.host_units_written as f64
+            approx_f64(self.host_units_written + self.gc_units_written)
+                / approx_f64(self.host_units_written)
         }
     }
 }
@@ -98,8 +100,9 @@ pub struct Ftl {
     free_rows: u64,
     /// Valid-unit count per row.
     row_valid: Vec<u32>,
-    /// Logical 4-KiB unit -> physical unit.
-    map: HashMap<u64, u64>,
+    /// Logical 4-KiB unit -> physical unit. Ordered so GC migration
+    /// and any future map iteration are deterministic run-to-run.
+    map: BTreeMap<u64, u64>,
     /// GC trigger: collect when fewer than this many rows are free.
     pub gc_low_water_rows: u64,
     wear: WearStats,
@@ -111,23 +114,26 @@ impl Ftl {
     /// device few — 0 makes every new row pay its erase up front).
     pub fn new(mode: FtlMode, geometry: SsdGeometry, pre_erased_rows: u64) -> Ftl {
         let page_size = 4096; // placeholder; set via with_page_size
-        let rows = geometry.blocks_per_plane as u64;
+        let rows = u64::from(geometry.blocks_per_plane);
         Ftl {
             mode,
             geometry,
             page_size,
             frontier_unit: 0,
             free_rows: pre_erased_rows.min(rows),
-            row_valid: vec![0; rows as usize],
-            map: HashMap::new(),
+            row_valid: vec![0; usize_from(rows)],
+            map: BTreeMap::new(),
             gc_low_water_rows: 1,
-            wear: WearStats { per_row: Vec::new(), ..WearStats::default() },
+            wear: WearStats {
+                per_row: Vec::new(),
+                ..WearStats::default()
+            },
         }
     }
 
     /// Sets the media page size (used to convert page counts to units).
     pub fn with_page_size(mut self, page_size: u32) -> Ftl {
-        self.page_size = page_size as u64;
+        self.page_size = u64::from(page_size);
         self
     }
 
@@ -139,14 +145,14 @@ impl Ftl {
     /// 4-KiB units per stripe-row.
     fn units_per_row(&self) -> u64 {
         let row_bytes = self.geometry.total_plane_slots()
-            * self.geometry.pages_per_block as u64
+            * u64::from(self.geometry.pages_per_block)
             * self.page_size;
         (row_bytes / UNIT).max(1)
     }
 
     /// Total rows in the device.
     fn total_rows(&self) -> u64 {
-        self.geometry.blocks_per_plane as u64
+        u64::from(self.geometry.blocks_per_plane)
     }
 
     /// Translates a read: page-granular identity through the stripe map.
@@ -162,9 +168,11 @@ impl Ftl {
     /// writes in place and never implies erases.
     pub fn translate_write(&mut self, start_lpn: u64, pages: u64) -> WritePlacement {
         match self.mode {
-            FtlMode::Ufs { .. } => {
-                WritePlacement { start_lpn, rows_to_erase: 0, gc_moves: 0 }
-            }
+            FtlMode::Ufs { .. } => WritePlacement {
+                start_lpn,
+                rows_to_erase: 0,
+                gc_moves: 0,
+            },
             FtlMode::Traditional { .. } => {
                 let upr = self.units_per_row();
                 let bytes = pages * self.page_size;
@@ -175,7 +183,7 @@ impl Ftl {
                 let logical0 = start_lpn * self.page_size / UNIT;
                 for u in 0..units {
                     if let Some(old_phys) = self.map.remove(&(logical0 + u)) {
-                        let row = (old_phys / upr) as usize;
+                        let row = usize_from(old_phys / upr);
                         if row < self.row_valid.len() && self.row_valid[row] > 0 {
                             self.row_valid[row] -= 1;
                         }
@@ -197,8 +205,8 @@ impl Ftl {
                         self.free_rows -= 1;
                     }
                     rows_to_erase += 1;
-                    let row = (self.frontier_unit / upr + rows_to_erase) % self.total_rows();
-                    let row = row as usize;
+                    let row =
+                        usize_from((self.frontier_unit / upr + rows_to_erase) % self.total_rows());
                     if self.wear.per_row.len() <= row {
                         self.wear.per_row.resize(row + 1, 0);
                     }
@@ -211,11 +219,10 @@ impl Ftl {
                 for u in 0..units {
                     let phys = phys0 + u;
                     self.map.insert(logical0 + u, phys);
-                    let row = ((phys / upr) % self.total_rows()) as usize;
+                    let row = usize_from((phys / upr) % self.total_rows());
                     self.row_valid[row] += 1;
                 }
-                self.frontier_unit =
-                    (self.frontier_unit + units) % (self.total_rows() * upr);
+                self.frontier_unit = (self.frontier_unit + units) % (self.total_rows() * upr);
                 WritePlacement {
                     start_lpn: phys0 * UNIT / self.page_size,
                     rows_to_erase,
@@ -229,7 +236,7 @@ impl Ftl {
     /// to the frontier and free it. Returns the units migrated.
     fn collect_garbage(&mut self) -> u64 {
         let upr = self.units_per_row();
-        let frontier_row = (self.frontier_unit / upr) as usize;
+        let frontier_row = usize_from(self.frontier_unit / upr);
         // Victim: the non-frontier row with the fewest valid units.
         let victim = self
             .row_valid
@@ -239,7 +246,7 @@ impl Ftl {
             .min_by_key(|&(_, &valid)| valid)
             .map(|(row, _)| row);
         let Some(victim) = victim else { return 0 };
-        let moves = self.row_valid[victim] as u64;
+        let moves = u64::from(self.row_valid[victim]);
         self.wear.gc_units_written += moves;
         self.wear.gc_runs += 1;
         // Survivors logically move to the frontier row; for timing
@@ -250,16 +257,16 @@ impl Ftl {
             let keys: Vec<u64> = self
                 .map
                 .iter()
-                .filter(|&(_, &phys)| (phys / upr) as usize == victim)
+                .filter(|&(_, &phys)| usize_from(phys / upr) == victim)
                 .map(|(&l, _)| l)
                 .collect();
             for l in keys {
-                let new_phys = frontier_row as u64 * upr + remapped;
+                let new_phys = u64_from_usize(frontier_row) * upr + remapped;
                 self.map.insert(l, new_phys);
                 remapped += 1;
             }
             let fr = frontier_row.min(self.row_valid.len() - 1);
-            self.row_valid[fr] += moves as u32;
+            self.row_valid[fr] += u32_from(moves);
         }
         self.row_valid[victim] = 0;
         self.free_rows += 1;
@@ -277,8 +284,7 @@ mod tests {
     use super::*;
 
     fn tiny_ftl(pre: u64) -> Ftl {
-        Ftl::new(FtlMode::traditional_default(), SsdGeometry::tiny(), pre)
-            .with_page_size(8192)
+        Ftl::new(FtlMode::traditional_default(), SsdGeometry::tiny(), pre).with_page_size(8192)
     }
 
     #[test]
@@ -341,17 +347,13 @@ mod tests {
             }
         }
         assert!(f.wear().gc_runs > 0, "GC never ran");
-        assert!(
-            f.wear().gc_units_written > before,
-            "GC migrated nothing"
-        );
+        assert!(f.wear().gc_units_written > before, "GC migrated nothing");
         assert!(f.wear().waf() > 1.05, "waf {}", f.wear().waf());
     }
 
     #[test]
     fn ufs_mode_writes_in_place_without_erase_or_gc() {
-        let mut f = Ftl::new(FtlMode::ufs_default(), SsdGeometry::tiny(), 0)
-            .with_page_size(8192);
+        let mut f = Ftl::new(FtlMode::ufs_default(), SsdGeometry::tiny(), 0).with_page_size(8192);
         let p = f.translate_write(777, 100);
         assert_eq!(p.start_lpn, 777);
         assert_eq!(p.rows_to_erase, 0);

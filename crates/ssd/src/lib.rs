@@ -30,5 +30,5 @@ pub mod report;
 
 pub use config::{FtlMode, SsdConfig};
 pub use device::SsdDevice;
-pub use mapping::{Dim, DieRun, StripeMap};
+pub use mapping::{DieRun, Dim, StripeMap};
 pub use report::{LatencyStats, RunReport};

@@ -12,6 +12,7 @@
 //! progression the paper observes between striped parallel-file-system
 //! traffic and large UFS transactions (§4.5).
 
+use nvmtypes::convert::{u32_from, u64_from_usize, usize_from_u32};
 use nvmtypes::{DieIndex, SsdGeometry};
 use serde::{Deserialize, Serialize};
 
@@ -76,13 +77,17 @@ impl StripeMap {
         }
         let size_of = |d: Dim| -> u64 {
             match d {
-                Dim::Channel => geometry.channels as u64,
-                Dim::Package => geometry.packages_per_channel as u64,
-                Dim::Die => geometry.dies_per_package as u64,
-                Dim::Plane => geometry.planes_per_die as u64,
+                Dim::Channel => u64::from(geometry.channels),
+                Dim::Package => u64::from(geometry.packages_per_channel),
+                Dim::Die => u64::from(geometry.dies_per_package),
+                Dim::Plane => u64::from(geometry.planes_per_die),
             }
         };
-        StripeMap { geometry, order, sizes: order.map(size_of) }
+        StripeMap {
+            geometry,
+            order,
+            sizes: order.map(size_of),
+        }
     }
 
     /// Map with the default order.
@@ -117,8 +122,8 @@ impl StripeMap {
             }
         }
         (
-            DieIndex::from_parts(&self.geometry, ch as u32, pkg as u32, die as u32),
-            plane as u32,
+            DieIndex::from_parts(&self.geometry, u32_from(ch), u32_from(pkg), u32_from(die)),
+            u32_from(plane),
         )
     }
 
@@ -133,7 +138,7 @@ impl StripeMap {
         let w = self.stripe_width();
         let full_rows = count / w;
         let rem = count % w;
-        let n_dies = self.geometry.total_dies() as usize;
+        let n_dies = usize_from_u32(self.geometry.total_dies());
         let planes_per_die = self.geometry.planes_per_die;
 
         // pages[d], plane_mask[d] accumulated per die.
@@ -144,15 +149,15 @@ impl StripeMap {
             // Every slot is hit `full_rows` times: each die gets
             // planes_per_die slots per stripe.
             for d in 0..n_dies {
-                pages[d] += full_rows * planes_per_die as u64;
+                pages[d] += full_rows * u64::from(planes_per_die);
                 plane_mask[d] |= (1u32 << planes_per_die) - 1;
             }
         }
         for i in 0..rem {
             let pos = (start_lpn + full_rows * w + i) % w;
             let (die, plane) = self.locate(pos);
-            pages[die.0 as usize] += 1;
-            plane_mask[die.0 as usize] |= 1 << plane;
+            pages[usize_from_u32(die.0)] += 1;
+            plane_mask[usize_from_u32(die.0)] |= 1 << plane;
         }
 
         let start_row = start_lpn / w;
@@ -160,7 +165,7 @@ impl StripeMap {
         for d in 0..n_dies {
             if pages[d] > 0 {
                 runs.push(DieRun {
-                    die: DieIndex(d as u32),
+                    die: DieIndex(u32_from(u64_from_usize(d))),
                     planes: plane_mask[d].count_ones().max(1),
                     pages: pages[d],
                     start_row,

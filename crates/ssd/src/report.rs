@@ -29,7 +29,12 @@ impl LatencyStats {
             let idx = (lat.len() * q_num / q_den).min(lat.len() - 1);
             lat[idx]
         };
-        LatencyStats { p50: pick(1, 2), p95: pick(95, 100), p99: pick(99, 100), max: *lat.last().unwrap() }
+        LatencyStats {
+            p50: pick(1, 2),
+            p95: pick(95, 100),
+            p99: pick(99, 100),
+            max: pick(1, 1),
+        }
     }
 }
 
@@ -90,7 +95,10 @@ mod tests {
 
     #[test]
     fn empty_latencies_are_zero() {
-        assert_eq!(LatencyStats::from_latencies(vec![]), LatencyStats::default());
+        assert_eq!(
+            LatencyStats::from_latencies(vec![]),
+            LatencyStats::default()
+        );
     }
 
     #[test]

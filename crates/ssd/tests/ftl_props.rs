@@ -76,7 +76,13 @@ fn ssd_config_builders_are_idempotent() {
     use flashsim::MediaConfig;
     use interconnect::{pcie, LinkChain, PcieGen};
     use nvmtypes::BusTiming;
-    let media = MediaConfig::tiny(NvmKind::Slc, BusTiming { name: "t", bytes_per_ns: 0.4 });
+    let media = MediaConfig::tiny(
+        NvmKind::Slc,
+        BusTiming {
+            name: "t",
+            bytes_per_ns: 0.4,
+        },
+    );
     let cfg = SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen3, 8)))
         .with_ufs()
         .with_ufs()

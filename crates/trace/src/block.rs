@@ -19,12 +19,18 @@ pub struct BlockTrace {
 impl BlockTrace {
     /// New trace with the given queue depth.
     pub fn new(queue_depth: u32) -> BlockTrace {
-        BlockTrace { requests: Vec::new(), queue_depth: queue_depth.max(1) }
+        BlockTrace {
+            requests: Vec::new(),
+            queue_depth: queue_depth.max(1),
+        }
     }
 
     /// Builds a trace from parts.
     pub fn from_requests(requests: Vec<HostRequest>, queue_depth: u32) -> BlockTrace {
-        BlockTrace { requests, queue_depth: queue_depth.max(1) }
+        BlockTrace {
+            requests,
+            queue_depth: queue_depth.max(1),
+        }
     }
 
     /// Number of requests.
@@ -45,7 +51,11 @@ impl BlockTrace {
     /// Bytes moved by data (non-sync) requests — i.e. excluding metadata
     /// and journal traffic injected by the file system.
     pub fn data_bytes(&self) -> u64 {
-        self.requests.iter().filter(|r| !r.sync).map(|r| r.len).sum()
+        self.requests
+            .iter()
+            .filter(|r| !r.sync)
+            .map(|r| r.len)
+            .sum()
     }
 
     /// Mean request size in bytes (0 for an empty trace).
@@ -92,28 +102,21 @@ mod tests {
 
     #[test]
     fn sequentiality_fully_sequential() {
-        let t = BlockTrace::from_requests(
-            vec![R::read(0, 10), R::read(10, 10), R::read(20, 10)],
-            1,
-        );
+        let t =
+            BlockTrace::from_requests(vec![R::read(0, 10), R::read(10, 10), R::read(20, 10)], 1);
         assert!((t.sequentiality() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn sequentiality_random() {
-        let t = BlockTrace::from_requests(
-            vec![R::read(0, 10), R::read(100, 10), R::read(50, 10)],
-            1,
-        );
+        let t =
+            BlockTrace::from_requests(vec![R::read(0, 10), R::read(100, 10), R::read(50, 10)], 1);
         assert_eq!(t.sequentiality(), 0.0);
     }
 
     #[test]
     fn data_bytes_excludes_sync_traffic() {
-        let t = BlockTrace::from_requests(
-            vec![R::read(0, 100), R::write(500, 8).synchronous()],
-            4,
-        );
+        let t = BlockTrace::from_requests(vec![R::read(0, 100), R::write(500, 8).synchronous()], 4);
         assert_eq!(t.total_bytes(), 108);
         assert_eq!(t.data_bytes(), 100);
     }

@@ -47,12 +47,20 @@ impl Default for TraceCapture {
 impl TraceCapture {
     /// New capture whose logical clock ticks 1 ns per call.
     pub fn new() -> TraceCapture {
-        TraceCapture { records: Mutex::new(PosixTrace::new()), clock: AtomicU64::new(0), ns_per_call: 1 }
+        TraceCapture {
+            records: Mutex::new(PosixTrace::new()),
+            clock: AtomicU64::new(0),
+            ns_per_call: 1,
+        }
     }
 
     /// New capture advancing the logical clock by `ns_per_call` per event.
     pub fn with_tick(ns_per_call: u64) -> TraceCapture {
-        TraceCapture { records: Mutex::new(PosixTrace::new()), clock: AtomicU64::new(0), ns_per_call }
+        TraceCapture {
+            records: Mutex::new(PosixTrace::new()),
+            clock: AtomicU64::new(0),
+            ns_per_call,
+        }
     }
 
     /// Number of events captured so far.
@@ -85,7 +93,13 @@ impl TraceSink for TraceCapture {
     fn record(&self, op: IoOp, file: u32, offset: u64, len: u64) {
         let t: Nanos = self.clock.fetch_add(self.ns_per_call, Ordering::Relaxed);
         let mut guard = self.records.lock();
-        guard.records.push(TraceRecord { t, op, file, offset, len });
+        guard.records.push(TraceRecord {
+            t,
+            op,
+            file,
+            offset,
+            len,
+        });
     }
 }
 

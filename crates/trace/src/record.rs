@@ -55,7 +55,11 @@ impl PosixTrace {
 
     /// Bytes moved by reads only.
     pub fn read_bytes(&self) -> u64 {
-        self.records.iter().filter(|r| r.op.is_read()).map(|r| r.len).sum()
+        self.records
+            .iter()
+            .filter(|r| r.op.is_read())
+            .map(|r| r.len)
+            .sum()
     }
 
     /// Fraction of bytes that are reads, in `[0, 1]`; 0 for an empty trace.
@@ -89,7 +93,10 @@ impl PosixTrace {
         let mut out = String::with_capacity(self.records.len() * 32);
         for r in &self.records {
             let op = if r.op.is_read() { 'R' } else { 'W' };
-            out.push_str(&format!("{} {} {} {} {}\n", r.t, op, r.file, r.offset, r.len));
+            out.push_str(&format!(
+                "{} {} {} {} {}\n",
+                r.t, op, r.file, r.offset, r.len
+            ));
         }
         out
     }
@@ -105,19 +112,33 @@ impl PosixTrace {
             }
             let mut it = line.split_whitespace();
             let mut next = |what: &str| {
-                it.next().ok_or_else(|| format!("line {}: missing {what}", i + 1))
+                it.next()
+                    .ok_or_else(|| format!("line {}: missing {what}", i + 1))
             };
-            let t: Nanos = next("t")?.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
+            let t: Nanos = next("t")?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
             let op = match next("op")? {
                 "R" => IoOp::Read,
                 "W" => IoOp::Write,
                 other => return Err(format!("line {}: bad op `{other}`", i + 1)),
             };
-            let file: u32 = next("file")?.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
-            let offset: u64 =
-                next("offset")?.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
-            let len: u64 = next("len")?.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
-            trace.push(TraceRecord { t, op, file, offset, len });
+            let file: u32 = next("file")?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let offset: u64 = next("offset")?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let len: u64 = next("len")?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            trace.push(TraceRecord {
+                t,
+                op,
+                file,
+                offset,
+                len,
+            });
         }
         Ok(trace)
     }
@@ -128,14 +149,26 @@ mod tests {
     use super::*;
 
     fn rec(t: Nanos, offset: u64, len: u64) -> TraceRecord {
-        TraceRecord { t, op: IoOp::Read, file: 0, offset, len }
+        TraceRecord {
+            t,
+            op: IoOp::Read,
+            file: 0,
+            offset,
+            len,
+        }
     }
 
     #[test]
     fn totals() {
         let mut tr = PosixTrace::new();
         tr.push(rec(0, 0, 100));
-        tr.push(TraceRecord { t: 1, op: IoOp::Write, file: 0, offset: 100, len: 50 });
+        tr.push(TraceRecord {
+            t: 1,
+            op: IoOp::Write,
+            file: 0,
+            offset: 100,
+            len: 50,
+        });
         assert_eq!(tr.total_bytes(), 150);
         assert_eq!(tr.read_bytes(), 100);
         assert!((tr.read_fraction() - 100.0 / 150.0).abs() < 1e-12);
@@ -158,7 +191,13 @@ mod tests {
     fn text_round_trip() {
         let mut tr = PosixTrace::new();
         tr.push(rec(0, 4096, 65536));
-        tr.push(TraceRecord { t: 10, op: IoOp::Write, file: 2, offset: 0, len: 512 });
+        tr.push(TraceRecord {
+            t: 10,
+            op: IoOp::Write,
+            file: 2,
+            offset: 0,
+            len: 512,
+        });
         let text = tr.to_text();
         let back = PosixTrace::from_text(&text).unwrap();
         assert_eq!(tr, back);

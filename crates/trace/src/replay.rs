@@ -11,7 +11,12 @@ use crate::record::{PosixTrace, TraceRecord};
 /// timestamps.
 pub fn filter_file(trace: &PosixTrace, file: u32) -> PosixTrace {
     PosixTrace {
-        records: trace.records.iter().filter(|r| r.file == file).copied().collect(),
+        records: trace
+            .records
+            .iter()
+            .filter(|r| r.file == file)
+            .copied()
+            .collect(),
     }
 }
 
@@ -42,8 +47,15 @@ pub fn merge_clients(traces: &[PosixTrace], stride: u32) -> PosixTrace {
     let mut all: Vec<TraceRecord> = Vec::new();
     for (client, trace) in traces.iter().enumerate() {
         for rec in &trace.records {
-            assert!(rec.file < stride, "file id {} exceeds stride {stride}", rec.file);
-            all.push(TraceRecord { file: client as u32 * stride + rec.file, ..*rec });
+            assert!(
+                rec.file < stride,
+                "file id {} exceeds stride {stride}",
+                rec.file
+            );
+            all.push(TraceRecord {
+                file: client as u32 * stride + rec.file,
+                ..*rec
+            });
         }
     }
     all.sort_by_key(|r| r.t);
@@ -58,7 +70,10 @@ pub fn dilate_time(trace: &PosixTrace, num: u64, den: u64) -> PosixTrace {
         records: trace
             .records
             .iter()
-            .map(|r| TraceRecord { t: r.t * num / den, ..*r })
+            .map(|r| TraceRecord {
+                t: r.t * num / den,
+                ..*r
+            })
             .collect(),
     }
 }
@@ -69,7 +84,13 @@ mod tests {
     use nvmtypes::IoOp;
 
     fn rec(t: u64, file: u32, offset: u64, len: u64) -> TraceRecord {
-        TraceRecord { t, op: IoOp::Read, file, offset, len }
+        TraceRecord {
+            t,
+            op: IoOp::Read,
+            file,
+            offset,
+            len,
+        }
     }
 
     fn sample() -> PosixTrace {
@@ -103,8 +124,12 @@ mod tests {
 
     #[test]
     fn merge_interleaves_by_time_and_separates_files() {
-        let a = PosixTrace { records: vec![rec(0, 0, 0, 10), rec(10, 0, 10, 10)] };
-        let b = PosixTrace { records: vec![rec(5, 0, 0, 20)] };
+        let a = PosixTrace {
+            records: vec![rec(0, 0, 0, 10), rec(10, 0, 10, 10)],
+        };
+        let b = PosixTrace {
+            records: vec![rec(5, 0, 0, 20)],
+        };
         let merged = merge_clients(&[a, b], 16);
         assert_eq!(merged.len(), 3);
         assert_eq!(merged.records[0].file, 0); // client 0
@@ -117,7 +142,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds stride")]
     fn merge_rejects_file_ids_beyond_stride() {
-        let a = PosixTrace { records: vec![rec(0, 20, 0, 10)] };
+        let a = PosixTrace {
+            records: vec![rec(0, 20, 0, 10)],
+        };
         merge_clients(&[a], 16);
     }
 

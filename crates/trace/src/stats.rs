@@ -29,7 +29,11 @@ impl SizeHistogram {
     pub fn from_lengths<I: IntoIterator<Item = u64>>(lens: I) -> SizeHistogram {
         let mut buckets = vec![0u64; 64];
         for len in lens {
-            let b = if len <= 1 { 0 } else { 63 - len.leading_zeros() as usize };
+            let b = if len <= 1 {
+                0
+            } else {
+                63 - len.leading_zeros() as usize
+            };
             buckets[b] += 1;
         }
         while buckets.len() > 1 && *buckets.last().unwrap() == 0 {
@@ -103,11 +107,19 @@ impl AccessStats {
                 }
             }
         }
-        let sequentiality = if comparable == 0 { 1.0 } else { seq as f64 / comparable as f64 };
+        let sequentiality = if comparable == 0 {
+            1.0
+        } else {
+            seq as f64 / comparable as f64
+        };
         AccessStats {
             count: n,
             bytes: trace.total_bytes(),
-            mean_size: if n == 0 { 0.0 } else { trace.total_bytes() as f64 / n as f64 },
+            mean_size: if n == 0 {
+                0.0
+            } else {
+                trace.total_bytes() as f64 / n as f64
+            },
             sequentiality,
             sizes: SizeHistogram::from_lengths(trace.records.iter().map(|r| r.len)),
         }
@@ -123,7 +135,11 @@ pub fn posix_scatter(trace: &PosixTrace, limit: usize) -> Vec<ScatterPoint> {
         .iter()
         .take(limit)
         .enumerate()
-        .map(|(i, r)| ScatterPoint { seq: i as u64, addr: r.offset, len: r.len })
+        .map(|(i, r)| ScatterPoint {
+            seq: i as u64,
+            addr: r.offset,
+            len: r.len,
+        })
         .collect()
 }
 
@@ -135,7 +151,11 @@ pub fn block_scatter(trace: &BlockTrace, limit: usize) -> Vec<ScatterPoint> {
         .iter()
         .take(limit)
         .enumerate()
-        .map(|(i, r)| ScatterPoint { seq: i as u64, addr: r.offset, len: r.len })
+        .map(|(i, r)| ScatterPoint {
+            seq: i as u64,
+            addr: r.offset,
+            len: r.len,
+        })
         .collect()
 }
 
@@ -165,7 +185,13 @@ mod tests {
     fn posix_stats_sequentiality_ignores_cross_file_gaps() {
         let mut tr = PosixTrace::new();
         for (f, off) in [(0u32, 0u64), (0, 100), (1, 0), (1, 100)] {
-            tr.push(crate::record::TraceRecord { t: 0, op: IoOp::Read, file: f, offset: off, len: 100 });
+            tr.push(crate::record::TraceRecord {
+                t: 0,
+                op: IoOp::Read,
+                file: f,
+                offset: off,
+                len: 100,
+            });
         }
         let st = AccessStats::of_posix(&tr);
         // Three comparable pairs: (0,0)-(0,100) seq, (0,100)-(1,0) not
@@ -176,10 +202,8 @@ mod tests {
 
     #[test]
     fn scatter_respects_limit() {
-        let t = BlockTrace::from_requests(
-            (0..100).map(|i| HostRequest::read(i * 10, 10)).collect(),
-            8,
-        );
+        let t =
+            BlockTrace::from_requests((0..100).map(|i| HostRequest::read(i * 10, 10)).collect(), 8);
         let pts = block_scatter(&t, 10);
         assert_eq!(pts.len(), 10);
         assert_eq!(pts[9].addr, 90);
@@ -188,10 +212,8 @@ mod tests {
 
     #[test]
     fn block_stats_roll_up() {
-        let t = BlockTrace::from_requests(
-            vec![HostRequest::read(0, 10), HostRequest::read(10, 30)],
-            8,
-        );
+        let t =
+            BlockTrace::from_requests(vec![HostRequest::read(0, 10), HostRequest::read(10, 30)], 8);
         let st = AccessStats::of_block(&t);
         assert_eq!(st.count, 2);
         assert_eq!(st.bytes, 40);

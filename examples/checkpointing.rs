@@ -40,7 +40,10 @@ fn main() {
             format!("{:.0}", ufs.bandwidth_mb_s),
             format!("{:.0}", ext4.bandwidth_mb_s),
             format!("{}", ext4.run.wear.erases),
-            format!("{:.1}", ext4.run.energy.program_mj + ext4.run.energy.erase_mj),
+            format!(
+                "{:.1}",
+                ext4.run.energy.program_mj + ext4.run.energy.erase_mj
+            ),
         ]);
     }
     print!("{}", table.render());

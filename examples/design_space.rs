@@ -35,8 +35,7 @@ fn main() {
     let mut table = Table::new(["config", "TLC", "MLC", "SLC", "PCM", "PAL4 %", "rem (TLC)"]);
     for c in &configs {
         let get = |k| {
-            oocnvm::core::experiment::find(&reports, c.label, k)
-                .expect("sweep covers all pairs")
+            oocnvm::core::experiment::find(&reports, c.label, k).expect("sweep covers all pairs")
         };
         table.row([
             c.label.to_string(),

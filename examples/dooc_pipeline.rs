@@ -126,9 +126,10 @@ fn main() {
         .then(Checksum)
         .then(Threshold(1.0))
         .run(source);
-    println!("pipeline: {} of {} panels pass the weight threshold", heavy.len(), n_panels);
     println!(
-        "I/O trace captured along the way: {} reads",
-        capture.len()
+        "pipeline: {} of {} panels pass the weight threshold",
+        heavy.len(),
+        n_panels
     );
+    println!("I/O trace captured along the way: {} reads", capture.len());
 }

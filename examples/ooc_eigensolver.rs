@@ -80,7 +80,10 @@ fn main() {
     ] {
         let report = run_experiment(&config, NvmKind::Tlc, &posix);
         let ms = report.run.makespan as f64 / 1e6;
-        println!("{:<16} {:>10.0} {:>9.1} ms", report.label, report.bandwidth_mb_s, ms);
+        println!(
+            "{:<16} {:>10.0} {:>9.1} ms",
+            report.label, report.bandwidth_mb_s, ms
+        );
         if report.label == "CNL-UFS" {
             ufs_ms = ms;
         }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Full local gate for the oocnvm workspace. Run from anywhere:
+#
+#   scripts/check.sh          # everything (what CI runs)
+#   scripts/check.sh --fast   # skip the release build
+#
+# Stages, in dependency order:
+#   1. rustfmt        — formatting is canonical (`cargo fmt --check`)
+#   2. clippy         — workspace lint policy ([workspace.lints]: the
+#                       unwrap/expect/panic deny set, unsafe_code)
+#   3. simlint        — simulator invariants (determinism, unit-safety,
+#                       no-panic, exhaustive matches; docs/INVARIANTS.md)
+#   4. tests          — the whole workspace test suite
+#   5. release build  — tier-1 artifact (skipped with --fast)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        *)
+            echo "usage: scripts/check.sh [--fast]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+step() {
+    echo
+    echo "==> $*"
+}
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --workspace"
+cargo clippy --workspace --quiet
+
+step "simlint (simulator invariants + burn-down allowlist)"
+cargo run --quiet -p simlint
+
+step "cargo test --workspace"
+cargo test --workspace --quiet
+
+if [ "$fast" -eq 0 ]; then
+    step "cargo build --release"
+    cargo build --release --quiet
+fi
+
+echo
+echo "check.sh: all gates passed"

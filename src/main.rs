@@ -25,17 +25,16 @@ fn usage() -> ExitCode {
 
 /// Minimal `--key value` argument scanner.
 fn flag(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn media_by_name(name: &str) -> Option<NvmKind> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "slc" => NvmKind::Slc,
-        "mlc" => NvmKind::Mlc,
-        "tlc" => NvmKind::Tlc,
-        "pcm" => NvmKind::Pcm,
-        _ => return None,
-    })
+    let lower = name.to_ascii_lowercase();
+    NvmKind::ALL
+        .into_iter()
+        .find(|k| format!("{k:?}").eq_ignore_ascii_case(&lower))
 }
 
 fn config_by_label(label: &str) -> Option<SystemConfig> {
@@ -63,14 +62,20 @@ fn main() -> ExitCode {
                 eprintln!("unknown or missing --media");
                 return usage();
             };
-            let mib = flag(&args, "--mib").and_then(|v| v.parse().ok()).unwrap_or(128u64);
-            let rec =
-                flag(&args, "--record-kib").and_then(|v| v.parse().ok()).unwrap_or(6144u64);
+            let mib = flag(&args, "--mib")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(128u64);
+            let rec = flag(&args, "--record-kib")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(6144u64);
             let trace = synthetic_ooc_trace(mib * MIB, rec * 1024, 42);
             let report = run_experiment(&cfg, kind, &trace);
             println!("{} on {} ({mib} MiB workload):", report.label, kind.label());
             println!("  bandwidth:      {:>9.1} MB/s", report.bandwidth_mb_s);
-            println!("  makespan:       {:>9.2} ms", report.run.makespan as f64 / 1e6);
+            println!(
+                "  makespan:       {:>9.2} ms",
+                report.run.makespan as f64 / 1e6
+            );
             println!("  channel util:   {:>9.1} %", report.channel_util * 100.0);
             println!("  package util:   {:>9.1} %", report.package_util * 100.0);
             println!(
@@ -99,7 +104,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("sweep") => {
-            let mib = flag(&args, "--mib").and_then(|v| v.parse().ok()).unwrap_or(128u64);
+            let mib = flag(&args, "--mib")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(128u64);
             let trace = synthetic_ooc_trace(mib * MIB, 6 * MIB, 42);
             let configs = SystemConfig::table2();
             let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
@@ -125,8 +132,12 @@ fn main() -> ExitCode {
             let Some(n) = flag(&args, "--n").and_then(|v| v.parse::<usize>().ok()) else {
                 return usage();
             };
-            let block = flag(&args, "--block").and_then(|v| v.parse().ok()).unwrap_or(8usize);
-            let iters = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(100usize);
+            let block = flag(&args, "--block")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8usize);
+            let iters = flag(&args, "--iters")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100usize);
             let h = HamiltonianSpec::medium(n).generate();
             println!("H: n={} nnz={}", h.n, h.nnz());
             let result = Lobpcg::new(LobpcgOptions {
@@ -142,10 +153,13 @@ fn main() -> ExitCode {
                 result.converged, result.iterations, result.operator_applies
             );
             for (k, v) in result.eigenvalues.iter().enumerate() {
-                println!("  lambda_{k} = {v:.8}  (residual {:.2e})", result.residuals[k]);
+                println!(
+                    "  lambda_{k} = {v:.8}  (residual {:.2e})",
+                    result.residuals[k]
+                );
             }
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        Some(_) | None => usage(),
     }
 }

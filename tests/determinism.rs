@@ -1,0 +1,70 @@
+//! Determinism regression: two identical simulator runs must produce
+//! byte-identical reports.
+//!
+//! The paper's figures are ratios between simulated configurations
+//! (e.g. the ~10.3x CNL speedup); if iteration order or wall-clock state
+//! leaked into the pipeline, those ratios would wobble run-to-run and
+//! the reproduction would be unfalsifiable. `simlint` forbids the usual
+//! sources (`HashMap`/`HashSet` state, `Instant::now`, OS entropy) at
+//! the source level; this test pins the end-to-end behaviour.
+
+use flashsim::MediaConfig;
+use interconnect::{ddr800, pcie, LinkChain, PcieGen};
+use nvmtypes::{HostRequest, NvmKind, KIB, MIB};
+use ooctrace::BlockTrace;
+use ssd::{RunReport, SsdConfig, SsdDevice};
+
+/// A mixed read/write trace with strided offsets: enough irregularity to
+/// exercise the FTL mapping tree and per-die queues in non-trivial order.
+fn mixed_trace() -> BlockTrace {
+    let mut reqs = Vec::new();
+    let mut off = 0u64;
+    for i in 0..256u64 {
+        let len = 16 * KIB + (i % 7) * 4 * KIB;
+        if i % 3 == 0 {
+            reqs.push(HostRequest::write(off % (64 * MIB), len));
+        } else {
+            reqs.push(HostRequest::read((off * 3) % (64 * MIB), len));
+        }
+        off += len + (i % 5) * KIB;
+    }
+    BlockTrace::from_requests(reqs, 16)
+}
+
+/// One full flashsim+ssd run on a fresh device.
+fn run_once(kind: NvmKind) -> RunReport {
+    let media = MediaConfig::paper(kind, ddr800());
+    let cfg = SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen3, 8))).with_ufs();
+    SsdDevice::new(cfg).run(&mixed_trace())
+}
+
+/// Every observable byte of a report, not just headline numbers: the
+/// `Debug` rendering covers all fields (latency percentiles, per-level
+/// parallelism counters, energy), `summary()` covers the human format.
+fn rendered(rep: &RunReport) -> String {
+    format!("{rep:?}\n{}", rep.summary())
+}
+
+#[test]
+fn identical_runs_render_byte_identical_reports() {
+    for kind in NvmKind::ALL {
+        let a = rendered(&run_once(kind));
+        let b = rendered(&run_once(kind));
+        assert_eq!(
+            a,
+            b,
+            "{}: reports diverged between identical runs",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn reports_are_stable_across_interleaved_device_lifetimes() {
+    // Run A, then build and run another device, then run A's config
+    // again: no global state may leak between device instances.
+    let first = rendered(&run_once(NvmKind::Mlc));
+    let _decoy = run_once(NvmKind::Pcm);
+    let second = rendered(&run_once(NvmKind::Mlc));
+    assert_eq!(first, second, "device lifetimes are not isolated");
+}

@@ -76,7 +76,11 @@ fn ooc_reuse_distances_defeat_partial_caches() {
     // An LRU at 75% of the working set hits almost nothing beyond
     // adjacent-record block overlap...
     let small = replay_lru(&trace, 24 * MIB, 1 << 20);
-    assert!(small.hit_ratio() < 0.25, "small cache hit {}", small.hit_ratio());
+    assert!(
+        small.hit_ratio() < 0.25,
+        "small cache hit {}",
+        small.hit_ratio()
+    );
     // ...while a full-size cache hits on every sweep after the first.
     let big = replay_lru(&trace, 40 * MIB, 1 << 20);
     assert!(big.hit_ratio() > 0.6, "big cache hit {}", big.hit_ratio());
@@ -88,7 +92,11 @@ fn checkpoint_workload_runs_and_wears_the_device() {
     let trace = checkpoint_trace(48 * MIB, 12 * MIB, 6 * MIB, 4 * MIB, 7);
     let config = SystemConfig::cnl_ufs();
     // UFS mode doesn't inject erases (app-managed); traditional FTL does.
-    let trad = run_experiment(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Slc, &trace);
+    let trad = run_experiment(
+        &SystemConfig::cnl(oocfs::FsKind::Ext4),
+        NvmKind::Slc,
+        &trace,
+    );
     assert!(trad.run.wear.erases > 0, "no erases under the FTL");
     let ufs = run_experiment(&config, NvmKind::Slc, &trace);
     assert!(ufs.bandwidth_mb_s > 0.0);
@@ -117,7 +125,10 @@ fn graph_analytics_widen_the_ufs_advantage() {
     };
     let r_stream = ratio(&streaming);
     let r_mixed = ratio(&mixed);
-    assert!(r_stream > 1.0, "UFS should win even while streaming: {r_stream}");
+    assert!(
+        r_stream > 1.0,
+        "UFS should win even while streaming: {r_stream}"
+    );
     assert!(
         r_mixed > r_stream,
         "mixed advantage {r_mixed} should exceed streaming {r_stream}"
@@ -141,12 +152,18 @@ fn pool_migration_preloads_a_compute_node() {
     assert_eq!(report.moved, 32);
     assert_eq!(report.moved_bytes, 32 << 20);
     // The compute phase never misses.
-    let before_misses = local.stats.misses.load(std::sync::atomic::Ordering::Relaxed);
+    let before_misses = local
+        .stats
+        .misses
+        .load(std::sync::atomic::Ordering::Relaxed);
     for k in &keys {
         assert!(local.get(k).is_some());
     }
     assert_eq!(
-        local.stats.misses.load(std::sync::atomic::Ordering::Relaxed),
+        local
+            .stats
+            .misses
+            .load(std::sync::atomic::Ordering::Relaxed),
         before_misses
     );
 }

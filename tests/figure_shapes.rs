@@ -40,12 +40,28 @@ fn fig7a_file_system_ordering_on_tlc() {
     let reports = sweep(&configs, &[NvmKind::Tlc]);
     let bw = |l: &str| find(&reports, l, NvmKind::Tlc).unwrap().bandwidth_mb_s;
     // ext2 is the worst local file system...
-    let locals = ["CNL-JFS", "CNL-BTRFS", "CNL-XFS", "CNL-REISERFS", "CNL-EXT3", "CNL-EXT4", "CNL-EXT4-L", "CNL-UFS"];
+    let locals = [
+        "CNL-JFS",
+        "CNL-BTRFS",
+        "CNL-XFS",
+        "CNL-REISERFS",
+        "CNL-EXT3",
+        "CNL-EXT4",
+        "CNL-EXT4-L",
+        "CNL-UFS",
+    ];
     for l in locals {
         assert!(bw(l) > bw("CNL-EXT2"), "{l} below ext2");
     }
     // ...BTRFS the best non-tuned one, by about a factor of 2 over ext2...
-    for l in ["CNL-JFS", "CNL-XFS", "CNL-REISERFS", "CNL-EXT2", "CNL-EXT3", "CNL-EXT4"] {
+    for l in [
+        "CNL-JFS",
+        "CNL-XFS",
+        "CNL-REISERFS",
+        "CNL-EXT2",
+        "CNL-EXT3",
+        "CNL-EXT4",
+    ] {
         assert!(bw("CNL-BTRFS") > bw(l), "btrfs not above {l}");
     }
     let factor = bw("CNL-BTRFS") / bw("CNL-EXT2");
@@ -72,7 +88,11 @@ fn fig7a_pcm_obscures_file_system_differences() {
         values.iter().cloned().fold(0.0, f64::max)
             / values.iter().cloned().fold(f64::INFINITY, f64::min)
     };
-    assert!(spread(NvmKind::Pcm) < 1.25, "PCM spread {}", spread(NvmKind::Pcm));
+    assert!(
+        spread(NvmKind::Pcm) < 1.25,
+        "PCM spread {}",
+        spread(NvmKind::Pcm)
+    );
     assert!(
         spread(NvmKind::Tlc) > 2.0 * spread(NvmKind::Pcm),
         "TLC spread {} vs PCM {}",
@@ -115,10 +135,16 @@ fn fig8a_device_improvement_ladder() {
     };
     // Expanding lanes on the bridged architecture barely helps...
     let bridge_gain = mean("CNL-BRIDGE-16") / mean("CNL-UFS") - 1.0;
-    assert!(bridge_gain >= 0.0 && bridge_gain < 0.15, "bridge gain {bridge_gain}");
+    assert!(
+        bridge_gain >= 0.0 && bridge_gain < 0.15,
+        "bridge gain {bridge_gain}"
+    );
     // ...while going native doubles it despite half the lanes...
     let native_factor = mean("CNL-NATIVE-8") / mean("CNL-BRIDGE-16");
-    assert!((1.7..=3.2).contains(&native_factor), "native factor {native_factor}");
+    assert!(
+        (1.7..=3.2).contains(&native_factor),
+        "native factor {native_factor}"
+    );
     // ...and 16 native lanes expose still more.
     assert!(mean("CNL-NATIVE-16") > 1.2 * mean("CNL-NATIVE-8"));
 }
@@ -132,7 +158,9 @@ fn fig8_end_to_end_factors_over_ion() {
     // nearly as much (paper: 8x).
     for kind in [NvmKind::Pcm, NvmKind::Tlc] {
         let ion = find(&reports, "ION-GPFS", kind).unwrap().bandwidth_mb_s;
-        let n16 = find(&reports, "CNL-NATIVE-16", kind).unwrap().bandwidth_mb_s;
+        let n16 = find(&reports, "CNL-NATIVE-16", kind)
+            .unwrap()
+            .bandwidth_mb_s;
         let factor = n16 / ion;
         assert!(
             (6.0..=20.0).contains(&factor),
@@ -153,15 +181,27 @@ fn fig8b_native16_drains_nand_media_headroom() {
 
 #[test]
 fn fig9_utilization_pattern() {
-    let configs = [SystemConfig::ion_gpfs(), SystemConfig::cnl_ufs(), SystemConfig::cnl(oocfs::FsKind::Ext2)];
+    let configs = [
+        SystemConfig::ion_gpfs(),
+        SystemConfig::cnl_ufs(),
+        SystemConfig::cnl(oocfs::FsKind::Ext2),
+    ];
     let reports = sweep(&configs, &[NvmKind::Tlc]);
     let ion = find(&reports, "ION-GPFS", NvmKind::Tlc).unwrap();
     let ufs = find(&reports, "CNL-UFS", NvmKind::Tlc).unwrap();
     // §4.5's "altogether unexpected result": ION keeps its channels busy
     // (striping randomizes across channels)...
-    assert!(ion.channel_util > 0.85, "ION channel util {}", ion.channel_util);
+    assert!(
+        ion.channel_util > 0.85,
+        "ION channel util {}",
+        ion.channel_util
+    );
     // ...but its packages idle.
-    assert!(ion.package_util < 0.4, "ION package util {}", ion.package_util);
+    assert!(
+        ion.package_util < 0.4,
+        "ION package util {}",
+        ion.package_util
+    );
     assert!(ion.package_util < ufs.package_util * 0.5);
     // UFS reaches near-full utilization of both.
     assert!(ufs.channel_util > 0.95);
@@ -170,7 +210,11 @@ fn fig9_utilization_pattern() {
 
 #[test]
 fn fig10_parallelism_claims() {
-    let configs = [SystemConfig::ion_gpfs(), SystemConfig::cnl_ufs(), SystemConfig::cnl(oocfs::FsKind::Ext2)];
+    let configs = [
+        SystemConfig::ion_gpfs(),
+        SystemConfig::cnl_ufs(),
+        SystemConfig::cnl(oocfs::FsKind::Ext2),
+    ];
     let reports = sweep(&configs, &[NvmKind::Tlc, NvmKind::Pcm]);
     // ION-local TLC stays almost completely at PAL3, almost never PAL4.
     let ion = find(&reports, "ION-GPFS", NvmKind::Tlc).unwrap();
@@ -219,7 +263,16 @@ fn headline_ratios_hold() {
     let configs = SystemConfig::table2();
     let reports = run_sweep(&configs, &NvmKind::ALL, &t);
     let bw = |l: &str, k| find(&reports, l, k).unwrap().bandwidth_mb_s;
-    let trad = ["CNL-JFS", "CNL-BTRFS", "CNL-XFS", "CNL-REISERFS", "CNL-EXT2", "CNL-EXT3", "CNL-EXT4", "CNL-EXT4-L"];
+    let trad = [
+        "CNL-JFS",
+        "CNL-BTRFS",
+        "CNL-XFS",
+        "CNL-REISERFS",
+        "CNL-EXT2",
+        "CNL-EXT3",
+        "CNL-EXT4",
+        "CNL-EXT4-L",
+    ];
     let mut cnl_vs_ion = 0.0;
     let mut ufs_vs_cnl = 0.0;
     let mut hw_vs_ufs = 0.0;
@@ -239,7 +292,10 @@ fn headline_ratios_hold() {
     // Paper: +108%, +52%, +250%, 10.3x. Bands allow simulator-vs-testbed
     // differences while pinning the order of magnitude.
     assert!((0.6..=2.2).contains(&cnl_vs_ion), "cnl vs ion {cnl_vs_ion}");
-    assert!((0.15..=1.0).contains(&ufs_vs_cnl), "ufs vs cnl {ufs_vs_cnl}");
+    assert!(
+        (0.15..=1.0).contains(&ufs_vs_cnl),
+        "ufs vs cnl {ufs_vs_cnl}"
+    );
     assert!((1.5..=4.5).contains(&hw_vs_ufs), "hw vs ufs {hw_vs_ufs}");
     assert!((6.0..=16.0).contains(&overall), "overall {overall}");
 }

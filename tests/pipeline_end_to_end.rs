@@ -9,7 +9,13 @@ use oocnvm_core::config::SystemConfig;
 use ooctrace::{AccessStats, TraceCapture};
 
 fn hamiltonian(n: usize) -> CsrMatrix {
-    HamiltonianSpec { n, band: 8, couplings_per_row: 4, seed: 99 }.generate()
+    HamiltonianSpec {
+        n,
+        band: 8,
+        couplings_per_row: 4,
+        seed: 99,
+    }
+    .generate()
 }
 
 #[test]
@@ -20,7 +26,13 @@ fn lobpcg_over_the_store_matches_in_memory_lobpcg() {
     let diag = h.diagonal().unwrap();
     let traced = TracedOperator::new(&ooc, &cap).with_diagonal(diag);
 
-    let opts = LobpcgOptions { block_size: 6, max_iters: 120, tol: 1e-7, seed: 5, precondition: true };
+    let opts = LobpcgOptions {
+        block_size: 6,
+        max_iters: 120,
+        tol: 1e-7,
+        seed: 5,
+        precondition: true,
+    };
     let direct = Lobpcg::new(opts).solve(&h);
     let streamed = Lobpcg::new(opts).solve(&traced);
 
@@ -54,7 +66,11 @@ fn eigenvectors_are_orthonormal_and_satisfy_rayleigh_quotient() {
     for i in 0..4 {
         for j in 0..4 {
             let want = if i == j { 1.0 } else { 0.0 };
-            assert!((gram[(i, j)] - want).abs() < 1e-6, "gram[{i}{j}]={}", gram[(i, j)]);
+            assert!(
+                (gram[(i, j)] - want).abs() < 1e-6,
+                "gram[{i}{j}]={}",
+                gram[(i, j)]
+            );
         }
     }
     // Rayleigh quotients equal the eigenvalues.
@@ -71,10 +87,15 @@ fn solver_trace_has_the_papers_shape() {
     let (trace, _) = oocnvm_core::workload::lobpcg_posix_trace(1500, 6, 10, 150);
     let stats = AccessStats::of_posix(&trace);
     assert!((trace.read_fraction() - 1.0).abs() < 1e-12, "not read-only");
-    assert!(stats.sequentiality > 0.85, "sequentiality {}", stats.sequentiality);
+    assert!(
+        stats.sequentiality > 0.85,
+        "sequentiality {}",
+        stats.sequentiality
+    );
     // Iterative: the same bytes are read many times over.
     let distinct: u64 = {
-        let mut spans: Vec<(u64, u64)> = trace.records.iter().map(|r| (r.offset, r.end())).collect();
+        let mut spans: Vec<(u64, u64)> =
+            trace.records.iter().map(|r| (r.offset, r.end())).collect();
         spans.sort_unstable();
         let mut covered = 0;
         let mut cursor = 0;

@@ -11,11 +11,7 @@ use ssd::StripeMap;
 fn arb_posix_trace() -> impl Strategy<Value = PosixTrace> {
     // Records with block-aligned offsets/lengths so byte conservation is
     // exact through every local file system.
-    prop::collection::vec(
-        (0u64..256, 1u64..64, prop::bool::ANY),
-        1..40,
-    )
-    .prop_map(|recs| {
+    prop::collection::vec((0u64..256, 1u64..64, prop::bool::ANY), 1..40).prop_map(|recs| {
         let mut t = PosixTrace::new();
         for (i, (block_off, blocks, is_read)) in recs.into_iter().enumerate() {
             t.push(TraceRecord {

@@ -17,7 +17,13 @@ fn seq_trace(total: u64, req: u64, qd: u32) -> BlockTrace {
     BlockTrace::from_requests(reqs, qd)
 }
 
-fn run(kind: NvmKind, bus: nvmtypes::BusTiming, gen: PcieGen, lanes: u32, trace: &BlockTrace) -> ssd::RunReport {
+fn run(
+    kind: NvmKind,
+    bus: nvmtypes::BusTiming,
+    gen: PcieGen,
+    lanes: u32,
+    trace: &BlockTrace,
+) -> ssd::RunReport {
     let media = MediaConfig::paper(kind, bus);
     let dev = SsdDevice::new(SsdConfig::new(media, LinkChain::single(pcie(gen, lanes))).with_ufs());
     dev.run(trace)
@@ -118,9 +124,10 @@ fn write_heavy_workloads_pay_program_and_erase_costs() {
     );
     for kind in NvmKind::ALL {
         let media = MediaConfig::paper(kind, sdr400());
-        let mut dev = SsdDevice::new(
-            SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen2, 8))),
-        );
+        let mut dev = SsdDevice::new(SsdConfig::new(
+            media,
+            LinkChain::single(pcie(PcieGen::Gen2, 8)),
+        ));
         dev.pre_erased_rows = 0;
         let r = dev.run(&reads);
         let w = dev.run(&writes);

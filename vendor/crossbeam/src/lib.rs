@@ -1,0 +1,270 @@
+//! Offline shim for `crossbeam`, providing the `channel` module surface
+//! the workspace uses: multi-producer **multi-consumer** bounded and
+//! unbounded channels with `Sender`/`Receiver` both `Clone`.
+//!
+//! `std::sync::mpsc` receivers are single-consumer, so this is a real
+//! MPMC queue built on `Mutex<VecDeque>` + two condvars (not-empty /
+//! not-full). Throughput is far below real crossbeam, but the dataflow
+//! pipelines here move few, large chunks, where lock overhead is noise.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like real crossbeam: Debug without requiring `T: Debug`, so
+    // `send(...).expect(...)` works for unprintable payloads.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when the queue gains an item or the last sender leaves.
+        not_empty: Condvar,
+        /// Signalled when the queue loses an item or the last receiver leaves.
+        not_full: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+    }
+
+    /// The sending half of a channel; clonable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel; clonable (MPMC).
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Creates a channel holding at most `cap` queued messages; senders
+    /// block when it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap))
+    }
+
+    /// Creates a channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        match shared.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is queued; errors if all receivers
+        /// have been dropped (the message is handed back).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.0);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = self.0.capacity.is_some_and(|cap| st.queue.len() >= cap);
+                if !full {
+                    st.queue.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = match self.0.not_full.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errors once the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.0);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.0.not_empty.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Non-blocking receive; `None` when no message is ready (whether
+        /// or not senders remain).
+        pub fn try_recv(&self) -> Option<T> {
+            let mut st = lock(&self.0);
+            let v = st.queue.pop_front();
+            if v.is_some() {
+                self.0.not_full.notify_one();
+            }
+            v
+        }
+
+        /// Blocking iterator draining the channel until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            lock(&self.0).senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            lock(&self.0).receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.0);
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake receivers blocked on an empty queue so they can
+                // observe the disconnect.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.0);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_fifo() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).expect("receiver alive");
+            }
+            drop(tx);
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn bounded_applies_backpressure() {
+            let (tx, rx) = bounded(2);
+            let producer = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let got: Vec<i32> = rx.iter().collect();
+            producer.join().expect("producer");
+            assert_eq!(got.len(), 100);
+        }
+
+        #[test]
+        fn multi_consumer_partitions_work() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            let a = std::thread::spawn(move || rx.iter().count());
+            let b = std::thread::spawn(move || rx2.iter().count());
+            for i in 0..1000 {
+                tx.send(i).expect("receivers alive");
+            }
+            drop(tx);
+            let total = a.join().expect("a") + b.join().expect("b");
+            assert_eq!(total, 1000);
+        }
+
+        #[test]
+        fn send_fails_after_receivers_gone() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn recv_fails_after_senders_gone() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

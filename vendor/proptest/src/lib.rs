@@ -1,0 +1,193 @@
+//! Offline shim for `proptest`: a miniature property-testing framework
+//! with the API surface this workspace uses.
+//!
+//! Differences from the real crate, chosen deliberately for an offline
+//! std-only build:
+//!
+//! * **No shrinking.** A failing case reports the case number and panics;
+//!   re-running is deterministic (seeds derive from the test's module
+//!   path), so the failure reproduces exactly.
+//! * **`prop_assert!` panics** instead of returning `TestCaseError`,
+//!   which makes it equivalent to `assert!` under this runner.
+//! * Strategies are simple samplers: `fn sample(&self, &mut TestRng)`.
+//!
+//! The grammar accepted by [`proptest!`] matches the subset the
+//! workspace's property tests use: an optional
+//! `#![proptest_config(...)]` header followed by `#[test] fn name(arg in
+//! strategy, ...) { body }` items.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection`, `prop::option`, `prop::bool` — the combinator
+/// namespaces the tests reach through `prop::...`.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod option {
+        pub use crate::strategy::of;
+    }
+    pub mod bool {
+        pub use crate::strategy::AnyBool;
+        /// Uniform `bool` strategy.
+        pub const ANY: AnyBool = AnyBool;
+    }
+    pub mod num {
+        /// Full-range numeric strategies (`prop::num::u64::ANY`, ...).
+        pub mod u64 {
+            /// Uniform `u64` strategy.
+            pub const ANY: std::ops::RangeInclusive<u64> = 0..=u64::MAX;
+        }
+        pub mod u32 {
+            /// Uniform `u32` strategy.
+            pub const ANY: std::ops::RangeInclusive<u32> = 0..=u32::MAX;
+        }
+    }
+}
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg; $($rest)*);
+    };
+    (@with_config $cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    let run = || {
+                        $(let $arg =
+                            $crate::strategy::Strategy::sample(&$strat, &mut rng);)*
+                        $body
+                    };
+                    // Label which sampled case failed before propagating.
+                    $crate::test_runner::with_case_label(stringify!($name), case, run);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config $crate::test_runner::ProptestConfig::default(); $($rest)*
+        );
+    };
+}
+
+/// Chooses uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a property; equivalent to `assert!` under this runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality; equivalent to `assert_eq!` under this runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Asserts inequality; equivalent to `assert_ne!` under this runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..100, 1u64..100)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in 0u32..=3, f in -1.0..1.0f64) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y <= 3);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in prop::collection::vec(0u8..=255, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()), "len = {}", v.len());
+        }
+
+        #[test]
+        fn map_and_oneof_compose(
+            v in prop_oneof![Just(1u32), Just(2), Just(3)],
+            s in arb_pair().prop_map(|(a, b)| a + b),
+        ) {
+            prop_assert!((1..=3).contains(&v));
+            prop_assert!(s < 199);
+        }
+
+        #[test]
+        fn options_hit_both_arms(opts in prop::collection::vec(prop::option::of(0u8..10), 32)) {
+            // With 32 draws at p(Some) = 0.5 both variants virtually
+            // always appear; the seed is fixed, so this is stable.
+            prop_assert!(opts.iter().any(|o| o.is_some()));
+            prop_assert!(opts.iter().any(|o| o.is_none()));
+        }
+
+        #[test]
+        fn bools_vary(bits in prop::collection::vec(prop::bool::ANY, 64)) {
+            prop_assert!(bits.iter().any(|&b| b));
+            prop_assert!(bits.iter().any(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("same::name");
+        let mut b = TestRng::from_name("same::name");
+        let strat = (0u64..1_000_000, 0u64..1_000_000);
+        for _ in 0..64 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}

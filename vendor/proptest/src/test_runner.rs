@@ -1,0 +1,97 @@
+//! Deterministic test-running support: the RNG and per-test config.
+
+/// Per-`proptest!` configuration (the `cases` knob is the only one the
+/// workspace uses; others are accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` sampled cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// SplitMix64-based deterministic RNG for sampling test inputs.
+///
+/// Seeds derive from the owning test's name, so every run of the suite
+/// samples identical inputs — failures always reproduce.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Seeds from a raw u64.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53-bit resolution.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs one sampled case, decorating any panic with the case number so
+/// failures are attributable without shrinking.
+pub fn with_case_label<R>(test: &str, case: u32, run: impl FnOnce() -> R) -> R {
+    struct CaseGuard<'a> {
+        test: &'a str,
+        case: u32,
+        armed: bool,
+    }
+    impl Drop for CaseGuard<'_> {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest shim: property `{}` failed on sampled case #{}",
+                    self.test, self.case
+                );
+            }
+        }
+    }
+    let mut guard = CaseGuard {
+        test,
+        case,
+        armed: true,
+    };
+    let out = run();
+    guard.armed = false;
+    let _ = &guard;
+    out
+}

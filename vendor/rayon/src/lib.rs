@@ -1,0 +1,87 @@
+//! Offline shim for `rayon`: parallel iterators degrade to sequential
+//! std iterators.
+//!
+//! The workspace only uses `into_par_iter().map(...).collect()` chains on
+//! ranges and vectors, so a blanket adapter that returns the ordinary
+//! sequential iterator is API-compatible. This is also a determinism win:
+//! with the shim, "parallel" reductions are bit-exact and orderings are
+//! reproducible, which the simulator's regression tests rely on. Swap the
+//! real rayon back in (same API) when registry access is available and
+//! throughput matters more than offline builds.
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    /// Sequential stand-in for rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item;
+        /// The "parallel" (here: sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts `self` into an iterator; sequential in this shim.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for rayon's `ParallelSlice`.
+    pub trait ParallelSlice<T> {
+        /// Iterates over chunks of at most `n` elements.
+        fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(n)
+        }
+    }
+
+    /// Sequential stand-in for rayon's `ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Iterates over mutable chunks of at most `n` elements.
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(n)
+        }
+    }
+}
+
+/// Runs two closures "in parallel" (sequentially here), returning both
+/// results — rayon's `join` signature.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects_in_order() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn vec_into_par_iter_sums() {
+        let s: u64 = vec![1u64, 2, 3].into_par_iter().sum();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

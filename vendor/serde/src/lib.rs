@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! annotations but never serialises anything, so the traits here are empty
+//! markers and the derives (re-exported from the shim `serde_derive`)
+//! only validate the attribute grammar. If real serialisation is needed
+//! later, swap the genuine serde back in — call sites compile unchanged.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

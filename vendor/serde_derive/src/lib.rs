@@ -1,0 +1,57 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! forward-compatibility marker (no serialisation is performed anywhere),
+//! so these derives parse just enough of the item to recover its name,
+//! then emit marker-trait impls. The `serde` helper attribute
+//! (`#[serde(skip)]` etc.) is declared so field annotations compile
+//! unchanged. Generic items get no impl — nothing in the workspace bounds
+//! on the marker traits, so none is needed.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the shim `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Emits `impl serde::<Trait> for <Name> {}` for non-generic items, and
+/// nothing for generic ones.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match parse_item_name(input) {
+        Some(name) => format!("impl serde::{trait_name} for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        None => TokenStream::new(),
+    }
+}
+
+/// Returns the item name for a non-generic `struct`/`enum`/`union`
+/// definition, or `None` when the item is generic (or unparseable).
+fn parse_item_name(input: TokenStream) -> Option<String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => return None,
+                };
+                let generic = matches!(
+                    iter.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                );
+                return if generic { None } else { Some(name) };
+            }
+        }
+    }
+    None
+}
