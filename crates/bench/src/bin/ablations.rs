@@ -204,7 +204,10 @@ fn main() {
             for i in 0..64 {
                 pf.prefetch(&format!("panel/{i}"), move || vec![0u8; 64 * 1024]);
             }
-            pf.drain();
+            if let Err(e) = pf.shutdown() {
+                eprintln!("ablation 7: prefetch shutdown failed: {e}");
+                return;
+            }
         }
         // The compute phase touches every panel.
         for i in 0..64 {

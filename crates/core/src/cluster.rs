@@ -106,6 +106,70 @@ pub fn ion_saturation_nodes(spec: &ClusterSpec, rates: &NodeRates) -> u32 {
     (ceiling / rates.per_cn_ion_mb_s).ceil() as u32
 }
 
+/// Aggregate compute-local bandwidth with `failed_local` of `nodes` CNs
+/// running in degraded mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DegradedPoint {
+    /// Compute nodes in the job.
+    pub nodes: u32,
+    /// Nodes whose local SSD has failed.
+    pub failed_local: u32,
+    /// Healthy aggregate (no failures), MB/s.
+    pub healthy_mb_s: f64,
+    /// Degraded aggregate, MB/s: healthy nodes keep their local rate,
+    /// failed nodes fall back to the shared ION path.
+    pub degraded_mb_s: f64,
+}
+
+impl DegradedPoint {
+    /// Fraction of the healthy aggregate retained, `[0, 1]`.
+    pub fn retained(&self) -> f64 {
+        if self.healthy_mb_s <= 0.0 {
+            0.0
+        } else {
+            self.degraded_mb_s / self.healthy_mb_s
+        }
+    }
+}
+
+/// Degraded mode: a CN whose local SSD fails does not stop — it falls
+/// back to the ION path, whose aggregate is still bounded by the shared
+/// server ceiling and the fabric bisection. This is the fault model's
+/// cluster-level answer to "what does CNL lose when devices die": the
+/// surviving nodes keep scaling linearly, only the fallback traffic
+/// contends.
+pub fn degraded_scaling_point(
+    spec: &ClusterSpec,
+    rates: &NodeRates,
+    nodes: u32,
+    failed_local: u32,
+) -> DegradedPoint {
+    let failed = failed_local.min(nodes);
+    let healthy = nodes - failed;
+    let fallback = (failed as f64 * rates.per_cn_ion_mb_s)
+        .min(spec.ions as f64 * rates.per_ion_ssd_mb_s)
+        .min(spec.bisection_mb_s);
+    DegradedPoint {
+        nodes,
+        failed_local: failed,
+        healthy_mb_s: nodes as f64 * rates.per_cn_local_mb_s,
+        degraded_mb_s: healthy as f64 * rates.per_cn_local_mb_s + fallback,
+    }
+}
+
+/// Degraded-mode curve over a sweep of failure counts at fixed scale.
+pub fn degraded_curve(
+    spec: &ClusterSpec,
+    rates: &NodeRates,
+    nodes: u32,
+    failure_counts: &[u32],
+) -> Vec<DegradedPoint> {
+    failure_counts
+        .iter()
+        .map(|&f| degraded_scaling_point(spec, rates, nodes, f))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +208,30 @@ mod tests {
         spec.bisection_mb_s = 5_000.0;
         let curve = scaling_curve(&spec, &rates(), &[40]);
         assert_eq!(curve[0].ion_mb_s, 5_000.0);
+    }
+
+    #[test]
+    fn degraded_mode_interpolates_between_cnl_and_ion() {
+        let spec = ClusterSpec::carver();
+        let r = rates();
+        let none = degraded_scaling_point(&spec, &r, 40, 0);
+        assert_eq!(none.degraded_mb_s, none.healthy_mb_s);
+        assert_eq!(none.retained(), 1.0);
+        // One failure: lose one local rate, gain one ION rate.
+        let one = degraded_scaling_point(&spec, &r, 40, 1);
+        assert_eq!(one.degraded_mb_s, 39.0 * 3000.0 + 800.0);
+        assert!(one.retained() < 1.0);
+        // All failed: pure ION aggregate, capped by the shared ceiling.
+        let all = degraded_scaling_point(&spec, &r, 40, 40);
+        assert_eq!(all.degraded_mb_s, 15_000.0);
+        // Monotone: more failures never help.
+        let curve = degraded_curve(&spec, &r, 40, &[0, 1, 5, 20, 40]);
+        for pair in curve.windows(2) {
+            assert!(pair[1].degraded_mb_s <= pair[0].degraded_mb_s);
+        }
+        // Failure count is clamped to the job size.
+        let clamped = degraded_scaling_point(&spec, &r, 4, 9);
+        assert_eq!(clamped.failed_local, 4);
     }
 
     #[test]

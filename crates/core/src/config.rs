@@ -185,13 +185,22 @@ impl SystemConfig {
 
     /// Concrete simulator configuration for a given NVM medium.
     pub fn device(&self, kind: NvmKind) -> SsdDevice {
+        self.device_with_faults(kind, nvmtypes::FaultPlan::none())
+    }
+
+    /// Like [`SystemConfig::device`], but with a fault plan installed.
+    /// `FaultPlan::none()` produces a device byte-identical to
+    /// [`SystemConfig::device`].
+    pub fn device_with_faults(&self, kind: NvmKind, plan: nvmtypes::FaultPlan) -> SsdDevice {
         let media = MediaConfig::paper(kind, self.bus.timing());
         let ftl = if self.fs == FsKind::Ufs {
             FtlMode::ufs_default()
         } else {
             FtlMode::traditional_default()
         };
-        let cfg = SsdConfig::new(media, self.host_chain()).with_ftl(ftl);
+        let cfg = SsdConfig::new(media, self.host_chain())
+            .with_ftl(ftl)
+            .with_fault_plan(plan);
         SsdDevice::new(cfg)
     }
 

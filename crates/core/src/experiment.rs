@@ -38,8 +38,20 @@ pub fn run_experiment(
     kind: NvmKind,
     posix: &PosixTrace,
 ) -> ExperimentReport {
+    run_experiment_with_faults(config, kind, posix, nvmtypes::FaultPlan::none())
+}
+
+/// Like [`run_experiment`], but injecting deterministic faults from
+/// `plan`. `FaultPlan::none()` reproduces [`run_experiment`] exactly,
+/// byte for byte.
+pub fn run_experiment_with_faults(
+    config: &SystemConfig,
+    kind: NvmKind,
+    posix: &PosixTrace,
+    plan: nvmtypes::FaultPlan,
+) -> ExperimentReport {
     let block = config.fs.transform(posix);
-    let device = config.device(kind);
+    let device = config.device_with_faults(kind, plan);
     let run = device.run(&block);
     ExperimentReport {
         label: config.label,

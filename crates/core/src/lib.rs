@@ -35,6 +35,7 @@ pub mod format;
 pub mod trends;
 pub mod workload;
 
+pub use cluster::{degraded_curve, degraded_scaling_point, DegradedPoint};
 pub use config::{Controller, Location, SystemConfig};
-pub use experiment::{run_experiment, run_sweep, ExperimentReport};
+pub use experiment::{run_experiment, run_experiment_with_faults, run_sweep, ExperimentReport};
 pub use workload::{lobpcg_posix_trace, synthetic_ooc_trace};

@@ -1,0 +1,283 @@
+//! Media-level fault state: wear-scaled bit errors, program/erase
+//! failures and read-disturb counters, sampled deterministically from a
+//! [`FaultRng`] stream.
+//!
+//! This module owns the *error processes* of the media — when a page
+//! read needs ECC help, when a program or erase fails, when read
+//! disturb forces a refresh. The *recovery mechanics* (retry ladders,
+//! bad-block remapping, refresh scheduling) belong to the device layer
+//! (`ssd`), which drives this state alongside the timing engine.
+//!
+//! Determinism: sampling draws from a dedicated split stream
+//! (`nvmtypes::fault::STREAM_MEDIA`) in op order, and zero-rate
+//! profiles never advance the stream, so a [`MediaFaultProfile::none`]
+//! run is byte-identical to one with no fault state at all.
+
+use crate::op::{DieOp, OpKind};
+use nvmtypes::fault::{FaultRng, MediaFaultProfile};
+use nvmtypes::NvmKind;
+use std::collections::BTreeMap;
+
+/// Probability an escalating read-retry tier corrects the page: each
+/// shifted-reference re-sense recovers most marginal pages, so demand
+/// for deep tiers decays geometrically.
+const TIER_CORRECT_PROB: f64 = 0.7;
+
+/// Outcome of sampling the error processes for one read [`DieOp`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadFaultSample {
+    /// For each page the inline ECC could not fix: the 1-based retry
+    /// tier that finally corrected it (ordering follows page order
+    /// within the op).
+    pub corrected_tiers: Vec<u32>,
+    /// Pages whose error exceeded every retry tier. The read still
+    /// completes (after the full ladder), but the data is lost and the
+    /// device must remap the block.
+    pub uncorrectable: u64,
+    /// Read-disturb refreshes triggered: the block's disturb counter
+    /// crossed the limit and one page re-program is charged.
+    pub disturb_refreshes: u64,
+}
+
+impl ReadFaultSample {
+    /// True iff the op saw no error at all.
+    pub fn is_clean(&self) -> bool {
+        self.corrected_tiers.is_empty() && self.uncorrectable == 0 && self.disturb_refreshes == 0
+    }
+}
+
+/// Per-device media fault state: wear counters, disturb counters and
+/// the sampling stream.
+#[derive(Debug, Clone)]
+pub struct MediaFaultState {
+    profile: MediaFaultProfile,
+    kind: NvmKind,
+    pages_per_block: u64,
+    rng: FaultRng,
+    /// Erase count per die — the P/E-cycle proxy the wear model scales
+    /// error rates with (per-die rather than per-block: wear-leveling
+    /// spreads cycles across a die's blocks).
+    pe_cycles: BTreeMap<u32, u64>,
+    /// Reads since last refresh per `(die, block)`; sparse — only
+    /// blocks that have been read appear.
+    disturb: BTreeMap<(u32, u64), u64>,
+}
+
+impl MediaFaultState {
+    /// Builds the state for one device run. `rng` should be the
+    /// `STREAM_MEDIA` split of the plan's root generator.
+    pub fn new(
+        profile: MediaFaultProfile,
+        kind: NvmKind,
+        pages_per_block: u64,
+        rng: FaultRng,
+    ) -> MediaFaultState {
+        MediaFaultState {
+            profile,
+            kind,
+            pages_per_block: pages_per_block.max(1),
+            rng,
+            pe_cycles: BTreeMap::new(),
+            disturb: BTreeMap::new(),
+        }
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> &MediaFaultProfile {
+        &self.profile
+    }
+
+    /// P/E cycles accumulated on `die` so far.
+    pub fn pe_cycles(&self, die: u32) -> u64 {
+        self.pe_cycles.get(&die).copied().unwrap_or(0)
+    }
+
+    /// Samples the error processes for a read op. Call once per read
+    /// `DieOp`, in dispatch order.
+    pub fn sample_read(&mut self, op: &DieOp) -> ReadFaultSample {
+        debug_assert!(op.kind == OpKind::Read);
+        let mut sample = ReadFaultSample::default();
+        let die = op.die.0;
+        let p_err = self.profile.read_error_prob(self.kind, self.pe_cycles(die));
+        if p_err > 0.0 {
+            for _page in 0..op.pages {
+                if !self.rng.gen_bool(p_err) {
+                    continue;
+                }
+                // Escalate through the retry ladder; geometric demand.
+                let mut corrected = None;
+                for tier in 1..=self.profile.ecc_tiers {
+                    if self.rng.gen_bool(TIER_CORRECT_PROB) {
+                        corrected = Some(tier);
+                        break;
+                    }
+                }
+                match corrected {
+                    Some(tier) => sample.corrected_tiers.push(tier),
+                    None => sample.uncorrectable += 1,
+                }
+            }
+        }
+        // Read disturb: aggregate the op's pages onto its starting
+        // block (runs rarely straddle blocks); PCM cells do not
+        // disturb on read.
+        if self.profile.read_disturb_limit > 0 && self.kind != NvmKind::Pcm {
+            let block = op.start_page / self.pages_per_block;
+            let counter = self.disturb.entry((die, block)).or_insert(0);
+            *counter += op.pages;
+            while *counter >= self.profile.read_disturb_limit {
+                *counter -= self.profile.read_disturb_limit;
+                sample.disturb_refreshes += 1;
+            }
+        }
+        sample
+    }
+
+    /// Samples program failures for a write op; returns how many page
+    /// programs failed and must be retried (one retry always succeeds —
+    /// the controller re-programs into the same block).
+    pub fn sample_program(&mut self, op: &DieOp) -> u64 {
+        debug_assert!(op.kind == OpKind::Write);
+        if self.profile.program_fail_prob <= 0.0 {
+            return 0;
+        }
+        let mut fails = 0;
+        for _page in 0..op.pages {
+            if self.rng.gen_bool(self.profile.program_fail_prob) {
+                fails += 1;
+            }
+        }
+        fails
+    }
+
+    /// Records `blocks` erases on `die` (advancing the wear model) and
+    /// samples erase failures; returns how many of them failed. A
+    /// failed erase condemns its block: the device must remap it.
+    pub fn sample_erase(&mut self, die: u32, blocks: u64) -> u64 {
+        *self.pe_cycles.entry(die).or_insert(0) += blocks;
+        if self.profile.erase_fail_prob <= 0.0 {
+            return 0;
+        }
+        let mut fails = 0;
+        for _block in 0..blocks {
+            if self.rng.gen_bool(self.profile.erase_fail_prob) {
+                fails += 1;
+            }
+        }
+        fails
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmtypes::fault::{FaultPlan, STREAM_MEDIA};
+    use nvmtypes::DieIndex;
+
+    fn state(profile: MediaFaultProfile, kind: NvmKind) -> MediaFaultState {
+        let rng = FaultPlan {
+            seed: 99,
+            ..FaultPlan::none()
+        }
+        .rng()
+        .split(STREAM_MEDIA);
+        MediaFaultState::new(profile, kind, 128, rng)
+    }
+
+    #[test]
+    fn zero_profile_is_silent_and_consumes_nothing() {
+        let mut s = state(MediaFaultProfile::none(), NvmKind::Tlc);
+        let op = DieOp::read(DieIndex(0), 2, 64, 0);
+        for _ in 0..10 {
+            assert!(s.sample_read(&op).is_clean());
+        }
+        assert_eq!(s.sample_program(&DieOp::write(DieIndex(0), 2, 64, 0)), 0);
+        assert_eq!(s.sample_erase(0, 4), 0);
+        // The stream never advanced: it still matches a fresh split.
+        let fresh = state(MediaFaultProfile::none(), NvmKind::Tlc);
+        assert_eq!(s.rng, fresh.rng);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let profile = MediaFaultProfile {
+            page_error_prob: 0.05,
+            program_fail_prob: 0.02,
+            erase_fail_prob: 0.1,
+            read_disturb_limit: 100,
+            ..MediaFaultProfile::none()
+        };
+        let mut a = state(profile, NvmKind::Mlc);
+        let mut b = state(profile, NvmKind::Mlc);
+        let read = DieOp::read(DieIndex(3), 2, 200, 0);
+        let write = DieOp::write(DieIndex(3), 2, 64, 0);
+        for _ in 0..5 {
+            assert_eq!(a.sample_read(&read), b.sample_read(&read));
+            assert_eq!(a.sample_program(&write), b.sample_program(&write));
+            assert_eq!(a.sample_erase(3, 2), b.sample_erase(3, 2));
+        }
+    }
+
+    #[test]
+    fn wear_raises_read_error_rate() {
+        let profile = MediaFaultProfile {
+            page_error_prob: 1e-3,
+            pe_wear_factor: 0.05,
+            ..MediaFaultProfile::none()
+        };
+        let mut worn = state(profile, NvmKind::Slc);
+        let mut fresh = state(profile, NvmKind::Slc);
+        // Put 10k P/E cycles on die 0 of the worn device.
+        for _ in 0..100 {
+            let _fails = worn.sample_erase(0, 100);
+        }
+        assert_eq!(worn.pe_cycles(0), 10_000);
+        let op = DieOp::read(DieIndex(0), 2, 512, 0);
+        let errs = |s: &mut MediaFaultState| {
+            let mut n = 0u64;
+            for _ in 0..20 {
+                let smp = s.sample_read(&op);
+                n += nvmtypes::u64_from_usize(smp.corrected_tiers.len()) + smp.uncorrectable;
+            }
+            n
+        };
+        assert!(errs(&mut worn) > errs(&mut fresh));
+    }
+
+    #[test]
+    fn read_disturb_triggers_refreshes() {
+        let profile = MediaFaultProfile {
+            read_disturb_limit: 100,
+            ..MediaFaultProfile::none()
+        };
+        let mut s = state(profile, NvmKind::Slc);
+        let op = DieOp::read(DieIndex(1), 2, 50, 0);
+        assert_eq!(s.sample_read(&op).disturb_refreshes, 0);
+        assert_eq!(s.sample_read(&op).disturb_refreshes, 1);
+        // PCM never disturbs.
+        let mut pcm = state(profile, NvmKind::Pcm);
+        for _ in 0..10 {
+            assert_eq!(pcm.sample_read(&op).disturb_refreshes, 0);
+        }
+    }
+
+    #[test]
+    fn dense_media_err_more() {
+        let profile = MediaFaultProfile {
+            page_error_prob: 5e-3,
+            ..MediaFaultProfile::none()
+        };
+        let op = DieOp::read(DieIndex(0), 2, 256, 0);
+        let count = |kind: NvmKind| {
+            let mut s = state(profile, kind);
+            let mut n = 0u64;
+            for _ in 0..40 {
+                let smp = s.sample_read(&op);
+                n += nvmtypes::u64_from_usize(smp.corrected_tiers.len()) + smp.uncorrectable;
+            }
+            n
+        };
+        assert!(count(NvmKind::Tlc) > count(NvmKind::Slc));
+        assert!(count(NvmKind::Pcm) < count(NvmKind::Mlc));
+    }
+}

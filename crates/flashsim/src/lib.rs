@@ -45,6 +45,7 @@
 pub mod config;
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod intervals;
 pub mod op;
 pub mod stats;
@@ -52,5 +53,6 @@ pub mod stats;
 pub use config::MediaConfig;
 pub use energy::EnergyReport;
 pub use engine::{DieOpOutcome, MediaSim};
+pub use fault::{MediaFaultState, ReadFaultSample};
 pub use op::{DieOp, OpKind};
 pub use stats::{ExecBreakdown, MediaReport, PalHistogram, PalLevel};

@@ -54,7 +54,7 @@ pub struct FsModel {
 impl FsModel {
     /// Builds the model, validating the parameters (see
     /// [`FsParams::validate`]).
-    pub fn new(params: FsParams) -> Result<FsModel, String> {
+    pub fn new(params: FsParams) -> Result<FsModel, nvmtypes::SimError> {
         params.validate()?;
         Ok(FsModel { params })
     }

@@ -1,5 +1,6 @@
 //! Tunable description of one local file system's request mutation.
 
+use nvmtypes::SimError;
 use serde::Serialize;
 
 /// How a local file system reshapes application I/O on its way to the
@@ -53,21 +54,37 @@ pub struct FsParams {
 
 impl FsParams {
     /// Sanity-checks the parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SimError> {
+        let field = |f: &str| format!("{}.{f}", self.name);
         if self.block_size == 0 || !self.block_size.is_power_of_two() {
-            return Err(format!("{}: block_size must be a power of two", self.name));
+            return Err(SimError::invalid_config(
+                field("block_size"),
+                "must be a power of two",
+            ));
         }
         if self.max_request < self.block_size {
-            return Err(format!("{}: max_request below block_size", self.name));
+            return Err(SimError::invalid_config(
+                field("max_request"),
+                "below block_size",
+            ));
         }
         if self.mean_extent < u64::from(self.block_size) {
-            return Err(format!("{}: mean_extent below block_size", self.name));
+            return Err(SimError::invalid_config(
+                field("mean_extent"),
+                "below block_size",
+            ));
         }
         if !(0.0..=1.0).contains(&self.placement_entropy) {
-            return Err(format!("{}: placement_entropy out of [0,1]", self.name));
+            return Err(SimError::invalid_config(
+                field("placement_entropy"),
+                "out of [0,1]",
+            ));
         }
         if self.queue_depth == 0 {
-            return Err(format!("{}: queue_depth must be positive", self.name));
+            return Err(SimError::invalid_config(
+                field("queue_depth"),
+                "must be positive",
+            ));
         }
         Ok(())
     }

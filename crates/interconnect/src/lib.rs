@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod fabric;
+pub mod faults;
 pub mod link;
 pub mod onfi;
 pub mod pcie;
 pub mod sata;
 
 pub use fabric::{fibre_channel_8g, infiniband_fdr_4x, infiniband_qdr_4x};
+pub use faults::{LinkFaultSim, LinkFaultStats};
 pub use link::{Link, LinkChain};
 pub use onfi::{ddr800, sdr400, NvmBusSpeed};
 pub use pcie::{pcie, PcieGen};

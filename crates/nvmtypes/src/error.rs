@@ -1,0 +1,151 @@
+//! Shared error vocabulary for the workspace.
+//!
+//! The simulator crates return typed errors instead of panicking
+//! (`no_panic` invariant, docs/INVARIANTS.md) and instead of ad-hoc
+//! `String`s: a `String` error cannot be matched on, carries no source
+//! chain, and invites `unwrap` at call sites. [`SimError`] is the one
+//! error enum configuration parsing and validation speak across
+//! `nvmtypes`, `fs`, `ssd`, `trace` and `core`.
+
+use std::fmt;
+
+/// Workspace-wide simulation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A configuration field failed validation (zero-sized geometry
+    /// dimension, out-of-range filesystem parameter, …).
+    InvalidConfig {
+        /// Which field (dotted path, e.g. `geometry.channels`).
+        field: String,
+        /// What constraint it violated.
+        reason: String,
+    },
+    /// A textual input (trace file, fault plan, matrix file) failed to
+    /// parse.
+    Parse {
+        /// What was being parsed (`posix trace`, `fault plan`, …).
+        what: String,
+        /// 1-based line number, when known (0 = unknown).
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A worker thread panicked; the panic was caught at `join()` and
+    /// surfaced as an error instead of being swallowed.
+    WorkerPanic {
+        /// Which worker (pipeline filter name, scheduler worker index, …).
+        worker: String,
+    },
+    /// A channel endpoint hung up while the pipeline still had data to
+    /// move (send or receive on a disconnected channel).
+    ChannelClosed {
+        /// Which stage observed the disconnect.
+        stage: String,
+    },
+    /// A simulated hardware resource was exhausted (e.g. spare blocks
+    /// for bad-block remapping).
+    ResourceExhausted {
+        /// Which resource ran out.
+        resource: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid_config(field: impl Into<String>, reason: impl Into<String>) -> SimError {
+        SimError::InvalidConfig {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SimError::Parse`].
+    pub fn parse(what: impl Into<String>, line: usize, reason: impl Into<String>) -> SimError {
+        SimError::Parse {
+            what: what.into(),
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SimError::WorkerPanic`].
+    pub fn worker_panic(worker: impl Into<String>) -> SimError {
+        SimError::WorkerPanic {
+            worker: worker.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SimError::ChannelClosed`].
+    pub fn channel_closed(stage: impl Into<String>) -> SimError {
+        SimError::ChannelClosed {
+            stage: stage.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: `{field}` {reason}")
+            }
+            SimError::Parse { what, line, reason } => {
+                if *line == 0 {
+                    write!(f, "parse error in {what}: {reason}")
+                } else {
+                    write!(f, "parse error in {what} at line {line}: {reason}")
+                }
+            }
+            SimError::WorkerPanic { worker } => {
+                write!(f, "worker `{worker}` panicked")
+            }
+            SimError::ChannelClosed { stage } => {
+                write!(f, "channel closed early at `{stage}`")
+            }
+            SimError::ResourceExhausted { resource } => {
+                write!(f, "resource exhausted: {resource}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SimError::invalid_config("geometry.channels", "must be non-zero");
+        assert_eq!(
+            e.to_string(),
+            "invalid config: `geometry.channels` must be non-zero"
+        );
+        let e = SimError::parse("fault plan", 3, "unknown key `foo`");
+        assert_eq!(
+            e.to_string(),
+            "parse error in fault plan at line 3: unknown key `foo`"
+        );
+        let e = SimError::parse("posix trace", 0, "empty input");
+        assert_eq!(e.to_string(), "parse error in posix trace: empty input");
+        let e = SimError::WorkerPanic {
+            worker: "filter[2]".into(),
+        };
+        assert_eq!(e.to_string(), "worker `filter[2]` panicked");
+        let e = SimError::ChannelClosed {
+            stage: "producer".into(),
+        };
+        assert_eq!(e.to_string(), "channel closed early at `producer`");
+        let e = SimError::ResourceExhausted {
+            resource: "spare blocks".into(),
+        };
+        assert_eq!(e.to_string(), "resource exhausted: spare blocks");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&SimError::invalid_config("x", "y"));
+    }
+}

@@ -119,7 +119,7 @@ impl SsdGeometry {
     }
 
     /// Checks internal consistency; useful for deserialised configs.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::error::SimError> {
         for (name, v) in [
             ("channels", self.channels),
             ("packages_per_channel", self.packages_per_channel),
@@ -129,7 +129,10 @@ impl SsdGeometry {
             ("pages_per_block", self.pages_per_block),
         ] {
             if v == 0 {
-                return Err(format!("geometry field `{name}` must be non-zero"));
+                return Err(crate::error::SimError::invalid_config(
+                    format!("geometry.{name}"),
+                    "must be non-zero",
+                ));
             }
         }
         Ok(())

@@ -23,6 +23,8 @@
 pub mod bus;
 pub mod convert;
 pub mod energy;
+pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod kind;
 pub mod latency;
@@ -34,6 +36,8 @@ pub use convert::{
     approx_f64, trunc_u64, try_u32, u32_from, u64_from_usize, usize_from, usize_from_u32,
 };
 pub use energy::MediaEnergy;
+pub use error::SimError;
+pub use fault::{FaultPlan, FaultRng, LinkFaultProfile, MediaFaultProfile, NodeFaultProfile};
 pub use geometry::{DieIndex, PhysLoc, SsdGeometry};
 pub use kind::{NvmKind, PageClass};
 pub use latency::MediaTiming;

@@ -8,6 +8,8 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use nvmtypes::SimError;
+use std::cell::Cell;
 
 /// A stage in a dataflow: consumes chunks, emits chunks.
 pub trait Filter: Send {
@@ -51,7 +53,13 @@ impl Pipeline {
 
     /// Feeds `source` through every stage, returning the terminal stream's
     /// chunks in order.
-    pub fn run<I>(self, source: I) -> Vec<Bytes>
+    ///
+    /// # Errors
+    /// Returns [`SimError::WorkerPanic`] when a stage (or the producer)
+    /// panics, and [`SimError::ChannelClosed`] when a stage's downstream
+    /// hangs up while it still has chunks to emit. A healthy run drains
+    /// every stream, so neither can occur without a real fault.
+    pub fn run<I>(self, source: I) -> Result<Vec<Bytes>, SimError>
     where
         I: IntoIterator<Item = Bytes> + Send + 'static,
         I::IntoIter: Send,
@@ -59,23 +67,37 @@ impl Pipeline {
         let depth = self.stream_depth.max(1);
         let (first_tx, mut prev_rx): (Sender<Bytes>, Receiver<Bytes>) = bounded(depth);
         let mut handles = Vec::with_capacity(self.filters.len());
-        for mut f in self.filters {
+        for (i, mut f) in self.filters.into_iter().enumerate() {
             let (tx, rx): (Sender<Bytes>, Receiver<Bytes>) = bounded(depth);
             let input = prev_rx;
-            handles.push(std::thread::spawn(move || {
+            handles.push(std::thread::spawn(move || -> Result<(), SimError> {
+                // A send failure means the downstream stage died early;
+                // record it so the stage can stop and report instead of
+                // silently dropping the rest of the flow.
+                let disconnected = Cell::new(false);
                 let mut emit = |chunk: Bytes| {
-                    // Downstream hang-ups just terminate the flow early.
-                    let _ = tx.send(chunk);
+                    if tx.send(chunk).is_err() {
+                        disconnected.set(true);
+                    }
                 };
                 while let Ok(chunk) = input.recv() {
                     f.process(chunk, &mut emit);
+                    if disconnected.get() {
+                        return Err(SimError::channel_closed(format!("filter[{i}]")));
+                    }
                 }
                 f.finish(&mut emit);
+                if disconnected.get() {
+                    return Err(SimError::channel_closed(format!("filter[{i}]")));
+                }
+                Ok(())
             }));
             prev_rx = rx;
         }
         // Producer feeds the first stream from this thread... but that
-        // deadlocks on bounded channels; feed from a thread instead.
+        // deadlocks on bounded channels; feed from a thread instead. A
+        // producer-side send failure is not reported here: the stage that
+        // hung up reports its own panic/disconnect below.
         let producer = std::thread::spawn(move || {
             for chunk in source {
                 if first_tx.send(chunk).is_err() {
@@ -84,11 +106,32 @@ impl Pipeline {
             }
         });
         let out: Vec<Bytes> = prev_rx.iter().collect();
-        let _ = producer.join();
-        for h in handles {
-            let _ = h.join();
+        // Panics outrank disconnects: an upstream disconnect is usually
+        // the *consequence* of a downstream panic, so report the cause.
+        let mut panicked: Option<SimError> = None;
+        let mut closed: Option<SimError> = None;
+        if producer.join().is_err() {
+            panicked = Some(SimError::worker_panic("pipeline producer"));
         }
-        out
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Err(_) => {
+                    if panicked.is_none() {
+                        panicked = Some(SimError::worker_panic(format!("filter[{i}]")));
+                    }
+                }
+                Ok(Err(e)) => {
+                    if closed.is_none() {
+                        closed = Some(e);
+                    }
+                }
+                Ok(Ok(())) => {}
+            }
+        }
+        match panicked.or(closed) {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 }
 
@@ -140,7 +183,8 @@ mod tests {
     fn single_stage_transforms() {
         let out = Pipeline::new()
             .then(Doubler)
-            .run(vec![Bytes::from_static(&[1, 2]), Bytes::from_static(&[3])]);
+            .run(vec![Bytes::from_static(&[1, 2]), Bytes::from_static(&[3])])
+            .unwrap();
         assert_eq!(
             out,
             vec![Bytes::from_static(&[2, 4]), Bytes::from_static(&[6])]
@@ -154,7 +198,8 @@ mod tests {
         let out = Pipeline::new()
             .then(Doubler)
             .then(EvenOnly)
-            .run((1u8..=3).map(|b| Bytes::from(vec![b])));
+            .run((1u8..=3).map(|b| Bytes::from(vec![b])))
+            .unwrap();
         assert_eq!(out.len(), 3);
     }
 
@@ -162,7 +207,8 @@ mod tests {
     fn finish_flushes_aggregates() {
         let out = Pipeline::new()
             .then(Counter(0))
-            .run((0..100u8).map(|b| Bytes::from(vec![b])));
+            .run((0..100u8).map(|b| Bytes::from(vec![b])))
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(u64::from_le_bytes(out[0][..8].try_into().unwrap()), 100);
     }
@@ -172,14 +218,54 @@ mod tests {
         // Many more chunks than the stream depth.
         let mut p = Pipeline::new().then(Doubler).then(Doubler);
         p.stream_depth = 2;
-        let out = p.run((0..1000u32).map(|i| Bytes::from(vec![(i % 251) as u8])));
+        let out = p
+            .run((0..1000u32).map(|i| Bytes::from(vec![(i % 251) as u8])))
+            .unwrap();
         assert_eq!(out.len(), 1000);
     }
 
     #[test]
     fn empty_pipeline_is_identity() {
         let chunks = vec![Bytes::from_static(b"abc")];
-        let out = Pipeline::new().run(chunks.clone());
+        let out = Pipeline::new().run(chunks.clone()).unwrap();
         assert_eq!(out, chunks);
+    }
+
+    /// Panics on the first chunk it sees.
+    struct Exploder;
+    impl Filter for Exploder {
+        fn process(&mut self, _chunk: Bytes, _emit: &mut dyn FnMut(Bytes)) {
+            panic!("injected stage failure");
+        }
+    }
+
+    #[test]
+    fn stage_panic_surfaces_as_worker_panic() {
+        let err = Pipeline::new()
+            .then(Doubler)
+            .then(Exploder)
+            .run((0..100u8).map(|b| Bytes::from(vec![b])))
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::WorkerPanic { .. }),
+            "expected WorkerPanic, got {err}"
+        );
+    }
+
+    #[test]
+    fn producer_panic_surfaces_as_worker_panic() {
+        let err = Pipeline::new()
+            .then(Doubler)
+            .run((0..10u8).map(|b| {
+                assert!(b < 5, "injected producer failure");
+                Bytes::from(vec![b])
+            }))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::WorkerPanic {
+                worker: "pipeline producer".into()
+            }
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! The immutable keyed data pool with memory management and prefetching.
 
+use nvmtypes::SimError;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -151,10 +152,15 @@ type Job = (String, Box<dyn FnOnce() -> Vec<u8> + Send>);
 
 /// Background prefetcher: worker threads that load keys into a shared
 /// [`DataPool`] ahead of the computation.
+///
+/// Call [`Prefetcher::shutdown`] when done to learn whether any loader
+/// panicked; plain `Drop` still joins the workers but has nowhere to
+/// report a failure.
 pub struct Prefetcher {
     tx: Option<crossbeam::channel::Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     outstanding: Arc<(Mutex<usize>, Condvar)>,
+    failed_loads: Arc<AtomicU64>,
 }
 
 impl Prefetcher {
@@ -163,16 +169,27 @@ impl Prefetcher {
         assert!(workers >= 1);
         let (tx, rx) = crossbeam::channel::unbounded::<Job>();
         let outstanding = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let failed_loads = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let rx = rx.clone();
             let pool = Arc::clone(&pool);
             let outstanding = Arc::clone(&outstanding);
+            let failed_loads = Arc::clone(&failed_loads);
             handles.push(std::thread::spawn(move || {
                 while let Ok((key, loader)) = rx.recv() {
                     if !pool.contains(&key) {
-                        let data = loader();
-                        pool.insert(&key, data);
+                        // Catch loader panics so the outstanding count is
+                        // always decremented — otherwise one bad loader
+                        // would deadlock every later `drain()`.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(loader)) {
+                            Ok(data) => {
+                                pool.insert(&key, data);
+                            }
+                            Err(_) => {
+                                failed_loads.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     }
                     let (lock, cv) = &*outstanding;
                     let mut n = lock.lock();
@@ -185,6 +202,7 @@ impl Prefetcher {
             tx: Some(tx),
             handles,
             outstanding,
+            failed_loads,
         }
     }
 
@@ -199,7 +217,7 @@ impl Prefetcher {
             .expect("prefetch workers alive");
     }
 
-    /// Blocks until every queued prefetch has landed.
+    /// Blocks until every queued prefetch has landed (or failed).
     pub fn drain(&self) {
         let (lock, cv) = &*self.outstanding;
         let mut n = lock.lock();
@@ -207,13 +225,46 @@ impl Prefetcher {
             cv.wait(&mut n);
         }
     }
+
+    /// Loaders that panicked so far (their keys were not inserted).
+    pub fn failed_loads(&self) -> u64 {
+        self.failed_loads.load(Ordering::Relaxed)
+    }
+
+    /// Drains outstanding work, stops the workers and joins them.
+    ///
+    /// # Errors
+    /// Returns [`SimError::WorkerPanic`] when any queued loader panicked
+    /// (the failure count is in the worker label) or when a worker thread
+    /// itself died.
+    pub fn shutdown(mut self) -> Result<(), SimError> {
+        self.drain();
+        self.tx.take();
+        let handles: Vec<_> = self.handles.drain(..).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                return Err(SimError::worker_panic(format!("prefetch worker {i}")));
+            }
+        }
+        let failed = self.failed_loads();
+        if failed > 0 {
+            return Err(SimError::worker_panic(format!(
+                "{failed} prefetch loader(s)"
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Drop for Prefetcher {
     fn drop(&mut self) {
+        // Guarded: `shutdown()` already drained `handles`, so this only
+        // joins when the prefetcher is dropped without an explicit
+        // shutdown (failures are then unreportable but not swallowed
+        // silently — they are counted in `failed_loads`).
         self.tx.take();
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            drop(h.join());
         }
     }
 }
@@ -298,5 +349,32 @@ mod tests {
         pf.prefetch("k", || panic!("must not reload resident key"));
         pf.drain();
         assert_eq!(*pool.get("k").unwrap(), vec![1]);
+        pf.shutdown().unwrap();
+    }
+
+    #[test]
+    fn clean_shutdown_returns_ok() {
+        let pool = Arc::new(DataPool::new(1 << 20));
+        let pf = Prefetcher::new(Arc::clone(&pool), 2);
+        pf.prefetch("a", || vec![1]);
+        pf.shutdown().unwrap();
+        assert!(pool.contains("a"));
+    }
+
+    #[test]
+    fn panicking_loader_does_not_deadlock_and_is_reported() {
+        let pool = Arc::new(DataPool::new(1 << 20));
+        let pf = Prefetcher::new(Arc::clone(&pool), 2);
+        pf.prefetch("bad", || panic!("injected loader failure"));
+        pf.prefetch("good", || vec![7]);
+        pf.drain(); // must not hang on the failed load
+        assert_eq!(pf.failed_loads(), 1);
+        assert!(!pool.contains("bad"));
+        assert!(pool.contains("good"));
+        let err = pf.shutdown().unwrap_err();
+        assert!(
+            matches!(err, SimError::WorkerPanic { .. }),
+            "expected WorkerPanic, got {err}"
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! The hierarchical data-aware task scheduler.
 
 use crate::dooc::pool::DataPool;
+use nvmtypes::SimError;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Identifier of a task within a [`TaskGraph`].
@@ -104,7 +106,12 @@ impl TaskGraph {
 
     /// Executes the whole graph on `workers` threads, returning task names
     /// in dispatch order.
-    pub fn execute(self, workers: usize) -> Vec<String> {
+    ///
+    /// # Errors
+    /// Returns [`SimError::WorkerPanic`] naming the first task whose body
+    /// panicked. The panic is caught on the worker thread, already-running
+    /// tasks are allowed to finish, and no further tasks are dispatched.
+    pub fn execute(self, workers: usize) -> Result<Vec<String>, SimError> {
         assert!(workers >= 1);
         let pool = self.pool.clone();
         let mut deps_left: Vec<usize> = self.tasks.iter().map(|t| t.deps_left).collect();
@@ -119,7 +126,7 @@ impl TaskGraph {
             .map(|(i, t)| (i, t.run))
             .collect();
 
-        let (done_tx, done_rx) = crossbeam::channel::unbounded::<TaskId>();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<(TaskId, bool)>();
         let (job_tx, job_rx) = crossbeam::channel::unbounded::<(TaskId, TaskFn)>();
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -127,8 +134,11 @@ impl TaskGraph {
             let done_tx = done_tx.clone();
             handles.push(std::thread::spawn(move || {
                 while let Ok((id, f)) = job_rx.recv() {
-                    f();
-                    if done_tx.send(id).is_err() {
+                    // Catch panics so a failing task body is reported as a
+                    // completion (ok = false) instead of killing the worker
+                    // and deadlocking the dispatch loop.
+                    let ok = catch_unwind(AssertUnwindSafe(f)).is_ok();
+                    if done_tx.send((id, ok)).is_err() {
                         break;
                     }
                 }
@@ -142,6 +152,7 @@ impl TaskGraph {
         let mut running = 0usize;
         let mut remaining = deps_left.len();
 
+        let mut failure: Option<SimError> = None;
         while remaining > 0 {
             // Dispatch as many ready tasks as workers allow, best-scored
             // (most resident inputs) first.
@@ -161,9 +172,16 @@ impl TaskGraph {
                 job_tx.send((task, body)).expect("workers alive");
                 running += 1;
             }
-            let finished = done_rx.recv().expect("worker reported");
+            let (finished, ok) = done_rx.recv().expect("worker reported");
             running -= 1;
             remaining -= 1;
+            if !ok {
+                failure = Some(SimError::worker_panic(format!(
+                    "task `{}`",
+                    names[finished]
+                )));
+                break;
+            }
             for &dep in &dependents[finished] {
                 deps_left[dep] -= 1;
                 if deps_left[dep] == 0 {
@@ -172,10 +190,30 @@ impl TaskGraph {
             }
         }
         drop(job_tx);
-        for h in handles {
-            let _ = h.join();
+        // Let already-dispatched tasks run to completion before joining.
+        while running > 0 {
+            match done_rx.recv() {
+                Ok((finished, ok)) => {
+                    running -= 1;
+                    if !ok && failure.is_none() {
+                        failure = Some(SimError::worker_panic(format!(
+                            "task `{}`",
+                            names[finished]
+                        )));
+                    }
+                }
+                Err(_) => break,
+            }
         }
-        order
+        for (i, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() && failure.is_none() {
+                failure = Some(SimError::worker_panic(format!("scheduler worker {i}")));
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(order),
+        }
     }
 }
 
@@ -195,7 +233,7 @@ mod tests {
         let b = g.add_task("b", &[a], move || l2.lock().unwrap().push("b"));
         let l3 = Arc::clone(&log);
         g.add_task("c", &[a, b], move || l3.lock().unwrap().push("c"));
-        g.execute(4);
+        g.execute(4).unwrap();
         assert_eq!(*log.lock().unwrap(), vec!["a", "b", "c"]);
     }
 
@@ -211,7 +249,7 @@ mod tests {
                 b.wait();
             });
         }
-        g.execute(4); // would deadlock if serialised
+        g.execute(4).unwrap(); // would deadlock if serialised
     }
 
     #[test]
@@ -230,7 +268,7 @@ mod tests {
                 prev.remove(0);
             }
         }
-        g.execute(3);
+        g.execute(3).unwrap();
         assert_eq!(count.load(Ordering::Relaxed), 20);
     }
 
@@ -243,7 +281,7 @@ mod tests {
         // first on a single worker.
         g.add_task_with_inputs("cold", &[], &["missing"], || {});
         g.add_task_with_inputs("hot", &[], &["hot"], || {});
-        let order = g.execute(1);
+        let order = g.execute(1).unwrap();
         assert_eq!(order[0], "hot");
     }
 
@@ -252,5 +290,25 @@ mod tests {
     fn forward_dependencies_rejected() {
         let mut g = TaskGraph::new();
         g.add_task("a", &[5], || {});
+    }
+
+    #[test]
+    fn panicking_task_surfaces_as_error() {
+        let ran_after = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        let bad = g.add_task("bad", &[], || panic!("injected task failure"));
+        let r = Arc::clone(&ran_after);
+        g.add_task("after", &[bad], move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        let err = g.execute(2).unwrap_err();
+        assert_eq!(
+            err,
+            nvmtypes::SimError::WorkerPanic {
+                worker: "task `bad`".into()
+            }
+        );
+        // Dependents of the failed task must not have been dispatched.
+        assert_eq!(ran_after.load(Ordering::Relaxed), 0);
     }
 }

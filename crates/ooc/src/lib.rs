@@ -23,7 +23,10 @@
 //!   each iteration;
 //! * [`dooc`] — the DOoC+LAF / DataCutter middleware layer (§2.1): an
 //!   immutable keyed data pool with memory management and prefetching, a
-//!   data-aware task scheduler, and a filter/stream dataflow runner.
+//!   data-aware task scheduler, and a filter/stream dataflow runner;
+//! * [`checkpoint`] — solver checkpoint/restart under simulated node
+//!   loss, driven by the deterministic fault plan in `nvmtypes::fault`
+//!   (docs/FAULT_MODEL.md).
 // Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
 // inventoried per-file in `simlint.allow` (counts may only decrease).
 // New code must return typed errors; see docs/INVARIANTS.md.
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod dense;
 pub mod dooc;
 pub mod hamiltonian;
@@ -39,9 +43,10 @@ pub mod matrixmarket;
 pub mod sparse;
 pub mod store;
 
+pub use checkpoint::{solve_with_recovery, RecoveredResult, RecoveryStats, SolverCheckpoint};
 pub use dense::DMatrix;
 pub use hamiltonian::HamiltonianSpec;
-pub use lobpcg::{Lobpcg, LobpcgOptions, LobpcgResult};
+pub use lobpcg::{Lobpcg, LobpcgOptions, LobpcgResult, SolverState};
 pub use matrixmarket::{from_matrix_market, to_matrix_market};
 pub use sparse::CsrMatrix;
 pub use store::{OocMatrix, OocStore};

@@ -161,17 +161,64 @@ pub struct Lobpcg {
     pub options: LobpcgOptions,
 }
 
+/// Mid-solve state of the LOBPCG iteration.
+///
+/// [`Lobpcg::solve`] drives this through [`Lobpcg::step`] internally; it
+/// is public so the crash/recovery harness in [`crate::checkpoint`] can
+/// snapshot it between iterations and restart from a snapshot after a
+/// simulated node loss.
+#[derive(Debug, Clone)]
+pub struct SolverState {
+    pub(crate) x: DMatrix,
+    pub(crate) ax: DMatrix,
+    pub(crate) p: Option<DMatrix>,
+    pub(crate) theta: Vec<f64>,
+    pub(crate) residuals: Vec<f64>,
+    pub(crate) iterations: usize,
+    pub(crate) converged: bool,
+    pub(crate) done: bool,
+    pub(crate) applies: usize,
+    pub(crate) inv_diag: Option<Vec<f64>>,
+}
+
+impl SolverState {
+    /// Iterations performed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// `true` once the iteration has converged or the subspace collapsed
+    /// (no further [`Lobpcg::step`] will change the state).
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// Consumes the state into a [`LobpcgResult`].
+    pub fn into_result(self) -> LobpcgResult {
+        LobpcgResult {
+            eigenvalues: self.theta,
+            eigenvectors: self.x,
+            iterations: self.iterations,
+            converged: self.converged,
+            residuals: self.residuals,
+            operator_applies: self.applies,
+        }
+    }
+}
+
 impl Lobpcg {
     /// New solver with options.
     pub fn new(options: LobpcgOptions) -> Lobpcg {
         Lobpcg { options }
     }
 
-    /// Runs the iteration on `op`.
+    /// Builds the seeded random orthonormal starting state (one operator
+    /// application).
     ///
     /// # Panics
-    /// Panics if `block_size` is zero or larger than the operator dimension.
-    pub fn solve(&self, op: &dyn Operator) -> LobpcgResult {
+    /// Panics if `block_size` is zero or larger than a third of the
+    /// operator dimension.
+    pub fn init(&self, op: &dyn Operator) -> SolverState {
         let n = op.dim();
         let m = self.options.block_size;
         assert!(
@@ -196,91 +243,109 @@ impl Lobpcg {
         }
         let (q, _) = mgs_orthonormalize(&x, 1e-12);
         x = q;
-        let mut ax = op.apply(&x);
-        let mut applies = 1;
-        let mut p: Option<DMatrix> = None;
-        let mut theta = vec![0.0; m];
-        let mut residuals = vec![f64::INFINITY; m];
-        let mut iterations = 0;
-        let mut converged = false;
+        let ax = op.apply(&x);
+        SolverState {
+            x,
+            ax,
+            p: None,
+            theta: vec![0.0; m],
+            residuals: vec![f64::INFINITY; m],
+            iterations: 0,
+            converged: false,
+            done: false,
+            applies: 1,
+            inv_diag,
+        }
+    }
 
-        for it in 0..self.options.max_iters {
-            iterations = it + 1;
-            // Rayleigh–Ritz within span(X) to get current estimates.
-            let xtax = symmetrize(&x.transpose_mul(&ax));
-            let (vals, c) = jacobi_eigh(&xtax);
-            x = x.matmul(&c);
-            ax = ax.matmul(&c);
-            theta.copy_from_slice(&vals[..m]);
+    /// Advances the iteration by one step (at most one operator
+    /// application). No-op once [`SolverState::done`] is set.
+    pub fn step(&self, op: &dyn Operator, st: &mut SolverState) {
+        if st.done {
+            return;
+        }
+        let n = op.dim();
+        let m = self.options.block_size;
+        st.iterations += 1;
+        // Rayleigh–Ritz within span(X) to get current estimates.
+        let xtax = symmetrize(&st.x.transpose_mul(&st.ax));
+        let (vals, c) = jacobi_eigh(&xtax);
+        st.x = st.x.matmul(&c);
+        st.ax = st.ax.matmul(&c);
+        st.theta.copy_from_slice(&vals[..m]);
 
-            // Residuals R = AX - X diag(theta).
-            let mut r = ax.clone();
+        // Residuals R = AX - X diag(theta).
+        let mut r = st.ax.clone();
+        for k in 0..m {
+            let xk = st.x.col(k).to_vec();
+            let rk = r.col_mut(k);
+            for i in 0..n {
+                rk[i] -= st.theta[k] * xk[i];
+            }
+        }
+        for k in 0..m {
+            let norm: f64 = r.col(k).iter().map(|v| v * v).sum::<f64>().sqrt();
+            st.residuals[k] = norm / (st.theta[k].abs() + 1.0);
+        }
+        if st.residuals.iter().all(|&v| v < self.options.tol) {
+            st.converged = true;
+            st.done = true;
+            return;
+        }
+
+        // Preconditioned residuals.
+        let mut w = r;
+        if let Some(inv) = &st.inv_diag {
             for k in 0..m {
-                let xk = x.col(k).to_vec();
-                let rk = r.col_mut(k);
+                let col = w.col_mut(k);
                 for i in 0..n {
-                    rk[i] -= theta[k] * xk[i];
+                    col[i] *= inv[i];
                 }
             }
-            for k in 0..m {
-                let norm: f64 = r.col(k).iter().map(|v| v * v).sum::<f64>().sqrt();
-                residuals[k] = norm / (theta[k].abs() + 1.0);
-            }
-            if residuals.iter().all(|&v| v < self.options.tol) {
-                converged = true;
-                break;
-            }
-
-            // Preconditioned residuals.
-            let mut w = r;
-            if let Some(inv) = &inv_diag {
-                for k in 0..m {
-                    let col = w.col_mut(k);
-                    for i in 0..n {
-                        col[i] *= inv[i];
-                    }
-                }
-            }
-
-            // Trial subspace S = [X W P], orthonormalised.
-            let s = match &p {
-                Some(p) => DMatrix::hcat(&[&x, &w, p]),
-                None => DMatrix::hcat(&[&x, &w]),
-            };
-            let (q, _) = mgs_orthonormalize(&s, 1e-10);
-            if q.ncols < m {
-                // Subspace collapsed (fully converged cluster); stop.
-                converged = residuals.iter().all(|&v| v < self.options.tol);
-                break;
-            }
-            let aq = op.apply(&q);
-            applies += 1;
-            let t = symmetrize(&q.transpose_mul(&aq));
-            let (_, c) = jacobi_eigh(&t);
-            let cm = c.cols_range(0, m);
-            let x_new = q.matmul(&cm);
-            let ax_new = aq.matmul(&cm);
-
-            // New conjugate directions: the part of X_new outside span(X).
-            let overlap = x.transpose_mul(&x_new);
-            let mut p_new = x_new.clone();
-            let correction = x.matmul(&overlap);
-            p_new.axpy(-1.0, &correction);
-            let (p_orth, kept) = mgs_orthonormalize(&p_new, 1e-10);
-            p = if kept.is_empty() { None } else { Some(p_orth) };
-
-            x = x_new;
-            ax = ax_new;
         }
 
-        LobpcgResult {
-            eigenvalues: theta,
-            eigenvectors: x,
-            iterations,
-            converged,
-            residuals,
-            operator_applies: applies,
+        // Trial subspace S = [X W P], orthonormalised.
+        let s = match &st.p {
+            Some(p) => DMatrix::hcat(&[&st.x, &w, p]),
+            None => DMatrix::hcat(&[&st.x, &w]),
+        };
+        let (q, _) = mgs_orthonormalize(&s, 1e-10);
+        if q.ncols < m {
+            // Subspace collapsed (fully converged cluster); stop.
+            st.converged = st.residuals.iter().all(|&v| v < self.options.tol);
+            st.done = true;
+            return;
         }
+        let aq = op.apply(&q);
+        st.applies += 1;
+        let t = symmetrize(&q.transpose_mul(&aq));
+        let (_, c) = jacobi_eigh(&t);
+        let cm = c.cols_range(0, m);
+        let x_new = q.matmul(&cm);
+        let ax_new = aq.matmul(&cm);
+
+        // New conjugate directions: the part of X_new outside span(X).
+        let overlap = st.x.transpose_mul(&x_new);
+        let mut p_new = x_new.clone();
+        let correction = st.x.matmul(&overlap);
+        p_new.axpy(-1.0, &correction);
+        let (p_orth, kept) = mgs_orthonormalize(&p_new, 1e-10);
+        st.p = if kept.is_empty() { None } else { Some(p_orth) };
+
+        st.x = x_new;
+        st.ax = ax_new;
+    }
+
+    /// Runs the iteration on `op`.
+    ///
+    /// # Panics
+    /// Panics if `block_size` is zero or larger than the operator dimension.
+    pub fn solve(&self, op: &dyn Operator) -> LobpcgResult {
+        let mut st = self.init(op);
+        while !st.done && st.iterations < self.options.max_iters {
+            self.step(op, &mut st);
+        }
+        st.into_result()
     }
 }
 

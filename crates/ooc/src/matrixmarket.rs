@@ -7,6 +7,12 @@
 //! the out-of-core pipeline.
 
 use crate::sparse::CsrMatrix;
+use nvmtypes::SimError;
+
+/// Shorthand: a [`SimError::Parse`] tagged as Matrix Market input.
+fn perr(line: usize, reason: impl Into<String>) -> SimError {
+    SimError::parse("matrix market", line, reason)
+}
 
 /// Serialises a square CSR matrix as `matrix coordinate real general`
 /// (1-based indices, one entry per line).
@@ -32,23 +38,26 @@ pub fn to_matrix_market(m: &CsrMatrix) -> String {
 /// Parses Matrix Market `coordinate real` input (general or symmetric) into
 /// CSR. Symmetric inputs are expanded to full storage. Pattern/complex
 /// fields and non-square shapes are rejected.
-pub fn from_matrix_market(text: &str) -> Result<CsrMatrix, String> {
+pub fn from_matrix_market(text: &str) -> Result<CsrMatrix, SimError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or("empty input")?;
+    let (_, header) = lines.next().ok_or_else(|| perr(0, "empty input"))?;
     let h: Vec<&str> = header.split_whitespace().collect();
     if h.len() < 5 || !h[0].starts_with("%%MatrixMarket") {
-        return Err("missing %%MatrixMarket header".into());
+        return Err(perr(1, "missing %%MatrixMarket header"));
     }
     if h[1] != "matrix" || h[2] != "coordinate" {
-        return Err(format!("unsupported object/format: {} {}", h[1], h[2]));
+        return Err(perr(
+            1,
+            format!("unsupported object/format: {} {}", h[1], h[2]),
+        ));
     }
     if h[3] != "real" && h[3] != "integer" {
-        return Err(format!("unsupported field: {}", h[3]));
+        return Err(perr(1, format!("unsupported field: {}", h[3])));
     }
     let symmetric = match h[4] {
         "general" => false,
         "symmetric" => true,
-        other => return Err(format!("unsupported symmetry: {other}")),
+        other => return Err(perr(1, format!("unsupported symmetry: {other}"))),
     };
 
     let mut dims: Option<(usize, usize, usize)> = None;
@@ -62,38 +71,41 @@ pub fn from_matrix_market(text: &str) -> Result<CsrMatrix, String> {
         match dims {
             None => {
                 if fields.len() != 3 {
-                    return Err(format!("line {}: bad size line", lineno + 1));
+                    return Err(perr(lineno + 1, "bad size line"));
                 }
                 let rows: usize = fields[0]
                     .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    .map_err(|e| perr(lineno + 1, format!("{e}")))?;
                 let cols: usize = fields[1]
                     .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    .map_err(|e| perr(lineno + 1, format!("{e}")))?;
                 let nnz: usize = fields[2]
                     .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    .map_err(|e| perr(lineno + 1, format!("{e}")))?;
                 if rows != cols {
-                    return Err(format!("matrix must be square, got {rows}x{cols}"));
+                    return Err(perr(
+                        lineno + 1,
+                        format!("matrix must be square, got {rows}x{cols}"),
+                    ));
                 }
                 dims = Some((rows, cols, nnz));
                 entries.reserve(nnz);
             }
             Some((rows, _, _)) => {
                 if fields.len() < 3 {
-                    return Err(format!("line {}: bad entry", lineno + 1));
+                    return Err(perr(lineno + 1, "bad entry"));
                 }
                 let i: usize = fields[0]
                     .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    .map_err(|e| perr(lineno + 1, format!("{e}")))?;
                 let j: usize = fields[1]
                     .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    .map_err(|e| perr(lineno + 1, format!("{e}")))?;
                 let v: f64 = fields[2]
                     .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    .map_err(|e| perr(lineno + 1, format!("{e}")))?;
                 if i == 0 || j == 0 || i > rows || j > rows {
-                    return Err(format!("line {}: index out of range", lineno + 1));
+                    return Err(perr(lineno + 1, "index out of range"));
                 }
                 entries.push(((i - 1) as u32, (j - 1) as u32, v));
                 if symmetric && i != j {
@@ -102,7 +114,7 @@ pub fn from_matrix_market(text: &str) -> Result<CsrMatrix, String> {
             }
         }
     }
-    let (n, _, declared) = dims.ok_or("missing size line")?;
+    let (n, _, declared) = dims.ok_or_else(|| perr(0, "missing size line"))?;
     let base = if symmetric {
         // Declared counts the stored triangle only.
         entries.iter().filter(|&&(i, j, _)| i <= j).count()
@@ -110,7 +122,10 @@ pub fn from_matrix_market(text: &str) -> Result<CsrMatrix, String> {
         entries.len()
     };
     if base != declared {
-        return Err(format!("entry count {base} != declared {declared}"));
+        return Err(perr(
+            0,
+            format!("entry count {base} != declared {declared}"),
+        ));
     }
     let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
     for (i, j, v) in entries {

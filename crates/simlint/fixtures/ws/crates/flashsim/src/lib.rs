@@ -1,6 +1,7 @@
 // Fixture: violations in a STRICT crate (`flashsim`). Expected findings:
 //   no_panic x3 (unwrap, expect, panic!)  — not allowlistable here
 //   wall_clock x2 (Instant::now, SystemTime)
+//   let_underscore_result x1 (the SystemTime discard) — not allowlistable
 // This file is never compiled; simlint reads it as text via `--root`.
 use std::time::Instant;
 
@@ -27,9 +28,10 @@ pub fn explodes() {
 
 #[cfg(test)]
 mod tests {
-    // Test code is exempt: this unwrap must NOT be counted.
+    // Test code is exempt: neither the unwrap nor the discard counts.
     #[test]
     fn exempt() {
         Some(1u32).unwrap();
+        let _ = Some(2u32);
     }
 }

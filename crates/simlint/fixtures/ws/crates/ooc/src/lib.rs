@@ -1,12 +1,20 @@
-// Fixture: a no_panic violation in a PERMISSIVE crate (`ooc`) — this one
-// IS allowlistable, unlike the ones in the flashsim fixture. Expected:
+// Fixture: violations in a PERMISSIVE crate (`ooc`) — these ones ARE
+// allowlistable, unlike the ones in the flashsim fixture. Expected:
 //   no_panic x1 (unwrap)
+//   let_underscore_result x1 (the send discard); the named `_guard`
+//   binding and the typed `let _: u32` discard must NOT be counted.
 // bare_cast / wall_clock rules are out of scope for `ooc`, so the cast
 // and clock below must NOT be counted.
 use std::time::Instant;
 
 pub fn permissive(v: Option<u32>) -> u32 {
     v.unwrap()
+}
+
+pub fn swallows(tx: &std::sync::mpsc::Sender<u32>) {
+    let _ = tx.send(1);
+    let _guard = tx.send(2);
+    let _: u32 = 3;
 }
 
 pub fn unscoped_cast(x: u32) -> u64 {

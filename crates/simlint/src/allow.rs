@@ -8,7 +8,6 @@
 
 use crate::rules::Rule;
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 
 /// Parsed allowlist: `(rule, path) -> allowed count`.
 #[derive(Debug, Default, Clone)]
@@ -120,7 +119,7 @@ impl Allowlist {
                 out.push('\n');
                 last_rule = Some(*rule);
             }
-            let _ = writeln!(out, "{} {} {}", rule.id(), path, count);
+            out.push_str(&format!("{} {} {}\n", rule.id(), path, count));
         }
         out
     }

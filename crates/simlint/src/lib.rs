@@ -12,7 +12,10 @@
 //!   conversions from `nvmtypes`, not bare `as` casts;
 //! * **exhaustiveness** — `match`es over media/filesystem enums list
 //!   every variant, so adding a PCM mode is a compile error, not a
-//!   silent fall-through.
+//!   silent fall-through;
+//! * **error visibility** — no `let _ =` wildcard discards in non-test
+//!   code: a swallowed `Result` is how an injected fault disappears
+//!   from the reliability report.
 //!
 //! Existing violations are enumerated in `simlint.allow` and may only
 //! ratchet down (see [`allow`]). Run via `cargo run -p simlint`; see
@@ -32,6 +35,11 @@ use std::path::{Path, PathBuf};
 /// Crates whose `src/` must stay entirely panic-free: the simulator
 /// pipeline itself. `no_panic` findings here are *not* allowlistable.
 pub const STRICT_NO_PANIC_CRATES: [&str; 5] = ["flashsim", "ssd", "interconnect", "fs", "nvmtypes"];
+
+/// Crates where a silently-discarded `Result` (`let _ = ..`) is *not*
+/// allowlistable: fault injection and recovery live here, and a swallowed
+/// error is exactly how a fault vanishes from the report.
+pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 3] = ["flashsim", "ssd", "interconnect"];
 
 /// Crates whose state must iterate deterministically.
 const DETERMINISM_CRATES: [&str; 7] = [
@@ -105,7 +113,7 @@ pub fn rules_for(path: &str) -> Vec<Rule> {
     let Some(krate) = source_crate(path) else {
         return Vec::new();
     };
-    let mut rules = vec![Rule::NoPanic, Rule::EnumWildcard];
+    let mut rules = vec![Rule::NoPanic, Rule::EnumWildcard, Rule::LetUnderscoreResult];
     if DETERMINISM_CRATES.contains(&krate) {
         rules.push(Rule::NondeterministicCollection);
     }
@@ -159,6 +167,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Located> {
             Rule::WallClock => rules::wall_clock(&clean),
             Rule::BareCast => rules::bare_cast(&clean),
             Rule::EnumWildcard => rules::enum_wildcard(&clean),
+            Rule::LetUnderscoreResult => rules::let_underscore_result(&clean),
         };
         out.extend(findings.into_iter().map(|finding| Located {
             path: path.to_string(),
@@ -220,15 +229,20 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::
 /// Checks a report against the allowlist, applying strict-scope policy.
 pub fn check(report: &Report, allow: &Allowlist) -> Verdict {
     let mut verdict = Verdict::default();
-    // Forbidden allowlist entries: no_panic in strict crates.
+    // Forbidden allowlist entries: rules with a strict scope cannot be
+    // excused inside it.
     for (rule, path, count) in allow.iter() {
-        if rule == Rule::NoPanic {
-            if let Some(krate) = source_crate(path) {
-                if STRICT_NO_PANIC_CRATES.contains(&krate) {
-                    verdict.forbidden.push(format!(
-                        "{path}: `no_panic` is not allowlistable in strict crate `{krate}` ({count} entries)"
-                    ));
-                }
+        let strict_scope: &[&str] = match rule {
+            Rule::NoPanic => &STRICT_NO_PANIC_CRATES,
+            Rule::LetUnderscoreResult => &STRICT_LET_UNDERSCORE_CRATES,
+            _ => &[],
+        };
+        if let Some(krate) = source_crate(path) {
+            if strict_scope.contains(&krate) {
+                verdict.forbidden.push(format!(
+                    "{path}: `{}` is not allowlistable in strict crate `{krate}` ({count} entries)",
+                    rule.id()
+                ));
             }
         }
         // Stale: allowance exceeds reality (including files now clean).

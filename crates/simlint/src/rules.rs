@@ -22,6 +22,10 @@ pub enum Rule {
     /// `_ =>` wildcard arm in a `match` over a watched enum; new
     /// variants must not silently fall through.
     EnumWildcard,
+    /// `let _ = expr;` in non-test code: the idiom that silently
+    /// swallows a `Result` (and with it the error). Handle or propagate
+    /// instead; deliberate discards use `drop(..)` or a typed `let _: T`.
+    LetUnderscoreResult,
 }
 
 impl Rule {
@@ -33,6 +37,7 @@ impl Rule {
             Rule::WallClock => "wall_clock",
             Rule::BareCast => "bare_cast",
             Rule::EnumWildcard => "enum_wildcard",
+            Rule::LetUnderscoreResult => "let_underscore_result",
         }
     }
 
@@ -44,17 +49,19 @@ impl Rule {
             "wall_clock" => Rule::WallClock,
             "bare_cast" => Rule::BareCast,
             "enum_wildcard" => Rule::EnumWildcard,
+            "let_underscore_result" => Rule::LetUnderscoreResult,
             _ => return None,
         })
     }
 
     /// Every rule, in report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoPanic,
         Rule::NondeterministicCollection,
         Rule::WallClock,
         Rule::BareCast,
         Rule::EnumWildcard,
+        Rule::LetUnderscoreResult,
     ];
 }
 
@@ -172,6 +179,47 @@ fn token_rule(
                     });
                 }
                 at = abs + tok.len();
+            }
+        }
+    }
+    findings
+}
+
+/// Runs the let-underscore rule: `let _ = expr;` outside test code.
+///
+/// The wildcard-discard binding is how a `Result` disappears without a
+/// trace — `let _ = tx.send(x);` compiles silently after the channel
+/// closes. A plain `_` pattern followed by `=` is flagged; named
+/// partial discards (`let _guard = ..`) and typed discards
+/// (`let _: T = ..`, which document intent) are not.
+pub fn let_underscore_result(file: &CleanFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (pos, pat) in line.text.match_indices("let _") {
+            // Left boundary: reject `outlet _`, `inlet _`, etc.
+            let before = line.text[..pos].chars().next_back();
+            if before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            let rest = &line.text[pos + pat.len()..];
+            // `_` must be the entire pattern: `let _x`/`let __` are named
+            // bindings, `let _:` is a typed (deliberate) discard.
+            if rest.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            let after = rest.trim_start();
+            if after.starts_with('=') && !after.starts_with("==") {
+                findings.push(Finding {
+                    rule: Rule::LetUnderscoreResult,
+                    line: idx + 1,
+                    message: "`let _ = ..` silently discards the value — and any `Err` in it; \
+                              handle or propagate the `Result`, or make a deliberate discard \
+                              explicit with `drop(..)`"
+                        .to_string(),
+                });
             }
         }
     }
@@ -441,6 +489,28 @@ mod tests {
         let f = clean_source("let a = x as u64; let b = y as MyType; let c = z as u8;\n");
         let hits = bare_cast(&f);
         assert_eq!(hits.len(), 1, "only `as u64` is a flagged target");
+    }
+
+    #[test]
+    fn let_underscore_fires_on_wildcard_discards_only() {
+        let src = "fn f() {\n let _ = tx.send(1);\n let _guard = lock();\n let _: u32 = g();\n let x = h();\n}\n";
+        let f = clean_source(src);
+        let hits = let_underscore_result(&f);
+        assert_eq!(hits.len(), 1, "only the bare `let _ =` discard");
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn let_underscore_exempts_tests_comments_and_strings() {
+        let src = "// let _ = a();\nconst S: &str = \"let _ = b()\";\n#[cfg(test)]\nmod t {\n fn g() { let _ = c(); }\n}\n";
+        let f = clean_source(src);
+        assert!(let_underscore_result(&f).is_empty());
+    }
+
+    #[test]
+    fn let_underscore_respects_word_boundaries() {
+        let f = clean_source("fn f() { outlet _ = 1; }\n");
+        assert!(let_underscore_result(&f).is_empty());
     }
 
     #[test]

@@ -14,7 +14,9 @@
 
 use simlint::allow::Allowlist;
 use simlint::rules::Rule;
-use simlint::{check, scan_workspace, source_crate, STRICT_NO_PANIC_CRATES};
+use simlint::{
+    check, scan_workspace, source_crate, STRICT_LET_UNDERSCORE_CRATES, STRICT_NO_PANIC_CRATES,
+};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -66,11 +68,29 @@ fn fixture_corpus_triggers_every_rule_exactly() {
         Some(&2),
         "two real casts; comment/string casts must not fire"
     );
+    // Strict-crate Result discard (flashsim fixture): the SystemTime
+    // line fires wall_clock AND let_underscore_result; the test-module
+    // discard is exempt.
+    assert_eq!(
+        report.counts.get(&(
+            Rule::LetUnderscoreResult,
+            "crates/flashsim/src/lib.rs".into()
+        )),
+        Some(&1)
+    );
     // Permissive-crate panic (ooc fixture) — counted, but allowlistable.
     assert_eq!(
         report
             .counts
             .get(&(Rule::NoPanic, "crates/ooc/src/lib.rs".into())),
+        Some(&1)
+    );
+    // Permissive-crate discard (ooc fixture): the bare `let _ =` only —
+    // `_guard` and the typed `let _: u32` are deliberate, not counted.
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::LetUnderscoreResult, "crates/ooc/src/lib.rs".into())),
         Some(&1)
     );
     // Out-of-scope rules must not fire in ooc (cast + clock present there).
@@ -108,7 +128,7 @@ fn fixture_corpus_fails_the_gate() {
     assert!(!verdict.ok());
     assert_eq!(
         verdict.violations.len(),
-        6,
+        8,
         "one violation per (rule, file)"
     );
     assert!(verdict.stale.is_empty() && verdict.forbidden.is_empty());
@@ -133,10 +153,17 @@ fn strict_crate_panics_cannot_be_allowlisted() {
     assert!(verdict.stale.is_empty());
     assert_eq!(
         verdict.forbidden.len(),
-        1,
-        "the flashsim no_panic entry is forbidden"
+        2,
+        "the flashsim no_panic and let_underscore_result entries are forbidden"
     );
-    assert!(verdict.forbidden[0].contains("crates/flashsim/src/lib.rs"));
+    for f in &verdict.forbidden {
+        assert!(f.contains("crates/flashsim/src/lib.rs"));
+    }
+    assert!(verdict.forbidden.iter().any(|f| f.contains("`no_panic`")));
+    assert!(verdict
+        .forbidden
+        .iter()
+        .any(|f| f.contains("`let_underscore_result`")));
     assert!(!verdict.ok());
 }
 
@@ -196,6 +223,9 @@ fn allowlist_totals_stay_below_seed_baselines() {
     assert_eq!(allow.total(Rule::NondeterministicCollection), 0);
     assert_eq!(allow.total(Rule::WallClock), 0);
     assert_eq!(allow.total(Rule::EnumWildcard), 0);
+    // The workspace was scrubbed of `let _ =` when the rule landed, so
+    // the discard rule starts — and stays — at zero budget.
+    assert_eq!(allow.total(Rule::LetUnderscoreResult), 0);
 }
 
 #[test]
@@ -204,13 +234,16 @@ fn no_strict_crate_no_panic_entries_in_allowlist() {
         std::fs::read_to_string(real_root().join("simlint.allow")).expect("simlint.allow exists");
     let allow = Allowlist::parse(&text).expect("simlint.allow parses");
     for (rule, path, count) in allow.iter() {
-        if rule != Rule::NoPanic {
-            continue;
-        }
+        let strict: &[&str] = match rule {
+            Rule::NoPanic => &STRICT_NO_PANIC_CRATES,
+            Rule::LetUnderscoreResult => &STRICT_LET_UNDERSCORE_CRATES,
+            _ => continue,
+        };
         let krate = source_crate(path).expect("allowlist paths are in scope");
         assert!(
-            !STRICT_NO_PANIC_CRATES.contains(&krate),
-            "{path}: {count} no_panic entries in strict crate `{krate}`"
+            !strict.contains(&krate),
+            "{path}: {count} `{}` entries in strict crate `{krate}`",
+            rule.id()
         );
     }
 }

@@ -3,7 +3,7 @@
 use crate::mapping::{Dim, DEFAULT_ORDER};
 use flashsim::MediaConfig;
 use interconnect::LinkChain;
-use nvmtypes::Nanos;
+use nvmtypes::{FaultPlan, Nanos};
 use serde::Serialize;
 
 /// How logical requests are translated to NVM transactions.
@@ -81,6 +81,10 @@ pub struct SsdConfig {
     /// die-ops of concurrent requests are serviced out of order across
     /// dies; when `false`, media service is serialised per request.
     pub paq: bool,
+    /// Fault-injection plan. Defaults to [`FaultPlan::none`], under
+    /// which every run is byte-identical to a build without fault
+    /// hooks (pinned by `tests/determinism.rs`).
+    pub fault_plan: FaultPlan,
 }
 
 impl SsdConfig {
@@ -93,6 +97,7 @@ impl SsdConfig {
             ftl: FtlMode::traditional_default(),
             stripe_order: DEFAULT_ORDER,
             paq: true,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -111,6 +116,12 @@ impl SsdConfig {
     /// Disables PAQ (for the queueing ablation).
     pub fn without_paq(mut self) -> SsdConfig {
         self.paq = false;
+        self
+    }
+
+    /// Installs a fault-injection plan (see `nvmtypes::fault`).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> SsdConfig {
+        self.fault_plan = plan;
         self
     }
 }

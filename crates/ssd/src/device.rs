@@ -4,10 +4,13 @@
 use crate::config::SsdConfig;
 use crate::ftl::Ftl;
 use crate::mapping::StripeMap;
-use crate::report::{LatencyStats, RunReport};
+use crate::recovery::{erase_with_recovery, read_with_recovery, write_with_recovery};
+use crate::report::{LatencyStats, ReliabilityStats, RunReport};
 use flashsim::intervals::{merge, uncovered_len, Interval};
-use flashsim::{DieOp, MediaSim, PalHistogram, PalLevel};
+use flashsim::{DieOp, MediaFaultState, MediaSim, PalHistogram, PalLevel};
+use interconnect::LinkFaultSim;
 use nvmtypes::convert::{u32_from, u64_from_usize, usize_from_u32};
+use nvmtypes::fault::{STREAM_LINK, STREAM_MEDIA};
 use nvmtypes::{HostRequest, IoOp, Nanos};
 use ooctrace::BlockTrace;
 use std::cmp::Reverse;
@@ -121,6 +124,29 @@ impl SsdDevice {
         let host = cfg.host.effective();
         let qd = usize_from_u32(cfg.ncq_depth.min(trace.queue_depth).max(1));
 
+        // Fault-injection state: absent entirely under a zero-rate plan,
+        // so the fault-free path is byte-identical to the pre-fault code.
+        let fault_root = cfg.fault_plan.rng();
+        let mut media_faults = if cfg.fault_plan.media.is_none() {
+            None
+        } else {
+            Some(MediaFaultState::new(
+                cfg.fault_plan.media,
+                cfg.media.timing.kind,
+                u64::from(geometry.pages_per_block),
+                fault_root.split(STREAM_MEDIA),
+            ))
+        };
+        let mut link_faults = if cfg.fault_plan.link.is_none() {
+            None
+        } else {
+            Some(LinkFaultSim::new(
+                cfg.fault_plan.link,
+                fault_root.split(STREAM_LINK),
+            ))
+        };
+        let mut rel = ReliabilityStats::default();
+
         let mut inflight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(qd + 1);
         let mut prev_issue: Nanos = 0;
         let mut host_free: Nanos = 0;
@@ -157,10 +183,17 @@ impl SsdDevice {
                         split_bytes,
                         page_size,
                         &mut last_media_end,
+                        &mut media_faults,
+                        &mut rel,
                     );
-                    // Device buffer -> host DMA after media completes.
+                    // Device buffer -> host DMA after media completes;
+                    // CRC errors replay the transfer (added latency only).
                     let dma_start = media_end.max(host_free);
-                    let dma_end = dma_start + host.request_ns(req.len);
+                    let base_dma = host.request_ns(req.len);
+                    let penalty = link_faults
+                        .as_mut()
+                        .map_or(0, |lf| lf.transfer_penalty(base_dma));
+                    let dma_end = dma_start + base_dma + penalty;
                     host_free = dma_end;
                     host_busy += dma_end - dma_start;
                     dma_intervals.push((dma_start, dma_end));
@@ -169,7 +202,11 @@ impl SsdDevice {
                 IoOp::Write => {
                     // Host -> device buffer DMA before media programs.
                     let dma_start = issue.max(host_free);
-                    let dma_end = dma_start + host.request_ns(req.len);
+                    let base_dma = host.request_ns(req.len);
+                    let penalty = link_faults
+                        .as_mut()
+                        .map_or(0, |lf| lf.transfer_penalty(base_dma));
+                    let dma_end = dma_start + base_dma + penalty;
                     host_free = dma_end;
                     host_busy += dma_end - dma_start;
                     dma_intervals.push((dma_start, dma_end));
@@ -184,6 +221,8 @@ impl SsdDevice {
                         split_bytes,
                         page_size,
                         &mut last_media_end,
+                        &mut media_faults,
+                        &mut rel,
                     )
                 }
             };
@@ -220,6 +259,10 @@ impl SsdDevice {
             .map(|&(s, e)| uncovered_len(s, e, &busy))
             .sum();
 
+        if let Some(lf) = &link_faults {
+            rel.link = lf.stats();
+        }
+        rel.spare_blocks_left = ftl.spare_blocks_left();
         let energy = flashsim::energy::assess(&stats, &cfg.media, makespan);
         let media_report = stats.finalize(&cfg.media, makespan, host_busy);
         let total_bytes = trace.total_bytes();
@@ -238,6 +281,7 @@ impl SsdDevice {
             wear: ftl.wear().clone(),
             energy,
             latency: LatencyStats::from_latencies(latencies),
+            reliability: rel,
         }
     }
 
@@ -256,6 +300,8 @@ impl SsdDevice {
         split_bytes: u64,
         page_size: u64,
         last_media_end: &mut Nanos,
+        faults: &mut Option<MediaFaultState>,
+        rel: &mut ReliabilityStats,
     ) -> Nanos {
         let geometry = map.geometry();
         let channels = geometry.channels;
@@ -302,16 +348,18 @@ impl SsdDevice {
                 // survivors, rewrite them at the frontier.
                 let gc_pages = (gc_moves * 4096).div_ceil(page_size).max(1);
                 for run in map.decompose(lpn, gc_pages) {
-                    let r = media.execute(
-                        t0,
-                        &DieOp::read(run.die, run.planes, run.pages, run.start_row),
-                    );
-                    media_end = media_end.max(r.end);
-                    let w = media.execute(
-                        r.end,
-                        &DieOp::write(run.die, run.planes, run.pages, run.start_row),
-                    );
-                    media_end = media_end.max(w.end);
+                    let read_op = DieOp::read(run.die, run.planes, run.pages, run.start_row);
+                    let read_end = match faults {
+                        Some(fs) => read_with_recovery(media, &read_op, t0, fs, ftl, rel),
+                        None => media.execute(t0, &read_op).end,
+                    };
+                    media_end = media_end.max(read_end);
+                    let write_op = DieOp::write(run.die, run.planes, run.pages, run.start_row);
+                    let write_end = match faults {
+                        Some(fs) => write_with_recovery(media, &write_op, read_end, fs, rel),
+                        None => media.execute(read_end, &write_op).end,
+                    };
+                    media_end = media_end.max(write_end);
                 }
             }
 
@@ -319,18 +367,33 @@ impl SsdDevice {
                 // Erase the new block-row(s) on every die before programming.
                 for die in 0..geometry.total_dies() {
                     let blocks = erase_rows * planes_per_die;
-                    let out = media.execute(t0, &DieOp::erase(nvmtypes::DieIndex(die), blocks));
-                    media_end = media_end.max(out.end);
+                    let erase_op = DieOp::erase(nvmtypes::DieIndex(die), blocks);
+                    let erase_end = match faults {
+                        Some(fs) => erase_with_recovery(media, &erase_op, t0, fs, ftl, rel),
+                        None => media.execute(t0, &erase_op).end,
+                    };
+                    media_end = media_end.max(erase_end);
                 }
             }
 
             for run in map.decompose(lpn, count) {
-                let op = match req.op {
-                    IoOp::Read => DieOp::read(run.die, run.planes, run.pages, run.start_row),
-                    IoOp::Write => DieOp::write(run.die, run.planes, run.pages, run.start_row),
+                let end = match req.op {
+                    IoOp::Read => {
+                        let op = DieOp::read(run.die, run.planes, run.pages, run.start_row);
+                        match faults {
+                            Some(fs) => read_with_recovery(media, &op, t0, fs, ftl, rel),
+                            None => media.execute(t0, &op).end,
+                        }
+                    }
+                    IoOp::Write => {
+                        let op = DieOp::write(run.die, run.planes, run.pages, run.start_row);
+                        match faults {
+                            Some(fs) => write_with_recovery(media, &op, t0, fs, rel),
+                            None => media.execute(t0, &op).end,
+                        }
+                    }
                 };
-                let out = media.execute(t0, &op);
-                media_end = media_end.max(out.end);
+                media_end = media_end.max(end);
                 pal.observe(run.die.channel(geometry), run.die.0 / channels, run.planes);
             }
 

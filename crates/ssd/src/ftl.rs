@@ -69,6 +69,19 @@ impl WearStats {
                 / approx_f64(self.host_units_written)
         }
     }
+
+    /// Wear-leveling pressure: the worst row's erase count relative to
+    /// the mean over erased rows. 1.0 means perfectly level wear;
+    /// higher values mean hot rows are aging ahead of the pack (and,
+    /// under the fault model, will start throwing errors first).
+    pub fn pressure(&self) -> f64 {
+        let mean = self.mean_nonzero();
+        if mean <= 0.0 {
+            1.0
+        } else {
+            f64::from(self.max_per_row()) / mean
+        }
+    }
 }
 
 /// Outcome of translating one write: where the data lands and what
@@ -106,7 +119,17 @@ pub struct Ftl {
     /// GC trigger: collect when fewer than this many rows are free.
     pub gc_low_water_rows: u64,
     wear: WearStats,
+    /// Blocks condemned by the fault model (erase failure or
+    /// uncorrectable page) and retired.
+    bad_blocks: u64,
+    /// Spare blocks still available to absorb retirements (the
+    /// over-provisioning pool).
+    spare_blocks: u64,
 }
+
+/// Over-provisioning reserved for bad-block remapping: 2% of the
+/// device's blocks (1/50), the order real drives set aside.
+const SPARE_FRACTION_DENOM: u64 = 50;
 
 impl Ftl {
     /// New FTL with `pre_erased_rows` stripe-rows of blocks ready for
@@ -115,6 +138,7 @@ impl Ftl {
     pub fn new(mode: FtlMode, geometry: SsdGeometry, pre_erased_rows: u64) -> Ftl {
         let page_size = 4096; // placeholder; set via with_page_size
         let rows = u64::from(geometry.blocks_per_plane);
+        let total_blocks = geometry.total_plane_slots() * rows;
         Ftl {
             mode,
             geometry,
@@ -128,6 +152,8 @@ impl Ftl {
                 per_row: Vec::new(),
                 ..WearStats::default()
             },
+            bad_blocks: 0,
+            spare_blocks: (total_blocks / SPARE_FRACTION_DENOM).max(1),
         }
     }
 
@@ -277,6 +303,31 @@ impl Ftl {
     pub fn wear(&self) -> &WearStats {
         &self.wear
     }
+
+    /// Retires a block condemned by the fault model (a failed erase or
+    /// an uncorrectable page) and remaps it to a spare. Returns `true`
+    /// if a spare absorbed it; `false` once the over-provisioning pool
+    /// is exhausted — the device is then *failed* and the cluster layer
+    /// should fall back to its degraded path.
+    pub fn note_bad_block(&mut self) -> bool {
+        self.bad_blocks += 1;
+        if self.spare_blocks > 0 {
+            self.spare_blocks -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks retired so far.
+    pub fn bad_blocks(&self) -> u64 {
+        self.bad_blocks
+    }
+
+    /// Spare blocks still available for remapping.
+    pub fn spare_blocks_left(&self) -> u64 {
+        self.spare_blocks
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +411,30 @@ mod tests {
         assert_eq!(p.gc_moves, 0);
         assert_eq!(f.wear().erases, 0);
         assert!((f.wear().waf() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_blocks_consume_spares_until_exhausted() {
+        let mut f = tiny_ftl(0);
+        let spares = f.spare_blocks_left();
+        assert!(spares >= 1);
+        for _ in 0..spares {
+            assert!(f.note_bad_block(), "spare pool should absorb this");
+        }
+        assert!(!f.note_bad_block(), "pool exhausted, device failed");
+        assert_eq!(f.bad_blocks(), spares + 1);
+        assert_eq!(f.spare_blocks_left(), 0);
+    }
+
+    #[test]
+    fn wear_pressure_tracks_imbalance() {
+        let mut even = WearStats::default();
+        even.per_row = vec![3, 3, 3];
+        assert!((even.pressure() - 1.0).abs() < 1e-12);
+        let mut hot = WearStats::default();
+        hot.per_row = vec![9, 1, 0, 2];
+        assert!(hot.pressure() > 2.0);
+        assert!((WearStats::default().pressure() - 1.0).abs() < 1e-12);
     }
 
     #[test]

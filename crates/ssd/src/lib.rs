@@ -17,7 +17,11 @@
 //!   journal traffic, and non-overlapped-DMA accounting;
 //! * [`report`] — the per-run results every figure of the paper is
 //!   computed from (bandwidth, utilization, execution breakdown, PAL
-//!   histogram, bandwidth remaining).
+//!   histogram, bandwidth remaining);
+//! * [`recovery`] — device-side fault recovery: the escalating ECC
+//!   read-retry ladder, program/erase retries and bad-block retirement,
+//!   driven by the deterministic fault plan in `nvmtypes::fault` (see
+//!   docs/FAULT_MODEL.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +30,10 @@ pub mod config;
 pub mod device;
 pub mod ftl;
 pub mod mapping;
+pub mod recovery;
 pub mod report;
 
 pub use config::{FtlMode, SsdConfig};
 pub use device::SsdDevice;
 pub use mapping::{DieRun, Dim, StripeMap};
-pub use report::{LatencyStats, RunReport};
+pub use report::{LatencyStats, ReliabilityStats, RunReport};

@@ -1,0 +1,223 @@
+//! Device-level recovery mechanics: the ECC read-retry ladder, program
+//! retries, erase retries and bad-block retirement.
+//!
+//! The media layer (`flashsim::fault`) decides *what* goes wrong; this
+//! module decides *what the controller does about it* and what it
+//! costs. Every recovery action is expressed as additional [`DieOp`]s
+//! executed through the same [`MediaSim`] resource-reservation engine
+//! as the original operation, so recovery traffic contends for dies and
+//! channel buses exactly like regular traffic — and, because the
+//! engine's per-resource `free_at` times are monotone, retries can only
+//! *delay* an operation, never make one finish earlier, and a die's
+//! completions stay in issue order (pinned by `tests/prop_faults.rs`).
+
+use crate::ftl::Ftl;
+use crate::report::ReliabilityStats;
+use flashsim::{DieOp, MediaFaultState, MediaSim};
+use nvmtypes::Nanos;
+
+/// Executes a read op and, if the fault state decrees errors, walks the
+/// escalating ECC read-retry ladder: tier `t` re-senses the page after
+/// an extra `t * tier_extra_ns` reference-shift delay. Pages that
+/// exhaust every tier are uncorrectable: the block is retired via
+/// [`Ftl::note_bad_block`]. Read-disturb refreshes re-program one page.
+/// Returns the op's final completion time.
+pub fn read_with_recovery(
+    media: &mut MediaSim,
+    op: &DieOp,
+    start: Nanos,
+    faults: &mut MediaFaultState,
+    ftl: &mut Ftl,
+    rel: &mut ReliabilityStats,
+) -> Nanos {
+    let out = media.execute(start, op);
+    let mut end = out.end;
+    let sample = faults.sample_read(op);
+    if sample.is_clean() {
+        return end;
+    }
+    let profile = *faults.profile();
+    let retry_op = DieOp::read(op.die, 1, 1, op.start_page);
+    for &tier in &sample.corrected_tiers {
+        rel.read_errors += 1;
+        for t in 1..=tier {
+            let r = media.execute(end + profile.tier_extra_ns * u64::from(t), &retry_op);
+            end = r.end;
+            rel.ecc_retries += 1;
+        }
+    }
+    for _page in 0..sample.uncorrectable {
+        rel.read_errors += 1;
+        rel.uncorrectable += 1;
+        // The full ladder is burned before the controller gives up.
+        for t in 1..=profile.ecc_tiers {
+            let r = media.execute(end + profile.tier_extra_ns * u64::from(t), &retry_op);
+            end = r.end;
+            rel.ecc_retries += 1;
+        }
+        if ftl.note_bad_block() {
+            rel.bad_blocks_remapped += 1;
+        }
+    }
+    for _refresh in 0..sample.disturb_refreshes {
+        // Refresh: re-program the disturbed page before it degrades.
+        let w = media.execute(end, &DieOp::write(op.die, 1, 1, op.start_page));
+        end = w.end;
+        rel.disturb_refreshes += 1;
+    }
+    rel.media_recovery_ns += end - out.end;
+    end
+}
+
+/// Executes a write op; failed page programs are retried once each (the
+/// controller re-programs into the same block). Returns the final
+/// completion time.
+pub fn write_with_recovery(
+    media: &mut MediaSim,
+    op: &DieOp,
+    start: Nanos,
+    faults: &mut MediaFaultState,
+    rel: &mut ReliabilityStats,
+) -> Nanos {
+    let out = media.execute(start, op);
+    let mut end = out.end;
+    let fails = faults.sample_program(op);
+    if fails == 0 {
+        return end;
+    }
+    for _page in 0..fails {
+        let w = media.execute(end, &DieOp::write(op.die, 1, 1, op.start_page));
+        end = w.end;
+        rel.program_retries += 1;
+    }
+    rel.media_recovery_ns += end - out.end;
+    end
+}
+
+/// Executes an erase op; failed block erases retire their block (remap
+/// to spare) and re-erase a replacement. Returns the final completion
+/// time.
+pub fn erase_with_recovery(
+    media: &mut MediaSim,
+    op: &DieOp,
+    start: Nanos,
+    faults: &mut MediaFaultState,
+    ftl: &mut Ftl,
+    rel: &mut ReliabilityStats,
+) -> Nanos {
+    let out = media.execute(start, op);
+    let mut end = out.end;
+    let fails = faults.sample_erase(op.die.0, op.pages);
+    if fails == 0 {
+        return end;
+    }
+    for _block in 0..fails {
+        rel.erase_failures += 1;
+        if ftl.note_bad_block() {
+            rel.bad_blocks_remapped += 1;
+        }
+        // Erase the replacement spare block before use.
+        let e = media.execute(end, &DieOp::erase(op.die, 1));
+        end = e.end;
+    }
+    rel.media_recovery_ns += end - out.end;
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FtlMode;
+    use flashsim::MediaConfig;
+    use nvmtypes::fault::{FaultPlan, MediaFaultProfile, STREAM_MEDIA};
+    use nvmtypes::{BusTiming, DieIndex, NvmKind, SsdGeometry};
+
+    fn harness(profile: MediaFaultProfile) -> (MediaSim, MediaFaultState, Ftl) {
+        let media = MediaConfig::tiny(
+            NvmKind::Tlc,
+            BusTiming {
+                name: "t",
+                bytes_per_ns: 0.4,
+            },
+        );
+        let rng = FaultPlan {
+            seed: 5,
+            ..FaultPlan::none()
+        }
+        .rng()
+        .split(STREAM_MEDIA);
+        let faults = MediaFaultState::new(
+            profile,
+            NvmKind::Tlc,
+            u64::from(media.geometry.pages_per_block),
+            rng,
+        );
+        let ftl = Ftl::new(FtlMode::ufs_default(), SsdGeometry::tiny(), 0).with_page_size(8192);
+        (MediaSim::new(media), faults, ftl)
+    }
+
+    #[test]
+    fn clean_reads_cost_exactly_the_base_op() {
+        let (mut media, mut faults, mut ftl) = harness(MediaFaultProfile::none());
+        let (mut media2, _, _) = harness(MediaFaultProfile::none());
+        let op = DieOp::read(DieIndex(0), 2, 8, 0);
+        let mut rel = ReliabilityStats::default();
+        let end = read_with_recovery(&mut media, &op, 0, &mut faults, &mut ftl, &mut rel);
+        let base = media2.execute(0, &op);
+        assert_eq!(end, base.end);
+        assert_eq!(rel, ReliabilityStats::default());
+    }
+
+    #[test]
+    fn errored_reads_pay_escalating_retries() {
+        let profile = MediaFaultProfile {
+            page_error_prob: 1.0, // every page errs
+            ..MediaFaultProfile::none()
+        };
+        let (mut media, mut faults, mut ftl) = harness(profile);
+        let op = DieOp::read(DieIndex(0), 1, 4, 0);
+        let mut rel = ReliabilityStats::default();
+        let end = read_with_recovery(&mut media, &op, 0, &mut faults, &mut ftl, &mut rel);
+        let (mut clean_media, _, _) = harness(profile);
+        let base = clean_media.execute(0, &op);
+        assert_eq!(rel.read_errors, 4);
+        assert!(rel.ecc_retries >= 4);
+        assert!(rel.media_recovery_ns > 0);
+        assert!(end > base.end, "retries must extend the completion");
+    }
+
+    #[test]
+    fn uncorrectable_pages_retire_blocks() {
+        let profile = MediaFaultProfile {
+            page_error_prob: 1.0,
+            ecc_tiers: 0, // no ladder: every error is uncorrectable
+            ..MediaFaultProfile::none()
+        };
+        let (mut media, mut faults, mut ftl) = harness(profile);
+        let op = DieOp::read(DieIndex(0), 1, 3, 0);
+        let mut rel = ReliabilityStats::default();
+        let _end = read_with_recovery(&mut media, &op, 0, &mut faults, &mut ftl, &mut rel);
+        assert_eq!(rel.uncorrectable, 3);
+        assert_eq!(rel.bad_blocks_remapped, 3);
+        assert_eq!(ftl.bad_blocks(), 3);
+    }
+
+    #[test]
+    fn program_and_erase_failures_accumulate() {
+        let profile = MediaFaultProfile {
+            program_fail_prob: 1.0,
+            erase_fail_prob: 1.0,
+            ..MediaFaultProfile::none()
+        };
+        let (mut media, mut faults, mut ftl) = harness(profile);
+        let mut rel = ReliabilityStats::default();
+        let w = DieOp::write(DieIndex(0), 1, 2, 0);
+        let we = write_with_recovery(&mut media, &w, 0, &mut faults, &mut rel);
+        assert_eq!(rel.program_retries, 2);
+        let e = DieOp::erase(DieIndex(0), 2);
+        let ee = erase_with_recovery(&mut media, &e, we, &mut faults, &mut ftl, &mut rel);
+        assert_eq!(rel.erase_failures, 2);
+        assert_eq!(rel.bad_blocks_remapped, 2);
+        assert!(ee > we);
+    }
+}

@@ -2,8 +2,56 @@
 
 use crate::ftl::WearStats;
 use flashsim::{EnergyReport, MediaReport, PalHistogram};
+use interconnect::LinkFaultStats;
 use nvmtypes::Nanos;
 use serde::Serialize;
+
+/// Fault and recovery accounting for one run. All-zero (the `Default`)
+/// when the run's [`nvmtypes::FaultPlan`] is `none()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ReliabilityStats {
+    /// Pages whose read needed help beyond the inline ECC tier.
+    pub read_errors: u64,
+    /// Escalating read-retry senses performed.
+    pub ecc_retries: u64,
+    /// Pages no retry tier could correct (data lost; block retired).
+    pub uncorrectable: u64,
+    /// Page programs that failed and were retried.
+    pub program_retries: u64,
+    /// Block erases that failed (block retired).
+    pub erase_failures: u64,
+    /// Read-disturb refresh programs performed.
+    pub disturb_refreshes: u64,
+    /// Blocks retired and remapped to spares by the FTL.
+    pub bad_blocks_remapped: u64,
+    /// Spare blocks left in the over-provisioning pool at run end.
+    pub spare_blocks_left: u64,
+    /// Time lost to media-side recovery (retries, refreshes,
+    /// re-programs, re-erases), ns.
+    pub media_recovery_ns: Nanos,
+    /// Host-link CRC/replay/retrain accounting.
+    pub link: LinkFaultStats,
+}
+
+impl ReliabilityStats {
+    /// True iff any fault or recovery event occurred.
+    pub fn any(&self) -> bool {
+        self.read_errors > 0
+            || self.ecc_retries > 0
+            || self.uncorrectable > 0
+            || self.program_retries > 0
+            || self.erase_failures > 0
+            || self.disturb_refreshes > 0
+            || self.bad_blocks_remapped > 0
+            || self.link.crc_errors > 0
+            || self.link.retrains > 0
+    }
+
+    /// Total time recovery cost the run, ns (media + link).
+    pub fn total_recovery_ns(&self) -> Nanos {
+        self.media_recovery_ns + self.link.total_ns()
+    }
+}
 
 /// Request-latency distribution summary.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
@@ -68,6 +116,8 @@ pub struct RunReport {
     pub energy: EnergyReport,
     /// Per-request latency percentiles.
     pub latency: LatencyStats,
+    /// Fault/recovery accounting (all-zero under `FaultPlan::none()`).
+    pub reliability: ReliabilityStats,
 }
 
 impl RunReport {
@@ -76,16 +126,29 @@ impl RunReport {
         self.media.remaining_mb_s
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. Fault-free runs render exactly
+    /// as they did before fault injection existed; runs that saw faults
+    /// append the recovery counters.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{:>8.1} MB/s  ({} reqs, {:.1}% chan, {:.1}% pkg, PAL4 {:.1}%)",
             self.bandwidth_mb_s,
             self.requests,
             self.media.channel_util * 100.0,
             self.media.package_util * 100.0,
             self.pal.percent()[3],
-        )
+        );
+        if self.reliability.any() {
+            let r = &self.reliability;
+            line.push_str(&format!(
+                "  [faults: {} retries, {} crc, {} bad blocks, {:.2} ms recovery]",
+                r.ecc_retries,
+                r.link.crc_errors,
+                r.bad_blocks_remapped,
+                nvmtypes::approx_f64(r.total_recovery_ns()) / 1e6,
+            ));
+        }
+        line
     }
 }
 

@@ -1,6 +1,6 @@
 //! POSIX-level trace records.
 
-use nvmtypes::{IoOp, Nanos};
+use nvmtypes::{IoOp, Nanos, SimError};
 use serde::{Deserialize, Serialize};
 
 /// One POSIX-level I/O event captured directly under the application.
@@ -103,35 +103,28 @@ impl PosixTrace {
 
     /// Parses the [`PosixTrace::to_text`] format. Lines that are empty or
     /// start with `#` are skipped.
-    pub fn from_text(text: &str) -> Result<PosixTrace, String> {
+    pub fn from_text(text: &str) -> Result<PosixTrace, SimError> {
         let mut trace = PosixTrace::new();
         for (i, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
+            let fail = |reason: String| SimError::parse("posix trace", i + 1, reason);
             let mut it = line.split_whitespace();
             let mut next = |what: &str| {
                 it.next()
-                    .ok_or_else(|| format!("line {}: missing {what}", i + 1))
+                    .ok_or_else(|| SimError::parse("posix trace", i + 1, format!("missing {what}")))
             };
-            let t: Nanos = next("t")?
-                .parse()
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let t: Nanos = next("t")?.parse().map_err(|e| fail(format!("{e}")))?;
             let op = match next("op")? {
                 "R" => IoOp::Read,
                 "W" => IoOp::Write,
-                other => return Err(format!("line {}: bad op `{other}`", i + 1)),
+                other => return Err(fail(format!("bad op `{other}`"))),
             };
-            let file: u32 = next("file")?
-                .parse()
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
-            let offset: u64 = next("offset")?
-                .parse()
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
-            let len: u64 = next("len")?
-                .parse()
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let file: u32 = next("file")?.parse().map_err(|e| fail(format!("{e}")))?;
+            let offset: u64 = next("offset")?.parse().map_err(|e| fail(format!("{e}")))?;
+            let len: u64 = next("len")?.parse().map_err(|e| fail(format!("{e}")))?;
             trace.push(TraceRecord {
                 t,
                 op,

@@ -49,7 +49,9 @@ fn main() {
             p.values.iter().flat_map(|v| v.to_le_bytes()).collect()
         });
     }
-    prefetcher.drain();
+    prefetcher
+        .shutdown()
+        .expect("all panel loaders must succeed");
     println!(
         "pool after prefetch: {} KiB resident, {} evictions (budget {} KiB)",
         pool.used() >> 10,
@@ -84,7 +86,7 @@ fn main() {
     graph.add_task("reduce", &panel_tasks, move || {
         done2.store(1, Ordering::Relaxed);
     });
-    let order = graph.execute(4);
+    let order = graph.execute(4).expect("no task may panic");
     println!(
         "scheduler ran {} tasks on 4 workers; pool hit ratio {:.0}%",
         order.len(),
@@ -125,7 +127,8 @@ fn main() {
     let heavy = Pipeline::new()
         .then(Checksum)
         .then(Threshold(1.0))
-        .run(source);
+        .run(source)
+        .expect("no filter may panic");
     println!(
         "pipeline: {} of {} panels pass the weight threshold",
         heavy.len(),

@@ -12,6 +12,10 @@
 #                       no-panic, exhaustive matches; docs/INVARIANTS.md)
 #   4. tests          — the whole workspace test suite
 #   5. release build  — tier-1 artifact (skipped with --fast)
+#   6. reliability    — fault-injection smoke: the seeded fault sweep
+#                       must be byte-identical run-to-run and the zero
+#                       plan identical to the fault-free driver
+#                       (docs/FAULT_MODEL.md; skipped with --fast)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,6 +51,9 @@ cargo test --workspace --quiet
 if [ "$fast" -eq 0 ]; then
     step "cargo build --release"
     cargo build --release --quiet
+
+    step "reliability --smoke (fault-injection determinism)"
+    cargo run --release --quiet --bin reliability -- --smoke
 fi
 
 echo

@@ -10,7 +10,7 @@
 
 use flashsim::MediaConfig;
 use interconnect::{ddr800, pcie, LinkChain, PcieGen};
-use nvmtypes::{HostRequest, NvmKind, KIB, MIB};
+use nvmtypes::{FaultPlan, HostRequest, NvmKind, KIB, MIB};
 use ooctrace::BlockTrace;
 use ssd::{RunReport, SsdConfig, SsdDevice};
 
@@ -33,8 +33,15 @@ fn mixed_trace() -> BlockTrace {
 
 /// One full flashsim+ssd run on a fresh device.
 fn run_once(kind: NvmKind) -> RunReport {
+    run_once_with_plan(kind, FaultPlan::none())
+}
+
+/// Same run with a fault plan installed.
+fn run_once_with_plan(kind: NvmKind, plan: FaultPlan) -> RunReport {
     let media = MediaConfig::paper(kind, ddr800());
-    let cfg = SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen3, 8))).with_ufs();
+    let cfg = SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen3, 8)))
+        .with_ufs()
+        .with_fault_plan(plan);
     SsdDevice::new(cfg).run(&mixed_trace())
 }
 
@@ -54,6 +61,39 @@ fn identical_runs_render_byte_identical_reports() {
             a,
             b,
             "{}: reports diverged between identical runs",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn fault_injected_runs_are_byte_identical_for_a_seed() {
+    // Same seed + same plan -> byte-identical report; a different seed
+    // must actually exercise the fault machinery (heavy rates on a
+    // 256-request trace cannot be a silent no-op).
+    for plan in [FaultPlan::light(11), FaultPlan::heavy(11)] {
+        let a = rendered(&run_once_with_plan(NvmKind::Tlc, plan));
+        let b = rendered(&run_once_with_plan(NvmKind::Tlc, plan));
+        assert_eq!(a, b, "fault-injected reports diverged between runs");
+    }
+    let heavy = run_once_with_plan(NvmKind::Tlc, FaultPlan::heavy(11));
+    assert!(
+        heavy.reliability.ecc_retries > 0,
+        "heavy plan produced no ECC retries: the fault path is dead"
+    );
+}
+
+#[test]
+fn zero_rate_plan_reproduces_the_plain_report_exactly() {
+    // FaultPlan::none() must not perturb a single byte: no RNG draws,
+    // no extra ops, no reordered state.
+    for kind in NvmKind::ALL {
+        let plain = rendered(&run_once(kind));
+        let zeroed = rendered(&run_once_with_plan(kind, FaultPlan::none()));
+        assert_eq!(
+            plain,
+            zeroed,
+            "{}: zero-rate plan diverged from the fault-free run",
             kind.label()
         );
     }

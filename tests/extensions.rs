@@ -177,7 +177,7 @@ fn migration_composes_with_prefetcher() {
     for i in 0..16u64 {
         pf.prefetch(&format!("k{i}"), move || vec![(i * 3) as u8; 4096]);
     }
-    pf.drain();
+    pf.shutdown().expect("prefetch loaders succeed");
     let local = Arc::new(DataPool::new(64 * MIB));
     let keys: Vec<String> = (0..16).map(|i| format!("k{i}")).collect();
     let rep = ooc::dooc::migrate_matching(&monolithic, &local, &keys, 2, |_| true);

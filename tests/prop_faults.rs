@@ -1,0 +1,209 @@
+//! Property tests over the fault-injection and recovery subsystem.
+//!
+//! Three contracts from docs/FAULT_MODEL.md are pinned here:
+//!
+//! 1. **Ordering** — the ECC read-retry ladder executes through the same
+//!    resource-reservation engine as regular traffic, so retries can
+//!    only *delay* completions, never reorder them within a channel.
+//! 2. **Recovery correctness** — a LOBPCG solve interrupted by node
+//!    crashes and resumed from checkpoints converges to the same
+//!    eigenvalues as the uninterrupted solve (to tolerance; the restart
+//!    re-applies the operator, so bit-identity is not expected).
+//! 3. **Zero-fault identity** — `FaultPlan::none()` reproduces the
+//!    fault-free driver byte-for-byte, and any plan is deterministic
+//!    under its seed.
+
+use flashsim::{DieOp, MediaConfig, MediaFaultState, MediaSim};
+use nvmtypes::fault::{FaultPlan, MediaFaultProfile, NodeFaultProfile, STREAM_MEDIA, STREAM_NODE};
+use nvmtypes::{BusTiming, DieIndex, Nanos, NvmKind, SsdGeometry, MIB};
+use ooc::checkpoint::solve_with_recovery;
+use ooc::lobpcg::{Lobpcg, LobpcgOptions};
+use ooc::HamiltonianSpec;
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::{run_experiment, run_experiment_with_faults};
+use oocnvm_core::workload::synthetic_ooc_trace;
+use proptest::prelude::*;
+use ssd::config::FtlMode;
+use ssd::ftl::Ftl;
+use ssd::recovery::read_with_recovery;
+use ssd::ReliabilityStats;
+
+/// One read per tuple: `(die-in-channel, planes, pages)`. All ops land
+/// on channel 0 (dies are channel-major: die `2k` sits on channel 0 of
+/// the tiny 2-channel geometry).
+fn arb_channel_reads() -> impl Strategy<Value = Vec<(u32, u32, u64)>> {
+    prop::collection::vec((0u32..4, 1u32..=2, 1u64..8), 1..24)
+}
+
+/// Executes the read sequence with recovery at fixed issue spacing and
+/// returns each op's completion time.
+fn run_reads(
+    profile: MediaFaultProfile,
+    seed: u64,
+    ops: &[(u32, u32, u64)],
+    gap: Nanos,
+) -> (Vec<Nanos>, ReliabilityStats) {
+    let media_cfg = MediaConfig::tiny(
+        NvmKind::Tlc,
+        BusTiming {
+            name: "t",
+            bytes_per_ns: 0.4,
+        },
+    );
+    let pages_per_block = u64::from(media_cfg.geometry.pages_per_block);
+    let mut media = MediaSim::new(media_cfg);
+    let rng = FaultPlan {
+        seed,
+        ..FaultPlan::none()
+    }
+    .rng()
+    .split(STREAM_MEDIA);
+    let mut faults = MediaFaultState::new(profile, NvmKind::Tlc, pages_per_block, rng);
+    let mut ftl = Ftl::new(FtlMode::ufs_default(), SsdGeometry::tiny(), 0).with_page_size(8192);
+    let mut rel = ReliabilityStats::default();
+    let mut ends = Vec::with_capacity(ops.len());
+    for (i, &(die, planes, pages)) in ops.iter().enumerate() {
+        let op = DieOp::read(DieIndex(die * 2), planes, pages, 0);
+        let start = gap * (i as u64);
+        ends.push(read_with_recovery(
+            &mut media,
+            &op,
+            start,
+            &mut faults,
+            &mut ftl,
+            &mut rel,
+        ));
+    }
+    (ends, rel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ecc_retries_never_reorder_channel_completions(
+        ops in arb_channel_reads(),
+        gap in 0u64..2_000,
+        seed in 0u64..1_000,
+        error_prob in 0.0f64..0.6,
+        ecc_tiers in 1u32..4,
+        tier_extra_ns in 100u64..2_000,
+    ) {
+        let profile = MediaFaultProfile {
+            page_error_prob: error_prob,
+            ecc_tiers,
+            tier_extra_ns,
+            ..MediaFaultProfile::none()
+        };
+        let (clean, clean_rel) = run_reads(MediaFaultProfile::none(), seed, &ops, gap);
+        let (faulty, _) = run_reads(profile, seed, &ops, gap);
+        prop_assert_eq!(clean_rel, ReliabilityStats::default());
+        // Retries only ever delay: no op may finish earlier than its
+        // fault-free self.
+        for (f, c) in faulty.iter().zip(&clean) {
+            prop_assert!(f >= c, "a retry made an op finish earlier ({f} < {c})");
+        }
+        // A die's completions stay in issue order, with and without the
+        // retry ladder in play. (Distinct dies on the shared channel may
+        // legitimately interleave page transfers; a single die may not.)
+        for die in 0u32..4 {
+            let per_die = |ends: &[Nanos]| -> Vec<Nanos> {
+                ops.iter()
+                    .zip(ends)
+                    .filter(|((d, _, _), _)| *d == die)
+                    .map(|(_, &e)| e)
+                    .collect()
+            };
+            for w in per_die(&clean).windows(2) {
+                prop_assert!(w[0] <= w[1], "clean run reordered die {die} ({} > {})", w[0], w[1]);
+            }
+            for w in per_die(&faulty).windows(2) {
+                prop_assert!(w[0] <= w[1], "retries reordered die {die} ({} > {})", w[0], w[1]);
+            }
+        }
+        // Same seed, same sequence: the ladder is deterministic.
+        let (again, _) = run_reads(profile, seed, &ops, gap);
+        prop_assert_eq!(faulty, again);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn checkpoint_restart_converges_to_the_same_eigenvalues(
+        seed in 0u64..64,
+        crash_prob in 0.02f64..0.25,
+        checkpoint_every in 1u32..8,
+    ) {
+        let h = HamiltonianSpec::tiny(96).generate();
+        let solver = Lobpcg::new(LobpcgOptions {
+            block_size: 2,
+            max_iters: 500,
+            tol: 1e-7,
+            seed: 7,
+            precondition: true,
+        });
+        let plain = solver.solve(&h);
+        prop_assert!(plain.converged);
+        let profile = NodeFaultProfile {
+            crash_prob_per_iter: crash_prob,
+            checkpoint_every,
+            restart_penalty_ns: 1_000_000,
+            max_crashes: 4,
+        };
+        let mut rng = FaultPlan { seed, ..FaultPlan::none() }
+            .rng()
+            .split(STREAM_NODE);
+        let rec = solve_with_recovery(&solver, &h, &profile, &mut rng);
+        prop_assert!(rec.result.converged);
+        for (a, b) in rec.result.eigenvalues.iter().zip(&plain.eigenvalues) {
+            prop_assert!(
+                (a - b).abs() < 1e-5,
+                "eigenvalue drift {} vs {} after {} crashes",
+                a, b, rec.recovery.node_losses
+            );
+        }
+        // The accounting must reflect what happened: a crash costs its
+        // restart penalty, a checkpoint its bytes.
+        prop_assert_eq!(
+            rec.recovery.restart_ns,
+            u64::from(rec.recovery.node_losses) * profile.restart_penalty_ns
+        );
+        if rec.recovery.checkpoints > 0 {
+            prop_assert!(rec.recovery.checkpoint_bytes > 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical_and_plans_are_deterministic(
+        total_mib in 2u64..6,
+        trace_seed in 0u64..1_000,
+        kind_idx in 0usize..NvmKind::ALL.len(),
+        plan_seed in 0u64..1_000,
+    ) {
+        let kind = NvmKind::ALL[kind_idx];
+        let trace = synthetic_ooc_trace(total_mib * MIB, MIB, trace_seed);
+        for config in [SystemConfig::ion_gpfs(), SystemConfig::cnl_ufs()] {
+            // FaultPlan::none() must not perturb a single byte of the
+            // fault-free report — not even via RNG state or reordering.
+            let base = run_experiment(&config, kind, &trace);
+            let zero = run_experiment_with_faults(&config, kind, &trace, FaultPlan::none());
+            prop_assert_eq!(
+                format!("{:?}", base.run),
+                format!("{:?}", zero.run),
+                "{}: zero-fault run diverged from the fault-free driver",
+                config.label
+            );
+            // Any plan is a pure function of (config, trace, seed).
+            let plan = FaultPlan::heavy(plan_seed);
+            let a = run_experiment_with_faults(&config, kind, &trace, plan);
+            let b = run_experiment_with_faults(&config, kind, &trace, plan);
+            prop_assert_eq!(format!("{:?}", a.run), format!("{:?}", b.run));
+        }
+    }
+}
