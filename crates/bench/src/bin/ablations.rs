@@ -32,7 +32,10 @@ fn tlc_run(device: &SsdDevice, block: &BlockTrace) -> f64 {
 fn main() {
     let posix = standard_trace();
 
-    banner("Ablation 1", "GPFS stripe size (TLC, ION data path)");
+    println!(
+        "{}",
+        banner("Ablation 1", "GPFS stripe size (TLC, ION data path)")
+    );
     let ion_dev = SystemConfig::ion_gpfs().device(NvmKind::Tlc);
     let mut t = Table::new(["stripe", "bandwidth MB/s", "device sequentiality"]);
     for stripe in [128 * 1024, 256 * 1024, 512 * 1024, MIB, 4 * MIB] {
@@ -46,9 +49,12 @@ fn main() {
     print!("{}", t.render());
     println!("-> gains flatten: striping itself, not the stripe size, is the problem.\n");
 
-    banner(
-        "Ablation 2",
-        "block-layer coalescing cap (the ext4-L knob, TLC)",
+    println!(
+        "{}",
+        banner(
+            "Ablation 2",
+            "block-layer coalescing cap (the ext4-L knob, TLC)",
+        )
     );
     let cnl_dev = SystemConfig::cnl(FsKind::Ext4).device(NvmKind::Tlc);
     let base = FsKind::Ext4.params().unwrap();
@@ -77,9 +83,12 @@ fn main() {
     print!("{}", t.render());
     println!("-> \"simply turning a few kernel knobs\" is worth ~1 GB/s (§4.3).\n");
 
-    banner(
-        "Ablation 3",
-        "FTL page-allocation (striping) order, UFS requests, TLC",
+    println!(
+        "{}",
+        banner(
+            "Ablation 3",
+            "FTL page-allocation (striping) order, UFS requests, TLC",
+        )
     );
     let block = FsKind::Ufs.transform(&posix);
     let mut t = Table::new(["order", "bandwidth MB/s", "PAL4 %"]);
@@ -114,9 +123,12 @@ fn main() {
     print!("{}", t.render());
     println!("-> large UFS requests saturate every order; small-request configs care.\n");
 
-    banner(
-        "Ablation 4",
-        "PAQ out-of-order die service (ext2-shaped requests, TLC)",
+    println!(
+        "{}",
+        banner(
+            "Ablation 4",
+            "PAQ out-of-order die service (ext2-shaped requests, TLC)",
+        )
     );
     let block = FsKind::Ext2.transform(&posix);
     let mut t = Table::new(["queueing", "bandwidth MB/s"]);
@@ -132,7 +144,10 @@ fn main() {
     print!("{}", t.render());
     println!();
 
-    banner("Ablation 5", "host queue depth (512 KiB requests, TLC)");
+    println!(
+        "{}",
+        banner("Ablation 5", "host queue depth (512 KiB requests, TLC)")
+    );
     let mut t = Table::new(["queue depth", "bandwidth MB/s"]);
     for qd in [1u32, 2, 4, 8, 16, 32] {
         let mut reqs = Vec::new();
@@ -152,9 +167,12 @@ fn main() {
     print!("{}", t.render());
     println!();
 
-    banner(
-        "Ablation 6",
-        "cache-register reads (ext2-shaped requests, TLC)",
+    println!(
+        "{}",
+        banner(
+            "Ablation 6",
+            "cache-register reads (ext2-shaped requests, TLC)",
+        )
     );
     let block7 = FsKind::Ext2.transform(&posix);
     let mut t = Table::new(["die registers", "bandwidth MB/s"]);
@@ -170,9 +188,12 @@ fn main() {
     print!("{}", t.render());
     println!();
 
-    banner(
-        "Ablation 8",
-        "worn NAND: amortised read retries (CNL-NATIVE-16, cell-bound TLC)",
+    println!(
+        "{}",
+        banner(
+            "Ablation 8",
+            "worn NAND: amortised read retries (CNL-NATIVE-16, cell-bound TLC)",
+        )
     );
     let block8 = FsKind::Ufs.transform(&posix);
     let mut t = Table::new(["condition", "bandwidth MB/s"]);
@@ -195,7 +216,10 @@ fn main() {
     print!("{}", t.render());
     println!();
 
-    banner("Ablation 7", "DOoC prefetch workers vs pool hit ratio");
+    println!(
+        "{}",
+        banner("Ablation 7", "DOoC prefetch workers vs pool hit ratio")
+    );
     let mut t = Table::new(["workers", "hit ratio %"]);
     for workers in [0usize, 1, 2, 4, 8] {
         let pool = Arc::new(DataPool::new(64 * MIB));

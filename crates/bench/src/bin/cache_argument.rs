@@ -19,9 +19,12 @@ use oocnvm_core::format::Table;
 use oocnvm_core::workload::synthetic_ooc_trace;
 
 fn main() {
-    banner(
-        "Cache argument",
-        "LRU caching vs application-managed preload on the OoC workload",
+    println!(
+        "{}",
+        banner(
+            "Cache argument",
+            "LRU caching vs application-managed preload on the OoC workload",
+        )
     );
     // The iterative OoC sweep: 512 MiB of I/O over a 128 MiB matrix.
     let trace = synthetic_ooc_trace(512 * MIB, 6 * MIB, 42);

@@ -18,7 +18,10 @@ use oocnvm_core::format::Table;
 const ION_NETWORK_NJ_PER_BYTE: f64 = 8.0;
 
 fn main() {
-    banner("Energy", "media energy per configuration (extension study)");
+    println!(
+        "{}",
+        banner("Energy", "media energy per configuration (extension study)")
+    );
     let trace = standard_trace();
     let configs = [
         SystemConfig::ion_gpfs(),

@@ -8,9 +8,12 @@ use oocnvm_core::format::Table;
 use oocnvm_core::trends::{crossover_year, figure1_points, log2_fit, TrendSeries};
 
 fn main() {
-    banner(
-        "Figure 1",
-        "trend of bandwidth over time: high-performance networks vs NVM storage",
+    println!(
+        "{}",
+        banner(
+            "Figure 1",
+            "trend of bandwidth over time: high-performance networks vs NVM storage",
+        )
     );
     let pts = figure1_points();
     let mut t = Table::new(["year", "name", "series", "GB/s", "log2"]);

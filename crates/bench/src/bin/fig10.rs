@@ -46,22 +46,34 @@ fn main() {
     let configs = SystemConfig::table2();
     let reports = run_sweep(&configs, &[NvmKind::Tlc, NvmKind::Pcm], &trace);
 
-    banner("Figure 10a", "TLC execution-time breakdown (%)");
+    println!(
+        "{}",
+        banner("Figure 10a", "TLC execution-time breakdown (%)")
+    );
     print!(
         "{}",
         breakdown_table(&reports, &configs, NvmKind::Tlc).render()
     );
 
-    banner("Figure 10b", "TLC parallelism decomposition (%)");
+    println!(
+        "{}",
+        banner("Figure 10b", "TLC parallelism decomposition (%)")
+    );
     print!("{}", pal_table(&reports, &configs, NvmKind::Tlc).render());
 
-    banner("Figure 10c", "PCM execution-time breakdown (%)");
+    println!(
+        "{}",
+        banner("Figure 10c", "PCM execution-time breakdown (%)")
+    );
     print!(
         "{}",
         breakdown_table(&reports, &configs, NvmKind::Pcm).render()
     );
 
-    banner("Figure 10d", "PCM parallelism decomposition (%)");
+    println!(
+        "{}",
+        banner("Figure 10d", "PCM parallelism decomposition (%)")
+    );
     print!("{}", pal_table(&reports, &configs, NvmKind::Pcm).render());
 
     println!("\nobservations (paper §4.5):");

@@ -48,9 +48,12 @@ fn ascii_scatter(points: &[ScatterPoint], rows: usize, cols: usize) -> String {
 }
 
 fn main() {
-    banner(
-        "Figure 6",
-        "block access patterns: POSIX at the compute node vs sub-GPFS at the IONs",
+    println!(
+        "{}",
+        banner(
+            "Figure 6",
+            "block access patterns: POSIX at the compute node vs sub-GPFS at the IONs",
+        )
     );
     // A real eigensolver run: synthetic CI Hamiltonian, LOBPCG, traced
     // panel reads.

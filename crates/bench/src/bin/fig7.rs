@@ -16,9 +16,12 @@ fn main() {
     let configs = SystemConfig::figure7();
     let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
 
-    banner(
-        "Figure 7a",
-        "bandwidth achieved (MB/s) per file system and NVM type",
+    println!(
+        "{}",
+        banner(
+            "Figure 7a",
+            "bandwidth achieved (MB/s) per file system and NVM type",
+        )
     );
     let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
     for c in &configs {
@@ -48,7 +51,10 @@ fn main() {
     }
     print!("{}", t.render());
 
-    banner("Figure 7b", "bandwidth remaining in the NVM media (MB/s)");
+    println!(
+        "{}",
+        banner("Figure 7b", "bandwidth remaining in the NVM media (MB/s)")
+    );
     let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
     for c in &configs {
         t.row([

@@ -16,9 +16,12 @@ fn main() {
     let configs = SystemConfig::figure8();
     let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
 
-    banner(
-        "Figure 8a",
-        "bandwidth achieved (MB/s) through the device improvements",
+    println!(
+        "{}",
+        banner(
+            "Figure 8a",
+            "bandwidth achieved (MB/s) through the device improvements",
+        )
     );
     let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
     for c in &configs {
@@ -48,7 +51,10 @@ fn main() {
     }
     print!("{}", t.render());
 
-    banner("Figure 8b", "bandwidth remaining in the NVM media (MB/s)");
+    println!(
+        "{}",
+        banner("Figure 8b", "bandwidth remaining in the NVM media (MB/s)")
+    );
     let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
     for c in &configs {
         t.row([

@@ -33,13 +33,13 @@ fn main() {
     let configs = SystemConfig::table2();
     let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
 
-    banner("Figure 9a", "channel-level utilization (%)");
+    println!("{}", banner("Figure 9a", "channel-level utilization (%)"));
     print!(
         "{}",
         util_table(&reports, &configs, |r| r.channel_util).render()
     );
 
-    banner("Figure 9b", "package-level utilization (%)");
+    println!("{}", banner("Figure 9b", "package-level utilization (%)"));
     print!(
         "{}",
         util_table(&reports, &configs, |r| r.package_util).render()

@@ -4,6 +4,9 @@
 //! * UFS adds ~52% over the traditional-file-system CNL baseline,
 //! * the hardware improvements add another ~250%,
 //! * end-to-end: ~10.3x over ION-local NVM.
+//!
+//! `--json <path>` additionally writes the matrix in a stable versioned
+//! schema (`oocnvm.headline/1`) for downstream tooling.
 // Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
 // inventoried per-file in `simlint.allow` (counts may only decrease).
 // New code must return typed errors; see docs/INVARIANTS.md.
@@ -12,9 +15,20 @@ use nvmtypes::NvmKind;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::SystemConfig;
 use oocnvm_core::experiment::{find, run_sweep};
+use simobs::json::Json;
+use std::process::ExitCode;
 
-fn main() {
-    banner("§7 headline", "average improvements across NVM media");
+fn main() -> ExitCode {
+    println!(
+        "{}",
+        banner("§7 headline", "average improvements across NVM media")
+    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let trace = standard_trace();
     let configs = SystemConfig::table2();
     let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
@@ -36,6 +50,7 @@ fn main() {
     let mut ufs_vs_cnl = Vec::new();
     let mut hw_vs_ufs = Vec::new();
     let mut total = Vec::new();
+    let mut rows = Vec::new();
     for k in NvmKind::ALL {
         let ion = bw("ION-GPFS", k);
         let cnl_mean = trad.iter().map(|l| bw(l, k)).sum::<f64>() / trad.len() as f64;
@@ -45,6 +60,15 @@ fn main() {
         ufs_vs_cnl.push(ufs / cnl_mean - 1.0);
         hw_vs_ufs.push(n16 / ufs - 1.0);
         total.push(n16 / ion);
+        rows.push(
+            Json::obj()
+                .field("kind", Json::str(k.label()))
+                .field("ion_mb_s", Json::f64_3(ion))
+                .field("cnl_mean_mb_s", Json::f64_3(cnl_mean))
+                .field("ufs_mb_s", Json::f64_3(ufs))
+                .field("native16_mb_s", Json::f64_3(n16))
+                .field("total_x", Json::f64_3(n16 / ion)),
+        );
         println!(
             "  {}: ION {:.0}  CNL-mean {:.0}  UFS {:.0}  NATIVE-16 {:.0}  (x{:.1} end-to-end)",
             k.label(),
@@ -73,4 +97,26 @@ fn main() {
         "  overall NATIVE-16 vs ION-local: x{:.1}   (paper: 'a relative improvement of 10.3 times')",
         avg(&total)
     );
+
+    if let Some(path) = json_path {
+        let doc = Json::obj()
+            .field("format", Json::str("oocnvm.headline/1"))
+            .field("rows", Json::Arr(rows))
+            .field(
+                "averages",
+                Json::obj()
+                    .field("cnl_vs_ion_pct", Json::f64_3(avg(&cnl_vs_ion) * 100.0))
+                    .field("ufs_vs_cnl_pct", Json::f64_3(avg(&ufs_vs_cnl) * 100.0))
+                    .field("hw_vs_ufs_pct", Json::f64_3(avg(&hw_vs_ufs) * 100.0))
+                    .field("total_x", Json::f64_3(avg(&total))),
+            );
+        match std::fs::write(&path, doc.render()) {
+            Ok(()) => println!("  json written to {path}"),
+            Err(e) => {
+                println!("  json write to {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

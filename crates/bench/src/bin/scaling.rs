@@ -11,9 +11,12 @@ use oocnvm_core::cluster::{ion_saturation_nodes, scaling_curve, ClusterSpec, Nod
 use oocnvm_core::format::Table;
 
 fn main() {
-    banner(
-        "Scaling",
-        "aggregate delivered bandwidth as the OoC application scales out",
+    println!(
+        "{}",
+        banner(
+            "Scaling",
+            "aggregate delivered bandwidth as the OoC application scales out",
+        )
     );
     let trace = standard_trace();
     let spec = ClusterSpec::carver();

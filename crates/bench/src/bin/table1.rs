@@ -16,9 +16,12 @@ fn us(ns: u64) -> String {
 }
 
 fn main() {
-    banner(
-        "Table 1",
-        "latency to complete page-size operations per NVM type",
+    println!(
+        "{}",
+        banner(
+            "Table 1",
+            "latency to complete page-size operations per NVM type",
+        )
     );
     let mut t = Table::new(["", "SLC", "MLC", "TLC", "PCM"]);
     let timings: Vec<MediaTiming> = NvmKind::ALL

@@ -8,9 +8,12 @@ use oocnvm_core::config::{Controller, SystemConfig};
 use oocnvm_core::format::Table;
 
 fn main() {
-    banner(
-        "Table 2",
-        "relevant software and hardware configurations evaluated",
+    println!(
+        "{}",
+        banner(
+            "Table 2",
+            "relevant software and hardware configurations evaluated",
+        )
     );
     let mut t = Table::new([
         "Location-FileSystem",

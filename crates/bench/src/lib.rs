@@ -38,11 +38,12 @@ pub fn standard_trace() -> PosixTrace {
     synthetic_ooc_trace(mib * MIB, 6 * MIB, 42)
 }
 
-/// Prints a figure banner.
-pub fn banner(id: &str, caption: &str) {
-    println!("==============================================================");
-    println!("{id} — {caption}");
-    println!("==============================================================");
+/// Renders a figure banner; callers print it (library code never prints
+/// — the `no_println_in_lib` simlint rule).
+#[must_use]
+pub fn banner(id: &str, caption: &str) -> String {
+    let rule = "==============================================================";
+    format!("{rule}\n{id} — {caption}\n{rule}")
 }
 
 #[cfg(test)]

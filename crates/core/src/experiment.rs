@@ -50,9 +50,24 @@ pub fn run_experiment_with_faults(
     posix: &PosixTrace,
     plan: nvmtypes::FaultPlan,
 ) -> ExperimentReport {
-    let block = config.fs.transform(posix);
+    run_experiment_observed(config, kind, posix, plan, &mut simobs::Tracer::off())
+}
+
+/// The fully observed experiment pipeline: the file-system transform,
+/// every device layer and the run summary report through one tracer.
+/// With [`simobs::Tracer::off`] this *is* [`run_experiment_with_faults`]
+/// — the tracer only reads values each layer has already computed, so
+/// the report is byte-identical whichever sink is attached.
+pub fn run_experiment_observed(
+    config: &SystemConfig,
+    kind: NvmKind,
+    posix: &PosixTrace,
+    plan: nvmtypes::FaultPlan,
+    obs: &mut simobs::Tracer,
+) -> ExperimentReport {
+    let block = config.fs.transform_observed(posix, obs);
     let device = config.device_with_faults(kind, plan);
-    let run = device.run(&block);
+    let run = device.run_observed(&block, obs);
     ExperimentReport {
         label: config.label,
         kind,

@@ -196,6 +196,37 @@ impl MediaSim {
         self.stats.ops += 1;
         outcome
     }
+
+    /// [`MediaSim::execute`] plus a [`simobs::Layer::Media`] span over the
+    /// die's service window when tracing is enabled. The tracer observes
+    /// the already-computed schedule and feeds nothing back, so enabling
+    /// it cannot change any outcome.
+    ///
+    /// # Panics
+    /// Same conditions as [`MediaSim::execute`].
+    pub fn execute_traced(
+        &mut self,
+        arrival: Nanos,
+        op: &DieOp,
+        obs: &mut simobs::Tracer,
+    ) -> DieOpOutcome {
+        let out = self.execute(arrival, op);
+        if obs.enabled() {
+            let name = match op.kind {
+                OpKind::Read => "die_read",
+                OpKind::Write => "die_write",
+                OpKind::Erase => "die_erase",
+            };
+            obs.span(
+                simobs::Layer::Media,
+                name,
+                out.start,
+                out.end,
+                [("die", u64::from(op.die.0)), ("pages", op.pages)],
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -230,6 +230,12 @@ impl FsKind {
     pub fn transform(self, posix: &PosixTrace) -> BlockTrace {
         self.model().transform(posix)
     }
+
+    /// Convenience: [`FileSystemModel::transform_observed`] through this
+    /// file system.
+    pub fn transform_observed(self, posix: &PosixTrace, obs: &mut simobs::Tracer) -> BlockTrace {
+        self.model().transform_observed(posix, obs)
+    }
 }
 
 #[cfg(test)]

@@ -46,4 +46,27 @@ pub trait FileSystemModel {
     /// Transforms the application's POSIX trace into the block trace the
     /// device sees. Deterministic: equal inputs produce equal outputs.
     fn transform(&self, posix: &PosixTrace) -> BlockTrace;
+
+    /// [`FileSystemModel::transform`] with an observer attached: when
+    /// `obs` is enabled, emits one [`simobs::Layer::Fs`] marker (named
+    /// after the model, at logical time 0 — the mutation happens before
+    /// the device clock starts) summarising how the file system reshaped
+    /// the request stream, plus request counters. The tracer reads the
+    /// finished trace only, so observing cannot change the transform.
+    fn transform_observed(&self, posix: &PosixTrace, obs: &mut simobs::Tracer) -> BlockTrace {
+        let block = self.transform(posix);
+        if obs.enabled() {
+            let requests = nvmtypes::u64_from_usize(block.len());
+            let syncs = nvmtypes::u64_from_usize(block.requests.iter().filter(|r| r.sync).count());
+            obs.instant(
+                simobs::Layer::Fs,
+                self.name(),
+                0,
+                [("requests", requests), ("sync", syncs)],
+            );
+            obs.count("fs.requests", requests);
+            obs.count("fs.sync_requests", syncs);
+        }
+        block
+    }
 }

@@ -97,6 +97,35 @@ impl LinkFaultSim {
         extra
     }
 
+    /// [`LinkFaultSim::transfer_penalty`] plus a [`simobs::Layer::Link`]
+    /// span over the replay window when tracing is enabled. `start` is
+    /// when the clean transfer would have completed: the penalty
+    /// nanoseconds are appended there. The tracer observes the sampled
+    /// penalty and feeds nothing back, so enabling it cannot perturb the
+    /// fault stream.
+    pub fn transfer_penalty_traced(
+        &mut self,
+        base_ns: Nanos,
+        start: Nanos,
+        obs: &mut simobs::Tracer,
+    ) -> Nanos {
+        let before = self.stats;
+        let extra = self.transfer_penalty(base_ns);
+        if extra > 0 && obs.enabled() {
+            obs.span(
+                simobs::Layer::Link,
+                "link_replay",
+                start,
+                start + extra,
+                [
+                    ("replays", self.stats.replays - before.replays),
+                    ("retrains", self.stats.retrains - before.retrains),
+                ],
+            );
+        }
+        extra
+    }
+
     /// The accounting so far.
     pub fn stats(&self) -> LinkFaultStats {
         self.stats

@@ -341,9 +341,43 @@ impl Lobpcg {
     /// # Panics
     /// Panics if `block_size` is zero or larger than the operator dimension.
     pub fn solve(&self, op: &dyn Operator) -> LobpcgResult {
+        self.solve_observed(op, &mut simobs::Tracer::off())
+    }
+
+    /// [`Lobpcg::solve`] with an observer attached: when `obs` is
+    /// enabled, each iteration emits a [`simobs::Layer::Solver`] span on
+    /// the solver's *logical* clock — one iteration is one microsecond
+    /// tick (iteration `k` spans `[k*1000, (k+1)*1000)` ns), since the
+    /// numerical phase has no simulated-time cost of its own; the I/O its
+    /// operator applications cause is timed by the device layers. The
+    /// tracer reads iteration state only, so observing cannot change the
+    /// solve.
+    pub fn solve_observed(&self, op: &dyn Operator, obs: &mut simobs::Tracer) -> LobpcgResult {
         let mut st = self.init(op);
         while !st.done && st.iterations < self.options.max_iters {
+            let before_applies = st.applies;
+            let tick = nvmtypes::u64_from_usize(st.iterations);
             self.step(op, &mut st);
+            if obs.enabled() {
+                obs.span(
+                    simobs::Layer::Solver,
+                    "lobpcg_iter",
+                    tick * 1_000,
+                    (tick + 1) * 1_000,
+                    [
+                        ("iteration", nvmtypes::u64_from_usize(st.iterations)),
+                        (
+                            "applies",
+                            nvmtypes::u64_from_usize(st.applies - before_applies),
+                        ),
+                    ],
+                );
+            }
+        }
+        if obs.enabled() {
+            obs.count("solver.iterations", nvmtypes::u64_from_usize(st.iterations));
+            obs.count("solver.applies", nvmtypes::u64_from_usize(st.applies));
+            obs.count("solver.converged", u64::from(st.converged));
         }
         st.into_result()
     }

@@ -2,6 +2,7 @@
 //   no_panic x3 (unwrap, expect, panic!)  — not allowlistable here
 //   wall_clock x2 (Instant::now, SystemTime)
 //   let_underscore_result x1 (the SystemTime discard) — not allowlistable
+//   no_println_in_lib x2 (println!, eprintln!) — not allowlistable
 // This file is never compiled; simlint reads it as text via `--root`.
 use std::time::Instant;
 
@@ -26,12 +27,23 @@ pub fn explodes() {
     panic!("fixture");
 }
 
+// One println and one eprintln in library code; the eprintln must count
+// once (not also as a println). The commented and quoted forms below
+// must not fire.
+pub fn prints() {
+    println!("fixture");
+    eprintln!("fixture");
+    // println!("comment, exempt")
+    let _s = "eprintln!(\"string, exempt\")";
+}
+
 #[cfg(test)]
 mod tests {
-    // Test code is exempt: neither the unwrap nor the discard counts.
+    // Test code is exempt: the unwrap, the discard, and the println.
     #[test]
     fn exempt() {
         Some(1u32).unwrap();
         let _ = Some(2u32);
+        println!("test output is fine");
     }
 }

@@ -37,4 +37,7 @@ pub fn unwatched(u: Unwatched) -> u32 {
     }
 }
 
-fn main() {}
+fn main() {
+    // Binary entry points may print: no_println_in_lib must not fire here.
+    println!("fixture binary output");
+}

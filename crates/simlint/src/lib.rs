@@ -33,16 +33,30 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` must stay entirely panic-free: the simulator
-/// pipeline itself. `no_panic` findings here are *not* allowlistable.
-pub const STRICT_NO_PANIC_CRATES: [&str; 5] = ["flashsim", "ssd", "interconnect", "fs", "nvmtypes"];
+/// pipeline itself, and the observability layer riding on it.
+/// `no_panic` findings here are *not* allowlistable.
+pub const STRICT_NO_PANIC_CRATES: [&str; 6] = [
+    "flashsim",
+    "ssd",
+    "interconnect",
+    "fs",
+    "nvmtypes",
+    "simobs",
+];
 
 /// Crates where a silently-discarded `Result` (`let _ = ..`) is *not*
 /// allowlistable: fault injection and recovery live here, and a swallowed
 /// error is exactly how a fault vanishes from the report.
-pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 3] = ["flashsim", "ssd", "interconnect"];
+pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 4] = ["flashsim", "ssd", "interconnect", "simobs"];
+
+/// Crates where library-code printing (`println!`/`eprintln!`) is *not*
+/// allowlistable: the simulator pipeline and the tracer must stay
+/// silent — console output is the binaries' job.
+pub const STRICT_NO_PRINTLN_CRATES: [&str; 6] =
+    ["flashsim", "ssd", "interconnect", "fs", "ooc", "simobs"];
 
 /// Crates whose state must iterate deterministically.
-const DETERMINISM_CRATES: [&str; 7] = [
+const DETERMINISM_CRATES: [&str; 8] = [
     "flashsim",
     "ssd",
     "interconnect",
@@ -50,14 +64,22 @@ const DETERMINISM_CRATES: [&str; 7] = [
     "nvmtypes",
     "core",
     "trace",
+    "simobs",
 ];
 
 /// Crates forbidden from consulting wall clocks or OS entropy.
-const SIMULATED_TIME_CRATES: [&str; 3] = ["flashsim", "ssd", "interconnect"];
+const SIMULATED_TIME_CRATES: [&str; 4] = ["flashsim", "ssd", "interconnect", "simobs"];
 
 /// Crates doing ns/bytes/energy arithmetic, where bare `as` casts are
 /// tracked and burned down.
-const UNIT_MATH_CRATES: [&str; 5] = ["flashsim", "ssd", "interconnect", "fs", "nvmtypes"];
+const UNIT_MATH_CRATES: [&str; 6] = [
+    "flashsim",
+    "ssd",
+    "interconnect",
+    "fs",
+    "nvmtypes",
+    "simobs",
+];
 
 /// A finding bound to the file it occurred in.
 #[derive(Debug, Clone)]
@@ -108,12 +130,22 @@ impl Verdict {
     }
 }
 
+/// Whether a workspace-relative path is *library* code: anything under
+/// `src/` that is not a binary entry point (`src/bin/**` or
+/// `src/main.rs`). Binaries are where printing belongs.
+pub fn is_lib_path(path: &str) -> bool {
+    !path.contains("/src/bin/") && !path.starts_with("src/bin/") && !path.ends_with("src/main.rs")
+}
+
 /// Which rules apply to a workspace-relative file path.
 pub fn rules_for(path: &str) -> Vec<Rule> {
     let Some(krate) = source_crate(path) else {
         return Vec::new();
     };
     let mut rules = vec![Rule::NoPanic, Rule::EnumWildcard, Rule::LetUnderscoreResult];
+    if is_lib_path(path) {
+        rules.push(Rule::NoPrintlnInLib);
+    }
     if DETERMINISM_CRATES.contains(&krate) {
         rules.push(Rule::NondeterministicCollection);
     }
@@ -168,6 +200,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Located> {
             Rule::BareCast => rules::bare_cast(&clean),
             Rule::EnumWildcard => rules::enum_wildcard(&clean),
             Rule::LetUnderscoreResult => rules::let_underscore_result(&clean),
+            Rule::NoPrintlnInLib => rules::no_println_in_lib(&clean),
         };
         out.extend(findings.into_iter().map(|finding| Located {
             path: path.to_string(),
@@ -235,6 +268,7 @@ pub fn check(report: &Report, allow: &Allowlist) -> Verdict {
         let strict_scope: &[&str] = match rule {
             Rule::NoPanic => &STRICT_NO_PANIC_CRATES,
             Rule::LetUnderscoreResult => &STRICT_LET_UNDERSCORE_CRATES,
+            Rule::NoPrintlnInLib => &STRICT_NO_PRINTLN_CRATES,
             _ => &[],
         };
         if let Some(krate) = source_crate(path) {
@@ -315,6 +349,14 @@ mod tests {
         assert!(ooc.contains(&Rule::NoPanic) && !ooc.contains(&Rule::WallClock));
         assert!(!ooc.contains(&Rule::BareCast));
         assert!(rules_for("vendor/rand/src/lib.rs").is_empty());
+        // Printing: library code is covered, binary entry points are not.
+        assert!(fs.contains(&Rule::NoPrintlnInLib));
+        assert!(ooc.contains(&Rule::NoPrintlnInLib));
+        let bin = rules_for("crates/bench/src/bin/headline.rs");
+        assert!(bin.contains(&Rule::NoPanic) && !bin.contains(&Rule::NoPrintlnInLib));
+        assert!(!rules_for("src/bin/obsreport.rs").contains(&Rule::NoPrintlnInLib));
+        assert!(!rules_for("src/main.rs").contains(&Rule::NoPrintlnInLib));
+        assert!(!rules_for("crates/simlint/src/main.rs").contains(&Rule::NoPrintlnInLib));
     }
 
     #[test]

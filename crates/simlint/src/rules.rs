@@ -26,6 +26,10 @@ pub enum Rule {
     /// swallows a `Result` (and with it the error). Handle or propagate
     /// instead; deliberate discards use `drop(..)` or a typed `let _: T`.
     LetUnderscoreResult,
+    /// `println!`/`eprintln!` in library code (bins exempt): libraries
+    /// return or render strings and let the binaries print, so output
+    /// stays capturable, testable, and silent under `Tracer::off()`.
+    NoPrintlnInLib,
 }
 
 impl Rule {
@@ -38,6 +42,7 @@ impl Rule {
             Rule::BareCast => "bare_cast",
             Rule::EnumWildcard => "enum_wildcard",
             Rule::LetUnderscoreResult => "let_underscore_result",
+            Rule::NoPrintlnInLib => "no_println_in_lib",
         }
     }
 
@@ -50,18 +55,20 @@ impl Rule {
             "bare_cast" => Rule::BareCast,
             "enum_wildcard" => Rule::EnumWildcard,
             "let_underscore_result" => Rule::LetUnderscoreResult,
+            "no_println_in_lib" => Rule::NoPrintlnInLib,
             _ => return None,
         })
     }
 
     /// Every rule, in report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NoPanic,
         Rule::NondeterministicCollection,
         Rule::WallClock,
         Rule::BareCast,
         Rule::EnumWildcard,
         Rule::LetUnderscoreResult,
+        Rule::NoPrintlnInLib,
     ];
 }
 
@@ -90,6 +97,11 @@ const PANIC_TOKENS: [&str; 6] = [
 /// Wall-clock / entropy constructs flagged by [`Rule::WallClock`].
 const WALL_CLOCK_TOKENS: [&str; 4] = ["Instant::now", "SystemTime", "thread_rng", "from_entropy"];
 
+/// Console-printing macros flagged by [`Rule::NoPrintlnInLib`]. The
+/// left-boundary check in [`token_rule`] keeps `eprintln!(` from also
+/// counting as `println!(`.
+const PRINTLN_TOKENS: [&str; 2] = ["println!(", "eprintln!("];
+
 /// Numeric types whose bare `as` casts are flagged by [`Rule::BareCast`].
 const CAST_TARGETS: [&str; 9] = [
     "u16", "u32", "u64", "u128", "usize", "i64", "i128", "f32", "f64",
@@ -98,7 +110,8 @@ const CAST_TARGETS: [&str; 9] = [
 /// Enums that must be matched exhaustively ([`Rule::EnumWildcard`]):
 /// adding a PCM/media/filesystem variant must be a compile error at every
 /// match, never a silent fall-through.
-pub const WATCHED_ENUMS: [&str; 13] = [
+pub const WATCHED_ENUMS: [&str; 14] = [
+    "Layer",
     "NvmKind",
     "PageClass",
     "IoOp",
@@ -120,6 +133,17 @@ pub fn no_panic(file: &CleanFile) -> Vec<Finding> {
         format!(
             "`{}` can panic; return a typed error or use a non-panicking accessor",
             tok.trim_matches(['.', '('])
+        )
+    })
+}
+
+/// Runs the no-println-in-lib rule over non-test lines (callers apply
+/// it to library paths only; see `crate::rules_for`).
+pub fn no_println_in_lib(file: &CleanFile) -> Vec<Finding> {
+    token_rule(file, Rule::NoPrintlnInLib, &PRINTLN_TOKENS, |tok| {
+        format!(
+            "`{}` in library code; return or render a `String` and let the binary print it",
+            tok.trim_end_matches('(')
         )
     })
 }
@@ -475,6 +499,16 @@ mod tests {
     fn no_panic_ignores_comments_and_strings() {
         let f = clean_source("// x.unwrap()\nlet s = \"panic!(\"; \n");
         assert!(no_panic(&f).is_empty());
+    }
+
+    #[test]
+    fn println_rule_counts_each_macro_once() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }\n// println!(\"z\")\n#[cfg(test)]\nmod t {\n fn g() { println!(\"t\"); }\n}\n";
+        let f = clean_source(src);
+        let hits = no_println_in_lib(&f);
+        assert_eq!(hits.len(), 2, "eprintln must not double-count as println");
+        assert!(hits[0].message.contains("`println!`"));
+        assert!(hits[1].message.contains("`eprintln!`"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use simlint::allow::Allowlist;
 use simlint::rules::Rule;
 use simlint::{
     check, scan_workspace, source_crate, STRICT_LET_UNDERSCORE_CRATES, STRICT_NO_PANIC_CRATES,
+    STRICT_NO_PRINTLN_CRATES,
 };
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -78,6 +79,22 @@ fn fixture_corpus_triggers_every_rule_exactly() {
         )),
         Some(&1)
     );
+    // Library printing (flashsim fixture): the println and the eprintln,
+    // each once — comment/string/test occurrences exempt, and the
+    // `println!(` inside `eprintln!(` must not double-count.
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::NoPrintlnInLib, "crates/flashsim/src/lib.rs".into())),
+        Some(&2)
+    );
+    // The binary entry point prints freely: the rule is lib-only.
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::NoPrintlnInLib, "src/main.rs".into())),
+        None
+    );
     // Permissive-crate panic (ooc fixture) — counted, but allowlistable.
     assert_eq!(
         report
@@ -128,7 +145,7 @@ fn fixture_corpus_fails_the_gate() {
     assert!(!verdict.ok());
     assert_eq!(
         verdict.violations.len(),
-        8,
+        9,
         "one violation per (rule, file)"
     );
     assert!(verdict.stale.is_empty() && verdict.forbidden.is_empty());
@@ -153,8 +170,8 @@ fn strict_crate_panics_cannot_be_allowlisted() {
     assert!(verdict.stale.is_empty());
     assert_eq!(
         verdict.forbidden.len(),
-        2,
-        "the flashsim no_panic and let_underscore_result entries are forbidden"
+        3,
+        "the flashsim no_panic, let_underscore_result and no_println_in_lib entries are forbidden"
     );
     for f in &verdict.forbidden {
         assert!(f.contains("crates/flashsim/src/lib.rs"));
@@ -164,6 +181,10 @@ fn strict_crate_panics_cannot_be_allowlisted() {
         .forbidden
         .iter()
         .any(|f| f.contains("`let_underscore_result`")));
+    assert!(verdict
+        .forbidden
+        .iter()
+        .any(|f| f.contains("`no_println_in_lib`")));
     assert!(!verdict.ok());
 }
 
@@ -226,6 +247,9 @@ fn allowlist_totals_stay_below_seed_baselines() {
     // The workspace was scrubbed of `let _ =` when the rule landed, so
     // the discard rule starts — and stays — at zero budget.
     assert_eq!(allow.total(Rule::LetUnderscoreResult), 0);
+    // Library printing was burned down when the rule landed (banners
+    // render strings now): zero budget from day one.
+    assert_eq!(allow.total(Rule::NoPrintlnInLib), 0);
 }
 
 #[test]
@@ -237,6 +261,7 @@ fn no_strict_crate_no_panic_entries_in_allowlist() {
         let strict: &[&str] = match rule {
             Rule::NoPanic => &STRICT_NO_PANIC_CRATES,
             Rule::LetUnderscoreResult => &STRICT_LET_UNDERSCORE_CRATES,
+            Rule::NoPrintlnInLib => &STRICT_NO_PRINTLN_CRATES,
             _ => continue,
         };
         let krate = source_crate(path).expect("allowlist paths are in scope");

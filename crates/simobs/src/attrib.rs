@@ -1,0 +1,210 @@
+//! Per-layer latency attribution: where each request's end-to-end
+//! nanoseconds went.
+//!
+//! The decomposition is *exact by construction*: the device engine cuts
+//! each request's timeline at its scheduling checkpoints (issue, media
+//! service start/end, DMA start/end), so the components of one request
+//! sum to precisely its measured latency — integer arithmetic, no
+//! rounding residue — and the run totals sum to the sum of per-request
+//! latencies. Recovery time appears in exactly one component
+//! ([`LatencyAttribution::recovery_ns`]): it is carved out of the media
+//! service wall and the link transfer before the die/channel/link splits
+//! are taken, never double-counted against them.
+
+use nvmtypes::{approx_f64, Nanos};
+
+/// One request's exact latency decomposition, produced by the device
+/// engine; [`LatencyAttribution::absorb`] folds it into run totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestBreakdown {
+    /// Host-side and controller-side waiting: closed-loop queueing,
+    /// firmware processing, buffer turnaround between phases.
+    pub queue_ns: Nanos,
+    /// Media cell time: sensing/programming/erasing plus die-busy waits.
+    pub die_ns: Nanos,
+    /// Media channel time: data transfer, command cycles, bus waits.
+    pub channel_ns: Nanos,
+    /// Host-link transfer time (the clean DMA cost).
+    pub link_ns: Nanos,
+    /// Whole-request cost of file-system-generated traffic (metadata
+    /// lookups, journal commits — the `sync` barrier requests).
+    pub fs_meta_ns: Nanos,
+    /// Fault recovery: ECC retry ladders, re-programs, re-erases, link
+    /// CRC replays and retrains. Counted here and nowhere else.
+    pub recovery_ns: Nanos,
+    /// Measured end-to-end latency (issue to completion).
+    pub total_ns: Nanos,
+}
+
+impl RequestBreakdown {
+    /// Sum of the components; equals `total_ns` for engine-produced
+    /// breakdowns.
+    pub fn component_sum(&self) -> Nanos {
+        self.queue_ns
+            + self.die_ns
+            + self.channel_ns
+            + self.link_ns
+            + self.fs_meta_ns
+            + self.recovery_ns
+    }
+
+    /// Splits a media service wall (`service_ns`, already net of
+    /// recovery) into die and channel shares, proportional to the raw
+    /// activation+contention nanoseconds the media engine accounted to
+    /// cells (`die_weight`) and to channels (`channel_weight`). The two
+    /// shares sum to `service_ns` exactly; with no channel evidence the
+    /// whole wall is die time (media service is cell-dominated).
+    pub fn split_service(
+        service_ns: Nanos,
+        die_weight: u64,
+        channel_weight: u64,
+    ) -> (Nanos, Nanos) {
+        let denom = die_weight + channel_weight;
+        if denom == 0 {
+            return (service_ns, 0);
+        }
+        let die = u128::from(service_ns) * u128::from(die_weight) / u128::from(denom);
+        // The quotient is <= service_ns by construction, so the
+        // conversion cannot actually fail; saturate defensively.
+        let die = u64::try_from(die).unwrap_or(service_ns).min(service_ns);
+        (die, service_ns - die)
+    }
+}
+
+/// Run-level latency attribution: the sum of every request's
+/// [`RequestBreakdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyAttribution {
+    /// Total queue/firmware/turnaround wait, ns.
+    pub queue_ns: Nanos,
+    /// Total media cell time, ns.
+    pub die_ns: Nanos,
+    /// Total media channel time, ns.
+    pub channel_ns: Nanos,
+    /// Total host-link transfer time, ns.
+    pub link_ns: Nanos,
+    /// Total file-system-overhead request time, ns.
+    pub fs_meta_ns: Nanos,
+    /// Total recovery time, ns (exactly once; see module docs).
+    pub recovery_ns: Nanos,
+    /// Sum of measured end-to-end latencies, ns.
+    pub total_ns: Nanos,
+    /// Requests decomposed.
+    pub requests: u64,
+}
+
+impl LatencyAttribution {
+    /// Folds one request's breakdown into the run totals.
+    pub fn absorb(&mut self, req: RequestBreakdown) {
+        self.queue_ns += req.queue_ns;
+        self.die_ns += req.die_ns;
+        self.channel_ns += req.channel_ns;
+        self.link_ns += req.link_ns;
+        self.fs_meta_ns += req.fs_meta_ns;
+        self.recovery_ns += req.recovery_ns;
+        self.total_ns += req.total_ns;
+        self.requests += 1;
+    }
+
+    /// Sum of the six components.
+    pub fn component_sum(&self) -> Nanos {
+        self.queue_ns
+            + self.die_ns
+            + self.channel_ns
+            + self.link_ns
+            + self.fs_meta_ns
+            + self.recovery_ns
+    }
+
+    /// True when the components sum exactly to the measured total — the
+    /// invariant the engine maintains and the tests pin.
+    pub fn is_exact(&self) -> bool {
+        self.component_sum() == self.total_ns
+    }
+
+    /// `(label, ns)` pairs in report order.
+    pub fn components(&self) -> [(&'static str, Nanos); 6] {
+        [
+            ("queue", self.queue_ns),
+            ("die", self.die_ns),
+            ("channel", self.channel_ns),
+            ("link", self.link_ns),
+            ("fs_meta", self.fs_meta_ns),
+            ("recovery", self.recovery_ns),
+        ]
+    }
+
+    /// Human-readable attribution table (one line per component with
+    /// percent of total).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "latency attribution over {} requests ({:.3} ms total):\n",
+            self.requests,
+            approx_f64(self.total_ns) / 1e6
+        ));
+        for (label, ns) in self.components() {
+            let pct = if self.total_ns == 0 {
+                0.0
+            } else {
+                approx_f64(ns) / approx_f64(self.total_ns) * 100.0
+            };
+            out.push_str(&format!(
+                "  {label:<9} {:>14.3} ms  {pct:>5.1}%\n",
+                approx_f64(ns) / 1e6
+            ));
+        }
+        out.push_str(&format!(
+            "  components sum to total exactly: {}\n",
+            if self.is_exact() { "OK" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_exact_and_proportional() {
+        let (die, chan) = RequestBreakdown::split_service(1000, 3, 1);
+        assert_eq!(die + chan, 1000);
+        assert_eq!(die, 750);
+        let (die, chan) = RequestBreakdown::split_service(999, 1, 2);
+        assert_eq!(die + chan, 999);
+        assert_eq!(die, 333);
+        // No evidence: all die.
+        assert_eq!(RequestBreakdown::split_service(77, 0, 0), (77, 0));
+        // Zero wall: zero split.
+        assert_eq!(RequestBreakdown::split_service(0, 5, 5), (0, 0));
+    }
+
+    #[test]
+    fn absorb_accumulates_and_stays_exact() {
+        let mut a = LatencyAttribution::default();
+        a.absorb(RequestBreakdown {
+            queue_ns: 10,
+            die_ns: 20,
+            channel_ns: 5,
+            link_ns: 15,
+            fs_meta_ns: 0,
+            recovery_ns: 50,
+            total_ns: 100,
+        });
+        a.absorb(RequestBreakdown {
+            fs_meta_ns: 40,
+            total_ns: 40,
+            ..RequestBreakdown::default()
+        });
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.total_ns, 140);
+        assert!(a.is_exact());
+        assert!(a.table().contains("OK"));
+        let labels: Vec<&str> = a.components().iter().map(|&(l, _)| l).collect();
+        assert_eq!(
+            labels,
+            vec!["queue", "die", "channel", "link", "fs_meta", "recovery"]
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! The event model: which layer spoke, when (in simulated time), and
+//! what about.
+//!
+//! Events are small `Copy` records with `&'static str` names so that
+//! recording one costs two pointer-sized copies and no allocation. The
+//! span-naming convention (see `docs/OBSERVABILITY.md`) is
+//! `snake_case`, scoped by [`Layer`]: the pair `(layer, name)` is the
+//! aggregation key of the flamegraph rollup.
+
+use nvmtypes::Nanos;
+
+/// The instrumented layer an event belongs to. Maps to the `tid` lane of
+/// the Chrome trace so each layer renders as its own track in Perfetto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Layer {
+    /// NVM media: die-op scheduling in `flashsim` (sense/program/erase).
+    Media,
+    /// Flash-translation decisions in `ssd`: GC, erase-ahead, remaps.
+    Ftl,
+    /// Device engine in `ssd`: request lifecycle, recovery ladders.
+    Ssd,
+    /// Host interconnect: DMA transfers, CRC replays, retrains.
+    Link,
+    /// File-system request transformation in `oocfs`.
+    Fs,
+    /// Out-of-core application: LOBPCG iteration phases.
+    Solver,
+    /// Whole-run markers emitted by the drivers.
+    Run,
+}
+
+impl Layer {
+    /// Every layer, in track order.
+    pub const ALL: [Layer; 7] = [
+        Layer::Media,
+        Layer::Ftl,
+        Layer::Ssd,
+        Layer::Link,
+        Layer::Fs,
+        Layer::Solver,
+        Layer::Run,
+    ];
+
+    /// Track label, also the `cat` field of exported events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layer::Media => "media",
+            Layer::Ftl => "ftl",
+            Layer::Ssd => "ssd",
+            Layer::Link => "link",
+            Layer::Fs => "fs",
+            Layer::Solver => "solver",
+            Layer::Run => "run",
+        }
+    }
+
+    /// Stable thread-id lane for the Chrome trace (1-based; tid 0 is
+    /// reserved so Perfetto never merges a layer into the process row).
+    pub fn tid(self) -> u64 {
+        match self {
+            Layer::Media => 1,
+            Layer::Ftl => 2,
+            Layer::Ssd => 3,
+            Layer::Link => 4,
+            Layer::Fs => 5,
+            Layer::Solver => 6,
+            Layer::Run => 7,
+        }
+    }
+}
+
+/// What shape an event has on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration: `[ts, ts + dur]` (Chrome phase `"X"`).
+    Span,
+    /// A point marker at `ts` (Chrome phase `"i"`).
+    Instant,
+}
+
+/// Up to two integer arguments per event; an empty key marks an unused
+/// slot (skipped at export).
+pub type EventArgs = [(&'static str, u64); 2];
+
+/// No arguments.
+pub const NO_ARGS: EventArgs = [("", 0), ("", 0)];
+
+/// One recorded trace event, keyed to simulated nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Start time, simulated ns.
+    pub ts: Nanos,
+    /// Duration, simulated ns (0 for instants).
+    pub dur: Nanos,
+    /// Which layer emitted it.
+    pub layer: Layer,
+    /// Span/instant name (`snake_case`; see the naming convention).
+    pub name: &'static str,
+    /// Timeline shape.
+    pub kind: EventKind,
+    /// Integer arguments.
+    pub args: EventArgs,
+}
+
+impl Event {
+    /// Builds a span covering `[start, end]` (saturating if inverted).
+    pub fn span(layer: Layer, name: &'static str, start: Nanos, end: Nanos) -> Event {
+        Event {
+            ts: start,
+            dur: end.saturating_sub(start),
+            layer,
+            name,
+            kind: EventKind::Span,
+            args: NO_ARGS,
+        }
+    }
+
+    /// Builds an instant marker at `ts`.
+    pub fn instant(layer: Layer, name: &'static str, ts: Nanos) -> Event {
+        Event {
+            ts,
+            dur: 0,
+            layer,
+            name,
+            kind: EventKind::Instant,
+            args: NO_ARGS,
+        }
+    }
+
+    /// Attaches arguments.
+    pub fn with_args(mut self, args: EventArgs) -> Event {
+        self.args = args;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_lanes_are_unique_and_ordered() {
+        let mut tids: Vec<u64> = Layer::ALL.iter().map(|l| l.tid()).collect();
+        let sorted = tids.clone();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), Layer::ALL.len(), "duplicate tid lanes");
+        assert_eq!(tids, sorted, "Layer::ALL must be in track order");
+        assert!(!tids.contains(&0), "tid 0 is reserved");
+    }
+
+    #[test]
+    fn span_saturates_inverted_ranges() {
+        let e = Event::span(Layer::Ssd, "x", 10, 5);
+        assert_eq!(e.dur, 0);
+        let e = Event::span(Layer::Ssd, "x", 5, 15).with_args([("bytes", 7), ("", 0)]);
+        assert_eq!(e.dur, 10);
+        assert_eq!(e.args[0], ("bytes", 7));
+    }
+}

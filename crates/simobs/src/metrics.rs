@@ -1,0 +1,193 @@
+//! Integer-only metric primitives: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Everything here is deterministic by construction — `u64` arithmetic
+//! over `BTreeMap`-ordered names, no floats, no clocks — so the metric
+//! block of an export is byte-identical between equal runs. Names follow
+//! the same `snake_case`, dot-scoped convention as span names
+//! (`ssd.requests`, `media.die_ops`; see `docs/OBSERVABILITY.md`).
+
+use nvmtypes::Nanos;
+use std::collections::BTreeMap;
+
+/// Default histogram bucket bounds for nanosecond latencies: powers of
+/// four from 1 µs to ~4.3 s. Fixed at compile time so two runs can never
+/// disagree about bucketing.
+pub const LATENCY_NS_BOUNDS: [u64; 12] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+];
+
+/// A fixed-bucket integer histogram. Values above the last bound land in
+/// an implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedHistogram {
+    bounds: &'static [u64],
+    /// One count per bound, plus the overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl FixedHistogram {
+    /// New histogram over the given ascending bucket bounds.
+    pub fn new(bounds: &'static [u64]) -> FixedHistogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascend");
+        FixedHistogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The standard latency histogram ([`LATENCY_NS_BOUNDS`]).
+    pub fn latency_ns() -> FixedHistogram {
+        FixedHistogram::new(&LATENCY_NS_BOUNDS)
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+        self.total += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// `(upper_bound, count)` pairs for non-empty buckets; the overflow
+    /// bucket reports `u64::MAX` as its bound.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bounds.get(i).copied().unwrap_or(u64::MAX), c))
+            .collect()
+    }
+}
+
+/// A named set of counters, gauges and histograms, ordered by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricSet {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, FixedHistogram>,
+}
+
+impl MetricSet {
+    /// New empty set.
+    pub fn new() -> MetricSet {
+        MetricSet::default()
+    }
+
+    /// Adds `delta` to counter `name` (created at zero).
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn gauge(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Records `value` into latency histogram `name` (created with
+    /// [`FixedHistogram::latency_ns`] bounds).
+    pub fn observe_ns(&mut self, name: &'static str, value: Nanos) {
+        self.hists
+            .entry(name)
+            .or_insert_with(FixedHistogram::latency_ns)
+            .observe(value);
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &FixedHistogram)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let mut h = FixedHistogram::new(&[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        // <=10 -> bucket 0 (two), <=100 -> bucket 1 (two), overflow one.
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 5000);
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.nonzero_buckets(), vec![(10, 2), (100, 2), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn metric_set_is_name_ordered_and_additive() {
+        let mut m = MetricSet::new();
+        m.count("z.late", 1);
+        m.count("a.early", 2);
+        m.count("z.late", 3);
+        m.gauge("depth", 7);
+        m.gauge("depth", 9);
+        m.observe_ns("lat", 5_000);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a.early", "z.late"]);
+        assert_eq!(m.counter("z.late"), 4);
+        assert_eq!(m.gauge_value("depth"), Some(9));
+        assert_eq!(m.counter("missing"), 0);
+        let (name, h) = m.histograms().next().unwrap();
+        assert_eq!(name, "lat");
+        assert_eq!(h.total(), 1);
+    }
+}

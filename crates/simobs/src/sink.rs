@@ -1,0 +1,391 @@
+//! Event collection: the [`Sink`] trait, the bounded [`RingSink`], the
+//! zero-work [`NullSink`], and the [`Tracer`] handle the simulators
+//! thread events through.
+//!
+//! The tracer is the only type instrumented code touches. Its disabled
+//! form ([`Tracer::off`]) answers [`Tracer::enabled`] with `false` and
+//! drops every record before argument evaluation, so the hot-path cost
+//! of tracing-off is one branch — and, critically for the determinism
+//! contract, a tracer never feeds anything *back* into the simulation:
+//! it draws no randomness, owns no clock, and returns no values the
+//! caller could use.
+
+use crate::event::{Event, EventArgs, EventKind, Layer};
+use crate::metrics::{FixedHistogram, MetricSet};
+use nvmtypes::Nanos;
+use std::collections::VecDeque;
+
+/// Receives recorded events. Implementations must be deterministic:
+/// equal event sequences must leave equal sink states.
+pub trait Sink: std::fmt::Debug {
+    /// Accepts one event.
+    fn record(&mut self, event: &Event);
+    /// Drains the collected events (oldest first) and the count of
+    /// events dropped by bounding, if any.
+    fn drain(&mut self) -> (Vec<Event>, u64);
+}
+
+/// A sink that discards everything (the tracing-off collector).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&mut self, _event: &Event) {}
+    fn drain(&mut self) -> (Vec<Event>, u64) {
+        (Vec::new(), 0)
+    }
+}
+
+/// A bounded ring buffer: keeps the most recent `capacity` events,
+/// counting (not silently losing) the oldest ones it evicts. The drop
+/// count is surfaced in the export header so a truncated trace can
+/// never masquerade as a complete one.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// New ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*event);
+    }
+
+    fn drain(&mut self) -> (Vec<Event>, u64) {
+        let events = self.buf.drain(..).collect();
+        let dropped = self.dropped;
+        self.dropped = 0;
+        (events, dropped)
+    }
+}
+
+/// Where a tracer sends its events.
+#[derive(Debug)]
+enum SinkSlot {
+    /// Tracing disabled: every record call returns immediately.
+    Off,
+    /// The default bounded collector.
+    Ring(RingSink),
+    /// A caller-supplied sink.
+    Custom(Box<dyn Sink>),
+}
+
+/// The handle instrumented code emits through.
+///
+/// ```
+/// use simobs::{Layer, Tracer};
+///
+/// let mut obs = Tracer::ring(1024);
+/// obs.span(Layer::Ssd, "read", 0, 2_000, [("bytes", 4096), ("", 0)]);
+/// obs.count("ssd.requests", 1);
+/// let log = obs.finish();
+/// assert_eq!(log.events.len(), 1);
+/// assert_eq!(log.metrics.counter("ssd.requests"), 1);
+/// ```
+#[derive(Debug)]
+pub struct Tracer {
+    slot: SinkSlot,
+    emitted: u64,
+    metrics: MetricSet,
+}
+
+impl Tracer {
+    /// A disabled tracer: records nothing, allocates nothing.
+    pub fn off() -> Tracer {
+        Tracer {
+            slot: SinkSlot::Off,
+            emitted: 0,
+            metrics: MetricSet::new(),
+        }
+    }
+
+    /// A tracer collecting into a [`RingSink`] of `capacity` events.
+    pub fn ring(capacity: usize) -> Tracer {
+        Tracer {
+            slot: SinkSlot::Ring(RingSink::new(capacity)),
+            emitted: 0,
+            metrics: MetricSet::new(),
+        }
+    }
+
+    /// A tracer collecting into a caller-supplied sink.
+    pub fn with_sink(sink: Box<dyn Sink>) -> Tracer {
+        Tracer {
+            slot: SinkSlot::Custom(sink),
+            emitted: 0,
+            metrics: MetricSet::new(),
+        }
+    }
+
+    /// True when events are being collected. Instrumented code guards
+    /// argument construction behind this so tracing-off costs one branch.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        !matches!(self.slot, SinkSlot::Off)
+    }
+
+    #[inline]
+    fn record(&mut self, event: Event) {
+        match &mut self.slot {
+            SinkSlot::Off => {}
+            SinkSlot::Ring(ring) => {
+                ring.record(&event);
+                self.emitted += 1;
+            }
+            SinkSlot::Custom(sink) => {
+                sink.record(&event);
+                self.emitted += 1;
+            }
+        }
+    }
+
+    /// Records a span covering `[start, end]` simulated ns.
+    #[inline]
+    pub fn span(
+        &mut self,
+        layer: Layer,
+        name: &'static str,
+        start: Nanos,
+        end: Nanos,
+        args: EventArgs,
+    ) {
+        if self.enabled() {
+            self.record(Event::span(layer, name, start, end).with_args(args));
+        }
+    }
+
+    /// Records an instant marker at `ts` simulated ns.
+    #[inline]
+    pub fn instant(&mut self, layer: Layer, name: &'static str, ts: Nanos, args: EventArgs) {
+        if self.enabled() {
+            self.record(Event::instant(layer, name, ts).with_args(args));
+        }
+    }
+
+    /// Adds `delta` to counter `name`. Metrics are kept even when event
+    /// collection is off (they are cheap and deterministic), *unless*
+    /// the tracer is fully disabled.
+    #[inline]
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        if self.enabled() {
+            self.metrics.count(name, delta);
+        }
+    }
+
+    /// Sets gauge `name`.
+    #[inline]
+    pub fn gauge(&mut self, name: &'static str, value: u64) {
+        if self.enabled() {
+            self.metrics.gauge(name, value);
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    #[inline]
+    pub fn observe_ns(&mut self, name: &'static str, value: Nanos) {
+        if self.enabled() {
+            self.metrics.observe_ns(name, value);
+        }
+    }
+
+    /// Events accepted by the sink so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Read access to the collected metrics.
+    pub fn metrics(&self) -> &MetricSet {
+        &self.metrics
+    }
+
+    /// Ends the session: drains the sink into a [`TraceLog`] ready for
+    /// export.
+    pub fn finish(self) -> TraceLog {
+        let Tracer {
+            slot,
+            emitted,
+            metrics,
+        } = self;
+        let (events, dropped) = match slot {
+            SinkSlot::Off => (Vec::new(), 0),
+            SinkSlot::Ring(mut ring) => ring.drain(),
+            SinkSlot::Custom(mut sink) => sink.drain(),
+        };
+        TraceLog {
+            events,
+            emitted,
+            dropped,
+            metrics,
+        }
+    }
+}
+
+/// The drained result of one tracing session.
+#[derive(Debug)]
+pub struct TraceLog {
+    /// Collected events, oldest first.
+    pub events: Vec<Event>,
+    /// Events emitted in total (collected + dropped).
+    pub emitted: u64,
+    /// Events the bounded sink evicted.
+    pub dropped: u64,
+    /// The metric set recorded alongside.
+    pub metrics: MetricSet,
+}
+
+impl TraceLog {
+    /// Total span duration per `(layer, name)` key, in event order of
+    /// first appearance — the aggregation behind [`crate::rollup`].
+    pub fn span_totals(&self) -> Vec<(Layer, &'static str, Nanos, u64)> {
+        let mut keys: Vec<(Layer, &'static str)> = Vec::new();
+        let mut totals: Vec<(Nanos, u64)> = Vec::new();
+        for ev in &self.events {
+            if !matches!(ev.kind, EventKind::Span) {
+                continue;
+            }
+            let key = (ev.layer, ev.name);
+            match keys.iter().position(|&k| k == key) {
+                Some(i) => {
+                    if let Some(t) = totals.get_mut(i) {
+                        t.0 += ev.dur;
+                        t.1 += 1;
+                    }
+                }
+                None => {
+                    keys.push(key);
+                    totals.push((ev.dur, 1));
+                }
+            }
+        }
+        keys.into_iter()
+            .zip(totals)
+            .map(|((l, n), (d, c))| (l, n, d, c))
+            .collect()
+    }
+
+    /// Latency histogram by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&FixedHistogram> {
+        self.metrics
+            .histograms()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// A helper used by tests: a sink recording everything, unbounded.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl Sink for VecSink {
+    fn record(&mut self, event: &Event) {
+        self.events.push(*event);
+    }
+    fn drain(&mut self) -> (Vec<Event>, u64) {
+        (std::mem::take(&mut self.events), 0)
+    }
+}
+
+/// Re-export for instrumented code that wants explicit no-args.
+pub use crate::event::NO_ARGS as NO_EVENT_ARGS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_ARGS;
+
+    fn ev(ts: Nanos) -> Event {
+        Event::span(Layer::Media, "op", ts, ts + 10)
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut ring = RingSink::new(3);
+        for i in 0..10 {
+            ring.record(&ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let (events, dropped) = ring.drain();
+        assert_eq!(dropped, 7);
+        let ts: Vec<Nanos> = events.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![7, 8, 9], "newest survive, oldest dropped");
+    }
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let mut obs = Tracer::off();
+        assert!(!obs.enabled());
+        obs.span(Layer::Ssd, "read", 0, 100, NO_ARGS);
+        obs.count("c", 1);
+        obs.observe_ns("h", 5);
+        let log = obs.finish();
+        assert!(log.events.is_empty());
+        assert_eq!(log.emitted, 0);
+        assert_eq!(log.metrics.counter("c"), 0);
+    }
+
+    #[test]
+    fn finish_reports_emitted_vs_dropped() {
+        let mut obs = Tracer::ring(2);
+        for i in 0..5 {
+            obs.instant(Layer::Run, "tick", i, NO_ARGS);
+        }
+        assert_eq!(obs.emitted(), 5);
+        let log = obs.finish();
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.emitted, 5);
+        assert_eq!(log.dropped, 3);
+    }
+
+    #[test]
+    fn span_totals_aggregate_by_layer_and_name() {
+        let mut obs = Tracer::with_sink(Box::new(VecSink::default()));
+        obs.span(Layer::Media, "die_read", 0, 10, NO_ARGS);
+        obs.span(Layer::Media, "die_read", 10, 30, NO_ARGS);
+        obs.span(Layer::Link, "host_dma", 0, 5, NO_ARGS);
+        obs.instant(Layer::Ftl, "gc", 3, NO_ARGS);
+        let log = obs.finish();
+        let totals = log.span_totals();
+        assert_eq!(
+            totals,
+            vec![
+                (Layer::Media, "die_read", 30, 2),
+                (Layer::Link, "host_dma", 5, 1),
+            ]
+        );
+    }
+}

@@ -7,12 +7,14 @@ use crate::mapping::StripeMap;
 use crate::recovery::{erase_with_recovery, read_with_recovery, write_with_recovery};
 use crate::report::{LatencyStats, ReliabilityStats, RunReport};
 use flashsim::intervals::{merge, uncovered_len, Interval};
+use flashsim::stats::RawStats;
 use flashsim::{DieOp, MediaFaultState, MediaSim, PalHistogram, PalLevel};
 use interconnect::LinkFaultSim;
 use nvmtypes::convert::{u32_from, u64_from_usize, usize_from_u32};
 use nvmtypes::fault::{STREAM_LINK, STREAM_MEDIA};
 use nvmtypes::{HostRequest, IoOp, Nanos};
 use ooctrace::BlockTrace;
+use simobs::{LatencyAttribution, Layer, RequestBreakdown, Tracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -49,6 +51,20 @@ pub struct SsdDevice {
     cfg: SsdConfig,
     /// Stripe-rows pre-erased before the run (write workloads).
     pub pre_erased_rows: u64,
+}
+
+/// The media half of one request's timeline, as scheduled by the
+/// dispatcher: when the earliest die-op began service and when the last
+/// one completed. The gap between the dispatch start and `service_start`
+/// is firmware/queueing time, not media time — the attribution split
+/// depends on that boundary.
+#[derive(Debug, Clone, Copy)]
+struct MediaPhase {
+    /// Earliest `DieOpOutcome::start` across the request's die-ops
+    /// (equals the dispatch start when the request produced no ops).
+    service_start: Nanos,
+    /// Latest completion across the request's die-ops.
+    end: Nanos,
 }
 
 /// Per-request PAL tracking state, reused across requests.
@@ -114,6 +130,26 @@ impl SsdDevice {
 
     /// Replays `trace` against a fresh device state.
     pub fn run(&self, trace: &BlockTrace) -> RunReport {
+        self.run_observed(trace, &mut Tracer::off())
+    }
+
+    /// Raw die-side vs channel-side activity evidence at one instant; the
+    /// per-request deltas drive the die/channel attribution split.
+    fn media_weights(stats: &RawStats) -> (u64, u64) {
+        (
+            stats.cell_activation + stats.cell_contention,
+            stats.channel_activation + stats.flash_bus_activation + stats.channel_contention,
+        )
+    }
+
+    /// [`SsdDevice::run`] with an observer attached: when `obs` is
+    /// enabled, the engine emits per-request spans, media die-op spans,
+    /// FTL decision markers, host-DMA and link-replay spans, and latency
+    /// metrics — all keyed to *simulated* nanoseconds. The tracer only
+    /// reads values the engine has already computed and feeds nothing
+    /// back, so any sink produces a byte-identical [`RunReport`] to
+    /// [`Tracer::off`] (pinned by `tests/determinism.rs`).
+    pub fn run_observed(&self, trace: &BlockTrace, obs: &mut Tracer) -> RunReport {
         let cfg = &self.cfg;
         let geometry = cfg.media.geometry;
         let page_size = u64::from(cfg.media.timing.page_size);
@@ -157,6 +193,7 @@ impl SsdDevice {
         let mut pal_hist = PalHistogram::default();
         let mut pal = PalTracker::new(usize_from_u32(geometry.channels));
         let mut latencies: Vec<Nanos> = Vec::with_capacity(trace.len());
+        let mut attribution = LatencyAttribution::default();
         let firmware = cfg.ftl.firmware_ns();
         let split_bytes = cfg.ftl.max_transaction_bytes().unwrap_or(u64::MAX);
 
@@ -170,9 +207,13 @@ impl SsdDevice {
             }
 
             pal.reset();
-            let completion = match req.op {
+            // Snapshots bracketing the media phase: the deltas drive the
+            // die/channel split and the recovery carve-out below.
+            let (die_w0, chan_w0) = Self::media_weights(media.stats());
+            let recovery0 = rel.media_recovery_ns;
+            let (completion, breakdown) = match req.op {
                 IoOp::Read => {
-                    let media_end = self.dispatch_media(
+                    let phase = self.dispatch_media(
                         &mut media,
                         &map,
                         &mut ftl,
@@ -185,32 +226,68 @@ impl SsdDevice {
                         &mut last_media_end,
                         &mut media_faults,
                         &mut rel,
+                        obs,
                     );
                     // Device buffer -> host DMA after media completes;
                     // CRC errors replay the transfer (added latency only).
-                    let dma_start = media_end.max(host_free);
+                    let dma_start = phase.end.max(host_free);
                     let base_dma = host.request_ns(req.len);
-                    let penalty = link_faults
-                        .as_mut()
-                        .map_or(0, |lf| lf.transfer_penalty(base_dma));
+                    let penalty = link_faults.as_mut().map_or(0, |lf| {
+                        lf.transfer_penalty_traced(base_dma, dma_start + base_dma, obs)
+                    });
                     let dma_end = dma_start + base_dma + penalty;
                     host_free = dma_end;
                     host_busy += dma_end - dma_start;
                     dma_intervals.push((dma_start, dma_end));
-                    dma_end
+                    obs.span(
+                        Layer::Link,
+                        "host_dma",
+                        dma_start,
+                        dma_start + base_dma,
+                        [("bytes", req.len), ("", 0)],
+                    );
+                    // Exact decomposition of dma_end - issue: everything
+                    // before media service and between media completion
+                    // and the DMA grant is queueing; the media wall nets
+                    // out recovery, then splits die/channel.
+                    let (die_w, chan_w) = Self::media_weights(media.stats());
+                    let service_wall = phase.end - phase.service_start;
+                    let recovery_media = (rel.media_recovery_ns - recovery0).min(service_wall);
+                    let (die_ns, channel_ns) = RequestBreakdown::split_service(
+                        service_wall - recovery_media,
+                        die_w - die_w0,
+                        chan_w - chan_w0,
+                    );
+                    let bd = RequestBreakdown {
+                        queue_ns: (phase.service_start - issue) + (dma_start - phase.end),
+                        die_ns,
+                        channel_ns,
+                        link_ns: base_dma,
+                        fs_meta_ns: 0,
+                        recovery_ns: recovery_media + penalty,
+                        total_ns: dma_end - issue,
+                    };
+                    (dma_end, bd)
                 }
                 IoOp::Write => {
                     // Host -> device buffer DMA before media programs.
                     let dma_start = issue.max(host_free);
                     let base_dma = host.request_ns(req.len);
-                    let penalty = link_faults
-                        .as_mut()
-                        .map_or(0, |lf| lf.transfer_penalty(base_dma));
+                    let penalty = link_faults.as_mut().map_or(0, |lf| {
+                        lf.transfer_penalty_traced(base_dma, dma_start + base_dma, obs)
+                    });
                     let dma_end = dma_start + base_dma + penalty;
                     host_free = dma_end;
                     host_busy += dma_end - dma_start;
                     dma_intervals.push((dma_start, dma_end));
-                    self.dispatch_media(
+                    obs.span(
+                        Layer::Link,
+                        "host_dma",
+                        dma_start,
+                        dma_start + base_dma,
+                        [("bytes", req.len), ("", 0)],
+                    );
+                    let phase = self.dispatch_media(
                         &mut media,
                         &map,
                         &mut ftl,
@@ -223,11 +300,60 @@ impl SsdDevice {
                         &mut last_media_end,
                         &mut media_faults,
                         &mut rel,
-                    )
+                        obs,
+                    );
+                    let (die_w, chan_w) = Self::media_weights(media.stats());
+                    let service_wall = phase.end - phase.service_start;
+                    let recovery_media = (rel.media_recovery_ns - recovery0).min(service_wall);
+                    let (die_ns, channel_ns) = RequestBreakdown::split_service(
+                        service_wall - recovery_media,
+                        die_w - die_w0,
+                        chan_w - chan_w0,
+                    );
+                    let bd = RequestBreakdown {
+                        queue_ns: (dma_start - issue) + (phase.service_start - dma_end),
+                        die_ns,
+                        channel_ns,
+                        link_ns: base_dma,
+                        fs_meta_ns: 0,
+                        recovery_ns: recovery_media + penalty,
+                        total_ns: phase.end - issue,
+                    };
+                    (phase.end, bd)
                 }
             };
             pal_hist.add(pal.classify());
-            latencies.push(completion.saturating_sub(issue));
+            let total_latency = completion.saturating_sub(issue);
+            latencies.push(total_latency);
+            // Sync requests *are* file-system overhead end to end
+            // (metadata lookups, journal commits): the whole latency is
+            // fs_meta rather than a split of its internals.
+            attribution.absorb(if req.sync {
+                RequestBreakdown {
+                    fs_meta_ns: total_latency,
+                    total_ns: total_latency,
+                    ..RequestBreakdown::default()
+                }
+            } else {
+                breakdown
+            });
+            if obs.enabled() {
+                obs.span(
+                    Layer::Ssd,
+                    match req.op {
+                        IoOp::Read => "read",
+                        IoOp::Write => "write",
+                    },
+                    issue,
+                    completion,
+                    [("bytes", req.len), ("sync", u64::from(req.sync))],
+                );
+                obs.count("ssd.requests", 1);
+                if req.sync {
+                    obs.count("ssd.sync_requests", 1);
+                }
+                obs.observe_ns("ssd.latency_ns", total_latency);
+            }
             makespan = makespan.max(completion);
             if req.sync {
                 // Dependency barrier: nothing later may issue until this
@@ -267,6 +393,20 @@ impl SsdDevice {
         let media_report = stats.finalize(&cfg.media, makespan, host_busy);
         let total_bytes = trace.total_bytes();
         let data_bytes = trace.data_bytes();
+        if obs.enabled() {
+            obs.span(
+                Layer::Run,
+                "device_run",
+                0,
+                makespan,
+                [
+                    ("requests", u64_from_usize(trace.len())),
+                    ("bytes", total_bytes),
+                ],
+            );
+            obs.count("ssd.bytes", total_bytes);
+            obs.gauge("run.makespan_ns", makespan);
+        }
         RunReport {
             makespan,
             requests: u64_from_usize(trace.len()),
@@ -282,11 +422,12 @@ impl SsdDevice {
             energy,
             latency: LatencyStats::from_latencies(latencies),
             reliability: rel,
+            attribution,
         }
     }
 
     /// Translates one request and executes its die-ops; returns the media
-    /// completion time.
+    /// phase (earliest service start, last completion).
     #[allow(clippy::too_many_arguments)]
     fn dispatch_media(
         &self,
@@ -302,11 +443,13 @@ impl SsdDevice {
         last_media_end: &mut Nanos,
         faults: &mut Option<MediaFaultState>,
         rel: &mut ReliabilityStats,
-    ) -> Nanos {
+        obs: &mut Tracer,
+    ) -> MediaPhase {
         let geometry = map.geometry();
         let channels = geometry.channels;
         let planes_per_die = u64::from(geometry.planes_per_die);
         let mut media_end = start;
+        let mut first_service: Nanos = Nanos::MAX;
         let mut offset = req.offset;
         let mut remaining = req.len;
         let mut split_idx: u64 = 0;
@@ -344,56 +487,68 @@ impl SsdDevice {
             };
 
             if gc_moves > 0 {
+                obs.instant(Layer::Ftl, "gc", t0, [("moves", gc_moves), ("", 0)]);
                 // Garbage collection ahead of the host data: read the
                 // survivors, rewrite them at the frontier.
                 let gc_pages = (gc_moves * 4096).div_ceil(page_size).max(1);
                 for run in map.decompose(lpn, gc_pages) {
                     let read_op = DieOp::read(run.die, run.planes, run.pages, run.start_row);
-                    let read_end = match faults {
-                        Some(fs) => read_with_recovery(media, &read_op, t0, fs, ftl, rel),
-                        None => media.execute(t0, &read_op).end,
+                    let read_out = match faults {
+                        Some(fs) => read_with_recovery(media, &read_op, t0, fs, ftl, rel, obs),
+                        None => media.execute_traced(t0, &read_op, obs),
                     };
-                    media_end = media_end.max(read_end);
+                    first_service = first_service.min(read_out.start);
+                    media_end = media_end.max(read_out.end);
                     let write_op = DieOp::write(run.die, run.planes, run.pages, run.start_row);
-                    let write_end = match faults {
-                        Some(fs) => write_with_recovery(media, &write_op, read_end, fs, rel),
-                        None => media.execute(read_end, &write_op).end,
+                    let write_out = match faults {
+                        Some(fs) => {
+                            write_with_recovery(media, &write_op, read_out.end, fs, rel, obs)
+                        }
+                        None => media.execute_traced(read_out.end, &write_op, obs),
                     };
-                    media_end = media_end.max(write_end);
+                    media_end = media_end.max(write_out.end);
                 }
             }
 
             if erase_rows > 0 {
+                obs.instant(
+                    Layer::Ftl,
+                    "erase_rows",
+                    t0,
+                    [("rows", erase_rows), ("", 0)],
+                );
                 // Erase the new block-row(s) on every die before programming.
                 for die in 0..geometry.total_dies() {
                     let blocks = erase_rows * planes_per_die;
                     let erase_op = DieOp::erase(nvmtypes::DieIndex(die), blocks);
-                    let erase_end = match faults {
-                        Some(fs) => erase_with_recovery(media, &erase_op, t0, fs, ftl, rel),
-                        None => media.execute(t0, &erase_op).end,
+                    let erase_out = match faults {
+                        Some(fs) => erase_with_recovery(media, &erase_op, t0, fs, ftl, rel, obs),
+                        None => media.execute_traced(t0, &erase_op, obs),
                     };
-                    media_end = media_end.max(erase_end);
+                    first_service = first_service.min(erase_out.start);
+                    media_end = media_end.max(erase_out.end);
                 }
             }
 
             for run in map.decompose(lpn, count) {
-                let end = match req.op {
+                let out = match req.op {
                     IoOp::Read => {
                         let op = DieOp::read(run.die, run.planes, run.pages, run.start_row);
                         match faults {
-                            Some(fs) => read_with_recovery(media, &op, t0, fs, ftl, rel),
-                            None => media.execute(t0, &op).end,
+                            Some(fs) => read_with_recovery(media, &op, t0, fs, ftl, rel, obs),
+                            None => media.execute_traced(t0, &op, obs),
                         }
                     }
                     IoOp::Write => {
                         let op = DieOp::write(run.die, run.planes, run.pages, run.start_row);
                         match faults {
-                            Some(fs) => write_with_recovery(media, &op, t0, fs, rel),
-                            None => media.execute(t0, &op).end,
+                            Some(fs) => write_with_recovery(media, &op, t0, fs, rel, obs),
+                            None => media.execute_traced(t0, &op, obs),
                         }
                     }
                 };
-                media_end = media_end.max(end);
+                first_service = first_service.min(out.start);
+                media_end = media_end.max(out.end);
                 pal.observe(run.die.channel(geometry), run.die.0 / channels, run.planes);
             }
 
@@ -401,7 +556,14 @@ impl SsdDevice {
             remaining -= chunk;
         }
         *last_media_end = (*last_media_end).max(media_end);
-        media_end
+        MediaPhase {
+            service_start: if first_service == Nanos::MAX {
+                start
+            } else {
+                first_service
+            },
+            end: media_end,
+        }
     }
 }
 

@@ -13,15 +13,18 @@
 
 use crate::ftl::Ftl;
 use crate::report::ReliabilityStats;
-use flashsim::{DieOp, MediaFaultState, MediaSim};
+use flashsim::{DieOp, DieOpOutcome, MediaFaultState, MediaSim};
 use nvmtypes::Nanos;
+use simobs::{Layer, Tracer};
 
 /// Executes a read op and, if the fault state decrees errors, walks the
 /// escalating ECC read-retry ladder: tier `t` re-senses the page after
 /// an extra `t * tier_extra_ns` reference-shift delay. Pages that
 /// exhaust every tier are uncorrectable: the block is retired via
 /// [`Ftl::note_bad_block`]. Read-disturb refreshes re-program one page.
-/// Returns the op's final completion time.
+/// Returns the primary op's service start and the final completion time
+/// (after all recovery traffic).
+#[allow(clippy::too_many_arguments)]
 pub fn read_with_recovery(
     media: &mut MediaSim,
     op: &DieOp,
@@ -29,13 +32,15 @@ pub fn read_with_recovery(
     faults: &mut MediaFaultState,
     ftl: &mut Ftl,
     rel: &mut ReliabilityStats,
-) -> Nanos {
-    let out = media.execute(start, op);
+    obs: &mut Tracer,
+) -> DieOpOutcome {
+    let out = media.execute_traced(start, op, obs);
     let mut end = out.end;
     let sample = faults.sample_read(op);
     if sample.is_clean() {
-        return end;
+        return out;
     }
+    let before_retries = rel.ecc_retries;
     let profile = *faults.profile();
     let retry_op = DieOp::read(op.die, 1, 1, op.start_page);
     for &tier in &sample.corrected_tiers {
@@ -66,24 +71,40 @@ pub fn read_with_recovery(
         rel.disturb_refreshes += 1;
     }
     rel.media_recovery_ns += end - out.end;
-    end
+    if end > out.end && obs.enabled() {
+        obs.span(
+            Layer::Ssd,
+            "ecc_recovery",
+            out.end,
+            end,
+            [
+                ("retries", rel.ecc_retries - before_retries),
+                ("refreshes", sample.disturb_refreshes),
+            ],
+        );
+    }
+    DieOpOutcome {
+        start: out.start,
+        end,
+    }
 }
 
 /// Executes a write op; failed page programs are retried once each (the
-/// controller re-programs into the same block). Returns the final
-/// completion time.
+/// controller re-programs into the same block). Returns the primary op's
+/// service start and the final completion time.
 pub fn write_with_recovery(
     media: &mut MediaSim,
     op: &DieOp,
     start: Nanos,
     faults: &mut MediaFaultState,
     rel: &mut ReliabilityStats,
-) -> Nanos {
-    let out = media.execute(start, op);
+    obs: &mut Tracer,
+) -> DieOpOutcome {
+    let out = media.execute_traced(start, op, obs);
     let mut end = out.end;
     let fails = faults.sample_program(op);
     if fails == 0 {
-        return end;
+        return out;
     }
     for _page in 0..fails {
         let w = media.execute(end, &DieOp::write(op.die, 1, 1, op.start_page));
@@ -91,12 +112,24 @@ pub fn write_with_recovery(
         rel.program_retries += 1;
     }
     rel.media_recovery_ns += end - out.end;
-    end
+    if end > out.end && obs.enabled() {
+        obs.span(
+            Layer::Ssd,
+            "program_retry",
+            out.end,
+            end,
+            [("retries", fails), ("", 0)],
+        );
+    }
+    DieOpOutcome {
+        start: out.start,
+        end,
+    }
 }
 
 /// Executes an erase op; failed block erases retire their block (remap
-/// to spare) and re-erase a replacement. Returns the final completion
-/// time.
+/// to spare) and re-erase a replacement. Returns the primary op's
+/// service start and the final completion time.
 pub fn erase_with_recovery(
     media: &mut MediaSim,
     op: &DieOp,
@@ -104,12 +137,13 @@ pub fn erase_with_recovery(
     faults: &mut MediaFaultState,
     ftl: &mut Ftl,
     rel: &mut ReliabilityStats,
-) -> Nanos {
-    let out = media.execute(start, op);
+    obs: &mut Tracer,
+) -> DieOpOutcome {
+    let out = media.execute_traced(start, op, obs);
     let mut end = out.end;
     let fails = faults.sample_erase(op.die.0, op.pages);
     if fails == 0 {
-        return end;
+        return out;
     }
     for _block in 0..fails {
         rel.erase_failures += 1;
@@ -121,7 +155,19 @@ pub fn erase_with_recovery(
         end = e.end;
     }
     rel.media_recovery_ns += end - out.end;
-    end
+    if end > out.end && obs.enabled() {
+        obs.span(
+            Layer::Ssd,
+            "erase_retry",
+            out.end,
+            end,
+            [("failures", fails), ("", 0)],
+        );
+    }
+    DieOpOutcome {
+        start: out.start,
+        end,
+    }
 }
 
 #[cfg(test)]
@@ -162,9 +208,18 @@ mod tests {
         let (mut media2, _, _) = harness(MediaFaultProfile::none());
         let op = DieOp::read(DieIndex(0), 2, 8, 0);
         let mut rel = ReliabilityStats::default();
-        let end = read_with_recovery(&mut media, &op, 0, &mut faults, &mut ftl, &mut rel);
+        let mut obs = Tracer::off();
+        let out = read_with_recovery(
+            &mut media,
+            &op,
+            0,
+            &mut faults,
+            &mut ftl,
+            &mut rel,
+            &mut obs,
+        );
         let base = media2.execute(0, &op);
-        assert_eq!(end, base.end);
+        assert_eq!(out, base);
         assert_eq!(rel, ReliabilityStats::default());
     }
 
@@ -177,13 +232,26 @@ mod tests {
         let (mut media, mut faults, mut ftl) = harness(profile);
         let op = DieOp::read(DieIndex(0), 1, 4, 0);
         let mut rel = ReliabilityStats::default();
-        let end = read_with_recovery(&mut media, &op, 0, &mut faults, &mut ftl, &mut rel);
+        let mut obs = Tracer::off();
+        let out = read_with_recovery(
+            &mut media,
+            &op,
+            0,
+            &mut faults,
+            &mut ftl,
+            &mut rel,
+            &mut obs,
+        );
         let (mut clean_media, _, _) = harness(profile);
         let base = clean_media.execute(0, &op);
         assert_eq!(rel.read_errors, 4);
         assert!(rel.ecc_retries >= 4);
         assert!(rel.media_recovery_ns > 0);
-        assert!(end > base.end, "retries must extend the completion");
+        assert_eq!(
+            out.start, base.start,
+            "recovery must not move the service start"
+        );
+        assert!(out.end > base.end, "retries must extend the completion");
     }
 
     #[test]
@@ -196,7 +264,16 @@ mod tests {
         let (mut media, mut faults, mut ftl) = harness(profile);
         let op = DieOp::read(DieIndex(0), 1, 3, 0);
         let mut rel = ReliabilityStats::default();
-        let _end = read_with_recovery(&mut media, &op, 0, &mut faults, &mut ftl, &mut rel);
+        let mut obs = Tracer::off();
+        let _out = read_with_recovery(
+            &mut media,
+            &op,
+            0,
+            &mut faults,
+            &mut ftl,
+            &mut rel,
+            &mut obs,
+        );
         assert_eq!(rel.uncorrectable, 3);
         assert_eq!(rel.bad_blocks_remapped, 3);
         assert_eq!(ftl.bad_blocks(), 3);
@@ -211,13 +288,55 @@ mod tests {
         };
         let (mut media, mut faults, mut ftl) = harness(profile);
         let mut rel = ReliabilityStats::default();
+        let mut obs = Tracer::off();
         let w = DieOp::write(DieIndex(0), 1, 2, 0);
-        let we = write_with_recovery(&mut media, &w, 0, &mut faults, &mut rel);
+        let we = write_with_recovery(&mut media, &w, 0, &mut faults, &mut rel, &mut obs).end;
         assert_eq!(rel.program_retries, 2);
         let e = DieOp::erase(DieIndex(0), 2);
-        let ee = erase_with_recovery(&mut media, &e, we, &mut faults, &mut ftl, &mut rel);
+        let ee = erase_with_recovery(
+            &mut media,
+            &e,
+            we,
+            &mut faults,
+            &mut ftl,
+            &mut rel,
+            &mut obs,
+        )
+        .end;
         assert_eq!(rel.erase_failures, 2);
         assert_eq!(rel.bad_blocks_remapped, 2);
         assert!(ee > we);
+    }
+
+    #[test]
+    fn recovery_spans_land_on_the_ssd_layer() {
+        let profile = MediaFaultProfile {
+            page_error_prob: 1.0,
+            ..MediaFaultProfile::none()
+        };
+        let (mut media, mut faults, mut ftl) = harness(profile);
+        let op = DieOp::read(DieIndex(0), 1, 4, 0);
+        let mut rel = ReliabilityStats::default();
+        let mut obs = Tracer::ring(256);
+        let out = read_with_recovery(
+            &mut media,
+            &op,
+            0,
+            &mut faults,
+            &mut ftl,
+            &mut rel,
+            &mut obs,
+        );
+        let log = obs.finish();
+        let rec = log
+            .events
+            .iter()
+            .find(|e| e.layer == Layer::Ssd && e.name == "ecc_recovery")
+            .expect("recovery span emitted");
+        assert_eq!(rec.ts + rec.dur, out.end);
+        assert!(log
+            .events
+            .iter()
+            .any(|e| e.layer == Layer::Media && e.name == "die_read"));
     }
 }

@@ -118,6 +118,14 @@ pub struct RunReport {
     pub latency: LatencyStats,
     /// Fault/recovery accounting (all-zero under `FaultPlan::none()`).
     pub reliability: ReliabilityStats,
+    /// Exact per-layer latency attribution: the components sum to the
+    /// sum of per-request latencies ([`simobs::LatencyAttribution::is_exact`]),
+    /// and recovery time appears in exactly one component. Note the
+    /// attribution's `recovery_ns` can be smaller than
+    /// [`ReliabilityStats::total_recovery_ns`]: recovery on dies that
+    /// overlapped other media service is capped at the request's media
+    /// wall, so it is never double-counted against die/channel time.
+    pub attribution: simobs::LatencyAttribution,
 }
 
 impl RunReport {

@@ -16,6 +16,12 @@
 #                       must be byte-identical run-to-run and the zero
 #                       plan identical to the fault-free driver
 #                       (docs/FAULT_MODEL.md; skipped with --fast)
+#   7. obsreport      — observability smoke: the traced run must match
+#                       the untraced run byte-for-byte, the exported
+#                       Chrome-trace JSON must parse and be replay-
+#                       identical, and the latency attribution must sum
+#                       exactly (docs/OBSERVABILITY.md; skipped with
+#                       --fast)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,6 +60,9 @@ if [ "$fast" -eq 0 ]; then
 
     step "reliability --smoke (fault-injection determinism)"
     cargo run --release --quiet --bin reliability -- --smoke
+
+    step "obsreport --smoke (observer-effect freedom + trace export)"
+    cargo run --release --quiet --bin obsreport -- --smoke --out target/obs_smoke.trace.json
 fi
 
 echo

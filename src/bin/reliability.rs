@@ -2,7 +2,7 @@
 //! node faults cost the ION-remote and compute-local paths?
 //!
 //! ```text
-//! cargo run --release --bin reliability [-- --smoke] [--seed N]
+//! cargo run --release --bin reliability [-- --smoke] [--seed N] [--json PATH]
 //! ```
 //!
 //! Sweeps the built-in fault-plan presets (`none`, `light`, `moderate`,
@@ -10,7 +10,9 @@
 //! solve with node kills and checkpoint/restart, prints the degraded-mode
 //! cluster curve, and finally re-runs the whole study with the same seed
 //! to prove the output is byte-identical (the determinism contract of
-//! docs/FAULT_MODEL.md). `--smoke` shrinks the workload for CI.
+//! docs/FAULT_MODEL.md). `--smoke` shrinks the workload for CI;
+//! `--json <path>` also writes the study in a stable versioned schema
+//! (`oocnvm.reliability/1`), covered by the same byte-identity check.
 
 use nvmtypes::fault::{NodeFaultProfile, STREAM_NODE};
 use nvmtypes::{approx_f64, FaultPlan, NvmKind, MIB};
@@ -22,6 +24,7 @@ use oocnvm::core::workload::synthetic_ooc_trace;
 use oocnvm::ooc::checkpoint::solve_with_recovery;
 use oocnvm::ooc::lobpcg::{Lobpcg, LobpcgOptions};
 use oocnvm::ooc::HamiltonianSpec;
+use oocnvm::simobs::json::Json;
 use std::process::ExitCode;
 
 /// The four presets of the sweep (≥ 3 non-zero settings per the
@@ -42,10 +45,12 @@ fn line(out: &mut String, s: &str) {
     out.push('\n');
 }
 
-/// Renders the whole study into a string so the caller can compare two
-/// runs byte-for-byte.
-fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> String {
+/// Renders the whole study into a string plus a machine-readable JSON
+/// tree (`oocnvm.reliability/1`), so the caller can compare two runs
+/// byte-for-byte in both forms.
+fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> (String, Json) {
     let mut out = String::new();
+    let mut sweep_rows = Vec::new();
     let trace = synthetic_ooc_trace(trace_mib * MIB, MIB, seed);
     let ion = SystemConfig::ion_gpfs();
     let cnl = SystemConfig::cnl_ufs();
@@ -77,6 +82,19 @@ fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> String {
                 && format!("{:?}", cr.run) == format!("{:?}", base_c.run);
         }
         let rel = cr.run.reliability;
+        sweep_rows.push(
+            Json::obj()
+                .field("plan", Json::str(name))
+                .field("ion_mb_s", Json::f64_3(ir.bandwidth_mb_s))
+                .field("cnl_mb_s", Json::f64_3(cr.bandwidth_mb_s))
+                .field("ecc_retries", Json::u64(rel.ecc_retries))
+                .field(
+                    "crc_errors",
+                    Json::u64(rel.link.crc_errors + ir.run.reliability.link.crc_errors),
+                )
+                .field("bad_blocks_remapped", Json::u64(rel.bad_blocks_remapped))
+                .field("total_recovery_ns", Json::u64(rel.total_recovery_ns())),
+        );
         t.row([
             name.to_string(),
             format!("{:.1}", ir.bandwidth_mb_s),
@@ -155,6 +173,28 @@ fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> String {
         approx_f64(rec.recovery.restart_ns) / 1e6,
         approx_f64(rec.recovery.checkpoint_ns) / 1e6
     ));
+    let solver_json = Json::obj()
+        .field("dim", Json::u64(nvmtypes::u64_from_usize(solver_dim)))
+        .field(
+            "fault_free_iters",
+            Json::u64(nvmtypes::u64_from_usize(plain.iterations)),
+        )
+        .field("fault_free_converged", Json::Bool(plain.converged))
+        .field(
+            "recovered_iters",
+            Json::u64(nvmtypes::u64_from_usize(rec.result.iterations)),
+        )
+        .field("recovered_converged", Json::Bool(rec.result.converged))
+        .field("node_losses", Json::u64(rec.recovery.node_losses))
+        .field("checkpoints", Json::u64(rec.recovery.checkpoints))
+        .field("checkpoint_bytes", Json::u64(rec.recovery.checkpoint_bytes))
+        .field(
+            "iterations_replayed",
+            Json::u64(rec.recovery.iterations_replayed),
+        )
+        .field("restart_ns", Json::u64(rec.recovery.restart_ns))
+        .field("checkpoint_ns", Json::u64(rec.recovery.checkpoint_ns))
+        .field("max_eigenvalue_drift", Json::Num(format!("{drift:.2e}")));
 
     out.push('\n');
     line(
@@ -164,7 +204,14 @@ fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> String {
     let rates = NodeRates::measure(NvmKind::Tlc, &trace);
     let spec = ClusterSpec::carver();
     let mut t = Table::new(["failed SSDs", "aggregate MB/s", "retained"]);
+    let mut degraded_rows = Vec::new();
     for p in degraded_curve(&spec, &rates, 40, &[0, 1, 4, 10, 40]) {
+        degraded_rows.push(
+            Json::obj()
+                .field("failed_local", Json::u64(u64::from(p.failed_local)))
+                .field("degraded_mb_s", Json::f64_3(p.degraded_mb_s))
+                .field("retained_pct", Json::f64_3(p.retained() * 100.0)),
+        );
         t.row([
             format!("{}", p.failed_local),
             format!("{:.0}", p.degraded_mb_s),
@@ -172,7 +219,16 @@ fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> String {
         ]);
     }
     out.push_str(&t.render());
-    out
+
+    let doc = Json::obj()
+        .field("format", Json::str("oocnvm.reliability/1"))
+        .field("seed", Json::u64(seed))
+        .field("trace_mib", Json::u64(trace_mib))
+        .field("zero_fault_identical", Json::Bool(zero_fault_ok))
+        .field("fault_sweep", Json::Arr(sweep_rows))
+        .field("solver_recovery", solver_json)
+        .field("degraded_curve", Json::Arr(degraded_rows));
+    (out, doc)
 }
 
 fn flag_value(args: &[String], key: &str) -> Option<u64> {
@@ -186,20 +242,37 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let seed = flag_value(&args, "--seed").unwrap_or(42);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let (trace_mib, solver_dim) = if smoke { (4, 120) } else { (16, 600) };
 
-    let report = render_report(seed, trace_mib, solver_dim);
+    let (report, doc) = render_report(seed, trace_mib, solver_dim);
     print!("{report}");
 
     // The determinism contract: the identical seed must reproduce the
-    // identical study, byte for byte, in the same process.
-    let again = render_report(seed, trace_mib, solver_dim);
-    let deterministic = report == again;
+    // identical study, byte for byte, in the same process — the text
+    // report and the JSON document both.
+    let (again, doc_again) = render_report(seed, trace_mib, solver_dim);
+    let deterministic = report == again && doc.render() == doc_again.render();
     println!();
     println!(
         "same-seed re-run is byte-identical: {}",
         if deterministic { "OK" } else { "FAIL" }
     );
+
+    if let Some(path) = json_path {
+        match std::fs::write(&path, doc.render()) {
+            Ok(()) => println!("json written to {path}"),
+            Err(e) => {
+                println!("json write to {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if !deterministic || report.contains("FAIL") {
         return ExitCode::FAILURE;
     }

@@ -19,6 +19,10 @@
 //!   Hamiltonian, a real LOBPCG block eigensolver, an out-of-core matrix
 //!   store, and DOoC-style data pools / data-aware scheduling,
 //! * [`ooctrace`] — two-level I/O trace capture and replay,
+//! * [`simobs`] — deterministic observability: structured event tracing
+//!   keyed to simulated nanoseconds, integer-only metrics, per-layer
+//!   latency attribution, and Chrome-trace/Perfetto export (see
+//!   `docs/OBSERVABILITY.md`),
 //! * [`oocnvm_core`] — the Table-2 system configurations and the experiment
 //!   driver that regenerates every table and figure of the paper.
 //!
@@ -44,13 +48,15 @@ pub use ooc;
 pub use oocfs;
 pub use oocnvm_core as core;
 pub use ooctrace;
+pub use simobs;
 pub use ssd;
 
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
     pub use nvmtypes::{HostRequest, IoOp, MediaTiming, NvmKind, SsdGeometry, GIB, KIB, MIB};
     pub use oocnvm_core::config::SystemConfig;
-    pub use oocnvm_core::experiment::{run_experiment, ExperimentReport};
+    pub use oocnvm_core::experiment::{run_experiment, run_experiment_observed, ExperimentReport};
     pub use oocnvm_core::workload::synthetic_ooc_trace;
     pub use ooctrace::{PosixTrace, TraceRecord};
+    pub use simobs::{chrome_trace, rollup, LatencyAttribution, Layer, Tracer};
 }

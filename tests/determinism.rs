@@ -12,6 +12,7 @@ use flashsim::MediaConfig;
 use interconnect::{ddr800, pcie, LinkChain, PcieGen};
 use nvmtypes::{FaultPlan, HostRequest, NvmKind, KIB, MIB};
 use ooctrace::BlockTrace;
+use simobs::{chrome_trace, Tracer};
 use ssd::{RunReport, SsdConfig, SsdDevice};
 
 /// A mixed read/write trace with strided offsets: enough irregularity to
@@ -97,6 +98,52 @@ fn zero_rate_plan_reproduces_the_plain_report_exactly() {
             kind.label()
         );
     }
+}
+
+#[test]
+fn tracing_sinks_do_not_perturb_the_report() {
+    // The observability contract (docs/OBSERVABILITY.md): attaching a
+    // tracer — any sink — must not change a single byte of the result.
+    // Pin the no-op sink against the ring sink against the plain `run`.
+    let plain = rendered(&run_once_with_plan(NvmKind::Tlc, FaultPlan::heavy(11)));
+    let mut off = Tracer::off();
+    let with_off = {
+        let media = MediaConfig::paper(NvmKind::Tlc, ddr800());
+        let cfg = SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen3, 8)))
+            .with_ufs()
+            .with_fault_plan(FaultPlan::heavy(11));
+        rendered(&SsdDevice::new(cfg).run_observed(&mixed_trace(), &mut off))
+    };
+    let mut ring = Tracer::ring(8192);
+    let with_ring = {
+        let media = MediaConfig::paper(NvmKind::Tlc, ddr800());
+        let cfg = SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen3, 8)))
+            .with_ufs()
+            .with_fault_plan(FaultPlan::heavy(11));
+        rendered(&SsdDevice::new(cfg).run_observed(&mixed_trace(), &mut ring))
+    };
+    assert_eq!(plain, with_off, "no-op sink perturbed the report");
+    assert_eq!(plain, with_ring, "ring sink perturbed the report");
+}
+
+#[test]
+fn trace_exports_are_byte_identical_across_invocations() {
+    // Same seed, same workload, two separate invocations: the rendered
+    // Chrome-trace JSON must match byte for byte, or the timeline cannot
+    // be diffed between runs.
+    let export = || {
+        let media = MediaConfig::paper(NvmKind::Tlc, ddr800());
+        let cfg = SsdConfig::new(media, LinkChain::single(pcie(PcieGen::Gen3, 8)))
+            .with_ufs()
+            .with_fault_plan(FaultPlan::heavy(11));
+        let mut obs = Tracer::ring(8192);
+        let rep = SsdDevice::new(cfg).run_observed(&mixed_trace(), &mut obs);
+        (rendered(&rep), chrome_trace(&obs.finish()))
+    };
+    let (rep_a, json_a) = export();
+    let (rep_b, json_b) = export();
+    assert_eq!(rep_a, rep_b, "reports diverged between invocations");
+    assert_eq!(json_a, json_b, "trace JSON diverged between invocations");
 }
 
 #[test]

@@ -65,14 +65,18 @@ fn run_reads(
     for (i, &(die, planes, pages)) in ops.iter().enumerate() {
         let op = DieOp::read(DieIndex(die * 2), planes, pages, 0);
         let start = gap * (i as u64);
-        ends.push(read_with_recovery(
-            &mut media,
-            &op,
-            start,
-            &mut faults,
-            &mut ftl,
-            &mut rel,
-        ));
+        ends.push(
+            read_with_recovery(
+                &mut media,
+                &op,
+                start,
+                &mut faults,
+                &mut ftl,
+                &mut rel,
+                &mut simobs::Tracer::off(),
+            )
+            .end,
+        );
     }
     (ends, rel)
 }
