@@ -22,6 +22,7 @@ use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::SystemConfig;
 use oocnvm_core::format::Table;
 use ooctrace::BlockTrace;
+use rayon::prelude::*;
 use ssd::{Dim, SsdConfig, SsdDevice};
 use std::sync::Arc;
 
@@ -38,13 +39,19 @@ fn main() {
     );
     let ion_dev = SystemConfig::ion_gpfs().device(NvmKind::Tlc);
     let mut t = Table::new(["stripe", "bandwidth MB/s", "device sequentiality"]);
-    for stripe in [128 * 1024, 256 * 1024, 512 * 1024, MIB, 4 * MIB] {
-        let block = GpfsModel::new().with_stripe(stripe).transform(&posix);
-        t.row([
-            format!("{} KiB", stripe >> 10),
-            format!("{:.0}", tlc_run(&ion_dev, &block)),
-            format!("{:.2}", block.sequentiality()),
-        ]);
+    let rows: Vec<[String; 3]> = [128 * 1024, 256 * 1024, 512 * 1024, MIB, 4 * MIB]
+        .into_par_iter()
+        .map(|stripe| {
+            let block = GpfsModel::new().with_stripe(stripe).transform(&posix);
+            [
+                format!("{} KiB", stripe >> 10),
+                format!("{:.0}", tlc_run(&ion_dev, &block)),
+                format!("{:.2}", block.sequentiality()),
+            ]
+        })
+        .collect();
+    for row in rows {
+        t.row(row);
     }
     print!("{}", t.render());
     println!("-> gains flatten: striping itself, not the stripe size, is the problem.\n");
@@ -59,14 +66,16 @@ fn main() {
     let cnl_dev = SystemConfig::cnl(FsKind::Ext4).device(NvmKind::Tlc);
     let base = FsKind::Ext4.params().unwrap();
     let mut t = Table::new(["max request", "bandwidth MB/s"]);
-    for cap in [
+    let rows: Vec<[String; 2]> = [
         64 * 1024u32,
         128 * 1024,
         256 * 1024,
         512 * 1024,
         1 << 20,
         2 << 20,
-    ] {
+    ]
+    .into_par_iter()
+    .map(|cap| {
         let params = oocfs::FsParams {
             max_request: cap,
             queue_depth: 12,
@@ -75,10 +84,14 @@ fn main() {
         let block = FsModel::new(params)
             .expect("valid params")
             .transform(&posix);
-        t.row([
+        [
             format!("{} KiB", cap >> 10),
             format!("{:.0}", tlc_run(&cnl_dev, &block)),
-        ]);
+        ]
+    })
+    .collect();
+    for row in rows {
+        t.row(row);
     }
     print!("{}", t.render());
     println!("-> \"simply turning a few kernel knobs\" is worth ~1 GB/s (§4.3).\n");
@@ -92,7 +105,7 @@ fn main() {
     );
     let block = FsKind::Ufs.transform(&posix);
     let mut t = Table::new(["order", "bandwidth MB/s", "PAL4 %"]);
-    for (name, order) in [
+    let orders = [
         (
             "channel-plane-die-pkg (default)",
             [Dim::Channel, Dim::Plane, Dim::Die, Dim::Package],
@@ -109,16 +122,23 @@ fn main() {
             "pkg-die-plane-channel",
             [Dim::Package, Dim::Die, Dim::Plane, Dim::Channel],
         ),
-    ] {
-        let media = MediaConfig::paper(NvmKind::Tlc, sdr400());
-        let mut cfg = SsdConfig::new(media, SystemConfig::cnl_ufs().host_chain()).with_ufs();
-        cfg.stripe_order = order;
-        let rep = SsdDevice::new(cfg).run(&block);
-        t.row([
-            name.to_string(),
-            format!("{:.0}", rep.bandwidth_mb_s),
-            format!("{:.0}", rep.pal.percent()[3]),
-        ]);
+    ];
+    let rows: Vec<[String; 3]> = orders
+        .into_par_iter()
+        .map(|(name, order)| {
+            let media = MediaConfig::paper(NvmKind::Tlc, sdr400());
+            let mut cfg = SsdConfig::new(media, SystemConfig::cnl_ufs().host_chain()).with_ufs();
+            cfg.stripe_order = order;
+            let rep = SsdDevice::new(cfg).run(&block);
+            [
+                name.to_string(),
+                format!("{:.0}", rep.bandwidth_mb_s),
+                format!("{:.0}", rep.pal.percent()[3]),
+            ]
+        })
+        .collect();
+    for row in rows {
+        t.row(row);
     }
     print!("{}", t.render());
     println!("-> large UFS requests saturate every order; small-request configs care.\n");
@@ -197,21 +217,27 @@ fn main() {
     );
     let block8 = FsKind::Ufs.transform(&posix);
     let mut t = Table::new(["condition", "bandwidth MB/s"]);
-    for (name, every) in [
+    let rows: Vec<[String; 2]> = [
         ("fresh (no retries)", 0u64),
         ("mid-life (1/64)", 64),
         ("worn (1/16)", 16),
         ("end-of-life (1/4)", 4),
-    ] {
+    ]
+    .into_par_iter()
+    .map(|(name, every)| {
         let mut media = MediaConfig::paper(NvmKind::Tlc, interconnect::ddr800());
         if every > 0 {
             media.timing = media.timing.with_read_retry(every);
         }
         let cfg = SsdConfig::new(media, SystemConfig::cnl_native16().host_chain()).with_ufs();
-        t.row([
+        [
             name.to_string(),
             format!("{:.0}", SsdDevice::new(cfg).run(&block8).bandwidth_mb_s),
-        ]);
+        ]
+    })
+    .collect();
+    for row in rows {
+        t.row(row);
     }
     print!("{}", t.render());
     println!();

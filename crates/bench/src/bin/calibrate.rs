@@ -3,8 +3,8 @@
 // New code must return typed errors; see docs/INVARIANTS.md.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::{NvmKind, MIB};
+use oocnvm_bench::sweep::Sweep;
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::run_sweep;
 use oocnvm_core::workload::synthetic_ooc_trace;
 
 fn main() {
@@ -20,18 +20,14 @@ fn main() {
         SystemConfig::cnl_native16(),
     ]);
     let t0 = std::time::Instant::now();
-    let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+    let sweep = Sweep::run(&configs, &NvmKind::ALL, &trace);
     eprintln!("sweep took {:?}", t0.elapsed());
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>8}",
         "config", "TLC", "MLC", "SLC", "PCM"
     );
-    for c in &configs {
-        let get = |k| {
-            oocnvm_core::experiment::find(&reports, c.label, k)
-                .unwrap()
-                .bandwidth_mb_s
-        };
+    for c in sweep.configs() {
+        let get = |k| sweep.get(c.label, k).unwrap().bandwidth_mb_s;
         println!(
             "{:<16} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
             c.label,
@@ -42,8 +38,8 @@ fn main() {
         );
     }
     println!("\nutil/remaining/pal4 (TLC):");
-    for c in &configs {
-        let r = oocnvm_core::experiment::find(&reports, c.label, NvmKind::Tlc).unwrap();
+    for c in sweep.configs() {
+        let r = sweep.get(c.label, NvmKind::Tlc).unwrap();
         println!(
             "{:<16} chan={:>5.1}% pkg={:>5.1}% rem={:>7.0} pal={:?} dma%={:.1}",
             c.label,

@@ -7,9 +7,9 @@
 // New code must return typed errors; see docs/INVARIANTS.md.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
+use oocnvm_bench::sweep::Sweep;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::{Location, SystemConfig};
-use oocnvm_core::experiment::{find, run_sweep};
 use oocnvm_core::format::Table;
 
 /// Network-interface energy per byte for the ION path: a QDR HCA burns
@@ -29,7 +29,7 @@ fn main() {
         SystemConfig::cnl_ufs(),
         SystemConfig::cnl_native16(),
     ];
-    let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+    let sweep = Sweep::run(&configs, &NvmKind::ALL, &trace);
 
     let mut t = Table::new([
         "config",
@@ -39,9 +39,9 @@ fn main() {
         "nJ/B (+net)",
         "mean W",
     ]);
-    for c in &configs {
+    for c in sweep.configs() {
         for kind in NvmKind::ALL {
-            let r = find(&reports, c.label, kind).unwrap();
+            let r = sweep.get(c.label, kind).unwrap();
             let e = &r.run.energy;
             let media_njb = e.nj_per_byte();
             let path_njb = media_njb
@@ -65,8 +65,8 @@ fn main() {
     // Headline: energy per byte delivered, ION vs CNL on the same medium.
     println!("\nobservations:");
     for kind in [NvmKind::Tlc, NvmKind::Pcm] {
-        let ion = find(&reports, "ION-GPFS", kind).unwrap();
-        let ufs = find(&reports, "CNL-UFS", kind).unwrap();
+        let ion = sweep.get("ION-GPFS", kind).unwrap();
+        let ufs = sweep.get("CNL-UFS", kind).unwrap();
         let ion_njb = ion.run.energy.nj_per_byte() + ION_NETWORK_NJ_PER_BYTE;
         let ufs_njb = ufs.run.energy.nj_per_byte();
         println!(

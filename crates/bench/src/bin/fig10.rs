@@ -5,9 +5,9 @@
 // New code must return typed errors; see docs/INVARIANTS.md.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
+use oocnvm_bench::sweep::Sweep;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::{find, run_sweep, ExperimentReport};
 use oocnvm_core::format::Table;
 
 const STATES: [&str; 6] = [
@@ -19,10 +19,10 @@ const STATES: [&str; 6] = [
     "CellAct %",
 ];
 
-fn breakdown_table(reports: &[ExperimentReport], configs: &[SystemConfig], kind: NvmKind) -> Table {
+fn breakdown_table(sweep: &Sweep, kind: NvmKind) -> Table {
     let mut t = Table::new(std::iter::once("config").chain(STATES).collect::<Vec<_>>());
-    for c in configs {
-        let r = find(reports, c.label, kind).unwrap();
+    for c in sweep.configs() {
+        let r = sweep.get(c.label, kind).unwrap();
         let mut row = vec![c.label.to_string()];
         row.extend(r.breakdown_pct.iter().map(|p| format!("{p:.1}")));
         t.row(row);
@@ -30,10 +30,10 @@ fn breakdown_table(reports: &[ExperimentReport], configs: &[SystemConfig], kind:
     t
 }
 
-fn pal_table(reports: &[ExperimentReport], configs: &[SystemConfig], kind: NvmKind) -> Table {
+fn pal_table(sweep: &Sweep, kind: NvmKind) -> Table {
     let mut t = Table::new(["config", "PAL1 %", "PAL2 %", "PAL3 %", "PAL4 %"]);
-    for c in configs {
-        let r = find(reports, c.label, kind).unwrap();
+    for c in sweep.configs() {
+        let r = sweep.get(c.label, kind).unwrap();
         let mut row = vec![c.label.to_string()];
         row.extend(r.pal_pct.iter().map(|p| format!("{p:.1}")));
         t.row(row);
@@ -44,61 +44,56 @@ fn pal_table(reports: &[ExperimentReport], configs: &[SystemConfig], kind: NvmKi
 fn main() {
     let trace = standard_trace();
     let configs = SystemConfig::table2();
-    let reports = run_sweep(&configs, &[NvmKind::Tlc, NvmKind::Pcm], &trace);
+    let sweep = Sweep::run(&configs, &[NvmKind::Tlc, NvmKind::Pcm], &trace);
 
     println!(
         "{}",
         banner("Figure 10a", "TLC execution-time breakdown (%)")
     );
-    print!(
-        "{}",
-        breakdown_table(&reports, &configs, NvmKind::Tlc).render()
-    );
+    print!("{}", breakdown_table(&sweep, NvmKind::Tlc).render());
 
     println!(
         "{}",
         banner("Figure 10b", "TLC parallelism decomposition (%)")
     );
-    print!("{}", pal_table(&reports, &configs, NvmKind::Tlc).render());
+    print!("{}", pal_table(&sweep, NvmKind::Tlc).render());
 
     println!(
         "{}",
         banner("Figure 10c", "PCM execution-time breakdown (%)")
     );
-    print!(
-        "{}",
-        breakdown_table(&reports, &configs, NvmKind::Pcm).render()
-    );
+    print!("{}", breakdown_table(&sweep, NvmKind::Pcm).render());
 
     println!(
         "{}",
         banner("Figure 10d", "PCM parallelism decomposition (%)")
     );
-    print!("{}", pal_table(&reports, &configs, NvmKind::Pcm).render());
+    print!("{}", pal_table(&sweep, NvmKind::Pcm).render());
 
     println!("\nobservations (paper §4.5):");
-    let ion = find(&reports, "ION-GPFS", NvmKind::Tlc).unwrap();
+    let ion = sweep.get("ION-GPFS", NvmKind::Tlc).unwrap();
     println!(
         "  ION-GPFS TLC: {:.0}% of requests reach only PAL3, {:.0}% reach PAL4 —\n\
          \"ION-local PCIe stays almost completely parallelism type PAL3, and almost\n\
          never makes it to the full parallelism of PAL4\"",
         ion.pal_pct[2], ion.pal_pct[3]
     );
-    let ufs = find(&reports, "CNL-UFS", NvmKind::Tlc).unwrap();
+    let ufs = sweep.get("CNL-UFS", NvmKind::Tlc).unwrap();
     println!(
         "  CNL-UFS TLC: {:.0}% PAL4 — \"UFS-based architectures are able to almost\n\
          entirely reach parallelism state PAL4\"",
         ufs.pal_pct[3]
     );
-    let pcm_min_pal4 = configs
+    let pcm_min_pal4 = sweep
+        .configs()
         .iter()
-        .map(|c| find(&reports, c.label, NvmKind::Pcm).unwrap().pal_pct[3])
+        .map(|c| sweep.get(c.label, NvmKind::Pcm).unwrap().pal_pct[3])
         .fold(f64::INFINITY, f64::min);
     println!(
         "  PCM: every configuration >= {pcm_min_pal4:.0}% PAL4 — \"almost entirely in state\n\
          PAL4, a direct result of the much smaller page sizes\""
     );
-    let n16 = find(&reports, "CNL-NATIVE-16", NvmKind::Tlc).unwrap();
+    let n16 = sweep.get("CNL-NATIVE-16", NvmKind::Tlc).unwrap();
     println!(
         "  CNL-NATIVE-16 TLC: cell activation {:.0}% of device time — \"the closer one\n\
          can get to waiting solely on the NVM itself, the better\"",

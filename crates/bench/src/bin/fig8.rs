@@ -6,15 +6,15 @@
 // New code must return typed errors; see docs/INVARIANTS.md.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
+use oocnvm_bench::sweep::Sweep;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::{find, run_sweep};
-use oocnvm_core::format::{mbps, Table};
+use oocnvm_core::format::mbps;
 
 fn main() {
     let trace = standard_trace();
     let configs = SystemConfig::figure8();
-    let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+    let sweep = Sweep::run(&configs, &NvmKind::ALL, &trace);
 
     println!(
         "{}",
@@ -23,67 +23,21 @@ fn main() {
             "bandwidth achieved (MB/s) through the device improvements",
         )
     );
-    let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
-    for c in &configs {
-        t.row([
-            c.label.to_string(),
-            mbps(
-                find(&reports, c.label, NvmKind::Tlc)
-                    .unwrap()
-                    .bandwidth_mb_s,
-            ),
-            mbps(
-                find(&reports, c.label, NvmKind::Mlc)
-                    .unwrap()
-                    .bandwidth_mb_s,
-            ),
-            mbps(
-                find(&reports, c.label, NvmKind::Slc)
-                    .unwrap()
-                    .bandwidth_mb_s,
-            ),
-            mbps(
-                find(&reports, c.label, NvmKind::Pcm)
-                    .unwrap()
-                    .bandwidth_mb_s,
-            ),
-        ]);
-    }
-    print!("{}", t.render());
+    print!(
+        "{}",
+        sweep.media_table("", |r| mbps(r.bandwidth_mb_s)).render()
+    );
 
     println!(
         "{}",
         banner("Figure 8b", "bandwidth remaining in the NVM media (MB/s)")
     );
-    let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
-    for c in &configs {
-        t.row([
-            c.label.to_string(),
-            mbps(
-                find(&reports, c.label, NvmKind::Tlc)
-                    .unwrap()
-                    .remaining_mb_s,
-            ),
-            mbps(
-                find(&reports, c.label, NvmKind::Mlc)
-                    .unwrap()
-                    .remaining_mb_s,
-            ),
-            mbps(
-                find(&reports, c.label, NvmKind::Slc)
-                    .unwrap()
-                    .remaining_mb_s,
-            ),
-            mbps(
-                find(&reports, c.label, NvmKind::Pcm)
-                    .unwrap()
-                    .remaining_mb_s,
-            ),
-        ]);
-    }
-    print!("{}", t.render());
+    print!(
+        "{}",
+        sweep.media_table("", |r| mbps(r.remaining_mb_s)).render()
+    );
 
-    let bw = |label: &str, k| find(&reports, label, k).unwrap().bandwidth_mb_s;
+    let bw = |label: &str, k| sweep.get(label, k).unwrap().bandwidth_mb_s;
     println!("\nobservations (paper §4.4):");
     let mean = |label: &str| NvmKind::ALL.iter().map(|&k| bw(label, k)).sum::<f64>() / 4.0;
     println!(
@@ -95,8 +49,8 @@ fn main() {
         mean("CNL-NATIVE-8") / mean("CNL-BRIDGE-16")
     );
     // ION reference for the 16x / 8x claims.
-    let ion_reports = run_sweep(&[SystemConfig::ion_gpfs()], &NvmKind::ALL, &trace);
-    let ion = |k| find(&ion_reports, "ION-GPFS", k).unwrap().bandwidth_mb_s;
+    let ion_sweep = Sweep::run(&[SystemConfig::ion_gpfs()], &NvmKind::ALL, &trace);
+    let ion = |k| ion_sweep.get("ION-GPFS", k).unwrap().bandwidth_mb_s;
     println!(
         "  NATIVE-16 over ION-GPFS on PCM: x{:.1}   (paper: 'an incredible factor of 16')",
         bw("CNL-NATIVE-16", NvmKind::Pcm) / ion(NvmKind::Pcm)

@@ -5,49 +5,31 @@
 // New code must return typed errors; see docs/INVARIANTS.md.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
+use oocnvm_bench::sweep::Sweep;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::{find, run_sweep, ExperimentReport};
-use oocnvm_core::format::{pct, Table};
-
-fn util_table(
-    reports: &[ExperimentReport],
-    configs: &[SystemConfig],
-    get: impl Fn(&ExperimentReport) -> f64,
-) -> Table {
-    let mut t = Table::new(["config", "TLC %", "MLC %", "SLC %", "PCM %"]);
-    for c in configs {
-        t.row([
-            c.label.to_string(),
-            pct(get(find(reports, c.label, NvmKind::Tlc).unwrap())),
-            pct(get(find(reports, c.label, NvmKind::Mlc).unwrap())),
-            pct(get(find(reports, c.label, NvmKind::Slc).unwrap())),
-            pct(get(find(reports, c.label, NvmKind::Pcm).unwrap())),
-        ]);
-    }
-    t
-}
+use oocnvm_core::format::pct;
 
 fn main() {
     let trace = standard_trace();
     let configs = SystemConfig::table2();
-    let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+    let sweep = Sweep::run(&configs, &NvmKind::ALL, &trace);
 
     println!("{}", banner("Figure 9a", "channel-level utilization (%)"));
     print!(
         "{}",
-        util_table(&reports, &configs, |r| r.channel_util).render()
+        sweep.media_table(" %", |r| pct(r.channel_util)).render()
     );
 
     println!("{}", banner("Figure 9b", "package-level utilization (%)"));
     print!(
         "{}",
-        util_table(&reports, &configs, |r| r.package_util).render()
+        sweep.media_table(" %", |r| pct(r.package_util)).render()
     );
 
     println!("\nobservations (paper §4.5):");
-    let ion = find(&reports, "ION-GPFS", NvmKind::Tlc).unwrap();
-    let ufs = find(&reports, "CNL-UFS", NvmKind::Tlc).unwrap();
+    let ion = sweep.get("ION-GPFS", NvmKind::Tlc).unwrap();
+    let ufs = sweep.get("CNL-UFS", NvmKind::Tlc).unwrap();
     println!(
         "  ION-GPFS (TLC): channels {:.0}% busy but packages only {:.0}% — GPFS striping\n\
          \"results in more randomized accesses and more channels being utilized\n\

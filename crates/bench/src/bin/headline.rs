@@ -6,16 +6,14 @@
 //! * end-to-end: ~10.3x over ION-local NVM.
 //!
 //! `--json <path>` additionally writes the matrix in a stable versioned
-//! schema (`oocnvm.headline/1`) for downstream tooling.
+//! schema (`oocnvm.headline/1`) for downstream tooling. The whole
+//! computation lives in [`oocnvm_bench::headline`] so the determinism
+//! tests can pin it byte-identical at every thread count.
 // Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
 // inventoried per-file in `simlint.allow` (counts may only decrease).
 // New code must return typed errors; see docs/INVARIANTS.md.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
-use nvmtypes::NvmKind;
-use oocnvm_bench::{banner, standard_trace};
-use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::{find, run_sweep};
-use simobs::json::Json;
+use oocnvm_bench::{banner, headline, standard_trace};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -30,87 +28,11 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let trace = standard_trace();
-    let configs = SystemConfig::table2();
-    let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
-    let bw = |label: &str, k| find(&reports, label, k).unwrap().bandwidth_mb_s;
-
-    // Baseline CNL = the traditional (non-UFS) local file systems.
-    let trad: Vec<&str> = vec![
-        "CNL-JFS",
-        "CNL-BTRFS",
-        "CNL-XFS",
-        "CNL-REISERFS",
-        "CNL-EXT2",
-        "CNL-EXT3",
-        "CNL-EXT4",
-        "CNL-EXT4-L",
-    ];
-
-    let mut cnl_vs_ion = Vec::new();
-    let mut ufs_vs_cnl = Vec::new();
-    let mut hw_vs_ufs = Vec::new();
-    let mut total = Vec::new();
-    let mut rows = Vec::new();
-    for k in NvmKind::ALL {
-        let ion = bw("ION-GPFS", k);
-        let cnl_mean = trad.iter().map(|l| bw(l, k)).sum::<f64>() / trad.len() as f64;
-        let ufs = bw("CNL-UFS", k);
-        let n16 = bw("CNL-NATIVE-16", k);
-        cnl_vs_ion.push(cnl_mean / ion - 1.0);
-        ufs_vs_cnl.push(ufs / cnl_mean - 1.0);
-        hw_vs_ufs.push(n16 / ufs - 1.0);
-        total.push(n16 / ion);
-        rows.push(
-            Json::obj()
-                .field("kind", Json::str(k.label()))
-                .field("ion_mb_s", Json::f64_3(ion))
-                .field("cnl_mean_mb_s", Json::f64_3(cnl_mean))
-                .field("ufs_mb_s", Json::f64_3(ufs))
-                .field("native16_mb_s", Json::f64_3(n16))
-                .field("total_x", Json::f64_3(n16 / ion)),
-        );
-        println!(
-            "  {}: ION {:.0}  CNL-mean {:.0}  UFS {:.0}  NATIVE-16 {:.0}  (x{:.1} end-to-end)",
-            k.label(),
-            ion,
-            cnl_mean,
-            ufs,
-            n16,
-            n16 / ion
-        );
-    }
-    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!();
-    println!(
-        "  compute-local vs client-remote SSDs: +{:.0}%   (paper: 'on average 108%')",
-        avg(&cnl_vs_ion) * 100.0
-    );
-    println!(
-        "  UFS over the baseline CNL approaches: +{:.0}%   (paper: 'an additional 52%')",
-        avg(&ufs_vs_cnl) * 100.0
-    );
-    println!(
-        "  hardware-optimized SSDs over UFS: +{:.0}%   (paper: 'an additional 250%')",
-        avg(&hw_vs_ufs) * 100.0
-    );
-    println!(
-        "  overall NATIVE-16 vs ION-local: x{:.1}   (paper: 'a relative improvement of 10.3 times')",
-        avg(&total)
-    );
+    let report = headline::report(&trace).expect("table2 labels are static");
+    print!("{}", report.text);
 
     if let Some(path) = json_path {
-        let doc = Json::obj()
-            .field("format", Json::str("oocnvm.headline/1"))
-            .field("rows", Json::Arr(rows))
-            .field(
-                "averages",
-                Json::obj()
-                    .field("cnl_vs_ion_pct", Json::f64_3(avg(&cnl_vs_ion) * 100.0))
-                    .field("ufs_vs_cnl_pct", Json::f64_3(avg(&ufs_vs_cnl) * 100.0))
-                    .field("hw_vs_ufs_pct", Json::f64_3(avg(&hw_vs_ufs) * 100.0))
-                    .field("total_x", Json::f64_3(avg(&total))),
-            );
-        match std::fs::write(&path, doc.render()) {
+        match std::fs::write(&path, &report.json) {
             Ok(()) => println!("  json written to {path}"),
             Err(e) => {
                 println!("  json write to {path} failed: {e}");

@@ -1,0 +1,132 @@
+//! The §7 headline computation, shared by the `headline` bin and the
+//! determinism tests (which pin that text and JSON are byte-identical
+//! at every thread count).
+
+use crate::sweep::Sweep;
+use nvmtypes::NvmKind;
+use oocnvm_core::config::SystemConfig;
+use ooctrace::PosixTrace;
+use simobs::json::Json;
+
+/// Schema tag of the headline JSON document.
+pub const SCHEMA: &str = "oocnvm.headline/1";
+
+/// The traditional (non-UFS) compute-local file systems whose mean forms
+/// the baseline-CNL reference in the §7 ratios.
+pub const TRADITIONAL_CNL: [&str; 8] = [
+    "CNL-JFS",
+    "CNL-BTRFS",
+    "CNL-XFS",
+    "CNL-REISERFS",
+    "CNL-EXT2",
+    "CNL-EXT3",
+    "CNL-EXT4",
+    "CNL-EXT4-L",
+];
+
+/// The rendered §7 headline block.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// Human-readable summary (the bin prints it verbatim).
+    pub text: String,
+    /// The [`SCHEMA`] JSON document, via [`crate::json_report`].
+    pub json: String,
+}
+
+/// Runs the full Table-2 sweep on the thread pool and derives the §7
+/// headline ratios. Returns `None` only if a required label is missing
+/// from the Table-2 configuration set — a programming error in the
+/// config tables, not a runtime condition.
+pub fn report(posix: &PosixTrace) -> Option<Headline> {
+    let configs = SystemConfig::table2();
+    let sweep = Sweep::run(&configs, &NvmKind::ALL, posix);
+
+    let mut cnl_vs_ion = Vec::new();
+    let mut ufs_vs_cnl = Vec::new();
+    let mut hw_vs_ufs = Vec::new();
+    let mut total = Vec::new();
+    let mut rows = Vec::new();
+    let mut text = String::new();
+    for k in NvmKind::ALL {
+        let ion = sweep.bandwidth("ION-GPFS", k)?;
+        let mut cnl_sum = 0.0;
+        for label in TRADITIONAL_CNL {
+            cnl_sum += sweep.bandwidth(label, k)?;
+        }
+        let cnl_mean = cnl_sum / TRADITIONAL_CNL.len() as f64;
+        let ufs = sweep.bandwidth("CNL-UFS", k)?;
+        let n16 = sweep.bandwidth("CNL-NATIVE-16", k)?;
+        cnl_vs_ion.push(cnl_mean / ion - 1.0);
+        ufs_vs_cnl.push(ufs / cnl_mean - 1.0);
+        hw_vs_ufs.push(n16 / ufs - 1.0);
+        total.push(n16 / ion);
+        rows.push(
+            Json::obj()
+                .field("kind", Json::str(k.label()))
+                .field("ion_mb_s", Json::f64_3(ion))
+                .field("cnl_mean_mb_s", Json::f64_3(cnl_mean))
+                .field("ufs_mb_s", Json::f64_3(ufs))
+                .field("native16_mb_s", Json::f64_3(n16))
+                .field("total_x", Json::f64_3(n16 / ion)),
+        );
+        text.push_str(&format!(
+            "  {}: ION {:.0}  CNL-mean {:.0}  UFS {:.0}  NATIVE-16 {:.0}  (x{:.1} end-to-end)\n",
+            k.label(),
+            ion,
+            cnl_mean,
+            ufs,
+            n16,
+            n16 / ion
+        ));
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    text.push('\n');
+    text.push_str(&format!(
+        "  compute-local vs client-remote SSDs: +{:.0}%   (paper: 'on average 108%')\n",
+        avg(&cnl_vs_ion) * 100.0
+    ));
+    text.push_str(&format!(
+        "  UFS over the baseline CNL approaches: +{:.0}%   (paper: 'an additional 52%')\n",
+        avg(&ufs_vs_cnl) * 100.0
+    ));
+    text.push_str(&format!(
+        "  hardware-optimized SSDs over UFS: +{:.0}%   (paper: 'an additional 250%')\n",
+        avg(&hw_vs_ufs) * 100.0
+    ));
+    text.push_str(&format!(
+        "  overall NATIVE-16 vs ION-local: x{:.1}   (paper: 'a relative improvement of 10.3 times')\n",
+        avg(&total)
+    ));
+
+    let payload = Json::obj().field("rows", Json::Arr(rows)).field(
+        "averages",
+        Json::obj()
+            .field("cnl_vs_ion_pct", Json::f64_3(avg(&cnl_vs_ion) * 100.0))
+            .field("ufs_vs_cnl_pct", Json::f64_3(avg(&ufs_vs_cnl) * 100.0))
+            .field("hw_vs_ufs_pct", Json::f64_3(avg(&hw_vs_ufs) * 100.0))
+            .field("total_x", Json::f64_3(avg(&total))),
+    );
+    Some(Headline {
+        text,
+        json: crate::json_report(SCHEMA, payload),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmtypes::MIB;
+    use oocnvm_core::workload::synthetic_ooc_trace;
+    use simobs::json::parse;
+
+    #[test]
+    fn headline_renders_and_tags_its_schema() {
+        let trace = synthetic_ooc_trace(8 * MIB, MIB, 42);
+        let h = report(&trace).expect("table2 labels are static");
+        assert!(h.text.contains("end-to-end"));
+        let doc = parse(&h.json).expect("well-formed JSON");
+        assert_eq!(doc.get("format"), Some(&Json::str(SCHEMA)));
+        assert!(doc.get("rows").is_some());
+        assert!(doc.get("averages").is_some());
+    }
+}

@@ -25,6 +25,10 @@
 use nvmtypes::MIB;
 use oocnvm_core::workload::synthetic_ooc_trace;
 use ooctrace::PosixTrace;
+use simobs::json::Json;
+
+pub mod headline;
+pub mod sweep;
 
 /// The standard experiment workload: a read-dominant out-of-core panel
 /// sweep. Size defaults to 256 MiB and can be scaled with the
@@ -46,6 +50,21 @@ pub fn banner(id: &str, caption: &str) -> String {
     format!("{rule}\n{id} — {caption}\n{rule}")
 }
 
+/// Renders a machine-readable report in the workspace's versioned-JSON
+/// convention: a leading `"format": "<schema>"` tag followed by the
+/// payload's fields, through simobs's canonical renderer (insertion-
+/// ordered keys, pre-rendered numbers), so equal reports render
+/// byte-identically. Every `--json` bin emits through this one helper.
+#[must_use]
+pub fn json_report(schema: &str, payload: Json) -> String {
+    let mut fields = vec![("format".to_string(), Json::str(schema))];
+    match payload {
+        Json::Obj(body) => fields.extend(body),
+        other => fields.push(("payload".to_string(), other)),
+    }
+    Json::Obj(fields).render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +74,15 @@ mod tests {
         let t = standard_trace();
         assert!(t.total_bytes() >= 256 * MIB);
         assert!((t.read_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_report_prepends_the_schema_tag() {
+        let payload = Json::obj().field("x", Json::u64(1));
+        let doc = json_report("oocnvm.test/1", payload);
+        assert_eq!(doc, r#"{"format":"oocnvm.test/1","x":1}"#);
+        // Non-object payloads nest under "payload" instead of merging.
+        let arr = json_report("oocnvm.test/1", Json::Arr(vec![Json::u64(2)]));
+        assert_eq!(arr, r#"{"format":"oocnvm.test/1","payload":[2]}"#);
     }
 }

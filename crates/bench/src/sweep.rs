@@ -1,0 +1,117 @@
+//! One config × media sweep, with positional lookups and the shared
+//! media-table renderer the figure bins used to copy-paste.
+//!
+//! [`Sweep::run`] fans the full cross product out on the thread pool
+//! (see `docs/PARALLELISM.md`); reports come back in configs-major
+//! order regardless of thread count, so every table and JSON export
+//! derived from a `Sweep` is byte-identical at any `RAYON_NUM_THREADS`.
+
+use nvmtypes::NvmKind;
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::{run_sweep, ExperimentReport};
+use oocnvm_core::format::Table;
+use ooctrace::PosixTrace;
+
+/// The result of a config × media cross-product sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    configs: Vec<SystemConfig>,
+    kinds: Vec<NvmKind>,
+    reports: Vec<ExperimentReport>,
+}
+
+impl Sweep {
+    /// Runs every `(config, kind)` pair in parallel and captures the
+    /// axes alongside the reports for positional lookup.
+    pub fn run(configs: &[SystemConfig], kinds: &[NvmKind], posix: &PosixTrace) -> Sweep {
+        Sweep {
+            configs: configs.to_vec(),
+            kinds: kinds.to_vec(),
+            reports: run_sweep(configs, kinds, posix),
+        }
+    }
+
+    /// The configuration axis, in input order.
+    pub fn configs(&self) -> &[SystemConfig] {
+        &self.configs
+    }
+
+    /// The media axis, in input order.
+    pub fn kinds(&self) -> &[NvmKind] {
+        &self.kinds
+    }
+
+    /// Every report, configs-major: `reports()[ci * kinds().len() + ki]`.
+    pub fn reports(&self) -> &[ExperimentReport] {
+        &self.reports
+    }
+
+    /// The report for `(label, kind)`, if both are on the sweep's axes.
+    pub fn get(&self, label: &str, kind: NvmKind) -> Option<&ExperimentReport> {
+        let ci = self.configs.iter().position(|c| c.label == label)?;
+        let ki = self.kinds.iter().position(|&k| k == kind)?;
+        self.reports.get(ci * self.kinds.len() + ki)
+    }
+
+    /// Bandwidth shortcut for the most common lookup.
+    pub fn bandwidth(&self, label: &str, kind: NvmKind) -> Option<f64> {
+        self.get(label, kind).map(|r| r.bandwidth_mb_s)
+    }
+
+    /// Renders the standard figure table: one row per configuration, one
+    /// column per medium (header `"<KIND><unit>"`, e.g. `"TLC"` or
+    /// `"TLC %"`), each cell produced by `metric` from the pair's report.
+    pub fn media_table(&self, unit: &str, metric: impl Fn(&ExperimentReport) -> String) -> Table {
+        let mut header = vec!["config".to_string()];
+        header.extend(self.kinds.iter().map(|k| format!("{}{unit}", k.label())));
+        let mut t = Table::new(header);
+        for (ci, c) in self.configs.iter().enumerate() {
+            let mut row = vec![c.label.to_string()];
+            row.extend(
+                (0..self.kinds.len()).map(|ki| metric(&self.reports[ci * self.kinds.len() + ki])),
+            );
+            t.row(row);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmtypes::MIB;
+    use oocnvm_core::workload::synthetic_ooc_trace;
+
+    fn small_sweep() -> Sweep {
+        let trace = synthetic_ooc_trace(8 * MIB, MIB, 3);
+        let configs = [SystemConfig::cnl_ufs(), SystemConfig::cnl_native16()];
+        Sweep::run(&configs, &[NvmKind::Slc, NvmKind::Pcm], &trace)
+    }
+
+    #[test]
+    fn lookups_hit_the_right_pair() {
+        let s = small_sweep();
+        assert_eq!(s.reports().len(), 4);
+        let r = s.get("CNL-NATIVE-16", NvmKind::Slc).unwrap();
+        assert_eq!(r.label, "CNL-NATIVE-16");
+        assert_eq!(r.kind, NvmKind::Slc);
+        assert!(s.get("CNL-UFS", NvmKind::Tlc).is_none(), "kind off-axis");
+        assert!(s.get("nope", NvmKind::Slc).is_none(), "label off-axis");
+        assert_eq!(
+            s.bandwidth("CNL-UFS", NvmKind::Pcm).unwrap(),
+            s.get("CNL-UFS", NvmKind::Pcm).unwrap().bandwidth_mb_s
+        );
+    }
+
+    #[test]
+    fn media_table_has_one_row_per_config_and_kind_headers() {
+        let s = small_sweep();
+        let rendered = s
+            .media_table(" MB/s", |r| format!("{:.0}", r.bandwidth_mb_s))
+            .render();
+        assert!(rendered.contains("SLC MB/s"));
+        assert!(rendered.contains("PCM MB/s"));
+        assert!(rendered.contains("CNL-UFS"));
+        assert!(rendered.contains("CNL-NATIVE-16"));
+    }
+}

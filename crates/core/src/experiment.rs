@@ -30,34 +30,133 @@ pub struct ExperimentReport {
     pub run: RunReport,
 }
 
-/// Runs `config` with `kind` media against the application's POSIX trace:
-/// mutates the trace through the configuration's file system, then replays
-/// the block trace on the configured device.
+/// One experiment, fully specified: a system configuration, an NVM
+/// medium, an optional fault plan, and an optional tracer.
+///
+/// This is the single entry point the old
+/// `run_experiment` / `run_experiment_with_faults` /
+/// `run_experiment_observed` triplet collapsed into:
+///
+/// ```
+/// use oocnvm_core::config::SystemConfig;
+/// use oocnvm_core::experiment::ExperimentSpec;
+/// use oocnvm_core::workload::synthetic_ooc_trace;
+/// use nvmtypes::{FaultPlan, NvmKind, MIB};
+///
+/// let trace = synthetic_ooc_trace(8 * MIB, MIB, 3);
+/// let mut obs = simobs::Tracer::off();
+/// let report = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc)
+///     .faults(FaultPlan::light(42))
+///     .tracer(&mut obs)
+///     .run(&trace);
+/// assert!(report.bandwidth_mb_s > 0.0);
+/// ```
+///
+/// Every stage is optional except the configuration and medium: without
+/// [`ExperimentSpec::faults`] the plan is [`nvmtypes::FaultPlan::none`]
+/// (byte-identical to the fault-free driver), without
+/// [`ExperimentSpec::tracer`] the run is untraced (byte-identical to a
+/// traced run — the tracer only observes).
+#[derive(Debug)]
+pub struct ExperimentSpec<'t> {
+    config: SystemConfig,
+    kind: NvmKind,
+    plan: nvmtypes::FaultPlan,
+    tracer: Option<&'t mut simobs::Tracer>,
+}
+
+impl ExperimentSpec<'static> {
+    /// A fault-free, untraced experiment on `config` with `kind` media.
+    pub fn new(config: &SystemConfig, kind: NvmKind) -> ExperimentSpec<'static> {
+        ExperimentSpec {
+            config: *config,
+            kind,
+            plan: nvmtypes::FaultPlan::none(),
+            tracer: None,
+        }
+    }
+}
+
+impl<'t> ExperimentSpec<'t> {
+    /// Injects deterministic faults from `plan`.
+    #[must_use]
+    pub fn faults(mut self, plan: nvmtypes::FaultPlan) -> ExperimentSpec<'t> {
+        self.plan = plan;
+        self
+    }
+
+    /// Attaches a tracer; every layer reports spans/metrics through it.
+    /// Tracing is observation-only — the report stays byte-identical.
+    ///
+    /// A traced spec borrows the tracer mutably and therefore cannot
+    /// enter [`run_batch`] (whose specs must be `'static`): parallel
+    /// workers share nothing, so tracing stays single-threaded by
+    /// construction.
+    #[must_use]
+    pub fn tracer<'u>(self, obs: &'u mut simobs::Tracer) -> ExperimentSpec<'u> {
+        ExperimentSpec {
+            config: self.config,
+            kind: self.kind,
+            plan: self.plan,
+            tracer: Some(obs),
+        }
+    }
+
+    /// Runs the experiment against the application's POSIX trace: mutates
+    /// the trace through the configuration's file system, then replays the
+    /// block trace on the configured device.
+    pub fn run(self, posix: &PosixTrace) -> ExperimentReport {
+        let mut off = simobs::Tracer::off();
+        let obs = match self.tracer {
+            Some(t) => t,
+            None => &mut off,
+        };
+        let block = self.config.fs.transform_observed(posix, obs);
+        let device = self.config.device_with_faults(self.kind, self.plan);
+        let run = device.run_observed(&block, obs);
+        ExperimentReport {
+            label: self.config.label,
+            kind: self.kind,
+            bandwidth_mb_s: run.bandwidth_mb_s,
+            remaining_mb_s: run.media.remaining_mb_s,
+            channel_util: run.media.channel_util,
+            package_util: run.media.package_util,
+            breakdown_pct: run.media.breakdown.percent(),
+            pal_pct: run.pal.percent(),
+            run,
+        }
+    }
+}
+
+/// Runs `config` with `kind` media against the application's POSIX
+/// trace. Thin wrapper over [`ExperimentSpec`], kept so existing call
+/// sites read unchanged.
 pub fn run_experiment(
     config: &SystemConfig,
     kind: NvmKind,
     posix: &PosixTrace,
 ) -> ExperimentReport {
-    run_experiment_with_faults(config, kind, posix, nvmtypes::FaultPlan::none())
+    ExperimentSpec::new(config, kind).run(posix)
 }
 
 /// Like [`run_experiment`], but injecting deterministic faults from
 /// `plan`. `FaultPlan::none()` reproduces [`run_experiment`] exactly,
-/// byte for byte.
+/// byte for byte. Thin wrapper over [`ExperimentSpec`].
 pub fn run_experiment_with_faults(
     config: &SystemConfig,
     kind: NvmKind,
     posix: &PosixTrace,
     plan: nvmtypes::FaultPlan,
 ) -> ExperimentReport {
-    run_experiment_observed(config, kind, posix, plan, &mut simobs::Tracer::off())
+    ExperimentSpec::new(config, kind).faults(plan).run(posix)
 }
 
 /// The fully observed experiment pipeline: the file-system transform,
 /// every device layer and the run summary report through one tracer.
 /// With [`simobs::Tracer::off`] this *is* [`run_experiment_with_faults`]
 /// — the tracer only reads values each layer has already computed, so
-/// the report is byte-identical whichever sink is attached.
+/// the report is byte-identical whichever sink is attached. Thin wrapper
+/// over [`ExperimentSpec`].
 pub fn run_experiment_observed(
     config: &SystemConfig,
     kind: NvmKind,
@@ -65,37 +164,42 @@ pub fn run_experiment_observed(
     plan: nvmtypes::FaultPlan,
     obs: &mut simobs::Tracer,
 ) -> ExperimentReport {
-    let block = config.fs.transform_observed(posix, obs);
-    let device = config.device_with_faults(kind, plan);
-    let run = device.run_observed(&block, obs);
-    ExperimentReport {
-        label: config.label,
-        kind,
-        bandwidth_mb_s: run.bandwidth_mb_s,
-        remaining_mb_s: run.media.remaining_mb_s,
-        channel_util: run.media.channel_util,
-        package_util: run.media.package_util,
-        breakdown_pct: run.media.breakdown.percent(),
-        pal_pct: run.pal.percent(),
-        run,
-    }
+    ExperimentSpec::new(config, kind)
+        .faults(plan)
+        .tracer(obs)
+        .run(posix)
 }
 
-/// Runs every `(config, kind)` pair in parallel with rayon; results are in
-/// `configs`-major order.
+/// Runs a batch of experiment specs against one POSIX trace on the
+/// thread pool, returning reports in the specs' input order — the batch
+/// is byte-identical at any thread count because every experiment is an
+/// independent pure function of its spec.
+///
+/// Specs must be `'static` (untraced): a tracer is a single mutable
+/// observation stream and cannot be shared across workers.
+pub fn run_batch(specs: Vec<ExperimentSpec<'static>>, posix: &PosixTrace) -> Vec<ExperimentReport> {
+    let plain: Vec<(SystemConfig, NvmKind, nvmtypes::FaultPlan)> = specs
+        .into_iter()
+        .map(|s| (s.config, s.kind, s.plan))
+        .collect();
+    plain
+        .into_par_iter()
+        .map(|(c, k, p)| ExperimentSpec::new(&c, k).faults(p).run(posix))
+        .collect()
+}
+
+/// Runs every `(config, kind)` pair in parallel on the thread pool;
+/// results are in `configs`-major order regardless of thread count.
 pub fn run_sweep(
     configs: &[SystemConfig],
     kinds: &[NvmKind],
     posix: &PosixTrace,
 ) -> Vec<ExperimentReport> {
-    let pairs: Vec<(SystemConfig, NvmKind)> = configs
+    let specs: Vec<ExperimentSpec<'static>> = configs
         .iter()
-        .flat_map(|c| kinds.iter().map(move |&k| (*c, k)))
+        .flat_map(|c| kinds.iter().map(|&k| ExperimentSpec::new(c, k)))
         .collect();
-    pairs
-        .into_par_iter()
-        .map(|(c, k)| run_experiment(&c, k, posix))
-        .collect()
+    run_batch(specs, posix)
 }
 
 /// Looks a report up by label and medium.

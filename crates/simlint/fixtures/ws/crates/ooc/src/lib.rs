@@ -3,6 +3,8 @@
 //   no_panic x1 (unwrap)
 //   let_underscore_result x1 (the send discard); the named `_guard`
 //   binding and the typed `let _: u32` discard must NOT be counted.
+//   thread_spawn x1 (the direct spawn); the scoped `s.spawn` must NOT
+//   be counted.
 // bare_cast / wall_clock rules are out of scope for `ooc`, so the cast
 // and clock below must NOT be counted.
 use std::time::Instant;
@@ -23,4 +25,12 @@ pub fn unscoped_cast(x: u32) -> u64 {
 
 pub fn unscoped_clock() -> Instant {
     Instant::now()
+}
+
+pub fn spawns_directly() {
+    let h = std::thread::spawn(|| {});
+    drop(h);
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
 }

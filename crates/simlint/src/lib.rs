@@ -15,7 +15,10 @@
 //!   silent fall-through;
 //! * **error visibility** — no `let _ =` wildcard discards in non-test
 //!   code: a swallowed `Result` is how an injected fault disappears
-//!   from the reliability report.
+//!   from the reliability report;
+//! * **pool discipline** — no direct `thread::spawn`: parallelism goes
+//!   through the vendored work-sharing pool so `RAYON_NUM_THREADS` and
+//!   the determinism contract apply (docs/PARALLELISM.md).
 //!
 //! Existing violations are enumerated in `simlint.allow` and may only
 //! ratchet down (see [`allow`]). Run via `cargo run -p simlint`; see
@@ -142,7 +145,12 @@ pub fn rules_for(path: &str) -> Vec<Rule> {
     let Some(krate) = source_crate(path) else {
         return Vec::new();
     };
-    let mut rules = vec![Rule::NoPanic, Rule::EnumWildcard, Rule::LetUnderscoreResult];
+    let mut rules = vec![
+        Rule::NoPanic,
+        Rule::EnumWildcard,
+        Rule::LetUnderscoreResult,
+        Rule::ThreadSpawn,
+    ];
     if is_lib_path(path) {
         rules.push(Rule::NoPrintlnInLib);
     }
@@ -201,6 +209,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Located> {
             Rule::EnumWildcard => rules::enum_wildcard(&clean),
             Rule::LetUnderscoreResult => rules::let_underscore_result(&clean),
             Rule::NoPrintlnInLib => rules::no_println_in_lib(&clean),
+            Rule::ThreadSpawn => rules::thread_spawn(&clean),
         };
         out.extend(findings.into_iter().map(|finding| Located {
             path: path.to_string(),

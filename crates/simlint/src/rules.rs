@@ -30,6 +30,10 @@ pub enum Rule {
     /// return or render strings and let the binaries print, so output
     /// stays capturable, testable, and silent under `Tracer::off()`.
     NoPrintlnInLib,
+    /// Direct `thread::spawn` outside the vendored pool: ad-hoc threads
+    /// dodge `RAYON_NUM_THREADS` and the ordered-collect determinism
+    /// contract (docs/PARALLELISM.md). Use `par_iter`/`join` instead.
+    ThreadSpawn,
 }
 
 impl Rule {
@@ -43,6 +47,7 @@ impl Rule {
             Rule::EnumWildcard => "enum_wildcard",
             Rule::LetUnderscoreResult => "let_underscore_result",
             Rule::NoPrintlnInLib => "no_println_in_lib",
+            Rule::ThreadSpawn => "thread_spawn",
         }
     }
 
@@ -56,12 +61,13 @@ impl Rule {
             "enum_wildcard" => Rule::EnumWildcard,
             "let_underscore_result" => Rule::LetUnderscoreResult,
             "no_println_in_lib" => Rule::NoPrintlnInLib,
+            "thread_spawn" => Rule::ThreadSpawn,
             _ => return None,
         })
     }
 
     /// Every rule, in report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NoPanic,
         Rule::NondeterministicCollection,
         Rule::WallClock,
@@ -69,6 +75,7 @@ impl Rule {
         Rule::EnumWildcard,
         Rule::LetUnderscoreResult,
         Rule::NoPrintlnInLib,
+        Rule::ThreadSpawn,
     ];
 }
 
@@ -101,6 +108,11 @@ const WALL_CLOCK_TOKENS: [&str; 4] = ["Instant::now", "SystemTime", "thread_rng"
 /// left-boundary check in [`token_rule`] keeps `eprintln!(` from also
 /// counting as `println!(`.
 const PRINTLN_TOKENS: [&str; 2] = ["println!(", "eprintln!("];
+
+/// Ad-hoc threading flagged by [`Rule::ThreadSpawn`]. `scope.spawn` and
+/// the pool's own workers live in `vendor/` (out of scope); everything
+/// else routes through `par_iter`/`join`.
+const SPAWN_TOKENS: [&str; 1] = ["thread::spawn("];
 
 /// Numeric types whose bare `as` casts are flagged by [`Rule::BareCast`].
 const CAST_TARGETS: [&str; 9] = [
@@ -145,6 +157,16 @@ pub fn no_println_in_lib(file: &CleanFile) -> Vec<Finding> {
             "`{}` in library code; return or render a `String` and let the binary print it",
             tok.trim_end_matches('(')
         )
+    })
+}
+
+/// Runs the thread-spawn rule over non-test lines.
+pub fn thread_spawn(file: &CleanFile) -> Vec<Finding> {
+    token_rule(file, Rule::ThreadSpawn, &SPAWN_TOKENS, |_| {
+        "direct `thread::spawn` bypasses the vendored work-sharing pool; use \
+         `rayon::par_iter`/`join` so `RAYON_NUM_THREADS` and the ordered-collect \
+         determinism contract apply (docs/PARALLELISM.md)"
+            .to_string()
     })
 }
 
@@ -509,6 +531,17 @@ mod tests {
         assert_eq!(hits.len(), 2, "eprintln must not double-count as println");
         assert!(hits[0].message.contains("`println!`"));
         assert!(hits[1].message.contains("`eprintln!`"));
+    }
+
+    #[test]
+    fn spawn_rule_sees_direct_spawns_only() {
+        let src = "fn f() { std::thread::spawn(|| {}); scope.spawn(|| {}); }\n\
+                   // thread::spawn(..)\n\
+                   #[cfg(test)]\nmod t {\n fn g() { std::thread::spawn(|| {}); }\n}\n";
+        let f = clean_source(src);
+        let hits = thread_spawn(&f);
+        assert_eq!(hits.len(), 1, "scoped spawns, comments and tests exempt");
+        assert_eq!(hits[0].line, 1);
     }
 
     #[test]

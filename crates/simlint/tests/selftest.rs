@@ -25,6 +25,10 @@ use std::process::Command;
 const SEED_NO_PANIC: usize = 86;
 /// Seed-baseline `bare_cast` count; ditto.
 const SEED_BARE_CAST: usize = 256;
+/// `thread_spawn` budget when the rule landed: the four legacy spawn
+/// sites in `ooc::dooc` (filter x2, sched, pool). May only burn down
+/// as those migrate onto the vendored pool.
+const SEED_THREAD_SPAWN: usize = 4;
 
 fn fixture_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
@@ -110,6 +114,14 @@ fn fixture_corpus_triggers_every_rule_exactly() {
             .get(&(Rule::LetUnderscoreResult, "crates/ooc/src/lib.rs".into())),
         Some(&1)
     );
+    // Pool discipline (ooc fixture): the direct spawn only — the scoped
+    // `s.spawn` must not be counted.
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::ThreadSpawn, "crates/ooc/src/lib.rs".into())),
+        Some(&1)
+    );
     // Out-of-scope rules must not fire in ooc (cast + clock present there).
     assert_eq!(
         report
@@ -145,7 +157,7 @@ fn fixture_corpus_fails_the_gate() {
     assert!(!verdict.ok());
     assert_eq!(
         verdict.violations.len(),
-        9,
+        10,
         "one violation per (rule, file)"
     );
     assert!(verdict.stale.is_empty() && verdict.forbidden.is_empty());
@@ -250,6 +262,12 @@ fn allowlist_totals_stay_below_seed_baselines() {
     // Library printing was burned down when the rule landed (banners
     // render strings now): zero budget from day one.
     assert_eq!(allow.total(Rule::NoPrintlnInLib), 0);
+    // Pool discipline: only the legacy spawn sites, burning down.
+    let spawns = allow.total(Rule::ThreadSpawn);
+    assert!(
+        spawns <= SEED_THREAD_SPAWN,
+        "thread_spawn allowance {spawns} must stay at or below the {SEED_THREAD_SPAWN} legacy sites"
+    );
 }
 
 #[test]

@@ -22,6 +22,11 @@
 #                       identical, and the latency attribution must sum
 #                       exactly (docs/OBSERVABILITY.md; skipped with
 #                       --fast)
+#   8. thread sweep   — headline/reliability/obsreport JSON exports at
+#                       RAYON_NUM_THREADS=1 and =8 must be byte-
+#                       identical: the thread count is invisible in
+#                       every output (docs/PARALLELISM.md; skipped
+#                       with --fast)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -63,6 +68,30 @@ if [ "$fast" -eq 0 ]; then
 
     step "obsreport --smoke (observer-effect freedom + trace export)"
     cargo run --release --quiet --bin obsreport -- --smoke --out target/obs_smoke.trace.json
+
+    step "thread sweep (JSON byte-identical at 1 vs 8 threads)"
+    for n in 1 8; do
+        RAYON_NUM_THREADS=$n OOCNVM_TRACE_MIB=8 \
+            cargo run --release --quiet -p oocnvm-bench --bin headline -- \
+            --json "target/headline.t$n.json" > /dev/null
+        RAYON_NUM_THREADS=$n \
+            cargo run --release --quiet --bin reliability -- --smoke \
+            --json "target/reliability.t$n.json" > /dev/null
+        RAYON_NUM_THREADS=$n \
+            cargo run --release --quiet --bin obsreport -- --smoke \
+            --out "target/obsreport.t$n.trace.json" \
+            --json "target/obsreport.t$n.json" > /dev/null
+    done
+    for doc in headline reliability obsreport; do
+        cmp "target/$doc.t1.json" "target/$doc.t8.json" || {
+            echo "check.sh: $doc JSON differs between 1 and 8 threads" >&2
+            exit 1
+        }
+    done
+    cmp target/obsreport.t1.trace.json target/obsreport.t8.trace.json || {
+        echo "check.sh: obsreport trace JSON differs between 1 and 8 threads" >&2
+        exit 1
+    }
 fi
 
 echo

@@ -1,7 +1,7 @@
 //! `obsreport` — deterministic observability report for one experiment.
 //!
 //! ```text
-//! cargo run --release --bin obsreport [-- --smoke] [--seed N] [--out PATH]
+//! cargo run --release --bin obsreport [-- --smoke] [--seed N] [--out PATH] [--json PATH]
 //! ```
 //!
 //! Runs the paper's CNL-UFS configuration (TLC media) under the `light`
@@ -18,22 +18,14 @@
 //!    byte-identical to an untraced run, and a second traced run
 //!    produces byte-identical trace JSON.
 //!
-//! Exit status is non-zero if any of those checks fail, which is what
-//! `scripts/check.sh` leans on.
+//! `--json <path>` additionally writes a versioned summary
+//! (`oocnvm.obsreport/1`) of the checks. Exit status is non-zero if any
+//! check fails, which is what `scripts/check.sh` leans on.
+//!
+//! The study itself lives in [`oocnvm::obsreport`].
 
-use nvmtypes::{FaultPlan, NvmKind, MIB};
-use oocnvm::core::config::SystemConfig;
-use oocnvm::core::experiment::{run_experiment_observed, run_experiment_with_faults};
-use oocnvm::core::workload::synthetic_ooc_trace;
-use oocnvm::ooc::lobpcg::{Lobpcg, LobpcgOptions};
-use oocnvm::ooc::HamiltonianSpec;
-use oocnvm::simobs::json::{parse, Json};
-use oocnvm::simobs::{chrome_trace, rollup, Tracer};
+use oocnvm::obsreport::report;
 use std::process::ExitCode;
-
-/// Event capacity of the bounded ring sink; overflow is counted, not
-/// silently lost, and surfaces in the export header.
-const RING_CAPACITY: usize = 65_536;
 
 fn flag_value(args: &[String], key: &str) -> Option<u64> {
     args.iter()
@@ -49,38 +41,8 @@ fn flag_str(args: &[String], key: &str) -> Option<String> {
         .cloned()
 }
 
-/// One traced experiment + solver pass; returns the rendered device
-/// report and the exported trace JSON.
-fn traced_pass(seed: u64, trace_mib: u64, solver_dim: usize) -> (String, String, String, String) {
-    let trace = synthetic_ooc_trace(trace_mib * MIB, MIB, seed);
-    let mut obs = Tracer::ring(RING_CAPACITY);
-    let report = run_experiment_observed(
-        &SystemConfig::cnl_ufs(),
-        NvmKind::Tlc,
-        &trace,
-        FaultPlan::light(seed),
-        &mut obs,
-    );
-
-    // A small in-core LOBPCG solve rides on the solver lane: iterations
-    // tick a logical microsecond clock (docs/OBSERVABILITY.md).
-    let h = HamiltonianSpec::medium(solver_dim).generate();
-    let _solved = Lobpcg::new(LobpcgOptions {
-        block_size: 4,
-        max_iters: 60,
-        tol: 1e-6,
-        seed,
-        precondition: true,
-    })
-    .solve_observed(&h, &mut obs);
-
-    let log = obs.finish();
-    (
-        format!("{:?}", report.run),
-        chrome_trace(&log),
-        rollup(&log),
-        report.run.attribution.table(),
-    )
+fn check(label: &str, ok: bool) {
+    println!("{label}: {}", if ok { "OK" } else { "FAIL" });
 }
 
 fn main() -> ExitCode {
@@ -89,69 +51,34 @@ fn main() -> ExitCode {
     let seed = flag_value(&args, "--seed").unwrap_or(42);
     let out_path =
         flag_str(&args, "--out").unwrap_or_else(|| "target/obsreport.trace.json".to_string());
+    let json_path = flag_str(&args, "--json");
     let (trace_mib, solver_dim) = if smoke { (4, 120) } else { (32, 240) };
 
     println!("== obsreport: CNL-UFS / TLC, {trace_mib} MiB, light faults, seed {seed} ==");
-    let (rendered, trace_json, flame, attrib) = traced_pass(seed, trace_mib, solver_dim);
+    let study = report(seed, trace_mib, solver_dim);
+    let mut ok = study.all_ok();
 
-    let mut ok = true;
-
-    // Observer effect must be zero: the same run without a tracer renders
-    // the identical report, byte for byte.
-    let untraced = {
-        let trace = synthetic_ooc_trace(trace_mib * MIB, MIB, seed);
-        let rep = run_experiment_with_faults(
-            &SystemConfig::cnl_ufs(),
-            NvmKind::Tlc,
-            &trace,
-            FaultPlan::light(seed),
-        );
-        format!("{:?}", rep.run)
-    };
-    let observer_free = untraced == rendered;
-    println!(
-        "tracing leaves the simulation result untouched: {}",
-        if observer_free { "OK" } else { "FAIL" }
+    check(
+        "tracing leaves the simulation result untouched",
+        study.observer_free,
     );
-    ok &= observer_free;
-
-    // Same seed, same trace bytes.
-    let (_, trace_json2, _, _) = traced_pass(seed, trace_mib, solver_dim);
-    let replay_identical = trace_json == trace_json2;
-    println!(
-        "same-seed re-run exports byte-identical trace JSON: {}",
-        if replay_identical { "OK" } else { "FAIL" }
+    check(
+        "same-seed re-run exports byte-identical trace JSON",
+        study.replay_identical,
     );
-    ok &= replay_identical;
-
-    // The export must parse with our own reader and carry the header.
-    match parse(&trace_json) {
-        Ok(doc) => {
-            let format_tag = doc.get("otherData").and_then(|o| o.get("format")).cloned();
-            let tagged = format_tag == Some(Json::str(oocnvm::simobs::export::TRACE_FORMAT));
-            println!(
-                "exported JSON parses and is format-tagged: {}",
-                if tagged { "OK" } else { "FAIL" }
-            );
-            ok &= tagged;
-        }
-        Err(e) => {
-            println!("exported JSON parses: FAIL ({e})");
-            ok = false;
-        }
-    }
-
-    let exact = attrib.contains("components sum to total exactly: OK");
-    println!(
-        "latency attribution components sum to the measured total: {}",
-        if exact { "OK" } else { "FAIL" }
+    check(
+        "exported JSON parses and is format-tagged",
+        study.parsed_and_tagged,
     );
-    ok &= exact;
+    check(
+        "latency attribution components sum to the measured total",
+        study.attribution_exact,
+    );
 
-    match std::fs::write(&out_path, &trace_json) {
+    match std::fs::write(&out_path, &study.pass.trace_json) {
         Ok(()) => println!(
             "trace written to {out_path} ({} bytes) — open in https://ui.perfetto.dev",
-            trace_json.len()
+            study.pass.trace_json.len()
         ),
         Err(e) => {
             println!("trace write to {out_path} failed: {e}");
@@ -159,10 +86,20 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = json_path {
+        match std::fs::write(&path, &study.json) {
+            Ok(()) => println!("summary json written to {path}"),
+            Err(e) => {
+                println!("summary json write to {path} failed: {e}");
+                ok = false;
+            }
+        }
+    }
+
     println!();
-    print!("{flame}");
+    print!("{}", study.pass.flame);
     println!();
-    print!("{attrib}");
+    print!("{}", study.pass.attrib);
 
     if ok {
         ExitCode::SUCCESS

@@ -6,230 +6,19 @@
 //! ```
 //!
 //! Sweeps the built-in fault-plan presets (`none`, `light`, `moderate`,
-//! `heavy`) over the ION-GPFS and CNL-UFS configurations, runs a LOBPCG
-//! solve with node kills and checkpoint/restart, prints the degraded-mode
-//! cluster curve, and finally re-runs the whole study with the same seed
-//! to prove the output is byte-identical (the determinism contract of
-//! docs/FAULT_MODEL.md). `--smoke` shrinks the workload for CI;
+//! `heavy`) over the ION-GPFS and CNL-UFS configurations in one parallel
+//! batch, runs a LOBPCG solve with node kills and checkpoint/restart,
+//! prints the degraded-mode cluster curve, and finally re-runs the whole
+//! study with the same seed to prove the output is byte-identical (the
+//! determinism contract of docs/FAULT_MODEL.md and
+//! docs/PARALLELISM.md). `--smoke` shrinks the workload for CI;
 //! `--json <path>` also writes the study in a stable versioned schema
 //! (`oocnvm.reliability/1`), covered by the same byte-identity check.
+//!
+//! The study itself lives in [`oocnvm::reliability`].
 
-use nvmtypes::fault::{NodeFaultProfile, STREAM_NODE};
-use nvmtypes::{approx_f64, FaultPlan, NvmKind, MIB};
-use oocnvm::core::cluster::{degraded_curve, ClusterSpec, NodeRates};
-use oocnvm::core::config::SystemConfig;
-use oocnvm::core::experiment::run_experiment_with_faults;
-use oocnvm::core::format::Table;
-use oocnvm::core::workload::synthetic_ooc_trace;
-use oocnvm::ooc::checkpoint::solve_with_recovery;
-use oocnvm::ooc::lobpcg::{Lobpcg, LobpcgOptions};
-use oocnvm::ooc::HamiltonianSpec;
-use oocnvm::simobs::json::Json;
+use oocnvm::reliability::render_report;
 use std::process::ExitCode;
-
-/// The four presets of the sweep (≥ 3 non-zero settings per the
-/// acceptance bar, plus the all-zero control).
-fn plans(seed: u64) -> [(&'static str, FaultPlan); 4] {
-    [
-        ("none", FaultPlan::none()),
-        ("light", FaultPlan::light(seed)),
-        ("moderate", FaultPlan::moderate(seed)),
-        ("heavy", FaultPlan::heavy(seed)),
-    ]
-}
-
-/// Appends one report line (plain `String` building: nothing to unwrap,
-/// nothing for `let _ =` to discard).
-fn line(out: &mut String, s: &str) {
-    out.push_str(s);
-    out.push('\n');
-}
-
-/// Renders the whole study into a string plus a machine-readable JSON
-/// tree (`oocnvm.reliability/1`), so the caller can compare two runs
-/// byte-for-byte in both forms.
-fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> (String, Json) {
-    let mut out = String::new();
-    let mut sweep_rows = Vec::new();
-    let trace = synthetic_ooc_trace(trace_mib * MIB, MIB, seed);
-    let ion = SystemConfig::ion_gpfs();
-    let cnl = SystemConfig::cnl_ufs();
-
-    line(
-        &mut out,
-        &format!("== fault sweep: ION-GPFS vs CNL-UFS, TLC, {trace_mib} MiB, seed {seed} =="),
-    );
-    let mut t = Table::new([
-        "plan",
-        "ION MB/s",
-        "CNL MB/s",
-        "CNL/ION",
-        "ecc retries",
-        "crc errs",
-        "bad blks",
-        "recov ms",
-    ]);
-    let mut zero_fault_ok = true;
-    for (name, plan) in plans(seed) {
-        let ir = run_experiment_with_faults(&ion, NvmKind::Tlc, &trace, plan);
-        let cr = run_experiment_with_faults(&cnl, NvmKind::Tlc, &trace, plan);
-        if plan.is_none() {
-            // The zero-rate plan must reproduce the fault-free driver
-            // exactly — not just close: byte-identical reports.
-            let base_i = oocnvm::core::experiment::run_experiment(&ion, NvmKind::Tlc, &trace);
-            let base_c = oocnvm::core::experiment::run_experiment(&cnl, NvmKind::Tlc, &trace);
-            zero_fault_ok = format!("{:?}", ir.run) == format!("{:?}", base_i.run)
-                && format!("{:?}", cr.run) == format!("{:?}", base_c.run);
-        }
-        let rel = cr.run.reliability;
-        sweep_rows.push(
-            Json::obj()
-                .field("plan", Json::str(name))
-                .field("ion_mb_s", Json::f64_3(ir.bandwidth_mb_s))
-                .field("cnl_mb_s", Json::f64_3(cr.bandwidth_mb_s))
-                .field("ecc_retries", Json::u64(rel.ecc_retries))
-                .field(
-                    "crc_errors",
-                    Json::u64(rel.link.crc_errors + ir.run.reliability.link.crc_errors),
-                )
-                .field("bad_blocks_remapped", Json::u64(rel.bad_blocks_remapped))
-                .field("total_recovery_ns", Json::u64(rel.total_recovery_ns())),
-        );
-        t.row([
-            name.to_string(),
-            format!("{:.1}", ir.bandwidth_mb_s),
-            format!("{:.1}", cr.bandwidth_mb_s),
-            format!("{:.2}x", cr.bandwidth_mb_s / ir.bandwidth_mb_s),
-            format!("{}", rel.ecc_retries),
-            format!(
-                "{}",
-                rel.link.crc_errors + ir.run.reliability.link.crc_errors
-            ),
-            format!("{}", rel.bad_blocks_remapped),
-            format!("{:.3}", approx_f64(rel.total_recovery_ns()) / 1e6),
-        ]);
-    }
-    out.push_str(&t.render());
-    line(
-        &mut out,
-        &format!(
-            "zero-fault plan reproduces the fault-free driver byte-identically: {}",
-            if zero_fault_ok { "OK" } else { "FAIL" }
-        ),
-    );
-
-    out.push('\n');
-    line(
-        &mut out,
-        &format!("== node kills mid-LOBPCG (dim {solver_dim}, checkpoint to local NVM) =="),
-    );
-    let h = HamiltonianSpec::medium(solver_dim).generate();
-    let solver = Lobpcg::new(LobpcgOptions {
-        block_size: 4,
-        max_iters: 400,
-        tol: 1e-7,
-        seed,
-        precondition: true,
-    });
-    let plain = solver.solve(&h);
-    let profile = NodeFaultProfile {
-        crash_prob_per_iter: 0.08,
-        checkpoint_every: 5,
-        restart_penalty_ns: 2_000_000_000,
-        max_crashes: 8,
-    };
-    let mut rng = FaultPlan {
-        seed,
-        ..FaultPlan::none()
-    }
-    .rng()
-    .split(STREAM_NODE);
-    let rec = solve_with_recovery(&solver, &h, &profile, &mut rng);
-    let drift = rec
-        .result
-        .eigenvalues
-        .iter()
-        .zip(&plain.eigenvalues)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0_f64, f64::max);
-    line(
-        &mut out,
-        &format!(
-            "fault-free solve:  {} iters, converged: {}",
-            plain.iterations, plain.converged
-        ),
-    );
-    line(&mut out, &format!(
-        "with node kills:   {} iters, converged: {}, {} node losses, {} checkpoints ({} KiB), {} iters replayed",
-        rec.result.iterations,
-        rec.result.converged,
-        rec.recovery.node_losses,
-        rec.recovery.checkpoints,
-        rec.recovery.checkpoint_bytes >> 10,
-        rec.recovery.iterations_replayed
-    ));
-    line(&mut out, &format!(
-        "recovery overhead: {:.1} ms restarts + {:.3} ms checkpoint writes; max eigenvalue drift {drift:.2e}",
-        approx_f64(rec.recovery.restart_ns) / 1e6,
-        approx_f64(rec.recovery.checkpoint_ns) / 1e6
-    ));
-    let solver_json = Json::obj()
-        .field("dim", Json::u64(nvmtypes::u64_from_usize(solver_dim)))
-        .field(
-            "fault_free_iters",
-            Json::u64(nvmtypes::u64_from_usize(plain.iterations)),
-        )
-        .field("fault_free_converged", Json::Bool(plain.converged))
-        .field(
-            "recovered_iters",
-            Json::u64(nvmtypes::u64_from_usize(rec.result.iterations)),
-        )
-        .field("recovered_converged", Json::Bool(rec.result.converged))
-        .field("node_losses", Json::u64(rec.recovery.node_losses))
-        .field("checkpoints", Json::u64(rec.recovery.checkpoints))
-        .field("checkpoint_bytes", Json::u64(rec.recovery.checkpoint_bytes))
-        .field(
-            "iterations_replayed",
-            Json::u64(rec.recovery.iterations_replayed),
-        )
-        .field("restart_ns", Json::u64(rec.recovery.restart_ns))
-        .field("checkpoint_ns", Json::u64(rec.recovery.checkpoint_ns))
-        .field("max_eigenvalue_drift", Json::Num(format!("{drift:.2e}")));
-
-    out.push('\n');
-    line(
-        &mut out,
-        &format!("== degraded mode: CNL nodes falling back to the ION path (40 nodes) =="),
-    );
-    let rates = NodeRates::measure(NvmKind::Tlc, &trace);
-    let spec = ClusterSpec::carver();
-    let mut t = Table::new(["failed SSDs", "aggregate MB/s", "retained"]);
-    let mut degraded_rows = Vec::new();
-    for p in degraded_curve(&spec, &rates, 40, &[0, 1, 4, 10, 40]) {
-        degraded_rows.push(
-            Json::obj()
-                .field("failed_local", Json::u64(u64::from(p.failed_local)))
-                .field("degraded_mb_s", Json::f64_3(p.degraded_mb_s))
-                .field("retained_pct", Json::f64_3(p.retained() * 100.0)),
-        );
-        t.row([
-            format!("{}", p.failed_local),
-            format!("{:.0}", p.degraded_mb_s),
-            format!("{:.1}%", p.retained() * 100.0),
-        ]);
-    }
-    out.push_str(&t.render());
-
-    let doc = Json::obj()
-        .field("format", Json::str("oocnvm.reliability/1"))
-        .field("seed", Json::u64(seed))
-        .field("trace_mib", Json::u64(trace_mib))
-        .field("zero_fault_identical", Json::Bool(zero_fault_ok))
-        .field("fault_sweep", Json::Arr(sweep_rows))
-        .field("solver_recovery", solver_json)
-        .field("degraded_curve", Json::Arr(degraded_rows));
-    (out, doc)
-}
 
 fn flag_value(args: &[String], key: &str) -> Option<u64> {
     args.iter()
@@ -249,14 +38,14 @@ fn main() -> ExitCode {
         .cloned();
     let (trace_mib, solver_dim) = if smoke { (4, 120) } else { (16, 600) };
 
-    let (report, doc) = render_report(seed, trace_mib, solver_dim);
-    print!("{report}");
+    let report = render_report(seed, trace_mib, solver_dim);
+    print!("{}", report.text);
 
     // The determinism contract: the identical seed must reproduce the
     // identical study, byte for byte, in the same process — the text
     // report and the JSON document both.
-    let (again, doc_again) = render_report(seed, trace_mib, solver_dim);
-    let deterministic = report == again && doc.render() == doc_again.render();
+    let again = render_report(seed, trace_mib, solver_dim);
+    let deterministic = report.text == again.text && report.json == again.json;
     println!();
     println!(
         "same-seed re-run is byte-identical: {}",
@@ -264,7 +53,7 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = json_path {
-        match std::fs::write(&path, doc.render()) {
+        match std::fs::write(&path, &report.json) {
             Ok(()) => println!("json written to {path}"),
             Err(e) => {
                 println!("json write to {path} failed: {e}");
@@ -273,7 +62,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if !deterministic || report.contains("FAIL") {
+    if !deterministic || report.text.contains("FAIL") {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -46,16 +46,22 @@ pub use interconnect;
 pub use nvmtypes;
 pub use ooc;
 pub use oocfs;
+pub use oocnvm_bench as bench;
 pub use oocnvm_core as core;
 pub use ooctrace;
 pub use simobs;
 pub use ssd;
 
+pub mod obsreport;
+pub mod reliability;
+
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
     pub use nvmtypes::{HostRequest, IoOp, MediaTiming, NvmKind, SsdGeometry, GIB, KIB, MIB};
     pub use oocnvm_core::config::SystemConfig;
-    pub use oocnvm_core::experiment::{run_experiment, run_experiment_observed, ExperimentReport};
+    pub use oocnvm_core::experiment::{
+        run_experiment, run_experiment_observed, ExperimentReport, ExperimentSpec,
+    };
     pub use oocnvm_core::workload::synthetic_ooc_trace;
     pub use ooctrace::{PosixTrace, TraceRecord};
     pub use simobs::{chrome_trace, rollup, LatencyAttribution, Layer, Tracer};

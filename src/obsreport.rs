@@ -1,0 +1,153 @@
+//! The deterministic observability study behind the `obsreport` bin:
+//! one traced CNL-UFS/TLC experiment plus a solver pass, its Chrome
+//! trace-event export, and the self-checks proving the observer effect
+//! is zero.
+//!
+//! Lives in the library (not the bin) so `tests/determinism.rs` can pin
+//! the rendered report and trace JSON byte-identical at every thread
+//! count. Tracing itself is single-threaded by construction — a
+//! [`simobs::Tracer`] is one mutable observation stream — but the
+//! untraced comparison run and everything downstream of the tracer ride
+//! the same pool as the rest of the workspace.
+
+use nvmtypes::{FaultPlan, NvmKind, MIB};
+use ooc::lobpcg::{Lobpcg, LobpcgOptions};
+use ooc::HamiltonianSpec;
+use oocnvm_bench::json_report;
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::ExperimentSpec;
+use oocnvm_core::workload::synthetic_ooc_trace;
+use simobs::json::{parse, Json};
+use simobs::{chrome_trace, rollup, Tracer};
+
+/// Schema tag of the obsreport summary JSON document.
+pub const SCHEMA: &str = "oocnvm.obsreport/1";
+
+/// Event capacity of the bounded ring sink; overflow is counted, not
+/// silently lost, and surfaces in the export header.
+pub const RING_CAPACITY: usize = 65_536;
+
+/// One traced experiment + solver pass.
+#[derive(Debug, Clone)]
+pub struct TracedPass {
+    /// `{:?}` rendering of the device run report.
+    pub rendered: String,
+    /// Chrome trace-event JSON export of the collected events.
+    pub trace_json: String,
+    /// Text flamegraph rollup.
+    pub flame: String,
+    /// Per-layer latency attribution table.
+    pub attrib: String,
+}
+
+/// Runs the traced experiment (CNL-UFS, TLC, `light` faults) and the
+/// small LOBPCG solve on the solver lane of the same tracer.
+pub fn traced_pass(seed: u64, trace_mib: u64, solver_dim: usize) -> TracedPass {
+    let trace = synthetic_ooc_trace(trace_mib * MIB, MIB, seed);
+    let mut obs = Tracer::ring(RING_CAPACITY);
+    let report = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc)
+        .faults(FaultPlan::light(seed))
+        .tracer(&mut obs)
+        .run(&trace);
+
+    // A small in-core LOBPCG solve rides on the solver lane: iterations
+    // tick a logical microsecond clock (docs/OBSERVABILITY.md).
+    let h = HamiltonianSpec::medium(solver_dim).generate();
+    let _solved = Lobpcg::new(LobpcgOptions {
+        block_size: 4,
+        max_iters: 60,
+        tol: 1e-6,
+        seed,
+        precondition: true,
+    })
+    .solve_observed(&h, &mut obs);
+
+    let log = obs.finish();
+    TracedPass {
+        rendered: format!("{:?}", report.run),
+        trace_json: chrome_trace(&log),
+        flame: rollup(&log),
+        attrib: report.run.attribution.table(),
+    }
+}
+
+/// The same experiment with no tracer attached, rendered the same way —
+/// the observer-freedom reference.
+pub fn untraced_render(seed: u64, trace_mib: u64) -> String {
+    let trace = synthetic_ooc_trace(trace_mib * MIB, MIB, seed);
+    let rep = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc)
+        .faults(FaultPlan::light(seed))
+        .run(&trace);
+    format!("{:?}", rep.run)
+}
+
+/// The full obsreport study: traced pass, untraced comparison, replay
+/// identity, export validation, and the versioned summary document.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// First traced pass (the bin prints its flame/attrib and writes its
+    /// trace JSON).
+    pub pass: TracedPass,
+    /// Tracing left the simulation result untouched.
+    pub observer_free: bool,
+    /// A same-seed re-run exported byte-identical trace JSON.
+    pub replay_identical: bool,
+    /// The export parses with our own reader and carries the format tag.
+    pub parsed_and_tagged: bool,
+    /// Attribution components sum to the measured total exactly.
+    pub attribution_exact: bool,
+    /// The [`SCHEMA`] summary document, via [`oocnvm_bench::json_report`].
+    pub json: String,
+}
+
+impl ObsReport {
+    /// All self-checks passed.
+    pub fn all_ok(&self) -> bool {
+        self.observer_free
+            && self.replay_identical
+            && self.parsed_and_tagged
+            && self.attribution_exact
+    }
+}
+
+/// Runs the study twice (replay identity) plus the untraced reference.
+pub fn report(seed: u64, trace_mib: u64, solver_dim: usize) -> ObsReport {
+    let pass = traced_pass(seed, trace_mib, solver_dim);
+    let observer_free = untraced_render(seed, trace_mib) == pass.rendered;
+    let replay_identical = traced_pass(seed, trace_mib, solver_dim).trace_json == pass.trace_json;
+    let parsed_and_tagged = match parse(&pass.trace_json) {
+        Ok(doc) => {
+            doc.get("otherData").and_then(|o| o.get("format")).cloned()
+                == Some(Json::str(simobs::export::TRACE_FORMAT))
+        }
+        Err(_) => false,
+    };
+    let attribution_exact = pass.attrib.contains("components sum to total exactly: OK");
+    let payload = Json::obj()
+        .field("seed", Json::u64(seed))
+        .field("trace_mib", Json::u64(trace_mib))
+        .field(
+            "solver_dim",
+            Json::u64(nvmtypes::u64_from_usize(solver_dim)),
+        )
+        .field(
+            "trace_bytes",
+            Json::u64(nvmtypes::u64_from_usize(pass.trace_json.len())),
+        )
+        .field(
+            "checks",
+            Json::obj()
+                .field("observer_free", Json::Bool(observer_free))
+                .field("replay_identical", Json::Bool(replay_identical))
+                .field("parsed_and_tagged", Json::Bool(parsed_and_tagged))
+                .field("attribution_exact", Json::Bool(attribution_exact)),
+        );
+    ObsReport {
+        pass,
+        observer_free,
+        replay_identical,
+        parsed_and_tagged,
+        attribution_exact,
+        json: json_report(SCHEMA, payload),
+    }
+}

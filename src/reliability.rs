@@ -1,0 +1,254 @@
+//! The fault-injection study behind the `reliability` bin: what do
+//! media, link and node faults cost the ION-remote and compute-local
+//! paths?
+//!
+//! Lives in the library (not the bin) so `tests/determinism.rs` can pin
+//! the rendered study byte-identical at every thread count: the
+//! plan × config fan-out runs through
+//! [`oocnvm_core::experiment::run_batch`] on the thread pool, and the
+//! batch API returns reports in input order regardless of
+//! `RAYON_NUM_THREADS`.
+
+use nvmtypes::fault::{NodeFaultProfile, STREAM_NODE};
+use nvmtypes::{approx_f64, FaultPlan, NvmKind, MIB};
+use ooc::checkpoint::solve_with_recovery;
+use ooc::lobpcg::{Lobpcg, LobpcgOptions};
+use ooc::HamiltonianSpec;
+use oocnvm_bench::json_report;
+use oocnvm_core::cluster::{degraded_curve, ClusterSpec, NodeRates};
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::{run_batch, ExperimentSpec};
+use oocnvm_core::format::Table;
+use oocnvm_core::workload::synthetic_ooc_trace;
+use simobs::json::Json;
+
+/// Schema tag of the reliability JSON document.
+pub const SCHEMA: &str = "oocnvm.reliability/1";
+
+/// The four presets of the sweep (≥ 3 non-zero settings per the
+/// acceptance bar, plus the all-zero control).
+pub fn plans(seed: u64) -> [(&'static str, FaultPlan); 4] {
+    [
+        ("none", FaultPlan::none()),
+        ("light", FaultPlan::light(seed)),
+        ("moderate", FaultPlan::moderate(seed)),
+        ("heavy", FaultPlan::heavy(seed)),
+    ]
+}
+
+/// Appends one report line (plain `String` building: nothing to unwrap,
+/// nothing for `let _ =` to discard).
+fn line(out: &mut String, s: &str) {
+    out.push_str(s);
+    out.push('\n');
+}
+
+/// The rendered fault-injection study.
+#[derive(Debug, Clone)]
+pub struct ReliabilityReport {
+    /// Human-readable study (the bin prints it verbatim).
+    pub text: String,
+    /// The [`SCHEMA`] JSON document, via [`oocnvm_bench::json_report`].
+    pub json: String,
+}
+
+/// Renders the whole study — text and JSON — so callers can compare two
+/// runs byte-for-byte in both forms.
+pub fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> ReliabilityReport {
+    let mut out = String::new();
+    let mut sweep_rows = Vec::new();
+    let trace = synthetic_ooc_trace(trace_mib * MIB, MIB, seed);
+    let ion = SystemConfig::ion_gpfs();
+    let cnl = SystemConfig::cnl_ufs();
+
+    line(
+        &mut out,
+        &format!("== fault sweep: ION-GPFS vs CNL-UFS, TLC, {trace_mib} MiB, seed {seed} =="),
+    );
+    let mut t = Table::new([
+        "plan",
+        "ION MB/s",
+        "CNL MB/s",
+        "CNL/ION",
+        "ecc retries",
+        "crc errs",
+        "bad blks",
+        "recov ms",
+    ]);
+
+    // One parallel batch covers the whole plan × config fan-out plus the
+    // two fault-free baselines for the zero-plan identity check; reports
+    // come back in spec order.
+    let plan_list = plans(seed);
+    let mut specs = Vec::new();
+    for (_, plan) in plan_list {
+        specs.push(ExperimentSpec::new(&ion, NvmKind::Tlc).faults(plan));
+        specs.push(ExperimentSpec::new(&cnl, NvmKind::Tlc).faults(plan));
+    }
+    specs.push(ExperimentSpec::new(&ion, NvmKind::Tlc));
+    specs.push(ExperimentSpec::new(&cnl, NvmKind::Tlc));
+    let reports = run_batch(specs, &trace);
+
+    let mut zero_fault_ok = true;
+    for (i, (name, plan)) in plan_list.iter().enumerate() {
+        let ir = &reports[2 * i];
+        let cr = &reports[2 * i + 1];
+        if plan.is_none() {
+            // The zero-rate plan must reproduce the fault-free driver
+            // exactly — not just close: byte-identical reports.
+            let base_i = &reports[2 * plan_list.len()];
+            let base_c = &reports[2 * plan_list.len() + 1];
+            zero_fault_ok = format!("{:?}", ir.run) == format!("{:?}", base_i.run)
+                && format!("{:?}", cr.run) == format!("{:?}", base_c.run);
+        }
+        let rel = &cr.run.reliability;
+        sweep_rows.push(
+            Json::obj()
+                .field("plan", Json::str(name))
+                .field("ion_mb_s", Json::f64_3(ir.bandwidth_mb_s))
+                .field("cnl_mb_s", Json::f64_3(cr.bandwidth_mb_s))
+                .field("ecc_retries", Json::u64(rel.ecc_retries))
+                .field(
+                    "crc_errors",
+                    Json::u64(rel.link.crc_errors + ir.run.reliability.link.crc_errors),
+                )
+                .field("bad_blocks_remapped", Json::u64(rel.bad_blocks_remapped))
+                .field("total_recovery_ns", Json::u64(rel.total_recovery_ns())),
+        );
+        t.row([
+            name.to_string(),
+            format!("{:.1}", ir.bandwidth_mb_s),
+            format!("{:.1}", cr.bandwidth_mb_s),
+            format!("{:.2}x", cr.bandwidth_mb_s / ir.bandwidth_mb_s),
+            format!("{}", rel.ecc_retries),
+            format!(
+                "{}",
+                rel.link.crc_errors + ir.run.reliability.link.crc_errors
+            ),
+            format!("{}", rel.bad_blocks_remapped),
+            format!("{:.3}", approx_f64(rel.total_recovery_ns()) / 1e6),
+        ]);
+    }
+    out.push_str(&t.render());
+    line(
+        &mut out,
+        &format!(
+            "zero-fault plan reproduces the fault-free driver byte-identically: {}",
+            if zero_fault_ok { "OK" } else { "FAIL" }
+        ),
+    );
+
+    out.push('\n');
+    line(
+        &mut out,
+        &format!("== node kills mid-LOBPCG (dim {solver_dim}, checkpoint to local NVM) =="),
+    );
+    let h = HamiltonianSpec::medium(solver_dim).generate();
+    let solver = Lobpcg::new(LobpcgOptions {
+        block_size: 4,
+        max_iters: 400,
+        tol: 1e-7,
+        seed,
+        precondition: true,
+    });
+    let plain = solver.solve(&h);
+    let profile = NodeFaultProfile {
+        crash_prob_per_iter: 0.08,
+        checkpoint_every: 5,
+        restart_penalty_ns: 2_000_000_000,
+        max_crashes: 8,
+    };
+    let mut rng = FaultPlan {
+        seed,
+        ..FaultPlan::none()
+    }
+    .rng()
+    .split(STREAM_NODE);
+    let rec = solve_with_recovery(&solver, &h, &profile, &mut rng);
+    let drift = rec
+        .result
+        .eigenvalues
+        .iter()
+        .zip(&plain.eigenvalues)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    line(
+        &mut out,
+        &format!(
+            "fault-free solve:  {} iters, converged: {}",
+            plain.iterations, plain.converged
+        ),
+    );
+    line(&mut out, &format!(
+        "with node kills:   {} iters, converged: {}, {} node losses, {} checkpoints ({} KiB), {} iters replayed",
+        rec.result.iterations,
+        rec.result.converged,
+        rec.recovery.node_losses,
+        rec.recovery.checkpoints,
+        rec.recovery.checkpoint_bytes >> 10,
+        rec.recovery.iterations_replayed
+    ));
+    line(&mut out, &format!(
+        "recovery overhead: {:.1} ms restarts + {:.3} ms checkpoint writes; max eigenvalue drift {drift:.2e}",
+        approx_f64(rec.recovery.restart_ns) / 1e6,
+        approx_f64(rec.recovery.checkpoint_ns) / 1e6
+    ));
+    let solver_json = Json::obj()
+        .field("dim", Json::u64(nvmtypes::u64_from_usize(solver_dim)))
+        .field(
+            "fault_free_iters",
+            Json::u64(nvmtypes::u64_from_usize(plain.iterations)),
+        )
+        .field("fault_free_converged", Json::Bool(plain.converged))
+        .field(
+            "recovered_iters",
+            Json::u64(nvmtypes::u64_from_usize(rec.result.iterations)),
+        )
+        .field("recovered_converged", Json::Bool(rec.result.converged))
+        .field("node_losses", Json::u64(rec.recovery.node_losses))
+        .field("checkpoints", Json::u64(rec.recovery.checkpoints))
+        .field("checkpoint_bytes", Json::u64(rec.recovery.checkpoint_bytes))
+        .field(
+            "iterations_replayed",
+            Json::u64(rec.recovery.iterations_replayed),
+        )
+        .field("restart_ns", Json::u64(rec.recovery.restart_ns))
+        .field("checkpoint_ns", Json::u64(rec.recovery.checkpoint_ns))
+        .field("max_eigenvalue_drift", Json::Num(format!("{drift:.2e}")));
+
+    out.push('\n');
+    line(
+        &mut out,
+        "== degraded mode: CNL nodes falling back to the ION path (40 nodes) ==",
+    );
+    let rates = NodeRates::measure(NvmKind::Tlc, &trace);
+    let spec = ClusterSpec::carver();
+    let mut t = Table::new(["failed SSDs", "aggregate MB/s", "retained"]);
+    let mut degraded_rows = Vec::new();
+    for p in degraded_curve(&spec, &rates, 40, &[0, 1, 4, 10, 40]) {
+        degraded_rows.push(
+            Json::obj()
+                .field("failed_local", Json::u64(u64::from(p.failed_local)))
+                .field("degraded_mb_s", Json::f64_3(p.degraded_mb_s))
+                .field("retained_pct", Json::f64_3(p.retained() * 100.0)),
+        );
+        t.row([
+            format!("{}", p.failed_local),
+            format!("{:.0}", p.degraded_mb_s),
+            format!("{:.1}%", p.retained() * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let payload = Json::obj()
+        .field("seed", Json::u64(seed))
+        .field("trace_mib", Json::u64(trace_mib))
+        .field("zero_fault_identical", Json::Bool(zero_fault_ok))
+        .field("fault_sweep", Json::Arr(sweep_rows))
+        .field("solver_recovery", solver_json)
+        .field("degraded_curve", Json::Arr(degraded_rows));
+    ReliabilityReport {
+        text: out,
+        json: json_report(SCHEMA, payload),
+    }
+}

@@ -11,9 +11,13 @@
 use flashsim::MediaConfig;
 use interconnect::{ddr800, pcie, LinkChain, PcieGen};
 use nvmtypes::{FaultPlan, HostRequest, NvmKind, KIB, MIB};
+use oocnvm_core::workload::synthetic_ooc_trace;
 use ooctrace::BlockTrace;
+use proptest::prelude::*;
+use rayon::prelude::*;
 use simobs::{chrome_trace, Tracer};
 use ssd::{RunReport, SsdConfig, SsdDevice};
+use std::sync::Mutex;
 
 /// A mixed read/write trace with strided offsets: enough irregularity to
 /// exercise the FTL mapping tree and per-die queues in non-trivial order.
@@ -154,4 +158,83 @@ fn reports_are_stable_across_interleaved_device_lifetimes() {
     let _decoy = run_once(NvmKind::Pcm);
     let second = rendered(&run_once(NvmKind::Mlc));
     assert_eq!(first, second, "device lifetimes are not isolated");
+}
+
+// --- determinism under parallelism (docs/PARALLELISM.md) -------------------
+//
+// The batch entry points fan experiments out over the vendored work-
+// sharing pool; the contract is that the thread count is invisible in
+// every output. These tests pin the three report generators
+// byte-identical at 1, 2 and 8 workers, and pin the pool primitives the
+// contract rests on: ordered `collect` and panic propagation.
+
+/// Serializes `RAYON_NUM_THREADS` mutation: tests in one binary run on
+/// concurrent threads, and the environment is process-global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the pool pinned to `n` workers, then restores the
+/// default (host parallelism).
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+#[test]
+fn reports_are_byte_identical_at_every_thread_count() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let seed = 7;
+    let trace = synthetic_ooc_trace(2 * MIB, MIB, seed);
+    let runs: Vec<_> = [1usize, 2, 8]
+        .into_iter()
+        .map(|n| {
+            with_threads(n, || {
+                let head = oocnvm::bench::headline::report(&trace).unwrap();
+                let rel = oocnvm::reliability::render_report(seed, 2, 60);
+                let obs = oocnvm::obsreport::traced_pass(seed, 2, 60);
+                (
+                    head.text,
+                    head.json,
+                    rel.text,
+                    rel.json,
+                    obs.rendered,
+                    obs.trace_json,
+                )
+            })
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "outputs diverged between 1 and 2 threads");
+    assert_eq!(runs[0], runs[2], "outputs diverged between 1 and 8 threads");
+}
+
+#[test]
+fn pool_propagates_worker_panics() {
+    // A panic inside a parallel region must unwind out of `collect` on
+    // the calling thread, not vanish into a worker.
+    let caught = std::panic::catch_unwind(|| -> Vec<u64> {
+        (0u64..64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                assert_ne!(i, 37, "injected failure");
+                i
+            })
+            .collect()
+    });
+    assert!(caught.is_err(), "a worker panic must reach the caller");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel `collect` returns results in input order for any input,
+    /// regardless of how the chunks were claimed by workers.
+    #[test]
+    fn pool_collect_preserves_input_order(xs in prop::collection::vec(prop::num::u64::ANY, 0..300)) {
+        let f = |x: u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(7);
+        let seq: Vec<u64> = xs.iter().copied().map(f).collect();
+        let par: Vec<u64> = xs.into_par_iter().map(f).collect();
+        prop_assert_eq!(par, seq);
+    }
 }

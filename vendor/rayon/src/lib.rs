@@ -1,35 +1,242 @@
-//! Offline shim for `rayon`: parallel iterators degrade to sequential
-//! std iterators.
+//! Offline stand-in for `rayon`: a real, std-only work-sharing thread
+//! pool behind rayon's `par_iter`/`map`/`collect` surface.
 //!
-//! The workspace only uses `into_par_iter().map(...).collect()` chains on
-//! ranges and vectors, so a blanket adapter that returns the ordinary
-//! sequential iterator is API-compatible. This is also a determinism win:
-//! with the shim, "parallel" reductions are bit-exact and orderings are
-//! reproducible, which the simulator's regression tests rely on. Swap the
-//! real rayon back in (same API) when registry access is available and
-//! throughput matters more than offline builds.
+//! The workspace uses `into_par_iter().map(...).collect()` chains on
+//! ranges and vectors (the experiment sweep, SpMM row loops, Gram
+//! products). Earlier revisions degraded those to sequential iterators;
+//! this version actually fans the work out while keeping the simulator's
+//! determinism contract intact:
+//!
+//! * **Input-order results.** Items are split into contiguous chunks;
+//!   workers claim chunks through one atomic counter and write each
+//!   chunk's results back into its own slot, so `collect()` returns
+//!   exactly the sequential order and `sum()` folds in input order.
+//!   Any pure pipeline is therefore *byte-identical* at every thread
+//!   count (pinned by `tests/determinism.rs`).
+//! * **Scoped workers.** Each parallel region spawns `std::thread::scope`
+//!   workers for its own duration — no global pool, no state shared
+//!   between regions, nothing outliving the borrowed inputs.
+//! * **`RAYON_NUM_THREADS`.** Like real rayon, the thread count can be
+//!   overridden (`0`/unset → `available_parallelism`); `1` runs inline
+//!   with zero spawns. The variable is re-read per region so tests can
+//!   pin different counts in one process.
+//! * **Panic propagation.** A panicking closure poisons the region (the
+//!   other workers stop claiming chunks) and the panic resurfaces on the
+//!   calling thread via the scope join, exactly like rayon.
+//! * **No nested oversubscription.** A parallel region entered from
+//!   inside a worker runs inline instead of spawning another layer of
+//!   threads.
+//!
+//! Swap the real rayon back in (same API) when registry access is
+//! available; every guarantee above is one rayon already provides.
 
-/// The traits user code imports via `use rayon::prelude::*`.
-pub mod prelude {
-    /// Sequential stand-in for rayon's `IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        /// The element type.
-        type Item;
-        /// The "parallel" (here: sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Converts `self` into an iterator; sequential in this shim.
-        fn into_par_iter(self) -> Self::Iter;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many chunks each worker should see on average. The claim cost is
+/// one `fetch_add` plus one uncontended lock per chunk, so chunks can be
+/// fine; they need to be, because items are priced very unevenly (one
+/// ION-GPFS/SLC experiment vs one CNL/TLC experiment differ by several
+/// x) and a coarse tail chunk of heavy items serializes the sweep.
+const CHUNKS_PER_WORKER: usize = 16;
+
+std::thread_local! {
+    /// Set inside pool workers so nested parallel regions run inline
+    /// rather than spawning threads^2.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The thread count a new parallel region would use: the
+/// `RAYON_NUM_THREADS` override when set and nonzero, otherwise the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Sets the poison flag when its worker unwinds, so sibling workers
+/// stop claiming chunks instead of finishing a doomed region.
+struct PanicGuard<'a>(&'a AtomicBool);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One contiguous run of items and, after a worker has processed it,
+/// their results. Each cell is locked exactly once (by whichever worker
+/// claims its index), so the mutex is uncontended bookkeeping that keeps
+/// the implementation free of `unsafe`.
+struct ChunkCell<T, R> {
+    input: Vec<T>,
+    output: Vec<R>,
+}
+
+fn lock_cell<T, R>(cell: &Mutex<ChunkCell<T, R>>) -> std::sync::MutexGuard<'_, ChunkCell<T, R>> {
+    match cell.lock() {
+        Ok(guard) => guard,
+        // A sibling worker panicked while holding a different cell; the
+        // data in *this* cell is untouched and the region is already
+        // poisoned, so proceed and let the scope propagate the panic.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Applies `f` to every item, in parallel, returning results in input
+/// order. The execution backbone for [`ParIter`] and [`ParMap`].
+fn run_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 || IN_POOL.with(std::cell::Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(len);
+    let chunk = len.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let n_chunks = len.div_ceil(chunk);
+
+    let mut cells: Vec<Mutex<ChunkCell<T, R>>> = Vec::with_capacity(n_chunks);
+    let mut it = items.into_iter();
+    for _ in 0..n_chunks {
+        let input: Vec<T> = it.by_ref().take(chunk).collect();
+        cells.push(Mutex::new(ChunkCell {
+            input,
+            output: Vec::new(),
+        }));
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+    let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_POOL.with(|flag| flag.set(true));
+                let _guard = PanicGuard(&poisoned);
+                loop {
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let mut cell = lock_cell(cell);
+                    let input = std::mem::take(&mut cell.input);
+                    cell.output = input.into_iter().map(&f).collect();
+                }
+            });
+        }
+        // `scope` joins every worker here and re-raises the first panic
+        // on this thread — rayon's propagation contract.
+    });
+    cells
+        .into_iter()
+        .flat_map(|cell| {
+            match cell.into_inner() {
+                Ok(c) => c,
+                Err(p) => p.into_inner(),
+            }
+            .output
+        })
+        .collect()
+}
+
+/// A materialised parallel iterator: the items of the source, awaiting a
+/// transform or a direct reduction.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Transforms every item with `f` when the pipeline is executed.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
         }
     }
 
-    /// Sequential stand-in for rayon's `ParallelSlice`.
+    /// Collects the items unchanged, in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items, folding in input order (deterministic for floats).
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// A mapped parallel pipeline: executing it fans `f` out over the pool.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    /// Runs the pipeline on the pool and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_parallel(self.items, self.f).into_iter().collect()
+    }
+
+    /// Runs the pipeline on the pool and sums the results, folding in
+    /// input order (deterministic for floats at any thread count).
+    pub fn sum<R, S>(self) -> S
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        S: std::iter::Sum<R>,
+    {
+        run_parallel(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    /// Entry point mirroring rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// Converts `self` into a parallel iterator over the pool.
+        fn into_par_iter(self) -> super::ParIter<Self::Item>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        fn into_par_iter(self) -> super::ParIter<I::Item> {
+            super::ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    /// Stand-in for rayon's `ParallelSlice`. Chunk iteration itself is
+    /// sequential (no workspace hot path uses it); the chunks feed
+    /// ordinary iterator pipelines.
     pub trait ParallelSlice<T> {
         /// Iterates over chunks of at most `n` elements.
         fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T>;
@@ -41,7 +248,7 @@ pub mod prelude {
         }
     }
 
-    /// Sequential stand-in for rayon's `ParallelSliceMut`.
+    /// Stand-in for rayon's `ParallelSliceMut`.
     pub trait ParallelSliceMut<T> {
         /// Iterates over mutable chunks of at most `n` elements.
         fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T>;
@@ -54,19 +261,52 @@ pub mod prelude {
     }
 }
 
-/// Runs two closures "in parallel" (sequentially here), returning both
-/// results — rayon's `join` signature.
+/// Runs two closures in parallel (`b` on a scoped worker, `a` on the
+/// calling thread), returning both results — rayon's `join`. Inline when
+/// the pool is single-threaded or the caller is already a pool worker.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 || IN_POOL.with(std::cell::Cell::get) {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            IN_POOL.with(|flag| flag.set(true));
+            b()
+        });
+        let ra = a();
+        let rb = match handle.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Serialises the tests that touch `RAYON_NUM_THREADS`; correctness
+    /// tests are env-agnostic (results are identical at any count).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: &str, f: impl FnOnce() -> R) -> R {
+        let _guard = match ENV_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        std::env::set_var("RAYON_NUM_THREADS", n);
+        let out = f();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        out
+    }
 
     #[test]
     fn range_into_par_iter_collects_in_order() {
@@ -83,5 +323,113 @@ mod tests {
     #[test]
     fn join_returns_both() {
         assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+
+    #[test]
+    fn large_map_preserves_input_order() {
+        let n = 10_000u64;
+        let v: Vec<u64> = (0..n).into_par_iter().map(|i| i.wrapping_mul(31)).collect();
+        let expect: Vec<u64> = (0..n).map(|i| i.wrapping_mul(31)).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn float_sum_is_identical_at_every_thread_count() {
+        let seq: f64 = (1..=5000u32).map(|i| 1.0 / f64::from(i)).sum();
+        for threads in ["1", "2", "8"] {
+            let par: f64 = with_threads(threads, || {
+                (1..=5000u32)
+                    .into_par_iter()
+                    .map(|i| 1.0 / f64::from(i))
+                    .sum()
+            });
+            assert_eq!(par.to_bits(), seq.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn workers_actually_run_concurrently() {
+        // Four items that each wait for all four workers to arrive: only
+        // a genuinely parallel pool gets them past the rendezvous.
+        with_threads("4", || {
+            let arrived = AtomicUsize::new(0);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            let v: Vec<usize> = (0..4usize)
+                .into_par_iter()
+                .map(|i| {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    while arrived.load(Ordering::SeqCst) < 4 {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "workers never ran concurrently"
+                        );
+                        std::thread::yield_now();
+                    }
+                    i
+                })
+                .collect();
+            assert_eq!(v, vec![0, 1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = (0..128u32)
+                .into_par_iter()
+                .map(|i| if i == 77 { panic!("boom at {i}") } else { i })
+                .collect();
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn join_propagates_the_spawned_side_panic() {
+        let result = std::panic::catch_unwind(|| {
+            super::join(|| 1, || -> u32 { panic!("spawned side") });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_regions_run_inline_without_spawning() {
+        // The outer region parallelises; each inner region detects the
+        // pool and runs inline. Results still arrive in order.
+        let v: Vec<u64> = (0..16u64)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<u64> = (0..8u64).into_par_iter().map(|j| i * 8 + j).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expect: Vec<u64> = (0..16u64)
+            .map(|i| (0..8).map(|j| i * 8 + j).sum())
+            .collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn thread_count_override_of_one_runs_inline() {
+        let v: Vec<usize> = with_threads("1", || {
+            (0..64usize).into_par_iter().map(|i| i + 1).collect()
+        });
+        assert_eq!(v.len(), 64);
+        assert_eq!(v[0], 1);
+        assert_eq!(v[63], 64);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(one, vec![14]);
+    }
+
+    #[test]
+    fn par_chunks_cover_the_slice() {
+        let data: Vec<u32> = (0..10).collect();
+        let n: usize = data.par_chunks(3).map(<[u32]>::len).sum();
+        assert_eq!(n, 10);
     }
 }
