@@ -9,10 +9,6 @@
 //! 6. cache-register reads (die re-arms while the bus drains);
 //! 7. DOoC prefetch workers vs pool hit ratio;
 //! 8. worn-NAND read retries (endurance ablation).
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use flashsim::MediaConfig;
 use interconnect::sdr400;
 use nvmtypes::{NvmKind, MIB};
@@ -24,13 +20,24 @@ use oocnvm_core::format::Table;
 use ooctrace::BlockTrace;
 use rayon::prelude::*;
 use ssd::{Dim, SsdConfig, SsdDevice};
+use std::process::ExitCode;
 use std::sync::Arc;
 
 fn tlc_run(device: &SsdDevice, block: &BlockTrace) -> f64 {
     device.run(block).bandwidth_mb_s
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ablations: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let posix = standard_trace();
 
     println!(
@@ -64,9 +71,11 @@ fn main() {
         )
     );
     let cnl_dev = SystemConfig::cnl(FsKind::Ext4).device(NvmKind::Tlc);
-    let base = FsKind::Ext4.params().unwrap();
+    let base = FsKind::Ext4
+        .params()
+        .ok_or("ext4 has no block-layer parameter set")?;
     let mut t = Table::new(["max request", "bandwidth MB/s"]);
-    let rows: Vec<[String; 2]> = [
+    let rows: Vec<Result<[String; 2], String>> = [
         64 * 1024u32,
         128 * 1024,
         256 * 1024,
@@ -82,16 +91,16 @@ fn main() {
             ..base
         };
         let block = FsModel::new(params)
-            .expect("valid params")
+            .map_err(|e| format!("coalescing cap {cap}: {e}"))?
             .transform(&posix);
-        [
+        Ok([
             format!("{} KiB", cap >> 10),
             format!("{:.0}", tlc_run(&cnl_dev, &block)),
-        ]
+        ])
     })
     .collect();
     for row in rows {
-        t.row(row);
+        t.row(row?);
     }
     print!("{}", t.render());
     println!("-> \"simply turning a few kernel knobs\" is worth ~1 GB/s (§4.3).\n");
@@ -254,10 +263,8 @@ fn main() {
             for i in 0..64 {
                 pf.prefetch(&format!("panel/{i}"), move || vec![0u8; 64 * 1024]);
             }
-            if let Err(e) = pf.shutdown() {
-                eprintln!("ablation 7: prefetch shutdown failed: {e}");
-                return;
-            }
+            pf.shutdown()
+                .map_err(|e| format!("ablation 7: prefetch shutdown failed: {e}"))?;
         }
         // The compute phase touches every panel.
         for i in 0..64 {
@@ -270,4 +277,5 @@ fn main() {
     }
     print!("{}", t.render());
     println!("-> prefetching converts every panel read into a pool hit.");
+    Ok(())
 }

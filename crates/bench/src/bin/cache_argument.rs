@@ -6,10 +6,6 @@
 //! great spans of time between the accesses (i.e., very high reuse
 //! distances) that the likelihood that it stayed in cache is extremely
 //! small."
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::{NvmKind, MIB};
 use oocnvm_bench::banner;
 use oocnvm_core::cache::{replay_lru, reuse_distances};

@@ -1,13 +1,20 @@
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::{NvmKind, MIB};
 use oocnvm_bench::sweep::Sweep;
 use oocnvm_core::config::SystemConfig;
 use oocnvm_core::workload::synthetic_ooc_trace;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("calibrate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let total = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -27,19 +34,19 @@ fn main() {
         "config", "TLC", "MLC", "SLC", "PCM"
     );
     for c in sweep.configs() {
-        let get = |k| sweep.get(c.label, k).unwrap().bandwidth_mb_s;
+        let get = |k| sweep.require(c.label, k).map(|r| r.bandwidth_mb_s);
         println!(
             "{:<16} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
             c.label,
-            get(NvmKind::Tlc),
-            get(NvmKind::Mlc),
-            get(NvmKind::Slc),
-            get(NvmKind::Pcm)
+            get(NvmKind::Tlc)?,
+            get(NvmKind::Mlc)?,
+            get(NvmKind::Slc)?,
+            get(NvmKind::Pcm)?
         );
     }
     println!("\nutil/remaining/pal4 (TLC):");
     for c in sweep.configs() {
-        let r = sweep.get(c.label, NvmKind::Tlc).unwrap();
+        let r = sweep.require(c.label, NvmKind::Tlc)?;
         println!(
             "{:<16} chan={:>5.1}% pkg={:>5.1}% rem={:>7.0} pal={:?} dma%={:.1}",
             c.label,
@@ -50,4 +57,5 @@ fn main() {
             r.breakdown_pct[0]
         );
     }
+    Ok(())
 }

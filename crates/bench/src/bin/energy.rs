@@ -2,22 +2,29 @@
 //! partly by the "high energy use" of distributed DRAM + networks. This
 //! binary quantifies media energy per configuration and medium, and the
 //! energy cost of the ION-remote data path relative to compute-local.
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
 use oocnvm_bench::sweep::Sweep;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::{Location, SystemConfig};
 use oocnvm_core::format::Table;
+use std::process::ExitCode;
 
 /// Network-interface energy per byte for the ION path: a QDR HCA burns
 /// roughly 10 W at 4 GB/s line rate, twice (CN side and ION side), plus
 /// the ION server's share. Representative, documented in DESIGN.md.
 const ION_NETWORK_NJ_PER_BYTE: f64 = 8.0;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("energy: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     println!(
         "{}",
         banner("Energy", "media energy per configuration (extension study)")
@@ -41,7 +48,7 @@ fn main() {
     ]);
     for c in sweep.configs() {
         for kind in NvmKind::ALL {
-            let r = sweep.get(c.label, kind).unwrap();
+            let r = sweep.require(c.label, kind)?;
             let e = &r.run.energy;
             let media_njb = e.nj_per_byte();
             let path_njb = media_njb
@@ -65,8 +72,8 @@ fn main() {
     // Headline: energy per byte delivered, ION vs CNL on the same medium.
     println!("\nobservations:");
     for kind in [NvmKind::Tlc, NvmKind::Pcm] {
-        let ion = sweep.get("ION-GPFS", kind).unwrap();
-        let ufs = sweep.get("CNL-UFS", kind).unwrap();
+        let ion = sweep.require("ION-GPFS", kind)?;
+        let ufs = sweep.require("CNL-UFS", kind)?;
         let ion_njb = ion.run.energy.nj_per_byte() + ION_NETWORK_NJ_PER_BYTE;
         let ufs_njb = ufs.run.energy.nj_per_byte();
         println!(
@@ -81,4 +88,5 @@ fn main() {
         "  (static die power dominates slow configurations: finishing the same\n\
          work sooner is itself an energy optimisation)"
     );
+    Ok(())
 }

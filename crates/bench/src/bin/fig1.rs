@@ -1,8 +1,4 @@
 //! Regenerates Figure 1: bandwidth trends of networks vs NVM over time.
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use oocnvm_bench::banner;
 use oocnvm_core::format::Table;
 use oocnvm_core::trends::{crossover_year, figure1_points, log2_fit, TrendSeries};

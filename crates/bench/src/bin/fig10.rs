@@ -1,14 +1,11 @@
 //! Regenerates Figures 10a–10d: execution-state breakdowns and PAL
 //! parallelism decompositions for TLC and PCM across all configurations.
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
 use oocnvm_bench::sweep::Sweep;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::SystemConfig;
 use oocnvm_core::format::Table;
+use std::process::ExitCode;
 
 const STATES: [&str; 6] = [
     "NonOvlp-DMA %",
@@ -19,29 +16,39 @@ const STATES: [&str; 6] = [
     "CellAct %",
 ];
 
-fn breakdown_table(sweep: &Sweep, kind: NvmKind) -> Table {
+fn breakdown_table(sweep: &Sweep, kind: NvmKind) -> Result<Table, String> {
     let mut t = Table::new(std::iter::once("config").chain(STATES).collect::<Vec<_>>());
     for c in sweep.configs() {
-        let r = sweep.get(c.label, kind).unwrap();
+        let r = sweep.require(c.label, kind)?;
         let mut row = vec![c.label.to_string()];
         row.extend(r.breakdown_pct.iter().map(|p| format!("{p:.1}")));
         t.row(row);
     }
-    t
+    Ok(t)
 }
 
-fn pal_table(sweep: &Sweep, kind: NvmKind) -> Table {
+fn pal_table(sweep: &Sweep, kind: NvmKind) -> Result<Table, String> {
     let mut t = Table::new(["config", "PAL1 %", "PAL2 %", "PAL3 %", "PAL4 %"]);
     for c in sweep.configs() {
-        let r = sweep.get(c.label, kind).unwrap();
+        let r = sweep.require(c.label, kind)?;
         let mut row = vec![c.label.to_string()];
         row.extend(r.pal_pct.iter().map(|p| format!("{p:.1}")));
         t.row(row);
     }
-    t
+    Ok(t)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig10: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let trace = standard_trace();
     let configs = SystemConfig::table2();
     let sweep = Sweep::run(&configs, &[NvmKind::Tlc, NvmKind::Pcm], &trace);
@@ -50,53 +57,53 @@ fn main() {
         "{}",
         banner("Figure 10a", "TLC execution-time breakdown (%)")
     );
-    print!("{}", breakdown_table(&sweep, NvmKind::Tlc).render());
+    print!("{}", breakdown_table(&sweep, NvmKind::Tlc)?.render());
 
     println!(
         "{}",
         banner("Figure 10b", "TLC parallelism decomposition (%)")
     );
-    print!("{}", pal_table(&sweep, NvmKind::Tlc).render());
+    print!("{}", pal_table(&sweep, NvmKind::Tlc)?.render());
 
     println!(
         "{}",
         banner("Figure 10c", "PCM execution-time breakdown (%)")
     );
-    print!("{}", breakdown_table(&sweep, NvmKind::Pcm).render());
+    print!("{}", breakdown_table(&sweep, NvmKind::Pcm)?.render());
 
     println!(
         "{}",
         banner("Figure 10d", "PCM parallelism decomposition (%)")
     );
-    print!("{}", pal_table(&sweep, NvmKind::Pcm).render());
+    print!("{}", pal_table(&sweep, NvmKind::Pcm)?.render());
 
     println!("\nobservations (paper §4.5):");
-    let ion = sweep.get("ION-GPFS", NvmKind::Tlc).unwrap();
+    let ion = sweep.require("ION-GPFS", NvmKind::Tlc)?;
     println!(
         "  ION-GPFS TLC: {:.0}% of requests reach only PAL3, {:.0}% reach PAL4 —\n\
          \"ION-local PCIe stays almost completely parallelism type PAL3, and almost\n\
          never makes it to the full parallelism of PAL4\"",
         ion.pal_pct[2], ion.pal_pct[3]
     );
-    let ufs = sweep.get("CNL-UFS", NvmKind::Tlc).unwrap();
+    let ufs = sweep.require("CNL-UFS", NvmKind::Tlc)?;
     println!(
         "  CNL-UFS TLC: {:.0}% PAL4 — \"UFS-based architectures are able to almost\n\
          entirely reach parallelism state PAL4\"",
         ufs.pal_pct[3]
     );
-    let pcm_min_pal4 = sweep
-        .configs()
-        .iter()
-        .map(|c| sweep.get(c.label, NvmKind::Pcm).unwrap().pal_pct[3])
-        .fold(f64::INFINITY, f64::min);
+    let mut pcm_min_pal4 = f64::INFINITY;
+    for c in sweep.configs() {
+        pcm_min_pal4 = pcm_min_pal4.min(sweep.require(c.label, NvmKind::Pcm)?.pal_pct[3]);
+    }
     println!(
         "  PCM: every configuration >= {pcm_min_pal4:.0}% PAL4 — \"almost entirely in state\n\
          PAL4, a direct result of the much smaller page sizes\""
     );
-    let n16 = sweep.get("CNL-NATIVE-16", NvmKind::Tlc).unwrap();
+    let n16 = sweep.require("CNL-NATIVE-16", NvmKind::Tlc)?;
     println!(
         "  CNL-NATIVE-16 TLC: cell activation {:.0}% of device time — \"the closer one\n\
          can get to waiting solely on the NVM itself, the better\"",
         n16.breakdown_pct[5]
     );
+    Ok(())
 }

@@ -1,17 +1,24 @@
 //! Regenerates Figures 7a/7b: bandwidth achieved and bandwidth remaining
 //! for the ION-GPFS baseline and the nine compute-local file systems,
 //! across all four NVM media.
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
 use oocnvm_bench::sweep::Sweep;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::SystemConfig;
 use oocnvm_core::format::mbps;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig7: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let trace = standard_trace();
     let configs = SystemConfig::figure7();
     let sweep = Sweep::run(&configs, &NvmKind::ALL, &trace);
@@ -38,45 +45,44 @@ fn main() {
     );
 
     // The section-4.3 observations, computed from the sweep.
-    let bw = |label: &str, k| sweep.get(label, k).unwrap().bandwidth_mb_s;
+    let bw = |label: &str, k| sweep.require(label, k).map(|r| r.bandwidth_mb_s);
     println!("\nobservations (paper §4.3):");
     for (kind, claim) in [
         (NvmKind::Tlc, "7%"),
         (NvmKind::Mlc, "78%"),
         (NvmKind::Slc, "108%"),
     ] {
-        let ion = bw("ION-GPFS", kind);
-        let worst = configs
-            .iter()
-            .filter(|c| !c.fs.is_ion())
-            .map(|c| bw(c.label, kind))
-            .fold(f64::INFINITY, f64::min);
+        let ion = bw("ION-GPFS", kind)?;
+        let mut worst = f64::INFINITY;
+        for c in configs.iter().filter(|c| !c.fs.is_ion()) {
+            worst = worst.min(bw(c.label, kind)?);
+        }
         println!(
             "  worst CNL FS vs ION-GPFS on {}: +{:.0}%   (paper: +{claim})",
             kind.label(),
             (worst / ion - 1.0) * 100.0
         );
     }
-    let e2 = bw("CNL-EXT2", NvmKind::Tlc);
-    let bt = bw("CNL-BTRFS", NvmKind::Tlc);
+    let e2 = bw("CNL-EXT2", NvmKind::Tlc)?;
+    let bt = bw("CNL-BTRFS", NvmKind::Tlc)?;
     println!(
         "  ext2 -> BTRFS on TLC: x{:.2}   (paper: 'a factor of 2')",
         bt / e2
     );
-    let e4 = bw("CNL-EXT4", NvmKind::Tlc);
-    let e4l = bw("CNL-EXT4-L", NvmKind::Tlc);
+    let e4 = bw("CNL-EXT4", NvmKind::Tlc)?;
+    let e4l = bw("CNL-EXT4-L", NvmKind::Tlc)?;
     println!(
         "  ext4 -> ext4-L on TLC: +{:.0} MB/s   (paper: 'about 1GB/s')",
         e4l - e4
     );
-    let pcm: Vec<f64> = configs
-        .iter()
-        .filter(|c| !c.fs.is_ion())
-        .map(|c| bw(c.label, NvmKind::Pcm))
-        .collect();
+    let mut pcm = Vec::new();
+    for c in configs.iter().filter(|c| !c.fs.is_ion()) {
+        pcm.push(bw(c.label, NvmKind::Pcm)?);
+    }
     let spread =
         pcm.iter().cloned().fold(0.0, f64::max) / pcm.iter().cloned().fold(f64::INFINITY, f64::min);
     println!(
         "  PCM spread across CNL file systems: x{spread:.2}   (paper: PCM 'obscures the differences')"
     );
+    Ok(())
 }

@@ -1,16 +1,23 @@
 //! Regenerates Figures 9a/9b: average channel-level and package-level
 //! utilization across all thirteen configurations and four NVM types.
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
 use oocnvm_bench::sweep::Sweep;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::config::SystemConfig;
 use oocnvm_core::format::pct;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig9: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let trace = standard_trace();
     let configs = SystemConfig::table2();
     let sweep = Sweep::run(&configs, &NvmKind::ALL, &trace);
@@ -28,8 +35,8 @@ fn main() {
     );
 
     println!("\nobservations (paper §4.5):");
-    let ion = sweep.get("ION-GPFS", NvmKind::Tlc).unwrap();
-    let ufs = sweep.get("CNL-UFS", NvmKind::Tlc).unwrap();
+    let ion = sweep.require("ION-GPFS", NvmKind::Tlc)?;
+    let ufs = sweep.require("CNL-UFS", NvmKind::Tlc)?;
     println!(
         "  ION-GPFS (TLC): channels {:.0}% busy but packages only {:.0}% — GPFS striping\n\
          \"results in more randomized accesses and more channels being utilized\n\
@@ -42,4 +49,5 @@ fn main() {
         ufs.channel_util * 100.0,
         ufs.package_util * 100.0
     );
+    Ok(())
 }

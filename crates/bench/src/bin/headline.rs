@@ -9,10 +9,6 @@
 //! schema (`oocnvm.headline/1`) for downstream tooling. The whole
 //! computation lives in [`oocnvm_bench::headline`] so the determinism
 //! tests can pin it byte-identical at every thread count.
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use oocnvm_bench::{banner, headline, standard_trace};
 use std::process::ExitCode;
 
@@ -28,7 +24,10 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let trace = standard_trace();
-    let report = headline::report(&trace).expect("table2 labels are static");
+    let Some(report) = headline::report(&trace) else {
+        eprintln!("headline: the table-2 sweep is missing a labelled configuration");
+        return ExitCode::FAILURE;
+    };
     print!("{}", report.text);
 
     if let Some(path) = json_path {

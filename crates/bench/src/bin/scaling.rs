@@ -1,10 +1,6 @@
 //! Cluster-scaling analysis (extension): the architectural motivation of
 //! Figures 2/3. A 40-CN/10-ION Carver-style partition shares the IONs'
 //! SSDs and the fabric; compute-local SSDs scale with the node count.
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::NvmKind;
 use oocnvm_bench::{banner, standard_trace};
 use oocnvm_core::cluster::{ion_saturation_nodes, scaling_curve, ClusterSpec, NodeRates};

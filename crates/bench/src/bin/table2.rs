@@ -1,8 +1,4 @@
 //! Regenerates Table 2: the evaluated software and hardware configurations.
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use oocnvm_bench::banner;
 use oocnvm_core::config::{Controller, SystemConfig};
 use oocnvm_core::format::Table;

@@ -9,10 +9,6 @@
 //!
 //! Traces use the one-line-per-record text format of
 //! [`ooctrace::PosixTrace::to_text`].
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::MIB;
 use oocfs::FsKind;
 use oocnvm_core::workload::{lobpcg_posix_trace, synthetic_ooc_trace};

@@ -18,10 +18,6 @@
 //!
 //! Criterion benches (`cargo bench -p oocnvm-bench`) time the simulator
 //! and solver themselves and run the ablations DESIGN.md calls out.
-// Burn-down lint debt: legacy `unwrap`/`expect` sites in this crate are
-// inventoried per-file in `simlint.allow` (counts may only decrease).
-// New code must return typed errors; see docs/INVARIANTS.md.
-#![allow(clippy::unwrap_used, clippy::expect_used)]
 use nvmtypes::MIB;
 use oocnvm_core::workload::synthetic_ooc_trace;
 use ooctrace::PosixTrace;
@@ -57,12 +53,7 @@ pub fn banner(id: &str, caption: &str) -> String {
 /// byte-identically. Every `--json` bin emits through this one helper.
 #[must_use]
 pub fn json_report(schema: &str, payload: Json) -> String {
-    let mut fields = vec![("format".to_string(), Json::str(schema))];
-    match payload {
-        Json::Obj(body) => fields.extend(body),
-        other => fields.push(("payload".to_string(), other)),
-    }
-    Json::Obj(fields).render()
+    simobs::json::report(schema, payload)
 }
 
 #[cfg(test)]

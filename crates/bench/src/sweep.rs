@@ -53,6 +53,20 @@ impl Sweep {
         self.reports.get(ci * self.kinds.len() + ki)
     }
 
+    /// Like [`Sweep::get`], but failures become a printable error naming
+    /// the missing axis value — the figure bins route this to stderr
+    /// instead of panicking on a mistyped label.
+    pub fn require(&self, label: &str, kind: NvmKind) -> Result<&ExperimentReport, String> {
+        self.get(label, kind).ok_or_else(|| {
+            format!(
+                "no report for ({label:?}, {}): the sweep covers configs {:?} and media {:?}",
+                kind.label(),
+                self.configs.iter().map(|c| c.label).collect::<Vec<_>>(),
+                self.kinds.iter().map(|k| k.label()).collect::<Vec<_>>(),
+            )
+        })
+    }
+
     /// Bandwidth shortcut for the most common lookup.
     pub fn bandwidth(&self, label: &str, kind: NvmKind) -> Option<f64> {
         self.get(label, kind).map(|r| r.bandwidth_mb_s)

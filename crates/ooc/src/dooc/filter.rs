@@ -7,9 +7,10 @@
 //! applies backpressure instead of buffering unboundedly.
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use nvmtypes::SimError;
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A stage in a dataflow: consumes chunks, emits chunks.
 pub trait Filter: Send {
@@ -65,67 +66,97 @@ impl Pipeline {
         I::IntoIter: Send,
     {
         let depth = self.stream_depth.max(1);
+        let stages = self.filters.len();
+        // Every stage plus the producer blocks on its stream, so each
+        // needs a live worker of its own.
+        let worker_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(stages + 1)
+            .build();
+        // Stage outcomes come back over a channel (pool jobs have no join
+        // handle): `Err(())` records a caught panic in that stage.
+        type Outcome = Result<Result<(), SimError>, ()>;
+        let (res_tx, res_rx) = unbounded::<(usize, Outcome)>();
+
         let (first_tx, mut prev_rx): (Sender<Bytes>, Receiver<Bytes>) = bounded(depth);
-        let mut handles = Vec::with_capacity(self.filters.len());
         for (i, mut f) in self.filters.into_iter().enumerate() {
             let (tx, rx): (Sender<Bytes>, Receiver<Bytes>) = bounded(depth);
             let input = prev_rx;
-            handles.push(std::thread::spawn(move || -> Result<(), SimError> {
-                // A send failure means the downstream stage died early;
-                // record it so the stage can stop and report instead of
-                // silently dropping the rest of the flow.
-                let disconnected = Cell::new(false);
-                let mut emit = |chunk: Bytes| {
-                    if tx.send(chunk).is_err() {
-                        disconnected.set(true);
+            let res_tx = res_tx.clone();
+            worker_pool.spawn(move || {
+                let body = move || -> Result<(), SimError> {
+                    // A send failure means the downstream stage died early;
+                    // record it so the stage can stop and report instead of
+                    // silently dropping the rest of the flow.
+                    let disconnected = Cell::new(false);
+                    let mut emit = |chunk: Bytes| {
+                        if tx.send(chunk).is_err() {
+                            disconnected.set(true);
+                        }
+                    };
+                    while let Ok(chunk) = input.recv() {
+                        f.process(chunk, &mut emit);
+                        if disconnected.get() {
+                            return Err(SimError::channel_closed(format!("filter[{i}]")));
+                        }
                     }
-                };
-                while let Ok(chunk) = input.recv() {
-                    f.process(chunk, &mut emit);
+                    f.finish(&mut emit);
                     if disconnected.get() {
                         return Err(SimError::channel_closed(format!("filter[{i}]")));
                     }
-                }
-                f.finish(&mut emit);
-                if disconnected.get() {
-                    return Err(SimError::channel_closed(format!("filter[{i}]")));
-                }
-                Ok(())
-            }));
+                    Ok(())
+                };
+                // Catching here guarantees an outcome message per stage
+                // (a panicking stage also drops its sender, so the flow
+                // downstream of it still terminates).
+                let outcome = catch_unwind(AssertUnwindSafe(body)).map_err(|_| ());
+                let _pipeline_gone = res_tx.send((i, outcome));
+            });
             prev_rx = rx;
         }
         // Producer feeds the first stream from this thread... but that
-        // deadlocks on bounded channels; feed from a thread instead. A
+        // deadlocks on bounded channels; feed from a worker instead. A
         // producer-side send failure is not reported here: the stage that
         // hung up reports its own panic/disconnect below.
-        let producer = std::thread::spawn(move || {
-            for chunk in source {
-                if first_tx.send(chunk).is_err() {
-                    break;
+        worker_pool.spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                for chunk in source {
+                    if first_tx.send(chunk).is_err() {
+                        break;
+                    }
                 }
-            }
+            }));
+            let _pipeline_gone = res_tx.send((stages, outcome.map(Ok).map_err(|_| ())));
         });
         let out: Vec<Bytes> = prev_rx.iter().collect();
+
+        let mut outcomes: Vec<Option<Outcome>> = (0..=stages).map(|_| None).collect();
+        for _ in 0..=stages {
+            match res_rx.recv() {
+                Ok((i, outcome)) => outcomes[i] = Some(outcome),
+                Err(_) => break,
+            }
+        }
+        drop(worker_pool);
         // Panics outrank disconnects: an upstream disconnect is usually
         // the *consequence* of a downstream panic, so report the cause.
         let mut panicked: Option<SimError> = None;
         let mut closed: Option<SimError> = None;
-        if producer.join().is_err() {
+        if !matches!(outcomes[stages], Some(Ok(_))) {
             panicked = Some(SimError::worker_panic("pipeline producer"));
         }
-        for (i, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Err(_) => {
-                    if panicked.is_none() {
-                        panicked = Some(SimError::worker_panic(format!("filter[{i}]")));
-                    }
-                }
-                Ok(Err(e)) => {
+        for (i, outcome) in outcomes.into_iter().take(stages).enumerate() {
+            match outcome {
+                Some(Ok(Ok(()))) => {}
+                Some(Ok(Err(e))) => {
                     if closed.is_none() {
                         closed = Some(e);
                     }
                 }
-                Ok(Ok(())) => {}
+                Some(Err(())) | None => {
+                    if panicked.is_none() {
+                        panicked = Some(SimError::worker_panic(format!("filter[{i}]")));
+                    }
+                }
             }
         }
         match panicked.or(closed) {

@@ -8,6 +8,7 @@
 //! of the computation — the paper's pre-loading phase.
 
 use crate::dooc::pool::DataPool;
+use rayon::prelude::*;
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -49,9 +50,9 @@ pub fn migrate(src: &DataPool, dst: &DataPool, keys: &[String]) -> MigrationRepo
     report
 }
 
-/// Migrates every key of `src` matched by `filter` into `dst`, in
-/// parallel over `workers` threads (migration is bandwidth work; the
-/// paper overlaps it with "previous application execution").
+/// Migrates every key of `src` matched by `filter` into `dst` on the
+/// thread pool, split into `workers` chunks (migration is bandwidth
+/// work; the paper overlaps it with "previous application execution").
 pub fn migrate_matching<F>(
     src: &Arc<DataPool>,
     dst: &Arc<DataPool>,
@@ -67,20 +68,10 @@ where
     let chunks: Vec<&[String]> = selected
         .chunks(selected.len().div_ceil(workers).max(1))
         .collect();
-    let reports: Vec<MigrationReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                let src = Arc::clone(src);
-                let dst = Arc::clone(dst);
-                scope.spawn(move || migrate(&src, &dst, chunk))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("migration worker"))
-            .collect()
-    });
+    let reports: Vec<MigrationReport> = chunks
+        .into_par_iter()
+        .map(|chunk| migrate(src, dst, chunk))
+        .collect();
     let mut total = MigrationReport::default();
     for r in reports {
         total.moved += r.moved;

@@ -115,12 +115,14 @@ impl DataPool {
         // Evict LRU entries until the new value fits (entries larger than
         // the whole budget are admitted alone).
         while inner.used + size > self.capacity && !inner.map.is_empty() {
-            let victim = inner
+            let Some(victim) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty map");
+            else {
+                break;
+            };
             if let Some(e) = inner.map.remove(&victim) {
                 inner.used -= e.data.len() as u64;
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
@@ -148,17 +150,15 @@ impl DataPool {
     }
 }
 
-type Job = (String, Box<dyn FnOnce() -> Vec<u8> + Send>);
-
-/// Background prefetcher: worker threads that load keys into a shared
-/// [`DataPool`] ahead of the computation.
+/// Background prefetcher: a dedicated worker pool that loads keys into
+/// a shared [`DataPool`] ahead of the computation.
 ///
 /// Call [`Prefetcher::shutdown`] when done to learn whether any loader
 /// panicked; plain `Drop` still joins the workers but has nowhere to
 /// report a failure.
 pub struct Prefetcher {
-    tx: Option<crossbeam::channel::Sender<Job>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: Option<rayon::ThreadPool>,
+    pool: Arc<DataPool>,
     outstanding: Arc<(Mutex<usize>, Condvar)>,
     failed_loads: Arc<AtomicU64>,
 }
@@ -167,54 +167,58 @@ impl Prefetcher {
     /// Starts `workers` prefetch threads feeding `pool`.
     pub fn new(pool: Arc<DataPool>, workers: usize) -> Prefetcher {
         assert!(workers >= 1);
-        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
-        let outstanding = Arc::new((Mutex::new(0usize), Condvar::new()));
-        let failed_loads = Arc::new(AtomicU64::new(0));
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let pool = Arc::clone(&pool);
-            let outstanding = Arc::clone(&outstanding);
-            let failed_loads = Arc::clone(&failed_loads);
-            handles.push(std::thread::spawn(move || {
-                while let Ok((key, loader)) = rx.recv() {
-                    if !pool.contains(&key) {
-                        // Catch loader panics so the outstanding count is
-                        // always decremented — otherwise one bad loader
-                        // would deadlock every later `drain()`.
-                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(loader)) {
-                            Ok(data) => {
-                                pool.insert(&key, data);
-                            }
-                            Err(_) => {
-                                failed_loads.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    let (lock, cv) = &*outstanding;
-                    let mut n = lock.lock();
-                    *n -= 1;
-                    cv.notify_all();
-                }
-            }));
-        }
         Prefetcher {
-            tx: Some(tx),
-            handles,
-            outstanding,
-            failed_loads,
+            workers: Some(rayon::ThreadPoolBuilder::new().num_threads(workers).build()),
+            pool,
+            outstanding: Arc::new((Mutex::new(0usize), Condvar::new())),
+            failed_loads: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// Queues a prefetch.
+    /// Queues a prefetch. A prefetch is best-effort: if the workers are
+    /// already gone the load is recorded in [`Prefetcher::failed_loads`]
+    /// (and surfaced by `shutdown`) rather than panicking.
     pub fn prefetch<F: FnOnce() -> Vec<u8> + Send + 'static>(&self, key: &str, loader: F) {
         let (lock, _) = &*self.outstanding;
         *lock.lock() += 1;
-        self.tx
-            .as_ref()
-            .expect("prefetcher running")
-            .send((key.to_string(), Box::new(loader)))
-            .expect("prefetch workers alive");
+        let Some(workers) = self.workers.as_ref() else {
+            // Shut down (only reachable mid-drop): the load can never
+            // happen, so record the failure and release any waiter.
+            self.record_failed_load();
+            return;
+        };
+        let key = key.to_string();
+        let pool = Arc::clone(&self.pool);
+        let outstanding = Arc::clone(&self.outstanding);
+        let failed_loads = Arc::clone(&self.failed_loads);
+        workers.spawn(move || {
+            if !pool.contains(&key) {
+                // Catch loader panics so the outstanding count is always
+                // decremented — otherwise one bad loader would deadlock
+                // every later `drain()`.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(loader)) {
+                    Ok(data) => {
+                        pool.insert(&key, data);
+                    }
+                    Err(_) => {
+                        failed_loads.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            let (lock, cv) = &*outstanding;
+            let mut n = lock.lock();
+            *n -= 1;
+            cv.notify_all();
+        });
+    }
+
+    /// Counts a load that could not run and releases its drain waiter.
+    fn record_failed_load(&self) {
+        self.failed_loads.fetch_add(1, Ordering::Relaxed);
+        let (lock, cv) = &*self.outstanding;
+        let mut n = lock.lock();
+        *n -= 1;
+        cv.notify_all();
     }
 
     /// Blocks until every queued prefetch has landed (or failed).
@@ -235,15 +239,16 @@ impl Prefetcher {
     ///
     /// # Errors
     /// Returns [`SimError::WorkerPanic`] when any queued loader panicked
-    /// (the failure count is in the worker label) or when a worker thread
-    /// itself died.
+    /// (the failure count is in the worker label) or when a prefetch job
+    /// itself died outside the loader.
     pub fn shutdown(mut self) -> Result<(), SimError> {
         self.drain();
-        self.tx.take();
-        let handles: Vec<_> = self.handles.drain(..).collect();
-        for (i, h) in handles.into_iter().enumerate() {
-            if h.join().is_err() {
-                return Err(SimError::worker_panic(format!("prefetch worker {i}")));
+        if let Some(workers) = self.workers.take() {
+            let panicked = workers.join();
+            if panicked > 0 {
+                return Err(SimError::worker_panic(format!(
+                    "{panicked} prefetch job(s)"
+                )));
             }
         }
         let failed = self.failed_loads();
@@ -258,14 +263,11 @@ impl Prefetcher {
 
 impl Drop for Prefetcher {
     fn drop(&mut self) {
-        // Guarded: `shutdown()` already drained `handles`, so this only
+        // Guarded: `shutdown()` already took `workers`, so this only
         // joins when the prefetcher is dropped without an explicit
         // shutdown (failures are then unreportable but not swallowed
         // silently — they are counted in `failed_loads`).
-        self.tx.take();
-        for h in self.handles.drain(..) {
-            drop(h.join());
-        }
+        drop(self.workers.take());
     }
 }
 

@@ -127,23 +127,7 @@ impl TaskGraph {
             .collect();
 
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<(TaskId, bool)>();
-        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(TaskId, TaskFn)>();
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let done_tx = done_tx.clone();
-            handles.push(std::thread::spawn(move || {
-                while let Ok((id, f)) = job_rx.recv() {
-                    // Catch panics so a failing task body is reported as a
-                    // completion (ok = false) instead of killing the worker
-                    // and deadlocking the dispatch loop.
-                    let ok = catch_unwind(AssertUnwindSafe(f)).is_ok();
-                    if done_tx.send((id, ok)).is_err() {
-                        break;
-                    }
-                }
-            }));
-        }
+        let worker_pool = rayon::ThreadPoolBuilder::new().num_threads(workers).build();
 
         let mut ready: Vec<TaskId> = (0..deps_left.len())
             .filter(|&i| deps_left[i] == 0)
@@ -153,11 +137,11 @@ impl TaskGraph {
         let mut remaining = deps_left.len();
 
         let mut failure: Option<SimError> = None;
-        while remaining > 0 {
+        'dispatch: while remaining > 0 {
             // Dispatch as many ready tasks as workers allow, best-scored
             // (most resident inputs) first.
             while running < workers && !ready.is_empty() {
-                let best = ready
+                let Some(best) = ready
                     .iter()
                     .enumerate()
                     .max_by_key(|&(_, &t)| match &pool {
@@ -165,14 +149,34 @@ impl TaskGraph {
                         None => 0,
                     })
                     .map(|(i, _)| i)
-                    .expect("non-empty ready set");
+                else {
+                    break;
+                };
                 let task = ready.swap_remove(best);
+                let Some(body) = bodies.remove(&task) else {
+                    // A task dispatched twice would be a scheduler bug;
+                    // surface it as an error instead of panicking.
+                    failure = Some(SimError::worker_panic(format!(
+                        "task `{}` (body already taken)",
+                        names[task]
+                    )));
+                    break 'dispatch;
+                };
                 order.push(names[task].clone());
-                let body = bodies.remove(&task).expect("task body present");
-                job_tx.send((task, body)).expect("workers alive");
+                let done_tx = done_tx.clone();
+                worker_pool.spawn(move || {
+                    // Catch panics so a failing task body is reported as a
+                    // completion (ok = false) instead of deadlocking the
+                    // dispatch loop.
+                    let ok = catch_unwind(AssertUnwindSafe(body)).is_ok();
+                    let _pool_shutting_down = done_tx.send((task, ok));
+                });
                 running += 1;
             }
-            let (finished, ok) = done_rx.recv().expect("worker reported");
+            let Ok((finished, ok)) = done_rx.recv() else {
+                failure = Some(SimError::channel_closed("scheduler completions"));
+                break 'dispatch;
+            };
             running -= 1;
             remaining -= 1;
             if !ok {
@@ -189,8 +193,10 @@ impl TaskGraph {
                 }
             }
         }
-        drop(job_tx);
-        // Let already-dispatched tasks run to completion before joining.
+        // Let already-dispatched tasks run to completion. Dropping our
+        // completion sender first means `recv` errors (instead of
+        // blocking forever) if a job was lost.
+        drop(done_tx);
         while running > 0 {
             match done_rx.recv() {
                 Ok((finished, ok)) => {
@@ -205,10 +211,11 @@ impl TaskGraph {
                 Err(_) => break,
             }
         }
-        for (i, h) in handles.into_iter().enumerate() {
-            if h.join().is_err() && failure.is_none() {
-                failure = Some(SimError::worker_panic(format!("scheduler worker {i}")));
-            }
+        let panicked = worker_pool.join();
+        if panicked > 0 && failure.is_none() {
+            failure = Some(SimError::worker_panic(format!(
+                "{panicked} scheduler job(s)"
+            )));
         }
         match failure {
             Some(e) => Err(e),

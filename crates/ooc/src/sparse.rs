@@ -66,7 +66,9 @@ impl CsrMatrix {
         if self.row_ptr.len() != self.n + 1 {
             return Err("row_ptr length".into());
         }
-        if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() != self.nnz() as u64 {
+        if self.row_ptr.first() != Some(&0)
+            || self.row_ptr.last().copied() != Some(self.nnz() as u64)
+        {
             return Err("row_ptr endpoints".into());
         }
         for i in 0..self.n {

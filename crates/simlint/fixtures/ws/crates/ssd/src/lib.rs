@@ -4,6 +4,9 @@
 //   bare_cast x2 (`as u64`, `as f64`)
 // `LinkedHashMap` must NOT fire (left word boundary), and the casts in
 // the comment / string literal below must NOT fire (cleaned text).
+// `admit` adds no findings of its own: it is the cross-crate callee the
+// core fixture passes a bytes value to, proving the unit pass checks
+// call arguments through the workspace symbol index.
 pub type Map = std::collections::HashMap<u64, u64>;
 pub type Set = std::collections::HashSet<u64>;
 
@@ -20,4 +23,8 @@ pub fn ratio(x: u32) -> f64 {
 pub fn innocuous() -> &'static str {
     // not a cast: 1 as u64 inside a comment
     "also not a cast: 2 as u64"
+}
+
+pub fn admit(deadline_ns: u64) -> u64 {
+    deadline_ns
 }

@@ -1,0 +1,523 @@
+//! The eight classic rules, re-implemented over token trees and the
+//! AST instead of per-line substring scans.
+//!
+//! Messages are byte-identical with the legacy engine in `rules` (the
+//! selftests compare the two), but the matching is structural, which
+//! kills the remaining false-positive/negative classes:
+//!
+//! * tokens split across lines (`.unwrap\n()`, `x as\n    u64`) are
+//!   seen as one construct;
+//! * identifier boundaries are exact (`LinkedHashMap` is not a
+//!   `HashMap`; `SystemTimeline` is not `SystemTime`);
+//! * `use std::thread::spawn; spawn(..)` and aliased imports are
+//!   resolved through the file's `use`-map;
+//! * `match` arms come from the parser, not a brace-depth heuristic.
+
+use crate::ast::{self, Expr, ExprKind, File, ItemKind, UseEntry};
+use crate::lexer::CleanFile;
+use crate::parser::{Span, Tree};
+use crate::rules::{Finding, Rule, WATCHED_ENUMS};
+
+/// Panicking macro names for [`Rule::NoPanic`].
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Numeric cast targets for [`Rule::BareCast`] (mirrors the legacy
+/// list: `u8` stays exempt — it is the byte type, not a unit).
+const CAST_TARGETS: [&str; 9] = [
+    "u16", "u32", "u64", "u128", "usize", "i64", "i128", "f32", "f64",
+];
+
+fn in_test(clean: &CleanFile, span: Span) -> bool {
+    clean
+        .lines
+        .get(span.line.saturating_sub(1))
+        .is_some_and(|l| l.in_test)
+}
+
+fn push(findings: &mut Vec<Finding>, clean: &CleanFile, rule: Rule, span: Span, message: String) {
+    if !in_test(clean, span) {
+        findings.push(Finding {
+            rule,
+            line: span.line,
+            col: span.col,
+            message,
+        });
+    }
+}
+
+/// `.unwrap()`, `.expect(..)` and the panicking macros.
+pub fn no_panic(clean: &CleanFile, trees: &[Tree]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    crate::parser::walk_sibling_slices(trees, &mut |slice| {
+        for (i, t) in slice.iter().enumerate() {
+            if t.is_punct(".") {
+                let (Some(name), Some(g)) = (
+                    slice.get(i + 1).and_then(Tree::ident),
+                    slice.get(i + 2).and_then(|t| t.group_of('(')),
+                ) else {
+                    continue;
+                };
+                let hit = match name {
+                    "unwrap" => g.children.is_empty(),
+                    "expect" => true,
+                    _ => false,
+                };
+                if hit {
+                    let shown = if name == "unwrap" {
+                        "unwrap()"
+                    } else {
+                        "expect"
+                    };
+                    push(
+                        &mut findings,
+                        clean,
+                        Rule::NoPanic,
+                        t.span(),
+                        format!(
+                            "`{shown}` can panic; return a typed error or use a non-panicking accessor"
+                        ),
+                    );
+                }
+            } else if let Some(name) = t.ident() {
+                if PANIC_MACROS.contains(&name)
+                    && slice.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                    && slice.get(i + 2).is_some_and(|n| n.group().is_some())
+                {
+                    push(
+                        &mut findings,
+                        clean,
+                        Rule::NoPanic,
+                        t.span(),
+                        format!(
+                            "`{name}!` can panic; return a typed error or use a non-panicking accessor"
+                        ),
+                    );
+                }
+            }
+        }
+    });
+    findings
+}
+
+/// Wall-clock and OS-entropy constructs.
+pub fn wall_clock(clean: &CleanFile, trees: &[Tree]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    crate::parser::walk_sibling_slices(trees, &mut |slice| {
+        for (i, t) in slice.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            let token = match name {
+                "SystemTime" => Some("SystemTime"),
+                "thread_rng" => Some("thread_rng"),
+                "from_entropy" => Some("from_entropy"),
+                "Instant"
+                    if slice.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                        && slice.get(i + 2).and_then(Tree::ident) == Some("now") =>
+                {
+                    Some("Instant::now")
+                }
+                _ => None,
+            };
+            if let Some(tok) = token {
+                push(
+                    &mut findings,
+                    clean,
+                    Rule::WallClock,
+                    t.span(),
+                    format!(
+                        "`{tok}` breaks reproducibility; simulators must use simulated time and seeded RNGs"
+                    ),
+                );
+            }
+        }
+    });
+    findings
+}
+
+/// `HashMap`/`HashSet` mentions in simulator-state crates.
+pub fn nondeterministic_collection(clean: &CleanFile, trees: &[Tree]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    crate::parser::walk_sibling_slices(trees, &mut |slice| {
+        for t in slice {
+            let Some(name) = t.ident() else { continue };
+            if name == "HashMap" || name == "HashSet" {
+                push(
+                    &mut findings,
+                    clean,
+                    Rule::NondeterministicCollection,
+                    t.span(),
+                    format!(
+                        "`{name}` iteration order is nondeterministic; use `BTree{}` or a sorted drain",
+                        &name[4..]
+                    ),
+                );
+            }
+        }
+    });
+    findings
+}
+
+/// Bare `as <numeric>` casts — including ones split across lines.
+pub fn bare_cast(clean: &CleanFile, trees: &[Tree]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    crate::parser::walk_sibling_slices(trees, &mut |slice| {
+        for (i, t) in slice.iter().enumerate() {
+            if t.ident() != Some("as") {
+                continue;
+            }
+            // `use x as y;` aliases are not casts: the previous token
+            // of a cast is a value/group, never the `use` path context.
+            if in_use_statement(slice, i) {
+                continue;
+            }
+            let Some(target) = slice.get(i + 1).and_then(Tree::ident) else {
+                continue;
+            };
+            if CAST_TARGETS.contains(&target) {
+                push(
+                    &mut findings,
+                    clean,
+                    Rule::BareCast,
+                    t.span(),
+                    format!(
+                        "bare `as {target}` cast in unit arithmetic; use `u64::from`/`f64::from` for lossless widening or the audited helpers in `nvmtypes::convert` (`usize_from`, `u64_from_usize`, `approx_f64`, `trunc_u64`, `try_u32`)"
+                    ),
+                );
+            }
+        }
+    });
+    findings
+}
+
+/// Is the `as` at `slice[i]` part of a `use ... as alias` statement?
+fn in_use_statement(slice: &[Tree], i: usize) -> bool {
+    slice[..i]
+        .iter()
+        .rev()
+        .take_while(|t| !t.is_punct(";"))
+        .any(|t| t.ident() == Some("use"))
+}
+
+/// Direct `thread::spawn(..)` calls, plus calls through a `use`-import
+/// of `spawn` (possibly aliased) — the dodge the legacy rule missed.
+pub fn thread_spawn(clean: &CleanFile, trees: &[Tree], ast: &File) -> Vec<Finding> {
+    // Names bound to `std::thread::spawn` by imports in this file.
+    let mut spawn_aliases: Vec<String> = Vec::new();
+    collect_use_entries(&ast.items, &mut |entry| {
+        let p = &entry.path;
+        if p.len() >= 2 && p[p.len() - 2] == "thread" && p[p.len() - 1] == "spawn" {
+            spawn_aliases.push(entry.alias.clone());
+        }
+    });
+    let message = || {
+        "direct `thread::spawn` bypasses the vendored work-sharing pool; use \
+         `rayon::par_iter`/`join` so `RAYON_NUM_THREADS` and the ordered-collect \
+         determinism contract apply (docs/PARALLELISM.md)"
+            .to_string()
+    };
+    let mut findings = Vec::new();
+    crate::parser::walk_sibling_slices(trees, &mut |slice| {
+        for (i, t) in slice.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            if name == "thread"
+                && slice.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && slice.get(i + 2).and_then(Tree::ident) == Some("spawn")
+                && slice.get(i + 3).is_some_and(|n| n.group_of('(').is_some())
+            {
+                push(&mut findings, clean, Rule::ThreadSpawn, t.span(), message());
+            } else if spawn_aliases.iter().any(|a| a == name)
+                && slice.get(i + 1).is_some_and(|n| n.group_of('(').is_some())
+            {
+                // A bare `spawn(..)` call through the import. Method
+                // calls (`scope.spawn(..)`) and path-qualified calls
+                // were handled (or exempted) above.
+                let preceded = i > 0 && (slice[i - 1].is_punct(".") || slice[i - 1].is_punct("::"));
+                if !preceded {
+                    push(&mut findings, clean, Rule::ThreadSpawn, t.span(), message());
+                }
+            }
+        }
+    });
+    findings
+}
+
+fn collect_use_entries(items: &[ast::Item], f: &mut impl FnMut(&UseEntry)) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Use(entries) => entries.iter().for_each(&mut *f),
+            ItemKind::Mod { items, .. } => collect_use_entries(items, f),
+            _ => {}
+        }
+    }
+}
+
+/// `println!`/`eprintln!` in library code.
+pub fn no_println_in_lib(clean: &CleanFile, trees: &[Tree]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    crate::parser::walk_sibling_slices(trees, &mut |slice| {
+        for (i, t) in slice.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            if (name == "println" || name == "eprintln")
+                && slice.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                && slice.get(i + 2).is_some_and(|n| n.group_of('(').is_some())
+            {
+                push(
+                    &mut findings,
+                    clean,
+                    Rule::NoPrintlnInLib,
+                    t.span(),
+                    format!(
+                        "`{name}!` in library code; return or render a `String` and let the binary print it"
+                    ),
+                );
+            }
+        }
+    });
+    findings
+}
+
+/// `let _ = expr;` wildcard discards.
+pub fn let_underscore_result(clean: &CleanFile, trees: &[Tree]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    crate::parser::walk_sibling_slices(trees, &mut |slice| {
+        for (i, t) in slice.iter().enumerate() {
+            if t.ident() == Some("let")
+                && slice.get(i + 1).and_then(Tree::ident) == Some("_")
+                && slice.get(i + 2).is_some_and(|n| n.is_punct("="))
+            {
+                push(
+                    &mut findings,
+                    clean,
+                    Rule::LetUnderscoreResult,
+                    t.span(),
+                    "`let _ = ..` silently discards the value — and any `Err` in it; \
+                     handle or propagate the `Result`, or make a deliberate discard \
+                     explicit with `drop(..)`"
+                        .to_string(),
+                );
+            }
+        }
+    });
+    findings
+}
+
+/// Wildcard `_ =>` arms in `match`es over (or into) watched enums.
+pub fn enum_wildcard(clean: &CleanFile, ast: &File) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    ast::visit_fns(&ast.items, false, &mut |fd, _, _, _| {
+        let Some(body) = &fd.body else { return };
+        ast::visit_exprs(body, &mut |e| {
+            let ExprKind::Match { arms, .. } = &e.kind else {
+                return;
+            };
+            if !match_is_watched(e) {
+                return;
+            }
+            for arm in arms {
+                if arm.is_wild {
+                    push(
+                        &mut findings,
+                        clean,
+                        Rule::EnumWildcard,
+                        arm.span,
+                        "wildcard `_ =>` arm on a watched enum; list every variant so new media kinds cannot silently fall through".to_string(),
+                    );
+                }
+            }
+        });
+    });
+    findings
+}
+
+/// A match is watched when any path in its subtree (scrutinee, arm
+/// patterns, guards, or bodies — nested matches included) names
+/// `WatchedEnum::Variant`.
+fn match_is_watched(match_expr: &Expr) -> bool {
+    let mut watched = false;
+    ast::visit_expr(match_expr, &mut |e| match &e.kind {
+        ExprKind::Path(segs) => watched |= path_is_watched(segs),
+        ExprKind::StructLit { path, .. } | ExprKind::Macro { path, .. } => {
+            watched |= path_is_watched(path);
+        }
+        ExprKind::Match { arms, .. } => {
+            for arm in arms {
+                watched |= arm.pat_paths.iter().any(|p| path_is_watched(p));
+            }
+        }
+        _ => {}
+    });
+    watched
+}
+
+/// Does `segs` contain `WatchedEnum::<something>`?
+fn path_is_watched(segs: &[String]) -> bool {
+    segs.windows(2)
+        .any(|w| WATCHED_ENUMS.contains(&w[0].as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean_source;
+    use crate::parser::parse_trees;
+    use crate::rules;
+
+    fn prep(src: &str) -> (CleanFile, Vec<Tree>, File) {
+        let clean = clean_source(src);
+        let trees = parse_trees(&clean);
+        let file = ast::parse_file(&trees);
+        (clean, trees, file)
+    }
+
+    /// The AST port must agree with the legacy engine on everything the
+    /// legacy engine can see (messages included, byte for byte).
+    #[test]
+    fn agrees_with_legacy_on_single_line_constructs() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); }\n\
+                   fn g() { let m: HashMap<u32, u32> = HashMap::new(); }\n\
+                   fn h() { let t = Instant::now(); let s = SystemTime::now(); }\n\
+                   fn i(x: u32) -> u64 { x as u64 }\n\
+                   fn j() { let _ = k(); println!(\"x\"); std::thread::spawn(|| {}); }\n";
+        let (clean, trees, file) = prep(src);
+        let pairs: Vec<(Vec<Finding>, Vec<Finding>)> = vec![
+            (no_panic(&clean, &trees), rules::no_panic(&clean)),
+            (
+                nondeterministic_collection(&clean, &trees),
+                rules::nondeterministic_collection(&clean),
+            ),
+            (wall_clock(&clean, &trees), rules::wall_clock(&clean)),
+            (bare_cast(&clean, &trees), rules::bare_cast(&clean)),
+            (
+                let_underscore_result(&clean, &trees),
+                rules::let_underscore_result(&clean),
+            ),
+            (
+                no_println_in_lib(&clean, &trees),
+                rules::no_println_in_lib(&clean),
+            ),
+            (
+                thread_spawn(&clean, &trees, &file),
+                rules::thread_spawn(&clean),
+            ),
+        ];
+        for (ast_hits, legacy_hits) in pairs {
+            assert_eq!(
+                ast_hits.len(),
+                legacy_hits.len(),
+                "{ast_hits:?}\n{legacy_hits:?}"
+            );
+            for (a, l) in ast_hits.iter().zip(&legacy_hits) {
+                assert_eq!(a.message, l.message);
+                assert_eq!(a.line, l.line);
+            }
+        }
+    }
+
+    #[test]
+    fn multiline_unwrap_is_caught_where_legacy_misses() {
+        let src = "fn f() {\n  x\n    .unwrap\n    ();\n}\n";
+        let (clean, trees, _) = prep(src);
+        assert!(rules::no_panic(&clean).is_empty(), "legacy blind spot");
+        let hits = no_panic(&clean, &trees);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn multiline_cast_is_caught_where_legacy_misses() {
+        let src = "fn f(x: u32) -> u64 {\n  x as\n    u64\n}\n";
+        let (clean, trees, _) = prep(src);
+        assert!(rules::bare_cast(&clean).is_empty(), "legacy blind spot");
+        let hits = bare_cast(&clean, &trees);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn imported_spawn_is_caught_where_legacy_misses() {
+        let src = "use std::thread::spawn;\nfn f() { spawn(|| {}); }\n";
+        let (clean, trees, file) = prep(src);
+        assert!(rules::thread_spawn(&clean).is_empty(), "legacy blind spot");
+        let hits = thread_spawn(&clean, &trees, &file);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn aliased_spawn_import_is_caught() {
+        let src = "use std::thread::spawn as go;\nfn f() { go(|| {}); }\n";
+        let (clean, trees, file) = prep(src);
+        let hits = thread_spawn(&clean, &trees, &file);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn scoped_spawn_and_use_alias_do_not_fire() {
+        let src = "use std::thread::spawn as go;\nfn f(scope: &S) { scope.go(|| {}); }\n";
+        let (clean, trees, file) = prep(src);
+        assert!(thread_spawn(&clean, &trees, &file).is_empty());
+    }
+
+    #[test]
+    fn linked_hash_map_is_not_flagged() {
+        let src = "fn f() { let m = LinkedHashMap::new(); let t = SystemTimeline::new(); }\n";
+        let (clean, trees, _) = prep(src);
+        assert!(nondeterministic_collection(&clean, &trees).is_empty());
+        assert!(wall_clock(&clean, &trees).is_empty());
+    }
+
+    #[test]
+    fn use_as_alias_is_not_a_cast() {
+        let src = "use foo::bar as u64_helper;\nfn f() {}\n";
+        let (clean, trees, _) = prep(src);
+        assert!(bare_cast(&clean, &trees).is_empty());
+    }
+
+    #[test]
+    fn enum_wildcard_matches_legacy_on_fixtures() {
+        for (src, want) in [
+            (
+                "fn f(k: NvmKind) -> u32 {\n match k {\n  NvmKind::Slc => 1,\n  _ => 0,\n }\n}\n",
+                1,
+            ),
+            (
+                "fn f(n: u8) -> u32 {\n match n {\n  0 => 1,\n  _ => 0,\n }\n}\n",
+                0,
+            ),
+            (
+                "fn f(k: IoOp) -> u32 {\n match k {\n  IoOp::Read => 1,\n  IoOp::Write => 2,\n }\n}\n",
+                0,
+            ),
+            (
+                "fn f(i: u32) -> PageClass {\n match i % 3 {\n  0 => PageClass::Lsb,\n  1 => PageClass::Csb,\n  _ => PageClass::Msb,\n }\n}\n",
+                1,
+            ),
+            (
+                "fn f(k: IoOp) -> u32 {\n match (k, 1) {\n  (IoOp::Read, _) => 1,\n  (IoOp::Write, _) => 2,\n }\n}\n",
+                0,
+            ),
+            (
+                "fn f(k: OpKind, n: u8) -> u32 {\n match (k, n) {\n  (OpKind::Read, x) if x > 3 => { 1 }\n  (OpKind::Write, _) => 2,\n  _ => 3,\n }\n}\n",
+                1,
+            ),
+        ] {
+            let (clean, _, file) = prep(src);
+            let ast_hits = enum_wildcard(&clean, &file);
+            let legacy_hits = rules::enum_wildcard(&clean);
+            assert_eq!(ast_hits.len(), want, "{src}\n{ast_hits:?}");
+            assert_eq!(legacy_hits.len(), want, "legacy drifted: {src}");
+            for (a, l) in ast_hits.iter().zip(&legacy_hits) {
+                assert_eq!(a.line, l.line, "{src}");
+                assert_eq!(a.message, l.message);
+            }
+        }
+    }
+
+    #[test]
+    fn string_and_comment_false_positives_stay_dead() {
+        let src = "// x.unwrap()\nconst S: &str = \"panic!( let _ = a() as u64 HashMap\";\n";
+        let (clean, trees, _) = prep(src);
+        assert!(no_panic(&clean, &trees).is_empty());
+        assert!(bare_cast(&clean, &trees).is_empty());
+        assert!(let_underscore_result(&clean, &trees).is_empty());
+        assert!(nondeterministic_collection(&clean, &trees).is_empty());
+    }
+}

@@ -27,8 +27,14 @@
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod ast;
+pub mod astrules;
 pub mod lexer;
+pub mod parser;
+pub mod resolve;
 pub mod rules;
+pub mod taint;
+pub mod units;
 
 use allow::Allowlist;
 use rules::{Finding, Rule};
@@ -163,6 +169,18 @@ pub fn rules_for(path: &str) -> Vec<Rule> {
     if UNIT_MATH_CRATES.contains(&krate) {
         rules.push(Rule::BareCast);
     }
+    // Semantic passes (computed in `scan_workspace`, which has the
+    // cross-crate index). Taint covers every crate whose output feeds
+    // results or traces; `bench` is exempt — env knobs and wall-clock
+    // stamps are sanctioned in the harness. Units cover everything
+    // doing ns/bytes/lanes arithmetic, including the out-of-core
+    // algorithms that consume simulator timings.
+    if DETERMINISM_CRATES.contains(&krate) || krate == "ooc" {
+        rules.push(Rule::NondetTaint);
+    }
+    if UNIT_MATH_CRATES.contains(&krate) || matches!(krate, "core" | "trace" | "ooc") {
+        rules.push(Rule::UnitMismatch);
+    }
     rules
 }
 
@@ -196,20 +214,29 @@ pub fn source_crate(path: &str) -> Option<&str> {
     None
 }
 
-/// Scans one file's source text under the rules for its path.
+/// Scans one file's source text under the rules for its path. Rules run
+/// over the token trees/AST (see [`astrules`]); the legacy per-line
+/// engine in [`rules`] is kept as a comparison baseline for selftests.
 pub fn scan_source(path: &str, source: &str) -> Vec<Located> {
     let clean = lexer::clean_source(source);
+    let trees = parser::parse_trees(&clean);
+    let file = ast::parse_file(&trees);
     let mut out = Vec::new();
     for rule in rules_for(path) {
         let findings = match rule {
-            Rule::NoPanic => rules::no_panic(&clean),
-            Rule::NondeterministicCollection => rules::nondeterministic_collection(&clean),
-            Rule::WallClock => rules::wall_clock(&clean),
-            Rule::BareCast => rules::bare_cast(&clean),
-            Rule::EnumWildcard => rules::enum_wildcard(&clean),
-            Rule::LetUnderscoreResult => rules::let_underscore_result(&clean),
-            Rule::NoPrintlnInLib => rules::no_println_in_lib(&clean),
-            Rule::ThreadSpawn => rules::thread_spawn(&clean),
+            Rule::NoPanic => astrules::no_panic(&clean, &trees),
+            Rule::NondeterministicCollection => {
+                astrules::nondeterministic_collection(&clean, &trees)
+            }
+            Rule::WallClock => astrules::wall_clock(&clean, &trees),
+            Rule::BareCast => astrules::bare_cast(&clean, &trees),
+            Rule::EnumWildcard => astrules::enum_wildcard(&clean, &file),
+            Rule::LetUnderscoreResult => astrules::let_underscore_result(&clean, &trees),
+            Rule::NoPrintlnInLib => astrules::no_println_in_lib(&clean, &trees),
+            Rule::ThreadSpawn => astrules::thread_spawn(&clean, &trees, &file),
+            // Semantic passes need the cross-file index; they run in
+            // `scan_workspace`, not per-file.
+            Rule::NondetTaint | Rule::UnitMismatch => Vec::new(),
         };
         out.extend(findings.into_iter().map(|finding| Located {
             path: path.to_string(),
@@ -226,6 +253,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
     collect_rs_files(root, root, &mut files)?;
     files.sort();
     let mut report = Report::default();
+    let mut file_asts = Vec::new();
     for rel in files {
         if rules_for(&rel).is_empty() {
             continue;
@@ -239,6 +267,24 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
                 .or_insert(0) += 1;
             report.findings.push(located);
         }
+        if let Some(krate) = source_crate(&rel) {
+            let clean = lexer::clean_source(&source);
+            file_asts.push(resolve::FileAst::parse(&rel, krate, &clean));
+        }
+    }
+    // Semantic passes: workspace-wide dataflow over the symbol index.
+    let index = resolve::Index::build(&file_asts);
+    let taint_scope = |p: &str| rules_for(p).contains(&Rule::NondetTaint);
+    let unit_scope = |p: &str| rules_for(p).contains(&Rule::UnitMismatch);
+    for located in taint::run(&file_asts, &index, &taint_scope)
+        .into_iter()
+        .chain(units::run(&file_asts, &index, &unit_scope))
+    {
+        *report
+            .counts
+            .entry((located.finding.rule, located.path.clone()))
+            .or_insert(0) += 1;
+        report.findings.push(located);
     }
     report
         .findings
@@ -274,6 +320,15 @@ pub fn check(report: &Report, allow: &Allowlist) -> Verdict {
     // Forbidden allowlist entries: rules with a strict scope cannot be
     // excused inside it.
     for (rule, path, count) in allow.iter() {
+        // The semantic passes are never allowlistable anywhere: a
+        // nondeterministic result or a cross-unit sum is a bug, not
+        // debt to be tracked.
+        if matches!(rule, Rule::NondetTaint | Rule::UnitMismatch) {
+            verdict.forbidden.push(format!(
+                "{path}: `{}` is never allowlistable ({count} entries)",
+                rule.id()
+            ));
+        }
         let strict_scope: &[&str] = match rule {
             Rule::NoPanic => &STRICT_NO_PANIC_CRATES,
             Rule::LetUnderscoreResult => &STRICT_LET_UNDERSCORE_CRATES,

@@ -3,50 +3,193 @@
 //! ```text
 //! cargo run -p simlint                 # gate: scan + check allowlist
 //! cargo run -p simlint -- --list       # print every finding (allowed too)
+//! cargo run -p simlint -- --json       # versioned findings export to stdout
+//! cargo run -p simlint -- --baseline F # gate + diff against a committed baseline
+//! cargo run -p simlint -- --write-baseline  # regenerate results/simlint.baseline.json
 //! cargo run -p simlint -- --write-allow  # regenerate simlint.allow
 //! cargo run -p simlint -- --root DIR   # scan a different tree
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations/stale/forbidden entries, 2 usage or
-//! I/O errors.
+//! The JSON export (schema `oocnvm.simlint/1`) carries per-`(rule,
+//! path)` finding counts plus the allowlist total; the baseline diff
+//! fails on any growth (new `(rule, path)` pairs, higher counts, or a
+//! larger allowlist) and treats shrinkage as an advisory to refresh the
+//! baseline. Counts, not line numbers, so unrelated edits don't churn
+//! the committed file.
+//!
+//! Exit codes: 0 clean, 1 violations/stale/forbidden entries or baseline
+//! regressions, 2 usage or I/O errors.
 
 use simlint::allow::Allowlist;
 use simlint::rules::Rule;
+use simlint::Report;
+use simobs::json::{self, Json};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Schema tag for the findings export.
+const SCHEMA: &str = "oocnvm.simlint/1";
+
+/// Workspace-relative path of the committed baseline.
+const BASELINE_PATH: &str = "results/simlint.baseline.json";
 
 struct Options {
     root: PathBuf,
     write_allow: bool,
     list: bool,
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut root = simlint::workspace_root();
-    let mut write_allow = false;
-    let mut list = false;
+    let mut opts = Options {
+        root: simlint::workspace_root(),
+        write_allow: false,
+        list: false,
+        json: false,
+        baseline: None,
+        write_baseline: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => {
                 let dir = args.next().ok_or("--root needs a directory")?;
-                root = PathBuf::from(dir);
+                opts.root = PathBuf::from(dir);
             }
-            "--write-allow" => write_allow = true,
-            "--list" => list = true,
+            "--write-allow" => opts.write_allow = true,
+            "--list" => opts.list = true,
+            "--json" => opts.json = true,
+            "--baseline" => {
+                let file = args.next().ok_or("--baseline needs a file")?;
+                opts.baseline = Some(PathBuf::from(file));
+            }
+            "--write-baseline" => opts.write_baseline = true,
             "--help" | "-h" => {
                 return Err(String::from(
-                    "usage: simlint [--root DIR] [--list] [--write-allow]",
+                    "usage: simlint [--root DIR] [--list] [--json] [--baseline FILE] \
+                     [--write-baseline] [--write-allow]",
                 ))
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Options {
-        root,
-        write_allow,
-        list,
-    })
+    Ok(opts)
+}
+
+/// Builds the versioned findings export document.
+fn export(report: &Report, allow: &Allowlist) -> String {
+    let counts = Json::Arr(
+        report
+            .counts
+            .iter()
+            .map(|((rule, path), count)| {
+                Json::obj()
+                    .field("rule", Json::str(rule.id()))
+                    .field("path", Json::str(path))
+                    .field("count", Json::u64(*count as u64))
+            })
+            .collect(),
+    );
+    let findings = Json::Arr(
+        report
+            .findings
+            .iter()
+            .map(|l| {
+                Json::obj()
+                    .field("rule", Json::str(l.finding.rule.id()))
+                    .field("path", Json::str(&l.path))
+                    .field("line", Json::u64(l.finding.line as u64))
+                    .field("col", Json::u64(l.finding.col as u64))
+                    .field("message", Json::str(&l.finding.message))
+            })
+            .collect(),
+    );
+    let payload = Json::obj()
+        .field("files_scanned", Json::u64(report.files_scanned as u64))
+        .field("allow_total", Json::u64(allow_total(allow)))
+        .field("counts", counts)
+        .field("findings", findings);
+    json::report(SCHEMA, payload)
+}
+
+/// Total violations granted by the allowlist (the ratchet quantity).
+fn allow_total(allow: &Allowlist) -> u64 {
+    allow.iter().map(|(_, _, count)| count as u64).sum()
+}
+
+/// Result of diffing a scan against a committed baseline.
+#[derive(Default)]
+struct BaselineDiff {
+    /// Growth: new `(rule, path)` pairs, higher counts, allowlist growth.
+    regressions: Vec<String>,
+    /// Shrinkage: the baseline can be ratcheted down.
+    improvements: Vec<String>,
+}
+
+/// Parses a baseline export and compares: any growth is a regression.
+fn diff_baseline(text: &str, report: &Report, allow: &Allowlist) -> Result<BaselineDiff, String> {
+    let doc = json::parse(text).map_err(|e| format!("malformed baseline: {e}"))?;
+    match doc.get("format") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        other => return Err(format!("baseline schema is {other:?}, expected {SCHEMA:?}")),
+    }
+    let mut base: BTreeMap<(String, String), u64> = BTreeMap::new();
+    if let Some(Json::Arr(items)) = doc.get("counts") {
+        for item in items {
+            let (Some(Json::Str(rule)), Some(Json::Str(path)), Some(Json::Num(count))) =
+                (item.get("rule"), item.get("path"), item.get("count"))
+            else {
+                return Err("baseline count entry missing rule/path/count".to_string());
+            };
+            let count: u64 = count
+                .parse()
+                .map_err(|_| format!("non-integer count {count:?} in baseline"))?;
+            base.insert((rule.clone(), path.clone()), count);
+        }
+    }
+    let mut diff = BaselineDiff::default();
+    let mut current: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for ((rule, path), count) in &report.counts {
+        current.insert((rule.id().to_string(), path.clone()), *count as u64);
+    }
+    for (key, &count) in &current {
+        let allowed = base.get(key).copied().unwrap_or(0);
+        if count > allowed {
+            let (rule, path) = key;
+            diff.regressions.push(format!(
+                "{path}: {count} `{rule}` finding(s), baseline has {allowed}"
+            ));
+        }
+    }
+    for (key, &allowed) in &base {
+        let count = current.get(key).copied().unwrap_or(0);
+        if count < allowed {
+            let (rule, path) = key;
+            diff.improvements.push(format!(
+                "{path}: `{rule}` down to {count} from {allowed} — refresh with --write-baseline"
+            ));
+        }
+    }
+    let base_allow = match doc.get("allow_total") {
+        Some(Json::Num(n)) => n
+            .parse::<u64>()
+            .map_err(|_| format!("non-integer allow_total {n:?} in baseline"))?,
+        _ => return Err("baseline is missing allow_total".to_string()),
+    };
+    let now_allow = allow_total(allow);
+    if now_allow > base_allow {
+        diff.regressions.push(format!(
+            "simlint.allow grants {now_allow} findings, baseline has {base_allow} — the allowlist only ratchets down"
+        ));
+    } else if now_allow < base_allow {
+        diff.improvements.push(format!(
+            "simlint.allow down to {now_allow} from {base_allow} — refresh with --write-baseline"
+        ));
+    }
+    Ok(diff)
 }
 
 fn main() -> ExitCode {
@@ -96,12 +239,28 @@ fn main() -> ExitCode {
         Err(_) => Allowlist::default(),
     };
 
+    if opts.write_baseline {
+        let path = opts.root.join(BASELINE_PATH);
+        if let Err(e) = std::fs::write(&path, export(&report, &allow) + "\n") {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("simlint: wrote {} from current findings", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.json {
+        println!("{}", export(&report, &allow));
+        return ExitCode::SUCCESS;
+    }
+
     if opts.list {
         for l in &report.findings {
             println!(
-                "{}:{}: [{}] {}",
+                "{}:{}:{}: [{}] {}",
                 l.path,
                 l.finding.line,
+                l.finding.col,
                 l.finding.rule.id(),
                 l.finding.message
             );
@@ -122,7 +281,35 @@ fn main() -> ExitCode {
         );
     }
 
-    if verdict.ok() {
+    let mut failed = false;
+    if let Some(baseline) = &opts.baseline {
+        match std::fs::read_to_string(baseline) {
+            Ok(text) => match diff_baseline(&text, &report, &allow) {
+                Ok(diff) => {
+                    for r in &diff.regressions {
+                        eprintln!("simlint: baseline regression: {r}");
+                        failed = true;
+                    }
+                    for i in &diff.improvements {
+                        println!("simlint: baseline improvement: {i}");
+                    }
+                    if diff.regressions.is_empty() {
+                        println!("simlint: no regressions against {}", baseline.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("simlint: {}: {e}", baseline.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("simlint: cannot read {}: {e}", baseline.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if verdict.ok() && !failed {
         println!("simlint: clean (all findings within the burn-down allowlist)");
         return ExitCode::SUCCESS;
     }
@@ -135,11 +322,13 @@ fn main() -> ExitCode {
     for f in &verdict.forbidden {
         eprintln!("simlint: forbidden allowlist entry: {f}");
     }
-    eprintln!(
-        "simlint: FAILED — {} violation(s), {} stale, {} forbidden",
-        verdict.violations.len(),
-        verdict.stale.len(),
-        verdict.forbidden.len()
-    );
+    if !verdict.ok() {
+        eprintln!(
+            "simlint: FAILED — {} violation(s), {} stale, {} forbidden",
+            verdict.violations.len(),
+            verdict.stale.len(),
+            verdict.forbidden.len()
+        );
+    }
     ExitCode::FAILURE
 }

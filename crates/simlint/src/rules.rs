@@ -34,6 +34,15 @@ pub enum Rule {
     /// dodge `RAYON_NUM_THREADS` and the ordered-collect determinism
     /// contract (docs/PARALLELISM.md). Use `par_iter`/`join` instead.
     ThreadSpawn,
+    /// Semantic taint pass: a nondeterministic value (wall clock, OS
+    /// entropy, hash-order iteration, pointer address, env read) flows
+    /// into a public return value or an observability sink. Never
+    /// allowlistable.
+    NondetTaint,
+    /// Semantic unit pass: values carrying different units of measure
+    /// (ns vs bytes vs lanes) meet in arithmetic, comparison, or a
+    /// call-site argument. Never allowlistable.
+    UnitMismatch,
 }
 
 impl Rule {
@@ -48,6 +57,8 @@ impl Rule {
             Rule::LetUnderscoreResult => "let_underscore_result",
             Rule::NoPrintlnInLib => "no_println_in_lib",
             Rule::ThreadSpawn => "thread_spawn",
+            Rule::NondetTaint => "nondet_taint",
+            Rule::UnitMismatch => "unit_mismatch",
         }
     }
 
@@ -62,12 +73,14 @@ impl Rule {
             "let_underscore_result" => Rule::LetUnderscoreResult,
             "no_println_in_lib" => Rule::NoPrintlnInLib,
             "thread_spawn" => Rule::ThreadSpawn,
+            "nondet_taint" => Rule::NondetTaint,
+            "unit_mismatch" => Rule::UnitMismatch,
             _ => return None,
         })
     }
 
     /// Every rule, in report order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 10] = [
         Rule::NoPanic,
         Rule::NondeterministicCollection,
         Rule::WallClock,
@@ -76,6 +89,8 @@ impl Rule {
         Rule::LetUnderscoreResult,
         Rule::NoPrintlnInLib,
         Rule::ThreadSpawn,
+        Rule::NondetTaint,
+        Rule::UnitMismatch,
     ];
 }
 
@@ -86,6 +101,8 @@ pub struct Finding {
     pub rule: Rule,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column (best-effort; 0 when unknown).
+    pub col: usize,
     /// Human-readable explanation.
     pub message: String,
 }
@@ -221,6 +238,7 @@ fn token_rule(
                     findings.push(Finding {
                         rule,
                         line: idx + 1,
+                        col: abs + 1,
                         message: message(tok),
                     });
                 }
@@ -261,6 +279,7 @@ pub fn let_underscore_result(file: &CleanFile) -> Vec<Finding> {
                 findings.push(Finding {
                     rule: Rule::LetUnderscoreResult,
                     line: idx + 1,
+                    col: pos + 1,
                     message: "`let _ = ..` silently discards the value — and any `Err` in it; \
                               handle or propagate the `Result`, or make a deliberate discard \
                               explicit with `drop(..)`"
@@ -289,6 +308,7 @@ pub fn bare_cast(file: &CleanFile) -> Vec<Finding> {
                 findings.push(Finding {
                     rule: Rule::BareCast,
                     line: idx + 1,
+                    col: pos + 1,
                     message: format!(
                         "bare `as {target}` cast in unit arithmetic; use `u64::from`/`f64::from` for lossless widening or the audited helpers in `nvmtypes::convert` (`usize_from`, `u64_from_usize`, `approx_f64`, `trunc_u64`, `try_u32`)"
                     ),
@@ -351,6 +371,7 @@ pub fn enum_wildcard(file: &CleanFile) -> Vec<Finding> {
                     findings.push(Finding {
                         rule: Rule::EnumWildcard,
                         line,
+                        col: 0,
                         message: "wildcard `_ =>` arm on a watched enum; list every variant so new media kinds cannot silently fall through".to_string(),
                     });
                 }

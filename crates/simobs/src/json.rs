@@ -118,6 +118,23 @@ fn render_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Renders a machine-readable report in the workspace's versioned-JSON
+/// convention: a leading `"format": "<schema>"` tag followed by the
+/// payload's fields (object payloads merge; anything else nests under
+/// `"payload"`), rendered canonically so equal reports are
+/// byte-identical. Every `--json` emitter in the workspace — the bench
+/// bins via `oocnvm_bench::json_report`, `obsreport`, `reliability`,
+/// and `simlint --json` — goes through this one helper.
+#[must_use]
+pub fn report(schema: &str, payload: Json) -> String {
+    let mut fields = vec![("format".to_string(), Json::str(schema))];
+    match payload {
+        Json::Obj(body) => fields.extend(body),
+        other => fields.push(("payload".to_string(), other)),
+    }
+    Json::Obj(fields).render()
+}
+
 /// A parse failure: what was expected and the byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {

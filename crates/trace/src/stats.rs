@@ -36,7 +36,7 @@ impl SizeHistogram {
             };
             buckets[b] += 1;
         }
-        while buckets.len() > 1 && *buckets.last().unwrap() == 0 {
+        while buckets.len() > 1 && buckets.last() == Some(&0) {
             buckets.pop();
         }
         SizeHistogram { buckets }

@@ -27,6 +27,11 @@
 #                       identical: the thread count is invisible in
 #                       every output (docs/PARALLELISM.md; skipped
 #                       with --fast)
+#   9. simlint baseline — the versioned `simlint --json` findings are
+#                       diffed against the committed
+#                       results/simlint.baseline.json: any new
+#                       (rule, path) finding or allowlist growth fails
+#                       the gate (docs/STATIC_ANALYSIS.md)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -93,6 +98,9 @@ if [ "$fast" -eq 0 ]; then
         exit 1
     }
 fi
+
+step "simlint --baseline (findings ratchet vs committed baseline)"
+cargo run --quiet -p simlint -- --baseline results/simlint.baseline.json
 
 echo
 echo "check.sh: all gates passed"

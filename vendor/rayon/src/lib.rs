@@ -27,8 +27,17 @@
 //!   inside a worker runs inline instead of spawning another layer of
 //!   threads.
 //!
+//! * **Dedicated pools.** [`ThreadPoolBuilder`]/[`ThreadPool`] give the
+//!   workspace's background services (prefetcher, pipeline, scheduler)
+//!   long-lived workers behind one audited spawn site, so application
+//!   crates never call `std::thread::spawn` directly (the `thread_spawn`
+//!   simlint rule).
+//!
 //! Swap the real rayon back in (same API) when registry access is
-//! available; every guarantee above is one rayon already provides.
+//! available; every guarantee above is one rayon already provides. One
+//! deviation: `ThreadPoolBuilder::build` is infallible here, and
+//! `ThreadPool::{panicked_jobs, join}` expose panic accounting that real
+//! rayon routes through unwinding instead.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -261,6 +270,142 @@ pub mod prelude {
     }
 }
 
+/// A queued unit of work for a [`ThreadPool`].
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Configures a dedicated [`ThreadPool`] — the subset of rayon's builder
+/// the workspace uses.
+///
+/// Deviation from real rayon: [`ThreadPoolBuilder::build`] is infallible
+/// here (the shim has no registry to fail on), so callers under the
+/// `no_panic` invariant don't need an `expect` to unwrap a `Result`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default thread count
+    /// ([`current_num_threads`]).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Uses exactly `n` worker threads (0 = default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Starts the workers and returns the pool.
+    pub fn build(self) -> ThreadPool {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        let (tx, rx) = std::sync::mpsc::channel::<PoolJob>();
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        let panicked = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles = (0..n)
+            .map(|_| {
+                let rx = std::sync::Arc::clone(&rx);
+                let panicked = std::sync::Arc::clone(&panicked);
+                std::thread::spawn(move || {
+                    IN_POOL.with(|flag| flag.set(true));
+                    loop {
+                        // Take the next job with the queue lock released
+                        // before running it, so a slow job never blocks
+                        // the other workers' claims.
+                        let job = {
+                            let guard = match rx.lock() {
+                                Ok(g) => g,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(f) => {
+                                // A panicking job must not kill the worker
+                                // (later jobs would silently queue forever);
+                                // count it and keep serving.
+                                let caught =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                                if caught.is_err() {
+                                    panicked.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            handles,
+            panicked,
+        }
+    }
+}
+
+/// A dedicated pool of long-lived worker threads for background
+/// services (prefetchers, pipelines, schedulers) whose jobs outlive any
+/// one parallel region. Jobs run in submission order per worker; the
+/// pool joins its workers on drop.
+pub struct ThreadPool {
+    tx: Option<std::sync::mpsc::Sender<PoolJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    panicked: std::sync::Arc<AtomicUsize>,
+}
+
+impl ThreadPool {
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Queues `op` for execution on some worker. A send after the pool
+    /// has shut down is silently dropped (only possible during drop).
+    pub fn spawn<OP>(&self, op: OP)
+    where
+        OP: FnOnce() + Send + 'static,
+    {
+        if let Some(tx) = &self.tx {
+            let _send_after_shutdown = tx.send(Box::new(op));
+        }
+    }
+
+    /// Jobs that panicked so far. Callers that need a `Result` instead
+    /// of a panic observe failures here (see ooc's prefetcher).
+    pub fn panicked_jobs(&self) -> usize {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Closes the queue, runs every remaining job, joins the workers and
+    /// returns the total panicked-job count.
+    pub fn join(mut self) -> usize {
+        self.shutdown();
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&mut self) {
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            // Workers never unwind (jobs are caught above), so a join
+            // error is unreachable; swallowing it keeps drop total.
+            drop(h.join());
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// Runs two closures in parallel (`b` on a scoped worker, `a` on the
 /// calling thread), returning both results — rayon's `join`. Inline when
 /// the pool is single-threaded or the caller is already a pool worker.
@@ -431,5 +576,50 @@ mod tests {
         let data: Vec<u32> = (0..10).collect();
         let n: usize = data.par_chunks(3).map(<[u32]>::len).sum();
         assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn thread_pool_runs_every_job() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build();
+        assert_eq!(pool.current_num_threads(), 3);
+        let count = std::sync::Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let c = std::sync::Arc::clone(&count);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(pool.join(), 0);
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn thread_pool_workers_run_concurrently() {
+        // Four jobs that rendezvous: only a pool with four live workers
+        // can complete them.
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+        for _ in 0..4 {
+            let b = std::sync::Arc::clone(&barrier);
+            pool.spawn(move || {
+                b.wait();
+            });
+        }
+        assert_eq!(pool.join(), 0);
+    }
+
+    #[test]
+    fn thread_pool_survives_and_counts_panicking_jobs() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build();
+        let count = std::sync::Arc::new(AtomicUsize::new(0));
+        pool.spawn(|| panic!("injected job failure"));
+        for _ in 0..8 {
+            let c = std::sync::Arc::clone(&count);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(pool.join(), 1, "exactly the injected panic");
+        assert_eq!(count.load(Ordering::SeqCst), 8, "later jobs still ran");
     }
 }
