@@ -83,7 +83,7 @@ impl PageClass {
         match kind {
             NvmKind::Slc | NvmKind::Pcm => PageClass::Lsb,
             NvmKind::Mlc => {
-                if page_index % 2 == 0 {
+                if page_index.is_multiple_of(2) {
                     PageClass::Lsb
                 } else {
                     PageClass::Msb

@@ -1,0 +1,30 @@
+//! Planted bug: the classic AB-BA lock-order inversion.
+//!
+//! Task 1 locks `a` then `b`; task 2 locks `b` then `a`. The schedule
+//! `[t1: lock a] [t2: lock b]` leaves both tasks blocked on the other's
+//! held mutex and the root blocked joining them: no task is enabled, so
+//! the checker reports a `deadlock` naming every blocked task. This is
+//! exactly the cycle the simlint `lock_order` pass rejects statically.
+
+use std::sync::Arc;
+
+use crate::{spawn, Mutex};
+
+/// Two tasks acquire two mutexes in opposite orders.
+pub fn model() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+    let t1 = spawn(move || {
+        let mut ga = a1.lock();
+        let gb = b1.lock();
+        *ga += *gb;
+    });
+    let t2 = spawn(move || {
+        let mut gb = b.lock();
+        let ga = a.lock();
+        *gb += *ga;
+    });
+    t1.join();
+    t2.join();
+}

@@ -1,0 +1,12 @@
+//! Planted-bug fixtures: known-buggy (and fixed) concurrency models the
+//! selftests explore to pin the checker's detection behaviour.
+//!
+//! These live under `crates/simcheck/fixtures/` (outside `src/`) so
+//! static scans treat them as test corpus, but they compile into the
+//! crate so the models stay type-checked against the shadow API. Each
+//! fixture documents the bug it plants and the violation kind the
+//! checker must report; `tests/selftest.rs` pins the exact counts.
+
+pub mod deadlock;
+pub mod racy_counter;
+pub mod unsync_publish;

@@ -1,0 +1,29 @@
+//! Planted bug: a shared counter incremented with a non-atomic
+//! read-modify-write from two tasks.
+//!
+//! Every interleaving is racy — each task's read is unordered with the
+//! other task's write (spawn only flows knowledge parent → child, and
+//! neither task joins the other) — so exhaustive exploration must report
+//! a `data_race` on its very first execution, and any lost-update
+//! schedule replays to the same race.
+
+use std::sync::Arc;
+
+use crate::{spawn, RaceCell};
+
+/// Two tasks each do `counter = counter + 1` without synchronization.
+pub fn model() {
+    let counter = Arc::new(RaceCell::new(0u64));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            spawn(move || {
+                let v = counter.get();
+                counter.set(v + 1);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+}

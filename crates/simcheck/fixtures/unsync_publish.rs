@@ -1,0 +1,46 @@
+//! Planted bug: publication through a `Relaxed` flag.
+//!
+//! The producer writes the payload, then raises an atomic flag with
+//! `Ordering::Relaxed`; the consumer polls the flag with `Relaxed` and
+//! reads the payload when it sees `true`. Under the happens-before model
+//! a relaxed store/load pair contributes *no* synchronizes-with edge, so
+//! the consumer's payload read is unordered with the producer's write:
+//! every interleaving where the consumer observes the flag is a
+//! `data_race`, even though the explorer only runs SC interleavings.
+//!
+//! [`fixed`] is the same protocol with `Release`/`Acquire`, which the
+//! checker must pass exhaustively — the pair of models is the dynamic
+//! twin of the simlint `atomic_ordering` pass.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::{check, spawn, AtomicBool, RaceCell};
+
+fn publish(store_ord: Ordering, load_ord: Ordering) {
+    let flag = Arc::new(AtomicBool::new(false));
+    let data = Arc::new(RaceCell::new(0u64));
+    let (pflag, pdata) = (Arc::clone(&flag), Arc::clone(&data));
+    let producer = spawn(move || {
+        pdata.set(42);
+        pflag.store(true, store_ord);
+    });
+    let consumer = spawn(move || {
+        if flag.load(load_ord) {
+            let v = data.get();
+            check(v == 42, "consumer must observe the published payload");
+        }
+    });
+    producer.join();
+    consumer.join();
+}
+
+/// Publication over `Relaxed`: racy in every observing interleaving.
+pub fn buggy() {
+    publish(Ordering::Relaxed, Ordering::Relaxed);
+}
+
+/// Publication over `Release`/`Acquire`: race-free, exhaustively.
+pub fn fixed() {
+    publish(Ordering::Release, Ordering::Acquire);
+}

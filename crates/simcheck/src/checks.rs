@@ -1,0 +1,168 @@
+//! The workspace's model-checked protocols: the vendored pool's
+//! claim-counter/poison-flag region state, instantiated over the shadow
+//! atomics and explored exhaustively at 2–3 workers.
+//!
+//! `rayon::chunk_claim_protocol!` expands the *same source* here as in
+//! `vendor/rayon/src/protocol.rs` — the verified model and the
+//! production code cannot drift apart. Each check asserts the protocol's
+//! actual contract in every interleaving:
+//!
+//! * **claim uniqueness / coverage** — with no panics, the workers'
+//!   claimed indices are exactly `0..n_chunks`, each claimed once. Each
+//!   claimed chunk's slot is written through a [`RaceCell`], so a
+//!   duplicate claim would also surface as a data race (two unordered
+//!   writers), not just an assertion failure.
+//! * **poison-stop** — when a worker poisons the region, claims remain
+//!   unique and the flag is visible after the joins. No stronger claim
+//!   is made (and none holds): a sibling mid-claim may still take one
+//!   more chunk, at `Relaxed` and at `SeqCst` alike — see the ordering
+//!   audit in `rayon::protocol`.
+
+use std::sync::Arc;
+
+use crate::explore::{explore, Config};
+use crate::shadow::{check, spawn, AtomicBool, AtomicUsize, RaceCell};
+use crate::trace::Report;
+
+rayon::chunk_claim_protocol!(pub(crate), AtomicUsize, AtomicBool);
+
+/// The pool's worker loop against the shadow region state: claim chunks
+/// until exhausted (or poisoned), "process" each claimed chunk by
+/// writing its slot, and return the claim list to the root via join.
+/// The bool reports whether this worker poisoned the region (a poisoner
+/// that never wins a claim — siblings drained the region first — has
+/// nothing to panic in, exactly like the real pool).
+fn worker(
+    region: &RegionState,
+    slots: &[RaceCell<bool>],
+    poison_on_first: bool,
+) -> (Vec<usize>, bool) {
+    let mut claimed = Vec::new();
+    while let Some(i) = region.claim() {
+        if poison_on_first {
+            // Stand-in for a panicking closure: the pool's PanicGuard
+            // poisons the region and the worker stops claiming.
+            region.poison();
+            return (claimed, true);
+        }
+        if let Some(slot) = slots.get(i) {
+            slot.set(true);
+        }
+        claimed.push(i);
+    }
+    (claimed, false)
+}
+
+/// One run of the pool model; `poisoner` marks a worker whose first
+/// claim "panics" instead of processing.
+fn pool_model(workers: usize, n_chunks: usize, poisoner: Option<usize>) {
+    let region = Arc::new(RegionState::new(n_chunks));
+    let slots: Arc<Vec<RaceCell<bool>>> =
+        Arc::new((0..n_chunks).map(|_| RaceCell::new(false)).collect());
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let region = Arc::clone(&region);
+            let slots = Arc::clone(&slots);
+            spawn(move || worker(&region, &slots, poisoner == Some(w)))
+        })
+        .collect();
+    let mut all: Vec<usize> = Vec::new();
+    let mut poison_fired = false;
+    for h in handles {
+        let (claimed, fired) = h.join();
+        all.extend(claimed);
+        poison_fired |= fired;
+    }
+    let total = all.len();
+    all.sort_unstable();
+    all.dedup();
+    check(all.len() == total, "no chunk is claimed twice");
+    if poison_fired {
+        check(
+            region.is_poisoned(),
+            "the poison flag is visible after the joins",
+        );
+    } else {
+        // No panic fired (the poisoner, if any, never won a claim — the
+        // siblings drained the region first): the region must have been
+        // drained completely and every chunk processed exactly once.
+        let every: Vec<usize> = (0..n_chunks).collect();
+        check(all == every, "every chunk is claimed exactly once");
+        for slot in slots.iter() {
+            check(slot.get(), "every claimed chunk was processed");
+        }
+    }
+}
+
+/// One named protocol check: the model and the exploration bounds.
+pub struct ProtocolCheck {
+    /// Stable name (used in smoke output and selftests).
+    pub name: &'static str,
+    /// Worker count.
+    pub workers: usize,
+    /// Chunk count.
+    pub chunks: usize,
+    /// Index of the poisoning worker, if this is a poison-path check.
+    pub poisoner: Option<usize>,
+}
+
+/// The exhaustive protocol matrix: every combination of 2–3 workers and
+/// 2–3 chunks, clean and poisoned. Zero violations expected everywhere.
+pub const PROTOCOL_CHECKS: [ProtocolCheck; 8] = [
+    ProtocolCheck {
+        name: "pool_clean_2w2c",
+        workers: 2,
+        chunks: 2,
+        poisoner: None,
+    },
+    ProtocolCheck {
+        name: "pool_clean_2w3c",
+        workers: 2,
+        chunks: 3,
+        poisoner: None,
+    },
+    ProtocolCheck {
+        name: "pool_clean_3w2c",
+        workers: 3,
+        chunks: 2,
+        poisoner: None,
+    },
+    ProtocolCheck {
+        name: "pool_clean_3w3c",
+        workers: 3,
+        chunks: 3,
+        poisoner: None,
+    },
+    ProtocolCheck {
+        name: "pool_poison_2w2c",
+        workers: 2,
+        chunks: 2,
+        poisoner: Some(0),
+    },
+    ProtocolCheck {
+        name: "pool_poison_2w3c",
+        workers: 2,
+        chunks: 3,
+        poisoner: Some(0),
+    },
+    ProtocolCheck {
+        name: "pool_poison_3w2c",
+        workers: 3,
+        chunks: 2,
+        poisoner: Some(1),
+    },
+    ProtocolCheck {
+        name: "pool_poison_3w3c",
+        workers: 3,
+        chunks: 3,
+        poisoner: Some(1),
+    },
+];
+
+impl ProtocolCheck {
+    /// Exhaustively explores this check's model.
+    pub fn run(&self, cfg: &Config) -> Report {
+        let (workers, chunks, poisoner) = (self.workers, self.chunks, self.poisoner);
+        explore(move || pool_model(workers, chunks, poisoner), cfg)
+    }
+}

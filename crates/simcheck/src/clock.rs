@@ -1,0 +1,81 @@
+//! Vector clocks: the happens-before backbone of the model checker.
+//!
+//! Every task carries a [`VClock`]; every synchronization object carries
+//! one describing the knowledge released into it. Data-race detection on
+//! [`crate::RaceCell`] reduces to clock comparisons (the FastTrack
+//! observation: a race is two accesses, at least one a write, neither
+//! ordered before the other).
+
+/// A vector clock over task ids. Component `t` counts the visible
+/// operations task `t` has executed; missing components are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    /// The clock's component for task `tid` (zero when never touched).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances this task's own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (dst, src) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *dst = (*dst).max(*src);
+        }
+    }
+
+    /// Whether the epoch `(tid, stamp)` happened before the point this
+    /// clock describes — i.e. the clock has already observed it.
+    pub fn observed(&self, tid: usize, stamp: u32) -> bool {
+        stamp <= self.get(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VClock;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::default();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::default();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::default();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+    }
+
+    #[test]
+    fn observed_tracks_epochs() {
+        let mut a = VClock::default();
+        a.tick(2);
+        assert!(a.observed(2, 1));
+        assert!(!a.observed(2, 2));
+        assert!(a.observed(5, 0));
+    }
+}

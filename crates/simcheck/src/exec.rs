@@ -1,0 +1,601 @@
+//! The cooperative scheduler: one execution = one explored interleaving.
+//!
+//! Tasks run on real scoped threads but are serialized by a token
+//! protocol: exactly one task is *active* at any moment, and every
+//! visible operation passes through [`Exec::schedule_point`], which
+//! parks the caller, lets the chooser pick the next task among the
+//! enabled ones, and then executes the chosen task's announced op under
+//! the state lock. Because user code between schedule points touches
+//! only task-local state, the trace of visible ops fully determines the
+//! execution — the property replay and DPOR-style pruning rely on.
+//!
+//! Execution teardown never uses the `panic!` macro: a controlled abort
+//! unwinds with [`std::panic::panic_any`] carrying the private
+//! [`Aborted`] token, which every task wrapper catches.
+
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VClock;
+use crate::explore::{Choice, Chooser};
+use crate::trace::{Event, ExecOutcome, Op, Violation, ViolationKind};
+
+/// Panic payload for controlled teardown (never reported as a bug).
+pub(crate) struct Aborted;
+
+/// The crate's only panic sites, quarantined behind the workspace's
+/// `clippy::panic` deny: teardown is *control flow* here — the unwind
+/// carries [`Aborted`], every task wrapper catches it, and the quiet
+/// hook keeps it off stderr. Nothing user-visible ever panics through
+/// these except [`unwind::misuse`], which reports API misuse (a shadow
+/// type touched outside `explore`/`replay`/`random_walk`).
+pub(crate) mod unwind {
+    use super::Aborted;
+
+    /// Unwinds the calling task thread for controlled teardown.
+    #[allow(clippy::panic)]
+    pub(crate) fn teardown() -> ! {
+        std::panic::panic_any(Aborted);
+    }
+
+    /// Unwinds with a real, user-visible message on API misuse.
+    #[allow(clippy::panic)]
+    pub(crate) fn misuse(msg: &str) -> ! {
+        std::panic::panic_any(msg.to_string());
+    }
+}
+
+/// A spawned task body.
+pub(crate) type TaskBody = Box<dyn FnOnce() + Send>;
+
+/// Messages from tasks to the per-execution driver loop.
+pub(crate) enum DriverMsg {
+    /// Start a thread for task `.0` running body `.1`.
+    Spawn(usize, TaskBody),
+    /// All tasks finished; the driver may exit.
+    Done,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskStatus {
+    /// Allocated, thread not yet at its first schedule point.
+    Fresh,
+    /// Parked at a schedule point with a pending op announced.
+    Parked,
+    /// Picked by the chooser; about to execute its pending op.
+    Chosen,
+    /// Executing user code between schedule points (the active task).
+    Running,
+    /// Body returned or unwound.
+    Finished,
+}
+
+struct TaskState {
+    status: TaskStatus,
+    pending: Option<Op>,
+    clock: VClock,
+}
+
+struct AtomicState {
+    value: u64,
+    /// Knowledge released into this location by release stores/RMWs.
+    sync: VClock,
+}
+
+struct MutexState {
+    held_by: Option<usize>,
+    /// Knowledge released by the last unlock.
+    sync: VClock,
+}
+
+#[derive(Default)]
+struct CellState {
+    /// Last write as `(task, clock stamp, trace step)`.
+    last_write: Option<(usize, u32, usize)>,
+    /// Last read per task as `(clock stamp, trace step)`.
+    reads: Vec<Option<(u32, usize)>>,
+}
+
+struct State {
+    tasks: Vec<TaskState>,
+    unfinished: usize,
+    active: usize,
+    step: usize,
+    trace: Vec<Event>,
+    schedule: Vec<usize>,
+    atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+    cells: Vec<CellState>,
+    violation: Option<Violation>,
+    aborted: bool,
+    pruned: bool,
+    step_limited: bool,
+    done_sent: bool,
+    chooser: Chooser,
+    tx: mpsc::Sender<DriverMsg>,
+    max_steps: usize,
+}
+
+impl State {
+    fn op_enabled(&self, op: &Op) -> bool {
+        match *op {
+            Op::Lock { obj } => self.mutexes[obj].held_by.is_none(),
+            Op::Join { target } => self.tasks[target].status == TaskStatus::Finished,
+            _ => true,
+        }
+    }
+
+    fn record_violation(&mut self, kind: ViolationKind, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                kind,
+                message,
+                trace: self.trace.clone(),
+                schedule: self.schedule.clone(),
+            });
+        }
+    }
+}
+
+/// Per-execution scheduler shared by every task thread.
+pub(crate) struct Exec {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Exec {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            // Poison can only come from a panic between `drop(guard)`
+            // and `panic_any` — state is consistent at every such point.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn wait<'a>(&'a self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        match self.cv.wait(guard) {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers a new atomic location, returning its id.
+    pub(crate) fn alloc_atomic(&self, value: u64) -> usize {
+        let mut st = self.lock();
+        st.atomics.push(AtomicState {
+            value,
+            sync: VClock::default(),
+        });
+        st.atomics.len() - 1
+    }
+
+    /// Registers a new shadow mutex, returning its id.
+    pub(crate) fn alloc_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(MutexState {
+            held_by: None,
+            sync: VClock::default(),
+        });
+        st.mutexes.len() - 1
+    }
+
+    /// Registers a new race-checked cell, returning its id.
+    pub(crate) fn alloc_cell(&self) -> usize {
+        let mut st = self.lock();
+        st.cells.push(CellState::default());
+        st.cells.len() - 1
+    }
+
+    /// Allocates a task id for a child of `parent`, inheriting the
+    /// parent's clock (the spawn happens-before edge). The child joins
+    /// the unfinished count only in [`Exec::launch`]: if the spawner is
+    /// torn down between the two calls, no thread will ever run the
+    /// child, and counting it would leave the execution waiting forever
+    /// for a finish that cannot come.
+    pub(crate) fn alloc_task(&self, parent: usize) -> usize {
+        let mut st = self.lock();
+        let clock = st.tasks[parent].clock.clone();
+        st.tasks.push(TaskState {
+            status: TaskStatus::Fresh,
+            pending: None,
+            clock,
+        });
+        st.tasks.len() - 1
+    }
+
+    /// Ships the child's body to the driver and waits until its thread
+    /// has announced itself (so every later decision sees all runnable
+    /// tasks parked with known ops).
+    pub(crate) fn launch(&self, child: usize, body: TaskBody) {
+        let mut st = self.lock();
+        st.unfinished += 1;
+        let _shipped = st.tx.send(DriverMsg::Spawn(child, body));
+        loop {
+            if st.aborted {
+                drop(st);
+                self.cv.notify_all();
+                unwind::teardown();
+            }
+            if st.tasks[child].status != TaskStatus::Fresh {
+                return;
+            }
+            st = self.wait(st);
+        }
+    }
+
+    /// Records an assertion failure as a violation and aborts.
+    pub(crate) fn fail_assert(&self, tid: usize, msg: &str) -> ! {
+        let mut st = self.lock();
+        st.record_violation(ViolationKind::AssertFailed, format!("t{tid}: {msg}"));
+        st.aborted = true;
+        drop(st);
+        self.cv.notify_all();
+        unwind::teardown();
+    }
+
+    /// The heart of the checker: announce `op`, hand the token to the
+    /// chooser's pick, wait to be picked, then execute the op. Returns
+    /// the op's result value (loaded value / RMW old value).
+    pub(crate) fn schedule_point(&self, tid: usize, op: Op) -> u64 {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            unwind::teardown();
+        }
+        st.tasks[tid].pending = Some(op);
+        st.tasks[tid].status = TaskStatus::Parked;
+        if st.active == tid {
+            self.decide(&mut st);
+        } else {
+            // A fresh task announcing itself: wake the launching parent.
+            self.cv.notify_all();
+        }
+        loop {
+            if st.aborted {
+                drop(st);
+                self.cv.notify_all();
+                unwind::teardown();
+            }
+            if st.active == tid && st.tasks[tid].status == TaskStatus::Chosen {
+                break;
+            }
+            st = self.wait(st);
+        }
+        st.tasks[tid].status = TaskStatus::Running;
+        let (result, abort) = self.execute_op(&mut st, tid);
+        if abort {
+            drop(st);
+            self.cv.notify_all();
+            unwind::teardown();
+        }
+        result
+    }
+
+    /// Marks `tid` finished and hands the token onward. `payload` is the
+    /// panic payload when the body unwound ([`Aborted`] is teardown, not
+    /// a bug; anything else is reported as a `Panic` violation).
+    pub(crate) fn task_finished(&self, tid: usize, payload: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.lock();
+        st.tasks[tid].status = TaskStatus::Finished;
+        st.tasks[tid].pending = None;
+        st.unfinished -= 1;
+        if let Some(p) = payload {
+            if p.downcast_ref::<Aborted>().is_none() {
+                let msg = panic_message(p.as_ref());
+                st.record_violation(ViolationKind::Panic, format!("task t{tid} panicked: {msg}"));
+                st.aborted = true;
+            }
+        }
+        if st.unfinished == 0 {
+            if !st.done_sent {
+                st.done_sent = true;
+                let _done = st.tx.send(DriverMsg::Done);
+            }
+        } else if !st.aborted {
+            self.decide(&mut st);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Picks the next task to run among the enabled parked tasks,
+    /// reporting a deadlock when none is enabled and honoring the
+    /// chooser's sleep-set prune.
+    fn decide(&self, st: &mut State) {
+        let parked: Vec<(usize, Op)> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == TaskStatus::Parked)
+            .filter_map(|(i, t)| t.pending.clone().map(|op| (i, op)))
+            .collect();
+        let enabled: Vec<usize> = parked
+            .iter()
+            .filter(|(_, op)| st.op_enabled(op))
+            .map(|&(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            let blocked: Vec<String> = parked
+                .iter()
+                .map(|(i, op)| format!("t{i} blocked on {}", op.describe()))
+                .collect();
+            st.record_violation(
+                ViolationKind::Deadlock,
+                format!(
+                    "deadlock: {} unfinished task(s), none enabled [{}]",
+                    st.unfinished,
+                    blocked.join("; ")
+                ),
+            );
+            st.aborted = true;
+            self.cv.notify_all();
+            return;
+        }
+        match st.chooser.choose(&enabled, &parked) {
+            Choice::Task(next) => {
+                st.schedule.push(next);
+                st.active = next;
+                st.tasks[next].status = TaskStatus::Chosen;
+                self.cv.notify_all();
+            }
+            Choice::Prune => {
+                st.pruned = true;
+                st.aborted = true;
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Executes `tid`'s pending op against the shadow state. Returns
+    /// `(result, abort)`; `abort` is set when the op surfaced a bug or
+    /// hit the step bound.
+    fn execute_op(&self, st: &mut State, tid: usize) -> (u64, bool) {
+        let Some(op) = st.tasks[tid].pending.take() else {
+            return (0, false);
+        };
+        st.step += 1;
+        if st.step > st.max_steps {
+            st.step_limited = true;
+            st.aborted = true;
+            return (0, true);
+        }
+        let step = st.step;
+        st.tasks[tid].clock.tick(tid);
+        let stamp = st.tasks[tid].clock.get(tid);
+        let mut result = 0u64;
+        let mut race: Option<String> = None;
+        match op {
+            Op::TaskStart | Op::Spawn { .. } => {}
+            Op::Load { obj, ord } => {
+                result = st.atomics[obj].value;
+                if ord.acquires() {
+                    let sync = st.atomics[obj].sync.clone();
+                    st.tasks[tid].clock.join(&sync);
+                }
+            }
+            Op::Store { obj, ord, val } => {
+                st.atomics[obj].value = val;
+                // A plain store replaces the release clock (it starts a
+                // new release sequence — or none, when relaxed).
+                st.atomics[obj].sync = if ord.releases() {
+                    st.tasks[tid].clock.clone()
+                } else {
+                    VClock::default()
+                };
+            }
+            Op::Rmw {
+                obj,
+                ord,
+                kind,
+                operand,
+            } => {
+                if ord.acquires() {
+                    let sync = st.atomics[obj].sync.clone();
+                    st.tasks[tid].clock.join(&sync);
+                }
+                result = st.atomics[obj].value;
+                st.atomics[obj].value = match kind {
+                    crate::trace::RmwKind::FetchAdd => result.wrapping_add(operand),
+                    crate::trace::RmwKind::Swap => operand,
+                };
+                // An RMW continues an existing release sequence, so the
+                // location's clock joins rather than resets.
+                if ord.releases() {
+                    let clock = st.tasks[tid].clock.clone();
+                    st.atomics[obj].sync.join(&clock);
+                }
+            }
+            Op::Lock { obj } => {
+                debug_assert!(st.mutexes[obj].held_by.is_none(), "chose a disabled lock");
+                st.mutexes[obj].held_by = Some(tid);
+                let sync = st.mutexes[obj].sync.clone();
+                st.tasks[tid].clock.join(&sync);
+            }
+            Op::Unlock { obj } => {
+                st.mutexes[obj].held_by = None;
+                st.mutexes[obj].sync = st.tasks[tid].clock.clone();
+            }
+            Op::CellRead { obj } => {
+                if let Some((wt, wstamp, wstep)) = st.cells[obj].last_write {
+                    if wt != tid && !st.tasks[tid].clock.observed(wt, wstamp) {
+                        race = Some(format!(
+                            "data race on c{obj}: write by t{wt} (step {wstep}) \
+                             unordered with read by t{tid} (step {step})"
+                        ));
+                    }
+                }
+                let cell = &mut st.cells[obj];
+                if cell.reads.len() <= tid {
+                    cell.reads.resize(tid + 1, None);
+                }
+                cell.reads[tid] = Some((stamp, step));
+            }
+            Op::CellWrite { obj } => {
+                if let Some((wt, wstamp, wstep)) = st.cells[obj].last_write {
+                    if wt != tid && !st.tasks[tid].clock.observed(wt, wstamp) {
+                        race = Some(format!(
+                            "data race on c{obj}: write by t{wt} (step {wstep}) \
+                             unordered with write by t{tid} (step {step})"
+                        ));
+                    }
+                }
+                for (rt, slot) in st.cells[obj].reads.iter().enumerate() {
+                    if let Some((rstamp, rstep)) = *slot {
+                        if rt != tid && !st.tasks[tid].clock.observed(rt, rstamp) {
+                            race = Some(format!(
+                                "data race on c{obj}: read by t{rt} (step {rstep}) \
+                                 unordered with write by t{tid} (step {step})"
+                            ));
+                        }
+                    }
+                }
+                let cell = &mut st.cells[obj];
+                cell.reads.clear();
+                cell.last_write = Some((tid, stamp, step));
+            }
+            Op::Join { target } => {
+                debug_assert!(
+                    st.tasks[target].status == TaskStatus::Finished,
+                    "chose a disabled join"
+                );
+                let clock = st.tasks[target].clock.clone();
+                st.tasks[tid].clock.join(&clock);
+            }
+        }
+        st.trace.push(Event {
+            step,
+            task: tid,
+            op,
+            result,
+        });
+        if let Some(msg) = race {
+            st.record_violation(ViolationKind::DataRace, msg);
+            st.aborted = true;
+            return (result, true);
+        }
+        (result, false)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
+    }
+}
+
+std::thread_local! {
+    /// The current task's identity, set for the duration of its body.
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// A task's handle to its execution, stored in TLS.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: usize,
+}
+
+/// The calling task's context; unwinds (as a `Panic` violation or test
+/// failure) when called outside a model.
+pub(crate) fn ctx() -> Ctx {
+    CTX.with(|slot| match slot.borrow().as_ref() {
+        Some(ctx) => ctx.clone(),
+        None => unwind::misuse("simcheck shadow operation used outside model()"),
+    })
+}
+
+fn task_main(exec: &Arc<Exec>, tid: usize, body: TaskBody) {
+    CTX.with(|slot| {
+        *slot.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(exec),
+            tid,
+        });
+    });
+    let e2 = Arc::clone(exec);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        e2.schedule_point(tid, Op::TaskStart);
+        body();
+    }));
+    CTX.with(|slot| {
+        *slot.borrow_mut() = None;
+    });
+    exec.task_finished(tid, outcome.err());
+}
+
+/// Silences the default panic hook for [`Aborted`] teardown unwinds —
+/// they are the checker's control flow, not failures — while leaving
+/// every other panic's report (including model bugs) untouched.
+fn install_quiet_teardown_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<Aborted>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Runs one execution of `model` under `chooser`, returning the outcome
+/// and the chooser (with its cross-execution exploration state).
+pub(crate) fn run_model(
+    model: &Arc<dyn Fn() + Send + Sync>,
+    chooser: Chooser,
+    max_steps: usize,
+) -> (ExecOutcome, Chooser) {
+    install_quiet_teardown_hook();
+    let (tx, rx) = mpsc::channel();
+    let exec = Arc::new(Exec {
+        state: Mutex::new(State {
+            tasks: vec![TaskState {
+                status: TaskStatus::Fresh,
+                pending: None,
+                clock: VClock::default(),
+            }],
+            unfinished: 1,
+            active: 0,
+            step: 0,
+            trace: Vec::new(),
+            schedule: Vec::new(),
+            atomics: Vec::new(),
+            mutexes: Vec::new(),
+            cells: Vec::new(),
+            violation: None,
+            aborted: false,
+            pruned: false,
+            step_limited: false,
+            done_sent: false,
+            chooser,
+            tx,
+            max_steps,
+        }),
+        cv: Condvar::new(),
+    });
+    std::thread::scope(|scope| {
+        let root_exec = Arc::clone(&exec);
+        let root_model = Arc::clone(model);
+        scope.spawn(move || task_main(&root_exec, 0, Box::new(move || root_model())));
+        while let Ok(DriverMsg::Spawn(tid, body)) = rx.recv() {
+            let task_exec = Arc::clone(&exec);
+            scope.spawn(move || task_main(&task_exec, tid, body));
+        }
+    });
+    let mut st = exec.lock();
+    let outcome = ExecOutcome {
+        violation: st.violation.take(),
+        trace: std::mem::take(&mut st.trace),
+        schedule: std::mem::take(&mut st.schedule),
+        steps: st.step,
+        pruned: st.pruned,
+        step_limited: st.step_limited,
+    };
+    let chooser = std::mem::replace(&mut st.chooser, Chooser::Fifo);
+    drop(st);
+    (outcome, chooser)
+}

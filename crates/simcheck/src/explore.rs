@@ -1,0 +1,282 @@
+//! Schedule exploration: exhaustive DFS with sleep-set pruning, seeded
+//! random walks, and exact replay.
+//!
+//! The exhaustive mode enumerates interleavings as a depth-first search
+//! over scheduling decisions. Sleep sets (the DPOR family's cheapest
+//! member) prune interleavings that only commute independent operations:
+//! after a branch is fully explored its task goes to sleep for the
+//! remaining siblings, and sleeping tasks are only woken by a dependent
+//! operation. Every Mazurkiewicz trace is still visited at least once,
+//! so any reachable data race, deadlock, or assertion failure is found.
+//!
+//! The random mode drives decisions from the workspace's SplitMix64
+//! machinery (`rand::SmallRng::seed_from_u64`), so a seed identifies an
+//! interleaving stream exactly — the replay-determinism property pinned
+//! by `tests/replay_props.rs`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::exec::run_model;
+use crate::trace::{ExecOutcome, Op, Report};
+
+/// What the chooser wants done at a decision point.
+pub(crate) enum Choice {
+    /// Run this task next.
+    Task(usize),
+    /// Every enabled task is asleep: the execution is redundant.
+    Prune,
+}
+
+/// One node on the DFS decision stack.
+struct Node {
+    /// Branch currently being explored.
+    chosen: usize,
+    /// Enabled tasks at this decision, in task-id order.
+    enabled: Vec<usize>,
+    /// Tasks asleep on entry (their pending op commutes with everything
+    /// executed since they were passed over).
+    sleep: BTreeSet<usize>,
+    /// Siblings whose subtrees are fully explored (asleep for the rest
+    /// of this node's lifetime).
+    done: BTreeSet<usize>,
+    /// Pending op of every parked task at this decision.
+    ops: BTreeMap<usize, Op>,
+}
+
+/// Cross-execution DFS state.
+#[derive(Default)]
+pub(crate) struct DfsStack {
+    nodes: Vec<Node>,
+    /// Replay cursor within the current execution.
+    pos: usize,
+}
+
+impl DfsStack {
+    fn choose(&mut self, enabled: &[usize], parked: &[(usize, Op)]) -> Choice {
+        if self.pos < self.nodes.len() {
+            // Replaying the committed prefix of the previous execution.
+            let node = &self.nodes[self.pos];
+            debug_assert_eq!(node.enabled, enabled, "model is not deterministic");
+            self.pos += 1;
+            return Choice::Task(node.chosen);
+        }
+        // A fresh frontier node: inherit sleepers that commute with the
+        // parent's executed op (dependent ops wake a sleeping task).
+        let sleep: BTreeSet<usize> = match self.nodes.last() {
+            Some(parent) => {
+                let executed = &parent.ops[&parent.chosen];
+                parent
+                    .sleep
+                    .iter()
+                    .chain(parent.done.iter())
+                    .copied()
+                    .filter(|s| match parent.ops.get(s) {
+                        Some(op) => !op.dependent(executed),
+                        None => false,
+                    })
+                    .collect()
+            }
+            None => BTreeSet::new(),
+        };
+        let Some(&chosen) = enabled.iter().find(|t| !sleep.contains(t)) else {
+            return Choice::Prune;
+        };
+        self.nodes.push(Node {
+            chosen,
+            enabled: enabled.to_vec(),
+            sleep,
+            done: BTreeSet::new(),
+            ops: parked.iter().cloned().collect(),
+        });
+        self.pos += 1;
+        Choice::Task(chosen)
+    }
+
+    /// Advances to the next unexplored branch; `false` when the whole
+    /// tree is exhausted.
+    fn backtrack(&mut self) -> bool {
+        loop {
+            let Some(top) = self.nodes.last_mut() else {
+                return false;
+            };
+            top.done.insert(top.chosen);
+            let next = top
+                .enabled
+                .iter()
+                .copied()
+                .find(|t| !top.sleep.contains(t) && !top.done.contains(t));
+            match next {
+                Some(t) => {
+                    top.chosen = t;
+                    self.pos = 0;
+                    return true;
+                }
+                None => {
+                    self.nodes.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Decision strategy for one or more executions.
+pub(crate) enum Chooser {
+    /// Exhaustive DFS with sleep sets.
+    Dfs(DfsStack),
+    /// Seeded uniform random walk.
+    Random(SmallRng),
+    /// Forced decision sequence (trace reproduction).
+    Replay {
+        /// The schedule to follow.
+        sched: Vec<usize>,
+        /// Cursor into `sched`.
+        pos: usize,
+    },
+    /// Always the lowest-id enabled task (placeholder / smoke runs).
+    Fifo,
+}
+
+impl Chooser {
+    pub(crate) fn choose(&mut self, enabled: &[usize], parked: &[(usize, Op)]) -> Choice {
+        match self {
+            Chooser::Dfs(stack) => stack.choose(enabled, parked),
+            Chooser::Random(rng) => {
+                let pick = rng.gen_range(0..enabled.len());
+                Choice::Task(enabled[pick])
+            }
+            Chooser::Replay { sched, pos } => {
+                let forced = sched.get(*pos).copied();
+                *pos += 1;
+                match forced {
+                    Some(t) if enabled.contains(&t) => Choice::Task(t),
+                    // Schedule exhausted or diverged (the model changed
+                    // since the trace was recorded): fall back to the
+                    // lowest-id enabled task rather than wedge.
+                    _ => Choice::Task(enabled[0]),
+                }
+            }
+            Chooser::Fifo => Choice::Task(enabled[0]),
+        }
+    }
+}
+
+/// Exploration bounds.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Per-execution step budget; exceeding it marks the report
+    /// incomplete (the model likely has an unbounded loop).
+    pub max_steps: usize,
+    /// Execution budget for exhaustive exploration; exceeding it marks
+    /// the report incomplete.
+    pub max_executions: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_steps: 20_000,
+            max_executions: 200_000,
+        }
+    }
+}
+
+/// Exhaustively explores every interleaving of `model` (up to sleep-set
+/// equivalence) within `cfg`'s bounds, stopping at the first violation.
+pub fn explore<F>(model: F, cfg: &Config) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let mut dfs = DfsStack::default();
+    let mut report = Report {
+        executions: 0,
+        steps_total: 0,
+        pruned: 0,
+        violation: None,
+        complete: false,
+    };
+    loop {
+        if report.executions >= cfg.max_executions {
+            return report;
+        }
+        let (outcome, back) = run_model(&model, Chooser::Dfs(dfs), cfg.max_steps);
+        dfs = match back {
+            Chooser::Dfs(stack) => stack,
+            // run_model returns the chooser it was given.
+            _ => return report,
+        };
+        report.executions += 1;
+        report.steps_total += outcome.steps;
+        if outcome.pruned {
+            report.pruned += 1;
+        }
+        if outcome.step_limited {
+            return report;
+        }
+        if outcome.violation.is_some() {
+            report.violation = outcome.violation;
+            return report;
+        }
+        if !dfs.backtrack() {
+            report.complete = true;
+            return report;
+        }
+    }
+}
+
+/// Runs a single seeded random-walk execution of `model`. The same seed
+/// always produces the identical schedule, trace, and outcome.
+pub fn random_walk<F>(model: F, seed: u64, cfg: &Config) -> ExecOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let chooser = Chooser::Random(SmallRng::seed_from_u64(seed));
+    run_model(&model, chooser, cfg.max_steps).0
+}
+
+/// Runs up to `iters` seeded random-walk executions (one RNG stream
+/// across all of them), stopping at the first violation.
+pub fn explore_random<F>(model: F, seed: u64, iters: usize, cfg: &Config) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let mut chooser = Chooser::Random(SmallRng::seed_from_u64(seed));
+    let mut report = Report {
+        executions: 0,
+        steps_total: 0,
+        pruned: 0,
+        violation: None,
+        complete: false,
+    };
+    for _ in 0..iters {
+        let (outcome, back) = run_model(&model, chooser, cfg.max_steps);
+        chooser = back;
+        report.executions += 1;
+        report.steps_total += outcome.steps;
+        if outcome.violation.is_some() {
+            report.violation = outcome.violation;
+            return report;
+        }
+    }
+    report
+}
+
+/// Re-runs `model` under a recorded decision sequence, reproducing the
+/// trace that produced it byte-identically (violations included).
+pub fn replay<F>(model: F, schedule: &[usize], cfg: &Config) -> ExecOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let chooser = Chooser::Replay {
+        sched: schedule.to_vec(),
+        pos: 0,
+    };
+    run_model(&model, chooser, cfg.max_steps).0
+}

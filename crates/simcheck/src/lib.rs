@@ -1,0 +1,60 @@
+//! # simcheck — loom-style concurrency model checking for the workspace
+//!
+//! The lock-free roadmap items (work-sharing pool internals today,
+//! concurrent prefetch/pipeline state machines next) cannot be gated by
+//! example-based tests: a racy interleaving that fires once per million
+//! runs passes `cargo test` forever. This crate gates them the way loom
+//! and shuttle gate real lock-free code — by *enumerating* thread
+//! interleavings instead of sampling them:
+//!
+//! * **Shadow types** ([`AtomicUsize`], [`AtomicBool`], [`Mutex`],
+//!   [`RaceCell`], [`spawn`]/[`JoinHandle`]) mirror the std API but
+//!   announce every visible operation to a cooperative scheduler. Real
+//!   scoped OS threads run the model; exactly one is ever unblocked, so
+//!   the scheduler owns every ordering decision.
+//! * **Exhaustive exploration** ([`explore`]) walks the decision tree
+//!   depth-first with sleep-set pruning (the DPOR family's entry point):
+//!   interleavings that only commute independent operations are visited
+//!   once. Within the configured bounds every Mazurkiewicz trace is
+//!   covered, so a reachable data race, deadlock, assertion failure, or
+//!   panic *will* be found.
+//! * **Determinism and replay** ([`random_walk`], [`replay`]) reuse the
+//!   workspace's SplitMix64 seeding (`rand::SmallRng::seed_from_u64`): a
+//!   seed identifies an interleaving stream exactly, and a recorded
+//!   decision sequence reproduces its trace byte-identically. Every
+//!   [`Violation`] carries both the event trace and the schedule.
+//! * **Happens-before, not luck** — data races on [`RaceCell`] are
+//!   detected with vector clocks (FastTrack-style): two accesses, at
+//!   least one a write, neither ordered before the other. `Relaxed`
+//!   atomics deliberately contribute *no* ordering edge, so
+//!   publish-via-relaxed bugs are caught even though the explorer only
+//!   generates sequentially consistent interleavings.
+//!
+//! Violations render through the simobs versioned-JSON writer under the
+//! [`SCHEMA`] tag, so `simcheck --smoke` output is machine-checkable by
+//! the same tooling as every other workspace report.
+//!
+//! The planted-bug fixtures under `fixtures/` (compiled in via
+//! [`fixtures`]) keep the checker honest: selftests pin the exact
+//! violation kind, execution count, and replayability for a racy
+//! counter, an AB-BA deadlock, and an unsynchronized publish.
+//!
+//! See `docs/CONCURRENCY.md` for the full model and its limits (SC
+//! interleavings + HB race detection, not weak-memory simulation).
+
+mod clock;
+mod exec;
+mod explore;
+mod shadow;
+mod trace;
+
+pub mod checks;
+
+pub use explore::{explore, explore_random, random_walk, replay, Config};
+pub use shadow::{check, spawn, AtomicBool, AtomicUsize, JoinHandle, Mutex, MutexGuard, RaceCell};
+pub use trace::{
+    Event, ExecOutcome, MemOrd, Op, Report, RmwKind, Violation, ViolationKind, SCHEMA,
+};
+
+#[path = "../fixtures/mod.rs"]
+pub mod fixtures;

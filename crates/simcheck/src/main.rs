@@ -1,0 +1,96 @@
+//! `simcheck` — run the workspace's concurrency model checks.
+//!
+//! ```text
+//! simcheck --smoke [--json]
+//! ```
+//!
+//! `--smoke` exhaustively explores the pool claim/poison protocol at
+//! 2–3 workers (zero violations expected) and the planted-bug fixtures
+//! (each must produce its documented violation), printing one line per
+//! check. `--json` additionally emits each check's `oocnvm.simcheck/1`
+//! report on stdout. Exit code 0 when every check behaves as pinned,
+//! 1 on any deviation, 2 on usage errors.
+
+use simcheck::{checks, explore, fixtures, Config, Report};
+
+/// A fixture expectation: the model must produce exactly this violation
+/// kind (or none, for the fixed variants).
+struct FixtureCheck {
+    name: &'static str,
+    model: fn(),
+    expect: Option<&'static str>,
+}
+
+const FIXTURE_CHECKS: [FixtureCheck; 4] = [
+    FixtureCheck {
+        name: "fixture_racy_counter",
+        model: fixtures::racy_counter::model,
+        expect: Some("data_race"),
+    },
+    FixtureCheck {
+        name: "fixture_deadlock",
+        model: fixtures::deadlock::model,
+        expect: Some("deadlock"),
+    },
+    FixtureCheck {
+        name: "fixture_unsync_publish",
+        model: fixtures::unsync_publish::buggy,
+        expect: Some("data_race"),
+    },
+    FixtureCheck {
+        name: "fixture_sync_publish",
+        model: fixtures::unsync_publish::fixed,
+        expect: None,
+    },
+];
+
+/// Renders one check outcome and returns whether it matched `expect`.
+fn judge(name: &str, report: &Report, expect: Option<&str>, json: bool) -> bool {
+    let found = report.violation.as_ref().map(|v| v.kind.id());
+    let ok = match expect {
+        None => found.is_none() && report.complete,
+        Some(kind) => found == Some(kind),
+    };
+    let verdict = if ok { "ok" } else { "FAIL" };
+    let outcome = match found {
+        None => {
+            if report.complete {
+                "no violation (exhaustive)".to_string()
+            } else {
+                "no violation (bounds hit)".to_string()
+            }
+        }
+        Some(kind) => format!("violation: {kind}"),
+    };
+    println!(
+        "simcheck {name}: {verdict} - {outcome} [executions={} steps={} pruned={}]",
+        report.executions, report.steps_total, report.pruned
+    );
+    if json {
+        println!("{}", report.to_json(name));
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let known = |a: &String| a == "--smoke" || a == "--json";
+    if !args.iter().any(|a| a == "--smoke") || !args.iter().all(known) {
+        eprintln!("usage: simcheck --smoke [--json]");
+        std::process::exit(2);
+    }
+    let cfg = Config::default();
+    let mut all_ok = true;
+    for check in &checks::PROTOCOL_CHECKS {
+        let report = check.run(&cfg);
+        all_ok &= judge(check.name, &report, None, json);
+    }
+    for fixture in &FIXTURE_CHECKS {
+        let report = explore(fixture.model, &cfg);
+        all_ok &= judge(fixture.name, &report, fixture.expect, json);
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

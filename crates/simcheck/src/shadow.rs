@@ -1,0 +1,301 @@
+//! Shadow synchronization types: drop-in lookalikes for the std types
+//! whose every access is announced to the scheduler.
+//!
+//! The shadow atomics accept the real `std::sync::atomic::Ordering`, so
+//! protocol code written once (e.g. via `rayon::chunk_claim_protocol!`)
+//! instantiates against either the std types or these with no source
+//! changes. Data payloads live behind ordinary `std::sync::Mutex`es —
+//! the scheduler serializes all access, so those locks are uncontended
+//! bookkeeping that keeps the crate free of `unsafe`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::exec::{ctx, unwind, Ctx};
+use crate::trace::{MemOrd, Op, RmwKind};
+
+fn lock_data<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        // Teardown unwinds can poison payload locks; the data is
+        // untouched (writes complete before any schedule point).
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Shadow `AtomicUsize`: every access is a schedule point, orderings
+/// feed the happens-before model.
+pub struct AtomicUsize {
+    id: usize,
+}
+
+impl AtomicUsize {
+    /// Registers a new atomic with the current execution.
+    pub fn new(value: usize) -> AtomicUsize {
+        let id = ctx().exec.alloc_atomic(value as u64);
+        AtomicUsize { id }
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> usize {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(
+            tid,
+            Op::Load {
+                obj: self.id,
+                ord: MemOrd::from_std(ord),
+            },
+        ) as usize
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: usize, ord: Ordering) {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(
+            tid,
+            Op::Store {
+                obj: self.id,
+                ord: MemOrd::from_std(ord),
+                val: value as u64,
+            },
+        );
+    }
+
+    /// Atomic fetch-add, returning the previous value.
+    pub fn fetch_add(&self, value: usize, ord: Ordering) -> usize {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(
+            tid,
+            Op::Rmw {
+                obj: self.id,
+                ord: MemOrd::from_std(ord),
+                kind: RmwKind::FetchAdd,
+                operand: value as u64,
+            },
+        ) as usize
+    }
+
+    /// Atomic swap, returning the previous value.
+    pub fn swap(&self, value: usize, ord: Ordering) -> usize {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(
+            tid,
+            Op::Rmw {
+                obj: self.id,
+                ord: MemOrd::from_std(ord),
+                kind: RmwKind::Swap,
+                operand: value as u64,
+            },
+        ) as usize
+    }
+}
+
+/// Shadow `AtomicBool` (same machinery over 0/1).
+pub struct AtomicBool {
+    id: usize,
+}
+
+impl AtomicBool {
+    /// Registers a new atomic flag with the current execution.
+    pub fn new(value: bool) -> AtomicBool {
+        let id = ctx().exec.alloc_atomic(u64::from(value));
+        AtomicBool { id }
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> bool {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(
+            tid,
+            Op::Load {
+                obj: self.id,
+                ord: MemOrd::from_std(ord),
+            },
+        ) != 0
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: bool, ord: Ordering) {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(
+            tid,
+            Op::Store {
+                obj: self.id,
+                ord: MemOrd::from_std(ord),
+                val: u64::from(value),
+            },
+        );
+    }
+
+    /// Atomic swap, returning the previous value.
+    pub fn swap(&self, value: bool, ord: Ordering) -> bool {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(
+            tid,
+            Op::Rmw {
+                obj: self.id,
+                ord: MemOrd::from_std(ord),
+                kind: RmwKind::Swap,
+                operand: u64::from(value),
+            },
+        ) != 0
+    }
+}
+
+/// Shadow mutex: lock acquisition is a blocking schedule point (the
+/// checker reports a deadlock when no task can proceed), and the
+/// lock/unlock pair carries a happens-before edge like the real thing.
+pub struct Mutex<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Registers a new shadow mutex with the current execution.
+    pub fn new(value: T) -> Mutex<T> {
+        let id = ctx().exec.alloc_mutex();
+        Mutex {
+            id,
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking (in model time) while held.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(tid, Op::Lock { obj: self.id });
+        MutexGuard {
+            id: self.id,
+            inner: lock_data(&self.data),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; unlocking is a schedule point.
+pub struct MutexGuard<'a, T> {
+    id: usize,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // During teardown (controlled abort or a reported panic) the
+        // execution is already frozen; skip the unlock schedule point
+        // so unwinding never re-enters the scheduler.
+        if std::thread::panicking() {
+            return;
+        }
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(tid, Op::Unlock { obj: self.id });
+    }
+}
+
+/// A deliberately unsynchronized cell: reads and writes are visible ops
+/// checked for data races via vector clocks (FastTrack-style). The
+/// payload itself sits behind a std mutex purely so the type stays free
+/// of `unsafe` — the *model* treats accesses as unsynchronized.
+pub struct RaceCell<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> RaceCell<T> {
+    /// Registers a new race-checked cell with the current execution.
+    pub fn new(value: T) -> RaceCell<T> {
+        let id = ctx().exec.alloc_cell();
+        RaceCell {
+            id,
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Unsynchronized write.
+    pub fn set(&self, value: T) {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(tid, Op::CellWrite { obj: self.id });
+        *lock_data(&self.data) = value;
+    }
+
+    /// Unsynchronized read.
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(tid, Op::CellRead { obj: self.id });
+        *lock_data(&self.data)
+    }
+
+    /// Unsynchronized read through a closure (non-`Copy` payloads).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(tid, Op::CellRead { obj: self.id });
+        f(&lock_data(&self.data))
+    }
+}
+
+/// Handle to a spawned model task.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (in model time) for the task and returns its result.
+    pub fn join(self) -> T {
+        let Ctx { exec, tid } = ctx();
+        exec.schedule_point(tid, Op::Join { target: self.tid });
+        let taken = lock_data(&self.slot).take();
+        match taken {
+            Some(value) => value,
+            // Only reachable mid-teardown; propagate the abort.
+            None => unwind::teardown(),
+        }
+    }
+}
+
+/// Spawns a model task. The child inherits the spawner's happens-before
+/// knowledge; joining it flows its knowledge back.
+pub fn spawn<T, F>(body: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let Ctx { exec, tid } = ctx();
+    let child = exec.alloc_task(tid);
+    let slot = Arc::new(std::sync::Mutex::new(None));
+    let child_slot = Arc::clone(&slot);
+    exec.schedule_point(tid, Op::Spawn { child });
+    exec.launch(
+        child,
+        Box::new(move || {
+            let value = body();
+            *lock_data(&child_slot) = Some(value);
+        }),
+    );
+    JoinHandle { tid: child, slot }
+}
+
+/// Model assertion: a failure freezes the interleaving trace into an
+/// `assert_failed` violation (instead of tearing down the test with an
+/// uninformative panic).
+pub fn check(cond: bool, msg: &str) {
+    if cond {
+        return;
+    }
+    let Ctx { exec, tid } = ctx();
+    exec.fail_assert(tid, msg);
+}

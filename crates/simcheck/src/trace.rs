@@ -1,0 +1,389 @@
+//! Operations, events, and violations: the vocabulary of an explored
+//! execution.
+//!
+//! Every visible operation a shadow type performs becomes an [`Op`];
+//! each executed op is recorded as an [`Event`] in the execution trace.
+//! When the checker finds a bug it freezes the trace and the decision
+//! sequence into a [`Violation`] — enough to replay the exact
+//! interleaving (`oocnvm.simcheck/1` JSON via the simobs writer).
+
+use simobs::json::Json;
+
+/// Memory ordering as the model understands it (a closed mirror of
+/// `std::sync::atomic::Ordering`, which is `#[non_exhaustive]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOrd {
+    /// No synchronization edge.
+    Relaxed,
+    /// Load half of a synchronizes-with edge.
+    Acquire,
+    /// Store half of a synchronizes-with edge.
+    Release,
+    /// Both halves (RMW only).
+    AcqRel,
+    /// Total order; modeled as `AcqRel` plus the checker's sequential
+    /// interleaving (the explorer only generates SC executions, so the
+    /// extra total-order constraint is implicit).
+    SeqCst,
+}
+
+impl MemOrd {
+    /// Converts from the std ordering (unknown future variants are
+    /// treated as `SeqCst`, the strongest).
+    pub fn from_std(ord: std::sync::atomic::Ordering) -> MemOrd {
+        use std::sync::atomic::Ordering as O;
+        match ord {
+            O::Relaxed => MemOrd::Relaxed,
+            O::Acquire => MemOrd::Acquire,
+            O::Release => MemOrd::Release,
+            O::AcqRel => MemOrd::AcqRel,
+            _ => MemOrd::SeqCst,
+        }
+    }
+
+    /// Whether a load with this ordering acquires.
+    pub fn acquires(self) -> bool {
+        matches!(self, MemOrd::Acquire | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+
+    /// Whether a store with this ordering releases.
+    pub fn releases(self) -> bool {
+        matches!(self, MemOrd::Release | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            MemOrd::Relaxed => "Relaxed",
+            MemOrd::Acquire => "Acquire",
+            MemOrd::Release => "Release",
+            MemOrd::AcqRel => "AcqRel",
+            MemOrd::SeqCst => "SeqCst",
+        }
+    }
+}
+
+/// Read-modify-write flavors the shadow atomics support.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmwKind {
+    /// `fetch_add(operand)`.
+    FetchAdd,
+    /// `swap(operand)`.
+    Swap,
+}
+
+/// A visible operation, announced at a schedule point before it runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// A freshly spawned task reaching its first schedule point.
+    TaskStart,
+    /// Atomic load.
+    Load {
+        /// Atomic object id.
+        obj: usize,
+        /// Ordering of the load.
+        ord: MemOrd,
+    },
+    /// Atomic store.
+    Store {
+        /// Atomic object id.
+        obj: usize,
+        /// Ordering of the store.
+        ord: MemOrd,
+        /// Value being stored.
+        val: u64,
+    },
+    /// Atomic read-modify-write.
+    Rmw {
+        /// Atomic object id.
+        obj: usize,
+        /// Ordering of the RMW.
+        ord: MemOrd,
+        /// Which RMW.
+        kind: RmwKind,
+        /// Right-hand operand.
+        operand: u64,
+    },
+    /// Shadow mutex acquisition (blocks while held).
+    Lock {
+        /// Mutex object id.
+        obj: usize,
+    },
+    /// Shadow mutex release.
+    Unlock {
+        /// Mutex object id.
+        obj: usize,
+    },
+    /// Unsynchronized read of a [`crate::RaceCell`].
+    CellRead {
+        /// Cell object id.
+        obj: usize,
+    },
+    /// Unsynchronized write of a [`crate::RaceCell`].
+    CellWrite {
+        /// Cell object id.
+        obj: usize,
+    },
+    /// Spawning a child task.
+    Spawn {
+        /// The child's task id.
+        child: usize,
+    },
+    /// Joining a finished task (blocks until it finishes).
+    Join {
+        /// The joined task's id.
+        target: usize,
+    },
+}
+
+/// Object classes for the dependence relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ObjClass {
+    Atomic,
+    Mutex,
+    Cell,
+}
+
+impl Op {
+    /// `(class, object, is_write)` when the op touches a shared object.
+    fn key(&self) -> Option<(ObjClass, usize, bool)> {
+        match *self {
+            Op::Load { obj, .. } => Some((ObjClass::Atomic, obj, false)),
+            Op::Store { obj, .. } | Op::Rmw { obj, .. } => Some((ObjClass::Atomic, obj, true)),
+            Op::Lock { obj } | Op::Unlock { obj } => Some((ObjClass::Mutex, obj, true)),
+            Op::CellRead { obj } => Some((ObjClass::Cell, obj, false)),
+            Op::CellWrite { obj } => Some((ObjClass::Cell, obj, true)),
+            Op::TaskStart | Op::Spawn { .. } | Op::Join { .. } => None,
+        }
+    }
+
+    /// Whether two ops are dependent (do not commute): same object and
+    /// at least one side writes. Ops without a shared object —
+    /// `TaskStart`, `Spawn`, `Join` — only read task-local or immutable
+    /// state and commute with everything.
+    pub fn dependent(&self, other: &Op) -> bool {
+        match (self.key(), other.key()) {
+            (Some((ca, ia, wa)), Some((cb, ib, wb))) => ca == cb && ia == ib && (wa || wb),
+            _ => false,
+        }
+    }
+
+    /// Compact human-readable rendering (used in traces and JSON).
+    pub fn describe(&self) -> String {
+        match *self {
+            Op::TaskStart => "start".to_string(),
+            Op::Load { obj, ord } => format!("load a{obj} {}", ord.name()),
+            Op::Store { obj, ord, val } => format!("store a{obj} <- {val} {}", ord.name()),
+            Op::Rmw {
+                obj,
+                ord,
+                kind,
+                operand,
+            } => {
+                let k = match kind {
+                    RmwKind::FetchAdd => "fetch_add",
+                    RmwKind::Swap => "swap",
+                };
+                format!("{k} a{obj} {operand} {}", ord.name())
+            }
+            Op::Lock { obj } => format!("lock m{obj}"),
+            Op::Unlock { obj } => format!("unlock m{obj}"),
+            Op::CellRead { obj } => format!("read c{obj}"),
+            Op::CellWrite { obj } => format!("write c{obj}"),
+            Op::Spawn { child } => format!("spawn t{child}"),
+            Op::Join { target } => format!("join t{target}"),
+        }
+    }
+}
+
+/// One executed operation in an execution trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// 1-based step number within the execution.
+    pub step: usize,
+    /// Task that executed the op.
+    pub task: usize,
+    /// The operation.
+    pub op: Op,
+    /// Result value (loaded value, RMW's old value; 0 when meaningless).
+    pub result: u64,
+}
+
+impl Event {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("step", Json::u64(self.step as u64))
+            .field("task", Json::u64(self.task as u64))
+            .field("op", Json::str(&self.op.describe()))
+            .field("result", Json::u64(self.result))
+    }
+}
+
+/// What kind of bug a violation reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two unordered accesses to a [`crate::RaceCell`], at least one a
+    /// write.
+    DataRace,
+    /// No task can make progress while some remain unfinished.
+    Deadlock,
+    /// A [`crate::check`] assertion failed.
+    AssertFailed,
+    /// A task panicked with an ordinary (non-checker) panic.
+    Panic,
+}
+
+impl ViolationKind {
+    /// Stable identifier used in JSON and selftests.
+    pub fn id(self) -> &'static str {
+        match self {
+            ViolationKind::DataRace => "data_race",
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::AssertFailed => "assert_failed",
+            ViolationKind::Panic => "panic",
+        }
+    }
+}
+
+/// A bug found by the checker, frozen with everything needed to replay
+/// the exact interleaving that exhibits it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Bug class.
+    pub kind: ViolationKind,
+    /// Human-readable description naming the tasks/objects involved.
+    pub message: String,
+    /// Full event trace of the failing execution.
+    pub trace: Vec<Event>,
+    /// Decision sequence (chosen task per schedule point); feed to
+    /// [`crate::replay`] to reproduce the trace byte-identically.
+    pub schedule: Vec<usize>,
+}
+
+impl Violation {
+    /// JSON rendering used inside reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("kind", Json::str(self.kind.id()))
+            .field("message", Json::str(&self.message))
+            .field(
+                "schedule",
+                Json::Arr(self.schedule.iter().map(|&t| Json::u64(t as u64)).collect()),
+            )
+            .field(
+                "trace",
+                Json::Arr(self.trace.iter().map(Event::to_json).collect()),
+            )
+    }
+}
+
+/// The outcome of one complete execution (one interleaving).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// The violation, if this execution exhibited one.
+    pub violation: Option<Violation>,
+    /// Every executed event, in order.
+    pub trace: Vec<Event>,
+    /// Every scheduling decision, in order.
+    pub schedule: Vec<usize>,
+    /// Steps executed.
+    pub steps: usize,
+    /// The sleep-set chooser cut this execution short as redundant.
+    pub pruned: bool,
+    /// The per-execution step bound was hit (result incomplete).
+    pub step_limited: bool,
+}
+
+/// Aggregate result of an exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Executions run (including pruned ones).
+    pub executions: usize,
+    /// Total steps across all executions.
+    pub steps_total: usize,
+    /// Executions cut short by sleep-set pruning.
+    pub pruned: usize,
+    /// First violation found, if any (exploration stops on it).
+    pub violation: Option<Violation>,
+    /// Whether the state space was exhausted within the configured
+    /// bounds (always `false` when a violation stopped the search and
+    /// for random walks).
+    pub complete: bool,
+}
+
+/// JSON schema tag for simcheck reports.
+pub const SCHEMA: &str = "oocnvm.simcheck/1";
+
+impl Report {
+    /// Renders the report through the simobs versioned-JSON writer.
+    pub fn to_json(&self, name: &str) -> String {
+        let violation = match &self.violation {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        };
+        let payload = Json::obj()
+            .field("check", Json::str(name))
+            .field("executions", Json::u64(self.executions as u64))
+            .field("steps_total", Json::u64(self.steps_total as u64))
+            .field("pruned", Json::u64(self.pruned as u64))
+            .field("complete", Json::Bool(self.complete))
+            .field("violation", violation);
+        simobs::json::report(SCHEMA, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependence_is_object_and_write_sensitive() {
+        let la = Op::Load {
+            obj: 0,
+            ord: MemOrd::Relaxed,
+        };
+        let sa = Op::Store {
+            obj: 0,
+            ord: MemOrd::Relaxed,
+            val: 1,
+        };
+        let sb = Op::Store {
+            obj: 1,
+            ord: MemOrd::Relaxed,
+            val: 1,
+        };
+        assert!(la.dependent(&sa), "read/write same atomic");
+        assert!(!la.dependent(&la.clone()), "two reads commute");
+        assert!(!sa.dependent(&sb), "different objects commute");
+        assert!(!Op::TaskStart.dependent(&sa), "start commutes");
+        let lock = Op::Lock { obj: 2 };
+        let unlock = Op::Unlock { obj: 2 };
+        assert!(lock.dependent(&unlock), "same mutex never commutes");
+    }
+
+    #[test]
+    fn report_json_is_versioned_and_parses() {
+        let report = Report {
+            executions: 3,
+            steps_total: 17,
+            pruned: 1,
+            violation: Some(Violation {
+                kind: ViolationKind::DataRace,
+                message: "cell c0".to_string(),
+                trace: vec![Event {
+                    step: 1,
+                    task: 0,
+                    op: Op::CellWrite { obj: 0 },
+                    result: 0,
+                }],
+                schedule: vec![0, 1],
+            }),
+            complete: false,
+        };
+        let text = report.to_json("demo");
+        let doc = simobs::json::parse(&text).unwrap_or(simobs::json::Json::Null);
+        assert_eq!(doc.get("format"), Some(&Json::Str(SCHEMA.to_string())));
+        assert_eq!(doc.get("check"), Some(&Json::Str("demo".to_string())));
+        let v = doc.get("violation").cloned().unwrap_or(Json::Null);
+        assert_eq!(v.get("kind"), Some(&Json::Str("data_race".to_string())));
+    }
+}

@@ -1,0 +1,145 @@
+//! Pins the checker's behaviour on the planted-bug fixtures and the
+//! pool protocol matrix: exact violation kinds, exact execution/step
+//! counts (the DFS + sleep-set exploration is fully deterministic), and
+//! byte-identical replay of every recorded violation schedule.
+
+use simcheck::{explore, fixtures, replay, Config, Report, ViolationKind};
+use simobs::json::Json;
+
+fn cfg() -> Config {
+    Config::default()
+}
+
+/// Replays a violation's recorded schedule and checks the reproduction
+/// is byte-identical: same kind, same message, same event trace.
+fn assert_replays(model: fn(), report: &Report) {
+    let Some(violation) = report.violation.as_ref() else {
+        assert!(report.violation.is_some(), "expected a violation to replay");
+        return;
+    };
+    let outcome = replay(model, &violation.schedule, &cfg());
+    let Some(replayed) = outcome.violation.as_ref() else {
+        assert!(
+            outcome.violation.is_some(),
+            "replaying the schedule must reproduce the violation"
+        );
+        return;
+    };
+    assert_eq!(replayed.kind, violation.kind, "replay reproduces the kind");
+    assert_eq!(
+        replayed.message, violation.message,
+        "replay reproduces the message"
+    );
+    assert_eq!(
+        replayed.trace, violation.trace,
+        "replay reproduces the trace byte-identically"
+    );
+}
+
+#[test]
+fn racy_counter_races_on_the_first_execution() {
+    let report = explore(fixtures::racy_counter::model, &cfg());
+    let kind = report.violation.as_ref().map(|v| v.kind);
+    assert_eq!(kind, Some(ViolationKind::DataRace));
+    // Every interleaving is racy, so the very first one already fails.
+    assert_eq!(report.executions, 1, "first execution exhibits the race");
+    assert_eq!(report.steps_total, 9, "pinned step count");
+    assert_replays(fixtures::racy_counter::model, &report);
+}
+
+#[test]
+fn deadlock_is_found_with_a_blocked_task_inventory() {
+    let report = explore(fixtures::deadlock::model, &cfg());
+    let kind = report.violation.as_ref().map(|v| v.kind);
+    assert_eq!(kind, Some(ViolationKind::Deadlock));
+    assert_eq!(report.executions, 5, "pinned execution count");
+    let message = report
+        .violation
+        .as_ref()
+        .map(|v| v.message.clone())
+        .unwrap_or_default();
+    assert!(
+        message.contains("blocked"),
+        "deadlock message inventories blocked tasks: {message}"
+    );
+    assert_replays(fixtures::deadlock::model, &report);
+}
+
+#[test]
+fn unsync_publish_races_and_sync_publish_does_not() {
+    let buggy = explore(fixtures::unsync_publish::buggy, &cfg());
+    let kind = buggy.violation.as_ref().map(|v| v.kind);
+    assert_eq!(kind, Some(ViolationKind::DataRace));
+    assert_eq!(buggy.executions, 1, "relaxed publish races immediately");
+    assert_replays(fixtures::unsync_publish::buggy, &buggy);
+
+    let fixed = explore(fixtures::unsync_publish::fixed, &cfg());
+    assert!(
+        fixed.violation.is_none(),
+        "release/acquire publish is clean"
+    );
+    assert!(fixed.complete, "exploration exhausts the state space");
+    assert_eq!(fixed.executions, 6, "pinned execution count");
+}
+
+#[test]
+fn pool_protocol_matrix_is_clean_with_pinned_state_spaces() {
+    // (executions, steps_total, pruned) per matrix entry, in order: the
+    // exploration is deterministic, so any drift means the protocol (or
+    // the checker) changed behaviour and must be re-audited.
+    let pinned = [
+        ("pool_clean_2w2c", 21, 323, 13),
+        ("pool_clean_2w3c", 41, 774, 25),
+        ("pool_clean_3w2c", 251, 4596, 197),
+        ("pool_clean_3w3c", 735, 15913, 573),
+        ("pool_poison_2w2c", 18, 241, 11),
+        ("pool_poison_2w3c", 27, 425, 16),
+        ("pool_poison_3w2c", 218, 3723, 173),
+        ("pool_poison_3w3c", 540, 10745, 427),
+    ];
+    assert_eq!(
+        pinned.len(),
+        simcheck::checks::PROTOCOL_CHECKS.len(),
+        "every matrix entry is pinned"
+    );
+    for (check, (name, executions, steps, pruned)) in
+        simcheck::checks::PROTOCOL_CHECKS.iter().zip(pinned)
+    {
+        let report = check.run(&cfg());
+        assert_eq!(check.name, name, "matrix order is stable");
+        assert!(
+            report.violation.is_none(),
+            "{name}: protocol violation: {:?}",
+            report.violation
+        );
+        assert!(report.complete, "{name}: state space exhausted");
+        assert_eq!(report.executions, executions, "{name}: executions");
+        assert_eq!(report.steps_total, steps, "{name}: steps");
+        assert_eq!(report.pruned, pruned, "{name}: pruned");
+    }
+}
+
+#[test]
+fn violation_reports_render_versioned_json() {
+    let report = explore(fixtures::racy_counter::model, &cfg());
+    let text = report.to_json("selftest");
+    let doc = match simobs::json::parse(&text) {
+        Ok(doc) => doc,
+        Err(_) => Json::Null,
+    };
+    assert_ne!(doc, Json::Null, "report must parse as JSON");
+    assert_eq!(
+        doc.get("format").cloned(),
+        Some(Json::Str(simcheck::SCHEMA.to_string()))
+    );
+    let violation = doc.get("violation").cloned().unwrap_or(Json::Null);
+    assert_eq!(
+        violation.get("kind").cloned(),
+        Some(Json::Str("data_race".to_string()))
+    );
+    let schedule = violation.get("schedule").cloned().unwrap_or(Json::Null);
+    assert!(
+        matches!(schedule, Json::Arr(ref items) if !items.is_empty()),
+        "schedule is exported for replay"
+    );
+}

@@ -2,11 +2,16 @@
 // crate (`ssd`). Expected findings:
 //   nondeterministic_collection x2 (HashMap, HashSet — one mention each)
 //   bare_cast x2 (`as u64`, `as f64`)
+//   lock_order x1 (`backward` closes the alpha/beta cycle opened in the
+//   interconnect fixture — the graph is workspace-wide)
 // `LinkedHashMap` must NOT fire (left word boundary), and the casts in
 // the comment / string literal below must NOT fire (cleaned text).
 // `admit` adds no findings of its own: it is the cross-crate callee the
 // core fixture passes a bytes value to, proving the unit pass checks
-// call arguments through the workspace symbol index.
+// call arguments through the workspace symbol index. `respects_drop`
+// and `safe_nest` must NOT fire: an explicit `drop` releases the guard
+// before the second acquisition, and a consistently-ordered pair is
+// acyclic.
 pub type Map = std::collections::HashMap<u64, u64>;
 pub type Set = std::collections::HashSet<u64>;
 
@@ -27,4 +32,27 @@ pub fn innocuous() -> &'static str {
 
 pub fn admit(deadline_ns: u64) -> u64 {
     deadline_ns
+}
+
+use std::sync::Mutex;
+
+pub fn backward(alpha: &Mutex<u32>, beta: &Mutex<u32>) {
+    let gb = beta.lock();
+    let ga = alpha.lock();
+    drop(ga);
+    drop(gb);
+}
+
+pub fn respects_drop(alpha: &Mutex<u32>, beta: &Mutex<u32>) {
+    let gb = beta.lock();
+    drop(gb);
+    let ga = alpha.lock();
+    drop(ga);
+}
+
+pub fn safe_nest(gamma: &Mutex<u32>, delta: &Mutex<u32>) {
+    let gg = gamma.lock();
+    let gd = delta.lock();
+    drop(gd);
+    drop(gg);
 }

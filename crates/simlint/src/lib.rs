@@ -18,7 +18,11 @@
 //!   from the reliability report;
 //! * **pool discipline** — no direct `thread::spawn`: parallelism goes
 //!   through the vendored work-sharing pool so `RAYON_NUM_THREADS` and
-//!   the determinism contract apply (docs/PARALLELISM.md).
+//!   the determinism contract apply (docs/PARALLELISM.md);
+//! * **concurrency safety** — no `Relaxed` atomics publishing or
+//!   consuming cross-thread data, and no cycles in the workspace
+//!   lock-acquisition graph; proven protocols live in
+//!   simcheck-verified modules (docs/CONCURRENCY.md).
 //!
 //! Existing violations are enumerated in `simlint.allow` and may only
 //! ratchet down (see [`allow`]). Run via `cargo run -p simlint`; see
@@ -29,6 +33,7 @@
 pub mod allow;
 pub mod ast;
 pub mod astrules;
+pub mod concurrency;
 pub mod lexer;
 pub mod parser;
 pub mod resolve;
@@ -181,6 +186,11 @@ pub fn rules_for(path: &str) -> Vec<Rule> {
     if UNIT_MATH_CRATES.contains(&krate) || matches!(krate, "core" | "trace" | "ooc") {
         rules.push(Rule::UnitMismatch);
     }
+    // The concurrency passes apply everywhere: any crate can misuse an
+    // atomic or invert a lock order, and the lock graph is one
+    // workspace-wide artifact.
+    rules.push(Rule::AtomicOrdering);
+    rules.push(Rule::LockOrder);
     rules
 }
 
@@ -236,7 +246,9 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Located> {
             Rule::ThreadSpawn => astrules::thread_spawn(&clean, &trees, &file),
             // Semantic passes need the cross-file index; they run in
             // `scan_workspace`, not per-file.
-            Rule::NondetTaint | Rule::UnitMismatch => Vec::new(),
+            Rule::NondetTaint | Rule::UnitMismatch | Rule::AtomicOrdering | Rule::LockOrder => {
+                Vec::new()
+            }
         };
         out.extend(findings.into_iter().map(|finding| Located {
             path: path.to_string(),
@@ -276,9 +288,17 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
     let index = resolve::Index::build(&file_asts);
     let taint_scope = |p: &str| rules_for(p).contains(&Rule::NondetTaint);
     let unit_scope = |p: &str| rules_for(p).contains(&Rule::UnitMismatch);
+    let atomic_scope = |p: &str| rules_for(p).contains(&Rule::AtomicOrdering);
+    let lock_scope = |p: &str| rules_for(p).contains(&Rule::LockOrder);
     for located in taint::run(&file_asts, &index, &taint_scope)
         .into_iter()
         .chain(units::run(&file_asts, &index, &unit_scope))
+        .chain(concurrency::run(
+            &file_asts,
+            &index,
+            &atomic_scope,
+            &lock_scope,
+        ))
     {
         *report
             .counts
@@ -321,9 +341,13 @@ pub fn check(report: &Report, allow: &Allowlist) -> Verdict {
     // excused inside it.
     for (rule, path, count) in allow.iter() {
         // The semantic passes are never allowlistable anywhere: a
-        // nondeterministic result or a cross-unit sum is a bug, not
-        // debt to be tracked.
-        if matches!(rule, Rule::NondetTaint | Rule::UnitMismatch) {
+        // nondeterministic result, a cross-unit sum, an unsynchronized
+        // publication, or a lock-order cycle is a bug, not debt to be
+        // tracked.
+        if matches!(
+            rule,
+            Rule::NondetTaint | Rule::UnitMismatch | Rule::AtomicOrdering | Rule::LockOrder
+        ) {
             verdict.forbidden.push(format!(
                 "{path}: `{}` is never allowlistable ({count} entries)",
                 rule.id()

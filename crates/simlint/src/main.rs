@@ -10,12 +10,15 @@
 //! cargo run -p simlint -- --root DIR   # scan a different tree
 //! ```
 //!
-//! The JSON export (schema `oocnvm.simlint/1`) carries per-`(rule,
-//! path)` finding counts plus the allowlist total; the baseline diff
-//! fails on any growth (new `(rule, path)` pairs, higher counts, or a
-//! larger allowlist) and treats shrinkage as an advisory to refresh the
-//! baseline. Counts, not line numbers, so unrelated edits don't churn
-//! the committed file.
+//! The JSON export (schema `oocnvm.simlint/2`; v2 added the
+//! `atomic_ordering` and `lock_order` concurrency passes) carries
+//! per-`(rule, path)` finding counts plus the allowlist total; the
+//! baseline diff fails on any growth (new `(rule, path)` pairs, higher
+//! counts, or a larger allowlist) and treats shrinkage as an advisory
+//! to refresh the baseline. Counts, not line numbers, so unrelated
+//! edits don't churn the committed file. Baselines written by the v1
+//! schema still parse: the rule set only grew, so a v1 document is a
+//! valid (if rule-poorer) count table.
 //!
 //! Exit codes: 0 clean, 1 violations/stale/forbidden entries or baseline
 //! regressions, 2 usage or I/O errors.
@@ -29,7 +32,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Schema tag for the findings export.
-const SCHEMA: &str = "oocnvm.simlint/1";
+const SCHEMA: &str = "oocnvm.simlint/2";
+
+/// Prior schema tag, still accepted on the *read* side of the baseline
+/// diff: v2 only added rules (`atomic_ordering`, `lock_order`), so a
+/// v1 count table diffs cleanly — any finding under a new rule simply
+/// counts as growth from zero.
+const SCHEMA_V1: &str = "oocnvm.simlint/1";
 
 /// Workspace-relative path of the committed baseline.
 const BASELINE_PATH: &str = "results/simlint.baseline.json";
@@ -121,7 +130,7 @@ fn allow_total(allow: &Allowlist) -> u64 {
 }
 
 /// Result of diffing a scan against a committed baseline.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct BaselineDiff {
     /// Growth: new `(rule, path)` pairs, higher counts, allowlist growth.
     regressions: Vec<String>,
@@ -133,8 +142,13 @@ struct BaselineDiff {
 fn diff_baseline(text: &str, report: &Report, allow: &Allowlist) -> Result<BaselineDiff, String> {
     let doc = json::parse(text).map_err(|e| format!("malformed baseline: {e}"))?;
     match doc.get("format") {
-        Some(Json::Str(s)) if s == SCHEMA => {}
-        other => return Err(format!("baseline schema is {other:?}, expected {SCHEMA:?}")),
+        Some(Json::Str(s)) if s == SCHEMA || s == SCHEMA_V1 => {}
+        other => {
+            return Err(format!(
+                "baseline schema is {other:?}, expected {SCHEMA:?} (or the \
+                 readable predecessor {SCHEMA_V1:?})"
+            ))
+        }
     }
     let mut base: BTreeMap<(String, String), u64> = BTreeMap::new();
     if let Some(Json::Arr(items)) = doc.get("counts") {
@@ -331,4 +345,49 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A v1-schema baseline (the pre-concurrency-pass format) must
+    /// still parse and diff: the committed history contains such
+    /// documents, and a schema bump must not strand them.
+    #[test]
+    fn v1_baselines_still_diff() {
+        let v1 = concat!(
+            "{\"format\":\"oocnvm.simlint/1\",\"files_scanned\":107,",
+            "\"allow_total\":2,\"counts\":[{\"rule\":\"bare_cast\",",
+            "\"path\":\"crates/nvmtypes/src/convert.rs\",\"count\":2}],",
+            "\"findings\":[]}"
+        );
+        let mut report = Report::default();
+        report
+            .counts
+            .insert((Rule::BareCast, "crates/nvmtypes/src/convert.rs".into()), 2);
+        let allow = Allowlist::parse("bare_cast crates/nvmtypes/src/convert.rs 2\n")
+            .expect("allowlist parses");
+        let diff = diff_baseline(v1, &report, &allow).expect("v1 baseline parses");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.improvements.is_empty(), "{:?}", diff.improvements);
+        // Growth against a v1 baseline is still a regression — findings
+        // under the new rules count from zero.
+        report
+            .counts
+            .insert((Rule::LockOrder, "crates/ssd/src/ftl.rs".into()), 1);
+        let diff = diff_baseline(v1, &report, &allow).expect("v1 baseline parses");
+        assert_eq!(diff.regressions.len(), 1, "{:?}", diff.regressions);
+        assert!(diff.regressions[0].contains("lock_order"));
+    }
+
+    /// Unknown schemas are rejected, naming both accepted tags.
+    #[test]
+    fn unknown_baseline_schemas_are_rejected() {
+        let doc = "{\"format\":\"oocnvm.simlint/99\",\"allow_total\":0,\"counts\":[]}";
+        let err = diff_baseline(doc, &Report::default(), &Allowlist::default())
+            .expect_err("future schema must be rejected");
+        assert!(err.contains("oocnvm.simlint/2"), "{err}");
+        assert!(err.contains("oocnvm.simlint/1"), "{err}");
+    }
 }

@@ -43,6 +43,17 @@ pub enum Rule {
     /// (ns vs bytes vs lanes) meet in arithmetic, comparison, or a
     /// call-site argument. Never allowlistable.
     UnitMismatch,
+    /// Concurrency pass: a `Relaxed` atomic store publishing prior
+    /// writes, or a `Relaxed` load guarding reads of other state —
+    /// cross-thread data with no happens-before edge. Proven-safe
+    /// `Relaxed` protocols live in simcheck-verified modules
+    /// (docs/CONCURRENCY.md). Never allowlistable.
+    AtomicOrdering,
+    /// Concurrency pass: a cycle in the workspace lock-acquisition
+    /// graph (lock `b` taken while holding `a` somewhere, `a` while
+    /// holding `b` elsewhere) — an AB-BA deadlock awaiting the right
+    /// interleaving. Never allowlistable.
+    LockOrder,
 }
 
 impl Rule {
@@ -59,6 +70,8 @@ impl Rule {
             Rule::ThreadSpawn => "thread_spawn",
             Rule::NondetTaint => "nondet_taint",
             Rule::UnitMismatch => "unit_mismatch",
+            Rule::AtomicOrdering => "atomic_ordering",
+            Rule::LockOrder => "lock_order",
         }
     }
 
@@ -75,12 +88,14 @@ impl Rule {
             "thread_spawn" => Rule::ThreadSpawn,
             "nondet_taint" => Rule::NondetTaint,
             "unit_mismatch" => Rule::UnitMismatch,
+            "atomic_ordering" => Rule::AtomicOrdering,
+            "lock_order" => Rule::LockOrder,
             _ => return None,
         })
     }
 
     /// Every rule, in report order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 12] = [
         Rule::NoPanic,
         Rule::NondeterministicCollection,
         Rule::WallClock,
@@ -91,6 +106,8 @@ impl Rule {
         Rule::ThreadSpawn,
         Rule::NondetTaint,
         Rule::UnitMismatch,
+        Rule::AtomicOrdering,
+        Rule::LockOrder,
     ];
 }
 

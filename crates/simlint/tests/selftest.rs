@@ -45,7 +45,7 @@ fn real_root() -> PathBuf {
 #[test]
 fn fixture_corpus_triggers_every_rule_exactly() {
     let report = scan_workspace(&fixture_root()).expect("fixture scan");
-    assert_eq!(report.files_scanned, 5, "fixture corpus shape changed");
+    assert_eq!(report.files_scanned, 6, "fixture corpus shape changed");
     // Strict-crate panics and clocks (flashsim fixture).
     assert_eq!(
         report
@@ -180,6 +180,36 @@ fn fixture_corpus_triggers_every_rule_exactly() {
     // named `Instant` produce nothing anywhere else.
     assert_eq!(report.total(Rule::NondetTaint), 5);
     assert_eq!(report.total(Rule::UnitMismatch), 4);
+    // Concurrency passes (interconnect + ssd fixtures): the Relaxed
+    // publish/consume pair; the alpha->beta edges (direct nesting and
+    // the interprocedural one via `grab_beta`) and the ssd fixture's
+    // beta->alpha edge that closes the cycle. The Release/Acquire
+    // pair, the write-free counter, the dropped guard, and the
+    // consistently-ordered gamma/delta pair all stay silent.
+    assert_eq!(
+        report.counts.get(&(
+            Rule::AtomicOrdering,
+            "crates/interconnect/src/lib.rs".into()
+        )),
+        Some(&2),
+        "Relaxed publish + Relaxed consume"
+    );
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::LockOrder, "crates/interconnect/src/lib.rs".into())),
+        Some(&2),
+        "direct + interprocedural alpha->beta edges"
+    );
+    assert_eq!(
+        report
+            .counts
+            .get(&(Rule::LockOrder, "crates/ssd/src/lib.rs".into())),
+        Some(&1),
+        "the beta->alpha edge closing the cross-file cycle"
+    );
+    assert_eq!(report.total(Rule::AtomicOrdering), 2);
+    assert_eq!(report.total(Rule::LockOrder), 3);
     // Out-of-scope rules must not fire in ooc (cast + clock present there).
     assert_eq!(
         report
@@ -215,7 +245,7 @@ fn fixture_corpus_fails_the_gate() {
     assert!(!verdict.ok());
     assert_eq!(
         verdict.violations.len(),
-        16,
+        19,
         "one violation per (rule, file)"
     );
     assert!(verdict.stale.is_empty() && verdict.forbidden.is_empty());
@@ -239,14 +269,16 @@ fn strict_crate_panics_cannot_be_allowlisted() {
     assert!(verdict.violations.is_empty(), "all counts covered");
     assert!(verdict.stale.is_empty());
     // Strict-crate entries (3, all flashsim) plus the semantic-pass
-    // entries (nondet_taint in three files, unit_mismatch in one),
-    // which are never allowlistable anywhere.
-    assert_eq!(verdict.forbidden.len(), 7, "{:?}", verdict.forbidden);
-    for f in verdict
-        .forbidden
-        .iter()
-        .filter(|f| !f.contains("nondet_taint") && !f.contains("unit_mismatch"))
-    {
+    // entries (nondet_taint in three files, unit_mismatch in one,
+    // atomic_ordering in one, lock_order in two), which are never
+    // allowlistable anywhere.
+    assert_eq!(verdict.forbidden.len(), 10, "{:?}", verdict.forbidden);
+    for f in verdict.forbidden.iter().filter(|f| {
+        !f.contains("nondet_taint")
+            && !f.contains("unit_mismatch")
+            && !f.contains("atomic_ordering")
+            && !f.contains("lock_order")
+    }) {
         assert!(f.contains("crates/flashsim/src/lib.rs"), "{f}");
     }
     assert!(verdict.forbidden.iter().any(|f| f.contains("`no_panic`")));
@@ -273,6 +305,22 @@ fn strict_crate_panics_cannot_be_allowlisted() {
             .filter(|f| f.contains("`unit_mismatch` is never allowlistable"))
             .count(),
         1
+    );
+    assert_eq!(
+        verdict
+            .forbidden
+            .iter()
+            .filter(|f| f.contains("`atomic_ordering` is never allowlistable"))
+            .count(),
+        1
+    );
+    assert_eq!(
+        verdict
+            .forbidden
+            .iter()
+            .filter(|f| f.contains("`lock_order` is never allowlistable"))
+            .count(),
+        2
     );
     assert!(!verdict.ok());
 }
@@ -351,6 +399,8 @@ fn allowlist_totals_stay_below_seed_baselines() {
     // carry a budget either.
     assert_eq!(allow.total(Rule::NondetTaint), 0);
     assert_eq!(allow.total(Rule::UnitMismatch), 0);
+    assert_eq!(allow.total(Rule::AtomicOrdering), 0);
+    assert_eq!(allow.total(Rule::LockOrder), 0);
 }
 
 /// The core fixture plants violations structured so the legacy per-line

@@ -9,7 +9,9 @@
 #   2. clippy         — workspace lint policy ([workspace.lints]: the
 #                       unwrap/expect/panic deny set, unsafe_code)
 #   3. simlint        — simulator invariants (determinism, unit-safety,
-#                       no-panic, exhaustive matches; docs/INVARIANTS.md)
+#                       no-panic, exhaustive matches, atomic-ordering
+#                       and lock-order concurrency passes;
+#                       docs/INVARIANTS.md, docs/CONCURRENCY.md)
 #   4. tests          — the whole workspace test suite
 #   5. release build  — tier-1 artifact (skipped with --fast)
 #   6. reliability    — fault-injection smoke: the seeded fault sweep
@@ -31,7 +33,13 @@
 #                       diffed against the committed
 #                       results/simlint.baseline.json: any new
 #                       (rule, path) finding or allowlist growth fails
-#                       the gate (docs/STATIC_ANALYSIS.md)
+#                       the gate, including under the concurrency
+#                       passes (docs/STATIC_ANALYSIS.md)
+#  10. simcheck       — model-checking smoke: exhaustively explores the
+#                       vendored pool's claim/poison protocol at 2-3
+#                       threads on shadow atomics (zero violations) and
+#                       re-detects every planted fixture bug at its
+#                       pinned execution count (docs/CONCURRENCY.md)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -101,6 +109,9 @@ fi
 
 step "simlint --baseline (findings ratchet vs committed baseline)"
 cargo run --quiet -p simlint -- --baseline results/simlint.baseline.json
+
+step "simcheck --smoke (pool-protocol model check + planted fixtures)"
+cargo run --quiet -p simcheck -- --smoke
 
 echo
 echo "check.sh: all gates passed"

@@ -39,8 +39,10 @@
 //! `ThreadPool::{panicked_jobs, join}` expose panic accounting that real
 //! rayon routes through unwinding instead.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub mod protocol;
 
 /// How many chunks each worker should see on average. The claim cost is
 /// one `fetch_add` plus one uncontended lock per chunk, so chunks can be
@@ -68,14 +70,14 @@ pub fn current_num_threads() -> usize {
     }
 }
 
-/// Sets the poison flag when its worker unwinds, so sibling workers
-/// stop claiming chunks instead of finishing a doomed region.
-struct PanicGuard<'a>(&'a AtomicBool);
+/// Poisons the region when its worker unwinds, so sibling workers stop
+/// claiming chunks instead of finishing a doomed region.
+struct PanicGuard<'a>(&'a protocol::RegionState);
 
 impl Drop for PanicGuard<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            self.0.store(true, Ordering::Relaxed);
+            self.0.poison();
         }
     }
 }
@@ -126,18 +128,16 @@ where
         }));
     }
 
-    let next = AtomicUsize::new(0);
-    let poisoned = AtomicBool::new(false);
+    // The claim/poison protocol is shared source with simcheck's
+    // model-checked instantiation (see `protocol`): what the checker
+    // exhaustively verifies at 2-3 workers is this exact code.
+    let region = protocol::RegionState::new(n_chunks);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 IN_POOL.with(|flag| flag.set(true));
-                let _guard = PanicGuard(&poisoned);
-                loop {
-                    if poisoned.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
+                let _guard = PanicGuard(&region);
+                while let Some(i) = region.claim() {
                     let Some(cell) = cells.get(i) else { break };
                     let mut cell = lock_cell(cell);
                     let input = std::mem::take(&mut cell.input);
@@ -333,6 +333,12 @@ impl ThreadPoolBuilder {
                                 let caught =
                                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                                 if caught.is_err() {
+                                    // Relaxed: a pure event counter — the
+                                    // RMW is atomic at any ordering, no
+                                    // data is published through it, and
+                                    // the authoritative read in `join`
+                                    // happens after the worker joins
+                                    // (which orders everything).
                                     panicked.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
@@ -380,6 +386,9 @@ impl ThreadPool {
     /// Jobs that panicked so far. Callers that need a `Result` instead
     /// of a panic observe failures here (see ooc's prefetcher).
     pub fn panicked_jobs(&self) -> usize {
+        // Relaxed: a monotone progress probe that is racy by nature —
+        // jobs may still be running, so *any* ordering only yields a
+        // lower bound. The exact count is `join`'s.
         self.panicked.load(Ordering::Relaxed)
     }
 
@@ -387,6 +396,9 @@ impl ThreadPool {
     /// returns the total panicked-job count.
     pub fn join(mut self) -> usize {
         self.shutdown();
+        // Relaxed: every worker has been joined by `shutdown`, and a
+        // thread join is a full happens-before edge, so this read sees
+        // the final count regardless of ordering.
         self.panicked.load(Ordering::Relaxed)
     }
 

@@ -1,0 +1,146 @@
+//! The parallel-region claim/poison protocol, written once and
+//! instantiated twice.
+//!
+//! [`chunk_claim_protocol!`] generates `RegionState` — the lock-free
+//! heart of [`crate`]'s `run_parallel`: one atomic claim counter handing
+//! out chunk indices, one poison flag that tells sibling workers to stop
+//! when a worker unwinds. The macro is parameterised over the atomic
+//! types so the *same source* backs both the production instantiation
+//! below (over `std::sync::atomic`) and simcheck's model-checked
+//! instantiation (over its shadow atomics, where every access is a
+//! schedule point). Whatever the model checker exhaustively verifies is
+//! therefore literally the code that runs in production, not a
+//! transcription of it.
+//!
+//! ## Why every ordering here survives as `Relaxed`
+//!
+//! simcheck explores this protocol exhaustively at 2–3 workers
+//! (`simcheck::checks`): claim uniqueness, chunk coverage, and
+//! poison-stop behaviour hold in every interleaving *with the orderings
+//! below*, because the protocol never publishes data through these
+//! atomics:
+//!
+//! * `next` is a pure ticket dispenser. `fetch_add` is atomic at any
+//!   ordering, so two workers can never claim the same index; the chunk
+//!   payloads flow through per-chunk `Mutex`es (lock/unlock edges) and
+//!   the scope join, never through `next` itself.
+//! * `poisoned` is a best-effort work-saving hint. A worker that checks
+//!   the flag just before it is raised claims one more chunk and wastes
+//!   work on a doomed region — a window that is *logical*, not a memory
+//!   -ordering artifact: it exists at `SeqCst` too, because the check
+//!   and the claim are distinct steps. Correctness never depends on the
+//!   flag: panic propagation rides the scope join, and results of a
+//!   poisoned region are discarded wholesale.
+
+/// Generates `RegionState`: the shared claim-counter/poison-flag state
+/// of one parallel region, over caller-supplied atomic types.
+///
+/// `$atomic_usize` / `$atomic_bool` must expose the std atomics' `new`,
+/// `load`, `store`, and (for the counter) `fetch_add` taking
+/// `std::sync::atomic::Ordering` — as `std::sync::atomic::{AtomicUsize,
+/// AtomicBool}` and `simcheck`'s shadow atomics both do.
+#[macro_export]
+macro_rules! chunk_claim_protocol {
+    ($vis:vis, $atomic_usize:ty, $atomic_bool:ty) => {
+        /// Shared state of one parallel region: a claim counter handing
+        /// out chunk indices and a poison flag raised when a worker
+        /// unwinds. See `rayon::protocol` for the ordering audit.
+        $vis struct RegionState {
+            /// Next unclaimed chunk index (may run past `n_chunks`; a
+            /// claim at or beyond the end reports exhaustion).
+            next: $atomic_usize,
+            /// Raised by an unwinding worker so siblings stop claiming.
+            poisoned: $atomic_bool,
+            /// Total chunks in the region.
+            n_chunks: usize,
+        }
+
+        impl RegionState {
+            /// A fresh region of `n_chunks` unclaimed chunks.
+            $vis fn new(n_chunks: usize) -> RegionState {
+                RegionState {
+                    next: <$atomic_usize>::new(0),
+                    poisoned: <$atomic_bool>::new(false),
+                    n_chunks,
+                }
+            }
+
+            /// Claims the next chunk, or `None` when the region is
+            /// exhausted or poisoned. Distinct `Some` results are
+            /// guaranteed distinct indices in `0..n_chunks`.
+            $vis fn claim(&self) -> Option<usize> {
+                // Relaxed: a stale `false` here merely claims one more
+                // chunk for a doomed region (wasted work, no incorrect
+                // result — the panic still propagates via the scope
+                // join). The same window exists at SeqCst, since the
+                // check and the claim are separate steps; simcheck
+                // verifies claim uniqueness holds regardless.
+                if self.poisoned.load(::std::sync::atomic::Ordering::Relaxed) {
+                    return None;
+                }
+                // Relaxed: the RMW is atomic at any ordering, which is
+                // all uniqueness needs; no data is published through
+                // `next` (chunk payloads travel under per-chunk locks
+                // and the scope join). Model-checked exhaustively in
+                // `simcheck::checks` at 2-3 workers.
+                let i = self
+                    .next
+                    .fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                if i < self.n_chunks {
+                    Some(i)
+                } else {
+                    None
+                }
+            }
+
+            /// Raises the poison flag (called from an unwinding
+            /// worker's drop guard).
+            $vis fn poison(&self) {
+                // Relaxed: see `claim` — the flag is a work-saving hint
+                // with no data riding on it, and failure delivery is
+                // the scope join, not this store.
+                self.poisoned
+                    .store(true, ::std::sync::atomic::Ordering::Relaxed);
+            }
+
+            /// Whether some worker has poisoned the region.
+            $vis fn is_poisoned(&self) -> bool {
+                // Relaxed: observational; callers only use this after
+                // the scope join, which already orders everything.
+                self.poisoned.load(::std::sync::atomic::Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+chunk_claim_protocol!(
+    pub,
+    std::sync::atomic::AtomicUsize,
+    std::sync::atomic::AtomicBool
+);
+
+#[cfg(test)]
+mod tests {
+    use super::RegionState;
+
+    #[test]
+    fn claims_each_chunk_exactly_once() {
+        let region = RegionState::new(3);
+        let mut seen = Vec::new();
+        while let Some(i) = region.claim() {
+            seen.push(i);
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert!(region.claim().is_none(), "exhausted regions stay empty");
+    }
+
+    #[test]
+    fn poison_stops_further_claims() {
+        let region = RegionState::new(8);
+        assert_eq!(region.claim(), Some(0));
+        assert!(!region.is_poisoned());
+        region.poison();
+        assert!(region.is_poisoned());
+        assert_eq!(region.claim(), None, "poisoned regions hand out nothing");
+    }
+}
