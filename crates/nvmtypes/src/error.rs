@@ -48,6 +48,26 @@ pub enum SimError {
         /// Which resource ran out.
         resource: String,
     },
+    /// On-device bytes failed an integrity check (bad magic, CRC
+    /// mismatch, impossible geometry): the storage itself is corrupt.
+    /// Recovery code returns this instead of guessing — a guessed-at
+    /// journal is how committed data quietly disappears.
+    Corruption {
+        /// Which on-disk structure was being decoded (`superblock`,
+        /// `journal record`, `file entry`, …).
+        what: String,
+        /// Sector address of the corrupt bytes.
+        sector: u64,
+        /// What the integrity check found.
+        reason: String,
+    },
+    /// Simulated power was lost mid-run; the device accepts no further
+    /// I/O. Carried up so callers stop issuing instead of silently
+    /// continuing against a dead device.
+    PowerLoss {
+        /// Sector writes fully persisted before the lights went out.
+        writes_persisted: u64,
+    },
 }
 
 impl SimError {
@@ -81,6 +101,21 @@ impl SimError {
             stage: stage.into(),
         }
     }
+
+    /// Convenience constructor for [`SimError::Corruption`].
+    pub fn corruption(what: impl Into<String>, sector: u64, reason: impl Into<String>) -> SimError {
+        SimError::Corruption {
+            what: what.into(),
+            sector,
+            reason: reason.into(),
+        }
+    }
+
+    /// True for [`SimError::PowerLoss`] — the one error the crash
+    /// harness expects and absorbs (everything else is a real failure).
+    pub fn is_power_loss(&self) -> bool {
+        matches!(self, SimError::PowerLoss { .. })
+    }
 }
 
 impl fmt::Display for SimError {
@@ -104,6 +139,19 @@ impl fmt::Display for SimError {
             }
             SimError::ResourceExhausted { resource } => {
                 write!(f, "resource exhausted: {resource}")
+            }
+            SimError::Corruption {
+                what,
+                sector,
+                reason,
+            } => {
+                write!(f, "corrupt {what} at sector {sector}: {reason}")
+            }
+            SimError::PowerLoss { writes_persisted } => {
+                write!(
+                    f,
+                    "power lost after {writes_persisted} persisted sector writes"
+                )
             }
         }
     }
@@ -141,6 +189,17 @@ mod tests {
             resource: "spare blocks".into(),
         };
         assert_eq!(e.to_string(), "resource exhausted: spare blocks");
+        let e = SimError::corruption("journal record", 42, "crc mismatch");
+        assert_eq!(
+            e.to_string(),
+            "corrupt journal record at sector 42: crc mismatch"
+        );
+        assert!(!e.is_power_loss());
+        let e = SimError::PowerLoss {
+            writes_persisted: 7,
+        };
+        assert_eq!(e.to_string(), "power lost after 7 persisted sector writes");
+        assert!(e.is_power_loss());
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub const STREAM_MEDIA: u64 = 1;
 pub const STREAM_LINK: u64 = 2;
 /// Stream id for node-loss events.
 pub const STREAM_NODE: u64 = 3;
+/// Stream id for power-loss / torn-write draws.
+pub const STREAM_CRASH: u64 = 4;
 
 /// Deterministic fault-process PRNG.
 ///
@@ -224,6 +226,138 @@ impl LinkFaultProfile {
     }
 }
 
+/// Power-loss processes against a stable block device (the UFS layer).
+///
+/// Unlike the rate-driven profiles above, power loss is *scheduled*: the
+/// crash-consistency harness sweeps `power_loss_at_write` over every
+/// write index of a journaled transaction, so the interesting knob is a
+/// deterministic position, not a probability. The only probabilistic
+/// part is whether the in-flight sector write tears (persists a partial
+/// prefix) or vanishes entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashFaultProfile {
+    /// Power fails *during* the Nth device sector write (1-based):
+    /// writes `1..N-1` persist fully, write `N` is torn or dropped, and
+    /// the device accepts no further I/O. 0 disables power loss.
+    pub power_loss_at_write: u64,
+    /// Probability the in-flight write at power loss persists a partial
+    /// sector prefix (a torn write) instead of nothing at all.
+    pub torn_write_prob: f64,
+}
+
+impl CrashFaultProfile {
+    /// Power never fails.
+    pub fn none() -> CrashFaultProfile {
+        CrashFaultProfile {
+            power_loss_at_write: 0,
+            torn_write_prob: 0.0,
+        }
+    }
+
+    /// True iff power loss is disabled.
+    pub fn is_none(&self) -> bool {
+        self.power_loss_at_write == 0
+    }
+}
+
+/// What happens to one device sector write under a [`CrashPoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashVerdict {
+    /// The write persists fully; the device keeps running.
+    Persist,
+    /// Power fails mid-write: only the first `keep_bytes` of the new
+    /// data reach the media, the rest of the sector keeps its previous
+    /// contents, and the device is dead afterwards.
+    Torn {
+        /// Bytes of the new data that persisted (`<` the write length).
+        keep_bytes: u64,
+    },
+    /// Power fails before the write reaches the media: nothing persists
+    /// and the device is dead afterwards.
+    Dropped,
+}
+
+/// Deterministic power-loss injector: counts device sector writes and
+/// fires at the scheduled one, optionally tearing the in-flight write.
+///
+/// The crash harness builds one `CrashPoint` per matrix entry
+/// ([`CrashPoint::at_write`]) to simulate power loss after *every*
+/// device write of a journaled transaction; plan-driven runs derive one
+/// from the `[crash]` section via [`CrashPoint::from_profile`], which
+/// returns `None` for a zero profile so the crash-free path carries no
+/// hook at all (the byte-identity invariant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashPoint {
+    at_write: u64,
+    torn_prob: f64,
+    writes_seen: u64,
+    fired: bool,
+    rng: FaultRng,
+}
+
+impl CrashPoint {
+    /// Builds the injector a profile describes, or `None` when the
+    /// profile schedules no power loss (zero-cost crash-free path).
+    pub fn from_profile(profile: &CrashFaultProfile, rng: FaultRng) -> Option<CrashPoint> {
+        if profile.is_none() {
+            return None;
+        }
+        Some(CrashPoint {
+            at_write: profile.power_loss_at_write,
+            torn_prob: profile.torn_write_prob,
+            writes_seen: 0,
+            fired: false,
+            rng,
+        })
+    }
+
+    /// Harness constructor: power fails during write `n` (1-based),
+    /// torn with certainty when `torn` is set, dropped otherwise. The
+    /// seed feeds the tear-length draw.
+    pub fn at_write(n: u64, torn: bool, seed: u64) -> CrashPoint {
+        CrashPoint {
+            at_write: n.max(1),
+            torn_prob: if torn { 1.0 } else { 0.0 },
+            writes_seen: 0,
+            fired: false,
+            rng: FaultRng::new(seed).split(STREAM_CRASH),
+        }
+    }
+
+    /// Adjudicates the next sector write of `len_bytes` bytes. Once the
+    /// scheduled write is reached every subsequent write (including that
+    /// one) is lost; callers stop issuing I/O on the first non-persist
+    /// verdict.
+    pub fn on_write(&mut self, len_bytes: u64) -> CrashVerdict {
+        if self.fired {
+            return CrashVerdict::Dropped;
+        }
+        self.writes_seen += 1;
+        if self.writes_seen < self.at_write {
+            return CrashVerdict::Persist;
+        }
+        self.fired = true;
+        if self.rng.gen_bool(self.torn_prob) {
+            CrashVerdict::Torn {
+                keep_bytes: self.rng.gen_range(len_bytes),
+            }
+        } else {
+            CrashVerdict::Dropped
+        }
+    }
+
+    /// True once power has been lost.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Sector writes adjudicated so far (persisted ones plus the fatal
+    /// one).
+    pub fn writes_seen(&self) -> u64 {
+        self.writes_seen
+    }
+}
+
 /// Node/cluster-level error processes (solver layer).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeFaultProfile {
@@ -272,6 +406,8 @@ pub struct FaultPlan {
     pub link: LinkFaultProfile,
     /// Node-loss / checkpoint processes.
     pub node: NodeFaultProfile,
+    /// Power-loss / torn-write processes (block-device layer).
+    pub crash: CrashFaultProfile,
 }
 
 impl Default for FaultPlan {
@@ -289,6 +425,7 @@ impl FaultPlan {
             media: MediaFaultProfile::none(),
             link: LinkFaultProfile::none(),
             node: NodeFaultProfile::none(),
+            crash: CrashFaultProfile::none(),
         }
     }
 
@@ -311,6 +448,7 @@ impl FaultPlan {
                 ..LinkFaultProfile::none()
             },
             node: NodeFaultProfile::none(),
+            crash: CrashFaultProfile::none(),
         }
     }
 
@@ -338,6 +476,7 @@ impl FaultPlan {
                 restart_penalty_ns: 500_000_000,
                 max_crashes: 16,
             },
+            crash: CrashFaultProfile::none(),
         }
     }
 
@@ -365,12 +504,13 @@ impl FaultPlan {
                 restart_penalty_ns: 2_000_000_000,
                 max_crashes: 16,
             },
+            crash: CrashFaultProfile::none(),
         }
     }
 
     /// True iff no fault process is active (rates all zero).
     pub fn is_none(&self) -> bool {
-        self.media.is_none() && self.link.is_none() && self.node.is_none()
+        self.media.is_none() && self.link.is_none() && self.node.is_none() && self.crash.is_none()
     }
 
     /// The root RNG for this plan; layers call
@@ -391,6 +531,9 @@ impl FaultPlan {
     /// [node]
     /// crash_prob_per_iter = 0.01
     /// checkpoint_every = 8
+    /// [crash]
+    /// power_loss_at_write = 17
+    /// torn_write_prob = 0.5
     /// ```
     ///
     /// Unknown sections or keys are errors (a typo silently reverting
@@ -414,7 +557,7 @@ impl FaultPlan {
                     SimError::parse("fault plan", lineno, "unterminated section header")
                 })?;
                 match name.trim() {
-                    "media" | "link" | "node" => {
+                    "media" | "link" | "node" | "crash" => {
                         section = name.trim().to_string();
                     }
                     other => {
@@ -466,6 +609,8 @@ impl FaultPlan {
                 ("node", "checkpoint_every") => plan.node.checkpoint_every = as_u32()?,
                 ("node", "restart_penalty_ns") => plan.node.restart_penalty_ns = as_u64()?,
                 ("node", "max_crashes") => plan.node.max_crashes = as_u32()?,
+                ("crash", "power_loss_at_write") => plan.crash.power_loss_at_write = as_u64()?,
+                ("crash", "torn_write_prob") => plan.crash.torn_write_prob = as_f64()?,
                 (sec, key) => {
                     let place = if sec.is_empty() {
                         "top level".to_string()
@@ -593,6 +738,78 @@ checkpoint_every = 8
         assert_eq!(plan.node.checkpoint_every, 8);
         // Omitted keys keep `none()` defaults.
         assert_eq!(plan.link.max_replays, LinkFaultProfile::none().max_replays);
+    }
+
+    #[test]
+    fn parse_reads_the_crash_section() {
+        let plan = FaultPlan::parse(
+            "[crash]\npower_loss_at_write = 17   # mid-journal\ntorn_write_prob = 0.5\n",
+        )
+        .expect("crash section parses");
+        assert_eq!(plan.crash.power_loss_at_write, 17);
+        assert!((plan.crash.torn_write_prob - 0.5).abs() < 1e-15);
+        assert!(!plan.is_none(), "a scheduled power loss is a live plan");
+        // Omitting the section keeps the disabled default.
+        let none = FaultPlan::parse("seed = 1\n").expect("plan parses");
+        assert!(none.crash.is_none());
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn parse_rejects_bad_crash_keys() {
+        assert!(FaultPlan::parse("[crash]\nbogus = 1\n").is_err());
+        assert!(FaultPlan::parse("[crash]\npower_loss_at_write = -3\n").is_err());
+        assert!(FaultPlan::parse("[crash]\ntorn_write_prob = maybe\n").is_err());
+        assert!(FaultPlan::parse("[crash]\npower_loss_at_write = 1.5\n").is_err());
+    }
+
+    #[test]
+    fn crash_point_fires_exactly_once_at_the_scheduled_write() {
+        let mut cp = CrashPoint::at_write(3, false, 9);
+        assert_eq!(cp.on_write(4096), CrashVerdict::Persist);
+        assert_eq!(cp.on_write(4096), CrashVerdict::Persist);
+        assert!(!cp.fired());
+        assert_eq!(cp.on_write(4096), CrashVerdict::Dropped);
+        assert!(cp.fired());
+        assert_eq!(cp.writes_seen(), 3);
+        // Dead devices stay dead.
+        assert_eq!(cp.on_write(4096), CrashVerdict::Dropped);
+        assert_eq!(cp.writes_seen(), 3);
+    }
+
+    #[test]
+    fn crash_point_tears_deterministically_under_a_seed() {
+        let keep = |seed: u64| -> CrashVerdict {
+            let mut cp = CrashPoint::at_write(1, true, seed);
+            cp.on_write(4096)
+        };
+        let a = keep(5);
+        assert_eq!(a, keep(5), "tear length must be a pure function of seed");
+        assert!(
+            matches!(a, CrashVerdict::Torn { keep_bytes } if keep_bytes < 4096),
+            "torn crash point produced {a:?}"
+        );
+        // Different seeds explore different tear lengths eventually.
+        let distinct: std::collections::BTreeSet<u64> = (0..32)
+            .filter_map(|s| match keep(s) {
+                CrashVerdict::Torn { keep_bytes } => Some(keep_bytes),
+                _ => None,
+            })
+            .collect();
+        assert!(distinct.len() > 4, "tear lengths degenerate: {distinct:?}");
+    }
+
+    #[test]
+    fn zero_crash_profile_builds_no_hook() {
+        let root = FaultRng::new(1).split(STREAM_CRASH);
+        assert!(CrashPoint::from_profile(&CrashFaultProfile::none(), root.clone()).is_none());
+        let live = CrashFaultProfile {
+            power_loss_at_write: 2,
+            torn_write_prob: 0.0,
+        };
+        let mut cp = CrashPoint::from_profile(&live, root).expect("live profile builds a hook");
+        assert_eq!(cp.on_write(4096), CrashVerdict::Persist);
+        assert_eq!(cp.on_write(4096), CrashVerdict::Dropped);
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub use convert::{
 };
 pub use energy::MediaEnergy;
 pub use error::SimError;
-pub use fault::{FaultPlan, FaultRng, LinkFaultProfile, MediaFaultProfile, NodeFaultProfile};
+pub use fault::{
+    CrashFaultProfile, CrashPoint, CrashVerdict, FaultPlan, FaultRng, LinkFaultProfile,
+    MediaFaultProfile, NodeFaultProfile,
+};
 pub use geometry::{DieIndex, PhysLoc, SsdGeometry};
 pub use kind::{NvmKind, PageClass};
 pub use latency::MediaTiming;

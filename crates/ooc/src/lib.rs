@@ -42,6 +42,7 @@ pub mod lobpcg;
 pub mod matrixmarket;
 pub mod sparse;
 pub mod store;
+pub mod ufs_store;
 
 pub use checkpoint::{solve_with_recovery, RecoveredResult, RecoveryStats, SolverCheckpoint};
 pub use dense::DMatrix;
@@ -50,3 +51,4 @@ pub use lobpcg::{Lobpcg, LobpcgOptions, LobpcgResult, SolverState};
 pub use matrixmarket::{from_matrix_market, to_matrix_market};
 pub use sparse::CsrMatrix;
 pub use store::{OocMatrix, OocStore};
+pub use ufs_store::{UfsMatrix, UfsOperator};

@@ -131,6 +131,81 @@ fn read_u64(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(read_le_bytes(buf, at))
 }
 
+/// Serialises `matrix` into the panel byte stream and its directory —
+/// the single encoding shared by every backing (in-memory [`OocStore`]
+/// and the journaled UFS store), so switching backings never changes a
+/// byte of what is stored or traced.
+pub(crate) fn serialize_panels(
+    matrix: &CsrMatrix,
+    rows_per_panel: usize,
+) -> (Vec<u8>, Vec<PanelMeta>) {
+    assert!(rows_per_panel >= 1);
+    let mut data: Vec<u8> = Vec::new();
+    let mut panels = Vec::new();
+    let mut r0 = 0;
+    while r0 < matrix.n {
+        let r1 = (r0 + rows_per_panel).min(matrix.n);
+        let offset = data.len() as u64;
+        let (lo, hi) = (matrix.row_ptr[r0] as usize, matrix.row_ptr[r1] as usize);
+        let nrows = r1 - r0;
+        push_u64(&mut data, nrows as u64);
+        push_u64(&mut data, (hi - lo) as u64);
+        // Local row pointers.
+        for r in r0..=r1 {
+            push_u64(&mut data, matrix.row_ptr[r] - matrix.row_ptr[r0]);
+        }
+        for &c in &matrix.col_idx[lo..hi] {
+            data.extend_from_slice(&c.to_le_bytes());
+        }
+        // Pad to 8-byte alignment before the f64 values.
+        while data.len() % 8 != 0 {
+            data.push(0);
+        }
+        for &v in &matrix.values[lo..hi] {
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        let len = data.len() as u64 - offset;
+        panels.push(PanelMeta {
+            row_start: r0,
+            row_end: r1,
+            offset,
+            len,
+        });
+        r0 = r1;
+    }
+    (data, panels)
+}
+
+/// Deserialises one panel's bytes; inverse of [`serialize_panels`] for a
+/// single panel. Shared by every backing.
+pub(crate) fn decode_panel(buf: &[u8], row_start: usize) -> CsrPanel {
+    let nrows = read_u64(buf, 0) as usize;
+    let nnz = read_u64(buf, 8) as usize;
+    let mut at = 16;
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    for _ in 0..=nrows {
+        row_ptr.push(read_u64(buf, at));
+        at += 8;
+    }
+    let mut col_idx = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        col_idx.push(u32::from_le_bytes(read_le_bytes(buf, at)));
+        at += 4;
+    }
+    at = at.div_ceil(8) * 8;
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(f64::from_le_bytes(read_le_bytes(buf, at)));
+        at += 8;
+    }
+    CsrPanel {
+        row_start,
+        row_ptr,
+        col_idx,
+        values,
+    }
+}
+
 impl OocMatrix {
     /// Serialises `matrix` into panels of `rows_per_panel` rows. If `sink`
     /// is provided, the preprocessing writes are recorded (the paper's
@@ -141,42 +216,11 @@ impl OocMatrix {
         file_id: u32,
         sink: Option<&dyn TraceSink>,
     ) -> OocMatrix {
-        assert!(rows_per_panel >= 1);
-        let mut data: Vec<u8> = Vec::new();
-        let mut panels = Vec::new();
-        let mut r0 = 0;
-        while r0 < matrix.n {
-            let r1 = (r0 + rows_per_panel).min(matrix.n);
-            let offset = data.len() as u64;
-            let (lo, hi) = (matrix.row_ptr[r0] as usize, matrix.row_ptr[r1] as usize);
-            let nrows = r1 - r0;
-            push_u64(&mut data, nrows as u64);
-            push_u64(&mut data, (hi - lo) as u64);
-            // Local row pointers.
-            for r in r0..=r1 {
-                push_u64(&mut data, matrix.row_ptr[r] - matrix.row_ptr[r0]);
+        let (data, panels) = serialize_panels(matrix, rows_per_panel);
+        if let Some(s) = sink {
+            for p in &panels {
+                s.record(IoOp::Write, file_id, p.offset, p.len);
             }
-            for &c in &matrix.col_idx[lo..hi] {
-                data.extend_from_slice(&c.to_le_bytes());
-            }
-            // Pad to 8-byte alignment before the f64 values.
-            while data.len() % 8 != 0 {
-                data.push(0);
-            }
-            for &v in &matrix.values[lo..hi] {
-                data.extend_from_slice(&v.to_le_bytes());
-            }
-            let len = data.len() as u64 - offset;
-            if let Some(s) = sink {
-                s.record(IoOp::Write, file_id, offset, len);
-            }
-            panels.push(PanelMeta {
-                row_start: r0,
-                row_end: r1,
-                offset,
-                len,
-            });
-            r0 = r1;
         }
         OocMatrix {
             n: matrix.n,
@@ -195,31 +239,7 @@ impl OocMatrix {
     pub fn read_panel(&self, idx: usize, sink: &dyn TraceSink) -> CsrPanel {
         let meta = self.panels[idx];
         let buf = self.store.read(meta.offset, meta.len, self.file_id, sink);
-        let nrows = read_u64(buf, 0) as usize;
-        let nnz = read_u64(buf, 8) as usize;
-        let mut at = 16;
-        let mut row_ptr = Vec::with_capacity(nrows + 1);
-        for _ in 0..=nrows {
-            row_ptr.push(read_u64(buf, at));
-            at += 8;
-        }
-        let mut col_idx = Vec::with_capacity(nnz);
-        for _ in 0..nnz {
-            col_idx.push(u32::from_le_bytes(read_le_bytes(buf, at)));
-            at += 4;
-        }
-        at = at.div_ceil(8) * 8;
-        let mut values = Vec::with_capacity(nnz);
-        for _ in 0..nnz {
-            values.push(f64::from_le_bytes(read_le_bytes(buf, at)));
-            at += 8;
-        }
-        CsrPanel {
-            row_start: meta.row_start,
-            row_ptr,
-            col_idx,
-            values,
-        }
+        decode_panel(buf, meta.row_start)
     }
 
     /// Out-of-core SpMM: streams every panel through `sink` and multiplies.

@@ -49,11 +49,12 @@ use std::path::{Path, PathBuf};
 /// Crates whose `src/` must stay entirely panic-free: the simulator
 /// pipeline itself, and the observability layer riding on it.
 /// `no_panic` findings here are *not* allowlistable.
-pub const STRICT_NO_PANIC_CRATES: [&str; 6] = [
+pub const STRICT_NO_PANIC_CRATES: [&str; 7] = [
     "flashsim",
     "ssd",
     "interconnect",
     "fs",
+    "ufs",
     "nvmtypes",
     "simobs",
 ];
@@ -61,20 +62,29 @@ pub const STRICT_NO_PANIC_CRATES: [&str; 6] = [
 /// Crates where a silently-discarded `Result` (`let _ = ..`) is *not*
 /// allowlistable: fault injection and recovery live here, and a swallowed
 /// error is exactly how a fault vanishes from the report.
-pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 4] = ["flashsim", "ssd", "interconnect", "simobs"];
+pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 5] =
+    ["flashsim", "ssd", "interconnect", "ufs", "simobs"];
 
 /// Crates where library-code printing (`println!`/`eprintln!`) is *not*
 /// allowlistable: the simulator pipeline and the tracer must stay
 /// silent — console output is the binaries' job.
-pub const STRICT_NO_PRINTLN_CRATES: [&str; 6] =
-    ["flashsim", "ssd", "interconnect", "fs", "ooc", "simobs"];
-
-/// Crates whose state must iterate deterministically.
-const DETERMINISM_CRATES: [&str; 8] = [
+pub const STRICT_NO_PRINTLN_CRATES: [&str; 7] = [
     "flashsim",
     "ssd",
     "interconnect",
     "fs",
+    "ufs",
+    "ooc",
+    "simobs",
+];
+
+/// Crates whose state must iterate deterministically.
+const DETERMINISM_CRATES: [&str; 9] = [
+    "flashsim",
+    "ssd",
+    "interconnect",
+    "fs",
+    "ufs",
     "nvmtypes",
     "core",
     "trace",

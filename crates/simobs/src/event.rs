@@ -27,11 +27,14 @@ pub enum Layer {
     Solver,
     /// Whole-run markers emitted by the drivers.
     Run,
+    /// The journaled UFS filesystem in `ufs`: mounts, journal commits,
+    /// crash recovery.
+    Ufs,
 }
 
 impl Layer {
     /// Every layer, in track order.
-    pub const ALL: [Layer; 7] = [
+    pub const ALL: [Layer; 8] = [
         Layer::Media,
         Layer::Ftl,
         Layer::Ssd,
@@ -39,6 +42,7 @@ impl Layer {
         Layer::Fs,
         Layer::Solver,
         Layer::Run,
+        Layer::Ufs,
     ];
 
     /// Track label, also the `cat` field of exported events.
@@ -51,6 +55,7 @@ impl Layer {
             Layer::Fs => "fs",
             Layer::Solver => "solver",
             Layer::Run => "run",
+            Layer::Ufs => "ufs",
         }
     }
 
@@ -65,6 +70,7 @@ impl Layer {
             Layer::Fs => 5,
             Layer::Solver => 6,
             Layer::Run => 7,
+            Layer::Ufs => 8,
         }
     }
 }

@@ -191,8 +191,8 @@ mod tests {
             Some(Json::Arr(items)) => items.clone(),
             other => panic!("traceEvents missing: {other:?}"),
         };
-        // 1 process meta + 7 thread metas + 3 events.
-        assert_eq!(events.len(), 1 + 7 + 3);
+        // 1 process meta + one thread meta per layer + 3 events.
+        assert_eq!(events.len(), 1 + Layer::ALL.len() + 3);
         assert!(text.contains("\"ts\":150.000"), "µs.³ timestamps");
         assert!(text.contains("\"dur\":10.500"));
         assert!(text.contains("\"ph\":\"X\"") && text.contains("\"ph\":\"i\""));

@@ -21,11 +21,16 @@
 //! * [`recovery`] — device-side fault recovery: the escalating ECC
 //!   read-retry ladder, program/erase retries and bad-block retirement,
 //!   driven by the deterministic fault plan in `nvmtypes::fault` (see
-//!   docs/FAULT_MODEL.md).
+//!   docs/FAULT_MODEL.md);
+//! * [`blockdev`] — the stable sector-addressed [`blockdev::BlockDevice`]
+//!   trait the UFS filesystem mounts on, plus [`blockdev::SimBlockDevice`],
+//!   a deterministic in-memory device with power-loss and torn-write
+//!   semantics driven by `nvmtypes::fault::CrashPoint`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blockdev;
 pub mod config;
 pub mod device;
 pub mod ftl;
@@ -33,6 +38,7 @@ pub mod mapping;
 pub mod recovery;
 pub mod report;
 
+pub use blockdev::{BlockDevice, SimBlockDevice, SECTOR_BYTES, SECTOR_USIZE};
 pub use config::{FtlMode, SsdConfig};
 pub use device::SsdDevice;
 pub use mapping::{DieRun, Dim, StripeMap};

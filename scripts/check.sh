@@ -40,6 +40,12 @@
 #                       threads on shadow atomics (zero violations) and
 #                       re-detects every planted fixture bug at its
 #                       pinned execution count (docs/CONCURRENCY.md)
+#  11. ufs            — crash-consistency smoke: the journaled UFS must
+#                       recover to the committed prefix from power loss
+#                       (dropped and torn) at every device write of the
+#                       smoke workload, and the study must be byte-
+#                       identical on a same-seed re-run (docs/UFS.md;
+#                       skipped with --fast)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -112,6 +118,11 @@ cargo run --quiet -p simlint -- --baseline results/simlint.baseline.json
 
 step "simcheck --smoke (pool-protocol model check + planted fixtures)"
 cargo run --quiet -p simcheck -- --smoke
+
+if [ "$fast" -eq 0 ]; then
+    step "ufs --smoke (exhaustive crash-point recovery sweep)"
+    cargo run --release --quiet --bin ufs -- --smoke
+fi
 
 echo
 echo "check.sh: all gates passed"

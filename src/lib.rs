@@ -51,9 +51,11 @@ pub use oocnvm_core as core;
 pub use ooctrace;
 pub use simobs;
 pub use ssd;
+pub use ufs;
 
 pub mod obsreport;
 pub mod reliability;
+pub mod ufs_study;
 
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {

@@ -209,6 +209,59 @@ fn reports_are_byte_identical_at_every_thread_count() {
 }
 
 #[test]
+fn ufs_study_is_byte_identical_at_every_thread_count() {
+    // The crash matrix fans every (crash point, torn/dropped) case out
+    // on the pool; the recovery report and digest must not see the
+    // worker count.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let runs: Vec<_> = [1usize, 2, 8]
+        .into_iter()
+        .map(|n| {
+            with_threads(n, || {
+                let r = oocnvm::ufs_study::render_report(7, true);
+                (r.text, r.json)
+            })
+        })
+        .collect();
+    assert_eq!(
+        runs[0], runs[1],
+        "ufs study diverged between 1 and 2 threads"
+    );
+    assert_eq!(
+        runs[0], runs[2],
+        "ufs study diverged between 1 and 8 threads"
+    );
+}
+
+#[test]
+fn ufs_path_with_empty_fault_plan_is_byte_identical_to_no_plan() {
+    // `FaultPlan::none()` through the journaled-UFS experiment path must
+    // be indistinguishable from running that path with no plan at all:
+    // the crash hook may not perturb the simulation when idle.
+    use oocnvm_core::config::SystemConfig;
+    use oocnvm_core::experiment::ExperimentSpec;
+    let trace = synthetic_ooc_trace(2 * MIB, MIB, 11);
+    let cnl = SystemConfig::cnl_ufs();
+    let bare = ExperimentSpec::new(&cnl, NvmKind::Tlc)
+        .journaled_ufs(true)
+        .run(&trace);
+    let idle = ExperimentSpec::new(&cnl, NvmKind::Tlc)
+        .journaled_ufs(true)
+        .faults(FaultPlan::none())
+        .run(&trace);
+    assert_eq!(
+        rendered(&bare.run),
+        rendered(&idle.run),
+        "idle fault plan perturbed the UFS path"
+    );
+    assert_eq!(
+        bare.bandwidth_mb_s.to_bits(),
+        idle.bandwidth_mb_s.to_bits(),
+        "idle fault plan perturbed the UFS bandwidth"
+    );
+}
+
+#[test]
 fn pool_propagates_worker_panics() {
     // A panic inside a parallel region must unwind out of `collect` on
     // the calling thread, not vanish into a worker.

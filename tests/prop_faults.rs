@@ -1,6 +1,6 @@
 //! Property tests over the fault-injection and recovery subsystem.
 //!
-//! Three contracts from docs/FAULT_MODEL.md are pinned here:
+//! Five contracts from docs/FAULT_MODEL.md are pinned here:
 //!
 //! 1. **Ordering** — the ECC read-retry ladder executes through the same
 //!    resource-reservation engine as regular traffic, so retries can
@@ -12,8 +12,15 @@
 //! 3. **Zero-fault identity** — `FaultPlan::none()` reproduces the
 //!    fault-free driver byte-for-byte, and any plan is deterministic
 //!    under its seed.
+//! 4. **Journal-recovery idempotency** — after power loss at any device
+//!    write, UFS mount-time recovery run twice is byte-identical to run
+//!    once, and the recovery report is deterministic.
+//! 5. **Committed prefix** — crash at an arbitrary write ∘ recover
+//!    equals the state of the last transaction whose commit mark
+//!    persisted before the crash, for random op sequences.
 
 use flashsim::{DieOp, MediaConfig, MediaFaultState, MediaSim};
+use nvmtypes::fault::CrashPoint;
 use nvmtypes::fault::{FaultPlan, MediaFaultProfile, NodeFaultProfile, STREAM_MEDIA, STREAM_NODE};
 use nvmtypes::{BusTiming, DieIndex, Nanos, NvmKind, SsdGeometry, MIB};
 use ooc::checkpoint::solve_with_recovery;
@@ -26,7 +33,10 @@ use proptest::prelude::*;
 use ssd::config::FtlMode;
 use ssd::ftl::Ftl;
 use ssd::recovery::read_with_recovery;
-use ssd::ReliabilityStats;
+use ssd::{BlockDevice, ReliabilityStats, SimBlockDevice};
+use std::collections::BTreeMap;
+use ufs::fs::WRITES_AFTER_COMMIT;
+use ufs::{Ufs, UfsParams};
 
 /// One read per tuple: `(die-in-channel, planes, pages)`. All ops land
 /// on channel 0 (dies are channel-major: die `2k` sits on channel 0 of
@@ -178,6 +188,224 @@ proptest! {
             prop_assert!(rec.recovery.checkpoint_bytes > 0);
         }
     }
+}
+
+// --- journaled UFS under power loss (docs/UFS.md) --------------------------
+
+/// Deterministic patterned content for op `i` of length `len`.
+fn op_content(i: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|b| u8::try_from((b * 31 + i * 151 + 7) % 256).unwrap_or(0))
+        .collect()
+}
+
+/// Filesystem geometry the UFS properties run under.
+fn small_ufs() -> UfsParams {
+    UfsParams {
+        max_files: 8,
+        journal_sectors: 16,
+    }
+}
+
+/// A freshly formatted device image.
+fn formatted_media() -> Vec<u8> {
+    Ufs::format(SimBlockDevice::new(2048), small_ufs())
+        .expect("formats")
+        .into_device()
+        .into_media()
+}
+
+enum DriveEnd {
+    /// All ops applied: the filesystem and, per fsync, the commit's
+    /// device-write index paired with the logical state snapshot.
+    Done {
+        fs: Box<Ufs<SimBlockDevice>>,
+        commits: Vec<(u64, BTreeMap<String, Vec<u8>>)>,
+    },
+    /// Power was lost mid-op; the surviving media image.
+    Lost(Vec<u8>),
+}
+
+/// Mirrors `Ufs::write` at offset 0 in the logical model: a pwrite-style
+/// overlay, so a shorter rewrite never truncates the file.
+fn overlay(model: &mut BTreeMap<String, Vec<u8>>, name: &str, content: &[u8]) {
+    let file = model.entry(name.to_string()).or_default();
+    if file.len() < content.len() {
+        file.resize(content.len(), 0);
+    }
+    file[..content.len()].copy_from_slice(content);
+}
+
+/// Runs `(name, content)` write-at-zero+fsync ops, creating files on
+/// first touch.
+fn drive(dev: SimBlockDevice, ops: &[(String, Vec<u8>)]) -> DriveEnd {
+    let (mut fs, _report) = Ufs::mount(dev).expect("mounts");
+    let mut commits = Vec::new();
+    let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    for (name, content) in ops {
+        let step = (|| -> Result<(), nvmtypes::SimError> {
+            let id = match fs.open(name) {
+                Ok(id) => id,
+                Err(_) => fs.create(name)?,
+            };
+            fs.write(id, 0, content)?;
+            fs.fsync(id)
+        })();
+        match step {
+            Ok(()) => {
+                overlay(&mut model, name, content);
+                let index = fs.device().writes_persisted() - WRITES_AFTER_COMMIT;
+                commits.push((index, model.clone()));
+            }
+            Err(e) if e.is_power_loss() => {
+                return DriveEnd::Lost(fs.into_device().into_media());
+            }
+            Err(e) => panic!("unexpected filesystem error: {e}"),
+        }
+    }
+    DriveEnd::Done {
+        fs: Box::new(fs),
+        commits,
+    }
+}
+
+/// `true` when the mounted filesystem equals the logical snapshot.
+fn state_eq(fs: &mut Ufs<SimBlockDevice>, want: &BTreeMap<String, Vec<u8>>) -> bool {
+    let mut names = fs.file_names();
+    names.sort();
+    if names != want.keys().cloned().collect::<Vec<_>>() {
+        return false;
+    }
+    want.iter().all(|(name, content)| {
+        let Ok(id) = fs.open(name) else { return false };
+        let mut got = vec![0u8; content.len()];
+        fs.size(id) == Ok(content.len() as u64)
+            && fs.read(id, 0, &mut got).is_ok()
+            && &got == content
+    })
+}
+
+/// Ground truth for a random op sequence: base image, total writes of
+/// the clean run, per-commit write indices and snapshots, and the ops.
+#[allow(clippy::type_complexity)]
+fn ground_truth(
+    ops_spec: &[(u32, usize)],
+) -> (
+    Vec<u8>,
+    u64,
+    Vec<(u64, BTreeMap<String, Vec<u8>>)>,
+    Vec<(String, Vec<u8>)>,
+) {
+    let ops: Vec<(String, Vec<u8>)> = ops_spec
+        .iter()
+        .enumerate()
+        .map(|(i, &(f, len))| (format!("f{f}"), op_content(i, len)))
+        .collect();
+    let base = formatted_media();
+    let DriveEnd::Done { fs, commits } = drive(
+        SimBlockDevice::from_media(base.clone()).expect("aligned"),
+        &ops,
+    ) else {
+        panic!("clean run lost power without a crash hook");
+    };
+    let total = fs.device().writes_persisted();
+    (base, total, commits, ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contract 4: recovery is idempotent and its report deterministic.
+    /// Power loss at an arbitrary write, then: two independent mounts of
+    /// the crashed image agree byte-for-byte (media and report), and a
+    /// mount of the recovered image replays nothing and writes nothing.
+    #[test]
+    fn ufs_journal_recovery_is_idempotent_and_deterministic(
+        ops_spec in prop::collection::vec((0u32..3, 1usize..12_000), 1..6),
+        frac in 0.0f64..1.0,
+        torn in prop::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let (base, total, _commits, ops) = ground_truth(&ops_spec);
+        let k = 1 + ((frac * approx(total)) as u64).min(total - 1);
+        let crashed = |s: u64| {
+            let dev = SimBlockDevice::from_media(base.clone())
+                .expect("aligned")
+                .with_crash_point(Some(CrashPoint::at_write(k, torn, s)));
+            match drive(dev, &ops) {
+                DriveEnd::Lost(media) => media,
+                DriveEnd::Done { .. } => panic!("crash at write {k} of {total} never fired"),
+            }
+        };
+        let media = crashed(seed);
+        prop_assert_eq!(&media, &crashed(seed), "crash replica is not deterministic");
+
+        // Two independent recoveries of the same image agree exactly.
+        let (fs_a, rep_a) = Ufs::mount(SimBlockDevice::from_media(media.clone()).expect("aligned"))
+            .expect("recovers");
+        let (fs_b, rep_b) = Ufs::mount(SimBlockDevice::from_media(media).expect("aligned"))
+            .expect("recovers");
+        prop_assert_eq!(rep_a.render(), rep_b.render());
+        let once = fs_a.into_device().into_media();
+        prop_assert_eq!(&once, &fs_b.into_device().into_media());
+
+        // Recovering the recovered image is a no-op: clean report, no
+        // checkpoint, identical media.
+        let (fs_c, rep_c) = Ufs::mount(SimBlockDevice::from_media(once.clone()).expect("aligned"))
+            .expect("mounts");
+        prop_assert!(rep_c.is_clean());
+        prop_assert!(!rep_c.checkpoint_written);
+        prop_assert_eq!(once, fs_c.into_device().into_media());
+    }
+
+    /// Contract 5: crash ∘ recover == committed prefix. After power loss
+    /// during write `k`, exactly the transactions whose commit mark
+    /// persisted before `k` are visible. (A *torn* crash on the commit
+    /// write itself may legally land on either side of the atomicity
+    /// boundary: journal records occupy only the head of their sector,
+    /// so a tear keeping the record bytes commits the transaction.)
+    #[test]
+    fn ufs_crash_then_recover_equals_the_committed_prefix(
+        ops_spec in prop::collection::vec((0u32..3, 1usize..12_000), 1..6),
+        frac in 0.0f64..1.0,
+        torn in prop::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let (base, total, commits, ops) = ground_truth(&ops_spec);
+        let k = 1 + ((frac * approx(total)) as u64).min(total - 1);
+        let dev = SimBlockDevice::from_media(base)
+            .expect("aligned")
+            .with_crash_point(Some(CrashPoint::at_write(k, torn, seed)));
+        let DriveEnd::Lost(media) = drive(dev, &ops) else {
+            panic!("crash at write {k} of {total} never fired");
+        };
+        let empty = BTreeMap::new();
+        let expected = commits
+            .iter()
+            .rev()
+            .find(|(index, _)| *index < k)
+            .map_or(&empty, |(_, state)| state);
+        let (mut fs, _report) = Ufs::mount(SimBlockDevice::from_media(media).expect("aligned"))
+            .expect("recovers");
+        let prefix_ok = state_eq(&mut fs, expected);
+        let torn_commit_ok = torn
+            && commits
+                .iter()
+                .find(|(index, _)| *index == k)
+                .is_some_and(|(_, state)| state_eq(&mut fs, state));
+        prop_assert!(
+            prefix_ok || torn_commit_ok,
+            "crash at write {} (torn: {}) did not recover to the committed prefix",
+            k,
+            torn
+        );
+    }
+}
+
+/// `u64 -> f64` without a bare cast (test-local mirror of
+/// `nvmtypes::approx_f64`, kept inline for the crash-fraction math).
+fn approx(v: u64) -> f64 {
+    nvmtypes::approx_f64(v)
 }
 
 proptest! {
