@@ -1,0 +1,88 @@
+//! `bench` — the pinned perf scenario with dual-domain profiling and
+//! baseline regression checking.
+//!
+//! ```text
+//! cargo run --release -p oocnvm-bench --bin bench -- \
+//!     [--smoke] [--json PATH] [--baseline PATH] [--tolerance PCT]
+//! ```
+//!
+//! Runs [`oocnvm_bench::perf::BenchScenario::pinned`] under a real host
+//! clock, prints the study, optionally writes the `oocnvm.bench/1` JSON,
+//! and diffs it against the committed baseline
+//! (`results/BENCH_core.json` by default): the `pinned` subtree must
+//! match byte-for-byte, `host.wall_ms.total` gets a tolerance band
+//! (`--tolerance`, or `OOCNVM_BENCH_TOL_PCT`, default 150%). `--smoke`
+//! is the CI entry: a missing baseline, any pinned drift, a host-time
+//! regression beyond tolerance, or a profile-on vs profile-off result
+//! difference all fail the run.
+//!
+//! To regenerate the baseline after an intentional scenario change:
+//! `cargo run --release -p oocnvm-bench --bin bench -- --json results/BENCH_core.json`.
+
+use oocnvm_bench::perf::{render_report, BenchScenario, WallClock, DEFAULT_TOL_PCT};
+use std::process::ExitCode;
+
+fn flag_text(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = flag_text(&args, "--json");
+    let baseline_path =
+        flag_text(&args, "--baseline").unwrap_or_else(|| "results/BENCH_core.json".to_string());
+    let tolerance = flag_text(&args, "--tolerance")
+        .or_else(|| std::env::var("OOCNVM_BENCH_TOL_PCT").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOL_PCT);
+
+    let report = render_report(&BenchScenario::pinned(), Box::new(WallClock::new()));
+    print!("{}", report.text);
+
+    let mut failed = report.text.contains("FAIL");
+
+    if let Some(path) = &json_path {
+        match std::fs::write(path, &report.json) {
+            Ok(()) => println!("json written to {path}"),
+            Err(e) => {
+                println!("json write to {path} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(baseline) => {
+            let violations = simprof::compare(&baseline, &report.json, tolerance);
+            if violations.is_empty() {
+                println!("baseline {baseline_path}: OK (tolerance {tolerance}%)");
+            } else {
+                println!(
+                    "baseline {baseline_path}: {} violation(s)",
+                    violations.len()
+                );
+                for v in &violations {
+                    println!("  {v}");
+                }
+                failed = true;
+            }
+        }
+        Err(e) => {
+            println!("baseline {baseline_path} not readable: {e}");
+            if smoke {
+                failed = true;
+            } else {
+                println!("(regenerate with: bench --json {baseline_path})");
+            }
+        }
+    }
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -6,7 +6,7 @@
 //! * end-to-end: ~10.3x over ION-local NVM.
 //!
 //! `--json <path>` additionally writes the matrix in a stable versioned
-//! schema (`oocnvm.headline/1`) for downstream tooling. The whole
+//! schema (`oocnvm.headline/2`) for downstream tooling. The whole
 //! computation lives in [`oocnvm_bench::headline`] so the determinism
 //! tests can pin it byte-identical at every thread count.
 use oocnvm_bench::{banner, headline, standard_trace};

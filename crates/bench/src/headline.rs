@@ -8,8 +8,12 @@ use oocnvm_core::config::SystemConfig;
 use ooctrace::PosixTrace;
 use simobs::json::Json;
 
-/// Schema tag of the headline JSON document.
-pub const SCHEMA: &str = "oocnvm.headline/1";
+/// Schema tag of the headline JSON document. Version 2 adds a per-row
+/// `latency_ns` object (p50/p99/p999 over every configuration's request
+/// latencies on that medium, merged from the per-run HDR histograms);
+/// version-1 consumers keep working — no field was renamed or removed
+/// (see the back-compat test below and `docs/PROFILING.md`).
+pub const SCHEMA: &str = "oocnvm.headline/2";
 
 /// The traditional (non-UFS) compute-local file systems whose mean forms
 /// the baseline-CNL reference in the §7 ratios.
@@ -60,6 +64,14 @@ pub fn report(posix: &PosixTrace) -> Option<Headline> {
         ufs_vs_cnl.push(ufs / cnl_mean - 1.0);
         hw_vs_ufs.push(n16 / ufs - 1.0);
         total.push(n16 / ion);
+        // Request-latency distribution on this medium, merged across
+        // every configuration's per-run HDR histogram (the merge is
+        // associative, so this is thread-count independent).
+        let mut merged = simobs::HdrHistogram::new();
+        for r in sweep.reports().iter().filter(|r| r.kind == k) {
+            merged.merge(&r.run.latency_hdr);
+        }
+        let lat = merged.percentiles();
         rows.push(
             Json::obj()
                 .field("kind", Json::str(k.label()))
@@ -67,7 +79,14 @@ pub fn report(posix: &PosixTrace) -> Option<Headline> {
                 .field("cnl_mean_mb_s", Json::f64_3(cnl_mean))
                 .field("ufs_mb_s", Json::f64_3(ufs))
                 .field("native16_mb_s", Json::f64_3(n16))
-                .field("total_x", Json::f64_3(n16 / ion)),
+                .field("total_x", Json::f64_3(n16 / ion))
+                .field(
+                    "latency_ns",
+                    Json::obj()
+                        .field("p50", Json::u64(lat.p50))
+                        .field("p99", Json::u64(lat.p99))
+                        .field("p999", Json::u64(lat.p999)),
+                ),
         );
         text.push_str(&format!(
             "  {}: ION {:.0}  CNL-mean {:.0}  UFS {:.0}  NATIVE-16 {:.0}  (x{:.1} end-to-end)\n",
@@ -128,5 +147,45 @@ mod tests {
         assert_eq!(doc.get("format"), Some(&Json::str(SCHEMA)));
         assert!(doc.get("rows").is_some());
         assert!(doc.get("averages").is_some());
+        // The v2 addition: every row carries latency percentiles.
+        if let Some(Json::Arr(rows)) = doc.get("rows") {
+            for row in rows {
+                let lat = row.get("latency_ns").expect("v2 rows have latency_ns");
+                for p in ["p50", "p99", "p999"] {
+                    assert!(lat.get(p).is_some(), "missing {p}");
+                }
+            }
+        } else {
+            unreachable!("rows is an array");
+        }
+    }
+
+    #[test]
+    fn version_1_documents_still_parse_for_consumers() {
+        // A row exactly as oocnvm.headline/1 emitted it: no latency_ns.
+        // Old documents must keep parsing, and the version split must let
+        // consumers branch on it — the whole back-compat contract.
+        let v1 = r#"{"format":"oocnvm.headline/1","rows":[{"kind":"TLC","ion_mb_s":100.000,"cnl_mean_mb_s":200.000,"ufs_mb_s":300.000,"native16_mb_s":900.000,"total_x":9.000}],"averages":{"cnl_vs_ion_pct":100.000,"ufs_vs_cnl_pct":50.000,"hw_vs_ufs_pct":200.000,"total_x":9.000}}"#;
+        let doc = parse(v1).expect("v1 documents stay well-formed");
+        let (family, version) = simobs::json::schema_version(&doc).expect("versioned format tag");
+        assert_eq!(family, "oocnvm.headline");
+        assert_eq!(version, 1);
+        assert!(version < 2, "consumers can detect the older document");
+        // Shared fields read identically from both versions.
+        if let Some(Json::Arr(rows)) = doc.get("rows") {
+            assert_eq!(rows[0].get("kind"), Some(&Json::str("TLC")));
+            assert!(rows[0].get("latency_ns").is_none(), "v1 has no percentiles");
+        } else {
+            unreachable!("rows is an array");
+        }
+        assert_eq!(
+            simobs::json::schema_version(&parse(&report_doc()).expect("v2")),
+            Some(("oocnvm.headline", 2))
+        );
+    }
+
+    fn report_doc() -> String {
+        let trace = synthetic_ooc_trace(8 * MIB, MIB, 42);
+        report(&trace).expect("table2 labels are static").json
     }
 }

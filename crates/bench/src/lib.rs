@@ -15,6 +15,7 @@
 //! | `fig10`    | Figures 10a–10d — execution breakdown + parallelism |
 //! | `headline` | §7's headline ratios (108% / 52% / 250% / 10.3x) |
 //! | `calibrate`| the full sweep in one table (development aid) |
+//! | `bench`    | the pinned perf scenario vs `results/BENCH_core.json` |
 //!
 //! Criterion benches (`cargo bench -p oocnvm-bench`) time the simulator
 //! and solver themselves and run the ablations DESIGN.md calls out.
@@ -24,6 +25,7 @@ use ooctrace::PosixTrace;
 use simobs::json::Json;
 
 pub mod headline;
+pub mod perf;
 pub mod sweep;
 
 /// The standard experiment workload: a read-dominant out-of-core panel

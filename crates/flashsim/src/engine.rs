@@ -267,6 +267,11 @@ impl MediaSim {
                 out.end,
                 [("die", u64::from(op.die.0)), ("pages", op.pages)],
             );
+            // Throughput counters for the profiler: ops and busy-ns per
+            // media op kind, cheap integer adds behind the enabled gate.
+            obs.count("media.die_ops", 1);
+            obs.count("media.pages", op.pages);
+            obs.count("media.busy_ns", out.end.saturating_sub(out.start));
         }
         out
     }

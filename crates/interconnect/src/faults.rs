@@ -122,6 +122,9 @@ impl LinkFaultSim {
                     ("retrains", self.stats.retrains - before.retrains),
                 ],
             );
+            obs.count("link.replays", self.stats.replays - before.replays);
+            obs.count("link.retrains", self.stats.retrains - before.retrains);
+            obs.count("link.penalty_ns", extra);
         }
         extra
     }

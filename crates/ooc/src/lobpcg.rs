@@ -378,6 +378,12 @@ impl Lobpcg {
             obs.count("solver.iterations", nvmtypes::u64_from_usize(st.iterations));
             obs.count("solver.applies", nvmtypes::u64_from_usize(st.applies));
             obs.count("solver.converged", u64::from(st.converged));
+            // Logical-clock total for the profiler's sim-domain rollup:
+            // one iteration is one microsecond tick.
+            obs.count(
+                "solver.sim_ns",
+                nvmtypes::u64_from_usize(st.iterations).saturating_mul(1_000),
+            );
         }
         st.into_result()
     }

@@ -49,7 +49,7 @@ use std::path::{Path, PathBuf};
 /// Crates whose `src/` must stay entirely panic-free: the simulator
 /// pipeline itself, and the observability layer riding on it.
 /// `no_panic` findings here are *not* allowlistable.
-pub const STRICT_NO_PANIC_CRATES: [&str; 7] = [
+pub const STRICT_NO_PANIC_CRATES: [&str; 8] = [
     "flashsim",
     "ssd",
     "interconnect",
@@ -57,18 +57,25 @@ pub const STRICT_NO_PANIC_CRATES: [&str; 7] = [
     "ufs",
     "nvmtypes",
     "simobs",
+    "simprof",
 ];
 
 /// Crates where a silently-discarded `Result` (`let _ = ..`) is *not*
 /// allowlistable: fault injection and recovery live here, and a swallowed
 /// error is exactly how a fault vanishes from the report.
-pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 5] =
-    ["flashsim", "ssd", "interconnect", "ufs", "simobs"];
+pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 6] = [
+    "flashsim",
+    "ssd",
+    "interconnect",
+    "ufs",
+    "simobs",
+    "simprof",
+];
 
 /// Crates where library-code printing (`println!`/`eprintln!`) is *not*
 /// allowlistable: the simulator pipeline and the tracer must stay
 /// silent — console output is the binaries' job.
-pub const STRICT_NO_PRINTLN_CRATES: [&str; 7] = [
+pub const STRICT_NO_PRINTLN_CRATES: [&str; 8] = [
     "flashsim",
     "ssd",
     "interconnect",
@@ -76,10 +83,11 @@ pub const STRICT_NO_PRINTLN_CRATES: [&str; 7] = [
     "ufs",
     "ooc",
     "simobs",
+    "simprof",
 ];
 
 /// Crates whose state must iterate deterministically.
-const DETERMINISM_CRATES: [&str; 9] = [
+const DETERMINISM_CRATES: [&str; 10] = [
     "flashsim",
     "ssd",
     "interconnect",
@@ -89,20 +97,22 @@ const DETERMINISM_CRATES: [&str; 9] = [
     "core",
     "trace",
     "simobs",
+    "simprof",
 ];
 
 /// Crates forbidden from consulting wall clocks or OS entropy.
-const SIMULATED_TIME_CRATES: [&str; 4] = ["flashsim", "ssd", "interconnect", "simobs"];
+const SIMULATED_TIME_CRATES: [&str; 5] = ["flashsim", "ssd", "interconnect", "simobs", "simprof"];
 
 /// Crates doing ns/bytes/energy arithmetic, where bare `as` casts are
 /// tracked and burned down.
-const UNIT_MATH_CRATES: [&str; 6] = [
+const UNIT_MATH_CRATES: [&str; 7] = [
     "flashsim",
     "ssd",
     "interconnect",
     "fs",
     "nvmtypes",
     "simobs",
+    "simprof",
 ];
 
 /// A finding bound to the file it occurred in.

@@ -104,19 +104,29 @@ pub fn chrome_trace(log: &TraceLog) -> String {
         );
     }
 
+    let mut other = Json::obj()
+        .field("format", Json::str(TRACE_FORMAT))
+        .field("emitted", Json::u64(log.emitted))
+        .field("dropped", Json::u64(log.dropped))
+        .field("counters", counters)
+        .field("gauges", gauges)
+        .field("histograms", hists);
+    // Precision HDR histograms ride along only when present, so traces
+    // from code that never observes into one render exactly as before.
+    let mut hdrs = Json::obj();
+    let mut any_hdr = false;
+    for (name, h) in log.metrics.hdr_histograms() {
+        hdrs = hdrs.field(name, h.to_json());
+        any_hdr = true;
+    }
+    if any_hdr {
+        other = other.field("hdr_histograms", hdrs);
+    }
+
     Json::obj()
         .field("traceEvents", Json::Arr(events))
         .field("displayTimeUnit", Json::str("ns"))
-        .field(
-            "otherData",
-            Json::obj()
-                .field("format", Json::str(TRACE_FORMAT))
-                .field("emitted", Json::u64(log.emitted))
-                .field("dropped", Json::u64(log.dropped))
-                .field("counters", counters)
-                .field("gauges", gauges)
-                .field("histograms", hists),
-        )
+        .field("otherData", other)
         .render()
 }
 
@@ -218,6 +228,26 @@ mod tests {
         assert!(media < link, "layer track order");
         assert!(text.contains("# counters"));
         assert!(text.contains("ssd.requests"));
+    }
+
+    #[test]
+    fn hdr_histograms_export_only_when_observed() {
+        let plain = chrome_trace(&sample_log());
+        assert!(
+            !plain.contains("hdr_histograms"),
+            "no HDR block without observations"
+        );
+        let mut obs = Tracer::ring(16);
+        obs.observe_hdr_ns("ssd.latency_ns", 123_456);
+        obs.observe_hdr_ns("ssd.latency_ns", 654_321);
+        let text = chrome_trace(&obs.finish());
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let hdr = doc
+            .get("otherData")
+            .and_then(|o| o.get("hdr_histograms"))
+            .and_then(|h| h.get("ssd.latency_ns"))
+            .expect("HDR block present");
+        assert_eq!(hdr.get("count"), Some(&Json::u64(2)));
     }
 
     #[test]

@@ -135,6 +135,22 @@ pub fn report(schema: &str, payload: Json) -> String {
     Json::Obj(fields).render()
 }
 
+/// Splits a parsed report's leading `"format"` tag into its schema
+/// family and version, e.g. `"oocnvm.headline/2"` →
+/// `("oocnvm.headline", 2)`. Consumers use this to accept older
+/// documents gracefully: a version bump adds fields, it never renames
+/// the family, so `family` matching plus a `version` check is the whole
+/// back-compat contract (see `docs/PROFILING.md`).
+pub fn schema_version(doc: &Json) -> Option<(&str, u64)> {
+    match doc.get("format") {
+        Some(Json::Str(tag)) => {
+            let (family, ver) = tag.rsplit_once('/')?;
+            Some((family, ver.parse().ok()?))
+        }
+        _ => None,
+    }
+}
+
 /// A parse failure: what was expected and the byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -394,6 +410,19 @@ mod tests {
         assert_eq!(back.get("pi"), Some(&Json::Num("3.142".into())));
         assert_eq!(back.get("quote"), Some(&Json::Str("a\"b\\c\nd".into())));
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn schema_version_splits_family_and_number() {
+        let doc = parse(&report("oocnvm.headline/2", Json::obj())).expect("parses");
+        assert_eq!(schema_version(&doc), Some(("oocnvm.headline", 2)));
+        let v1 = parse("{\"format\":\"oocnvm.headline/1\"}").expect("parses");
+        assert_eq!(schema_version(&v1), Some(("oocnvm.headline", 1)));
+        assert_eq!(schema_version(&parse("{}").expect("parses")), None);
+        assert_eq!(
+            schema_version(&parse("{\"format\":\"no-slash\"}").expect("parses")),
+            None
+        );
     }
 
     #[test]

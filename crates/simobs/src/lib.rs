@@ -15,6 +15,10 @@
 //! * **metrics** ([`metrics`]) — integer-only counters, gauges and
 //!   fixed-bucket histograms. No floats, no wall clocks: equal runs
 //!   produce equal metrics byte for byte.
+//! * **hdr** ([`hdr`]) — precision log-bucketed latency histograms
+//!   (HDR-style) with exact p50/p90/p99/p999 extraction and an
+//!   associative merge, so per-shard distributions combine
+//!   byte-identically at any thread count (`docs/PROFILING.md`).
 //! * **attribution** ([`attrib`]) — the per-layer latency decomposition:
 //!   each request's end-to-end nanoseconds split into queue / die /
 //!   channel / link / fs-overhead / recovery components that sum
@@ -49,6 +53,7 @@
 pub mod attrib;
 pub mod event;
 pub mod export;
+pub mod hdr;
 pub mod json;
 pub mod metrics;
 pub mod sink;
@@ -56,5 +61,6 @@ pub mod sink;
 pub use attrib::{LatencyAttribution, RequestBreakdown};
 pub use event::{Event, EventKind, Layer};
 pub use export::{chrome_trace, rollup};
+pub use hdr::{HdrHistogram, HdrPercentiles};
 pub use metrics::{FixedHistogram, MetricSet};
 pub use sink::{NullSink, RingSink, Sink, TraceLog, Tracer};

@@ -7,6 +7,7 @@
 //! the same `snake_case`, dot-scoped convention as span names
 //! (`ssd.requests`, `media.die_ops`; see `docs/OBSERVABILITY.md`).
 
+use crate::hdr::HdrHistogram;
 use nvmtypes::Nanos;
 use std::collections::BTreeMap;
 
@@ -102,6 +103,7 @@ pub struct MetricSet {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, FixedHistogram>,
+    hdrs: BTreeMap<&'static str, HdrHistogram>,
 }
 
 impl MetricSet {
@@ -129,6 +131,16 @@ impl MetricSet {
             .observe(value);
     }
 
+    /// Records `value` into the precision HDR histogram `name` (see
+    /// [`crate::hdr`]): log-bucketed, exact p50/p90/p99/p999, merges
+    /// associatively across shards.
+    pub fn observe_hdr_ns(&mut self, name: &'static str, value: Nanos) {
+        self.hdrs
+            .entry(name)
+            .or_insert_with(HdrHistogram::new)
+            .record(value);
+    }
+
     /// Counter value (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -152,6 +164,16 @@ impl MetricSet {
     /// All histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &FixedHistogram)> + '_ {
         self.hists.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The HDR histogram `name`, if any values were observed into it.
+    pub fn hdr(&self, name: &str) -> Option<&HdrHistogram> {
+        self.hdrs.get(name)
+    }
+
+    /// All HDR histograms in name order.
+    pub fn hdr_histograms(&self) -> impl Iterator<Item = (&'static str, &HdrHistogram)> + '_ {
+        self.hdrs.iter().map(|(&k, v)| (k, v))
     }
 }
 
@@ -189,5 +211,18 @@ mod tests {
         let (name, h) = m.histograms().next().unwrap();
         assert_eq!(name, "lat");
         assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn hdr_histograms_ride_alongside_fixed_ones() {
+        let mut m = MetricSet::new();
+        assert!(m.hdr("ssd.latency_ns").is_none());
+        m.observe_hdr_ns("ssd.latency_ns", 12_345);
+        m.observe_hdr_ns("ssd.latency_ns", 54_321);
+        let h = m.hdr("ssd.latency_ns").unwrap();
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.max(), 54_321);
+        let names: Vec<&str> = m.hdr_histograms().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["ssd.latency_ns"]);
     }
 }

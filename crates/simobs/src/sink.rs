@@ -220,6 +220,16 @@ impl Tracer {
         }
     }
 
+    /// Records `value` into the precision HDR histogram `name` (see
+    /// [`crate::hdr`]). Like every tracer entry point, a disabled tracer
+    /// skips the work entirely.
+    #[inline]
+    pub fn observe_hdr_ns(&mut self, name: &'static str, value: Nanos) {
+        if self.enabled() {
+            self.metrics.observe_hdr_ns(name, value);
+        }
+    }
+
     /// Events accepted by the sink so far.
     pub fn emitted(&self) -> u64 {
         self.emitted
@@ -301,6 +311,11 @@ impl TraceLog {
             .histograms()
             .find(|(n, _)| *n == name)
             .map(|(_, h)| h)
+    }
+
+    /// Precision HDR histogram by name, if recorded.
+    pub fn hdr(&self, name: &str) -> Option<&crate::hdr::HdrHistogram> {
+        self.metrics.hdr(name)
     }
 }
 

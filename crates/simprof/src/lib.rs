@@ -1,0 +1,37 @@
+//! # simprof — dual-domain performance profiling for the oocnvm simulator
+//!
+//! The simulator has two clocks and the paper's claims care about both:
+//! *simulated* nanoseconds say what the modelled hardware did (Figure 9's
+//! utilizations, the ~10.3x end-to-end story), *host* wall-clock says
+//! what running the model costs us — the quantity a perf regression
+//! actually burns. This crate profiles the two domains side by side,
+//! without breaking the workspace's determinism contract:
+//!
+//! * [`profile::Profiler`] — a hierarchical span profiler for the host
+//!   domain. Wall time enters only through an injected [`profile::HostClock`];
+//!   this crate defines the deterministic [`profile::NullClock`] and
+//!   [`profile::TickClock`] and never touches `std::time`, so it sits in
+//!   the simlint wall-clock-free set alongside the simulators. The real
+//!   clock lives in the `bench` crate, which is exempt.
+//! * [`profile::SimSpanProfile`] — exact simulated-time attribution
+//!   rebuilt from a [`simobs::TraceLog`]: a containment sweep over the
+//!   recorded spans yields per-`(layer, name)` total and *self* time
+//!   whose self-times sum exactly to the union of all spans (integer
+//!   arithmetic, no residue).
+//! * [`regress`] — baseline comparison for the committed bench report:
+//!   the `pinned` subtree (simulated results) must match byte-for-byte,
+//!   the `host` subtree gets a tolerance band.
+//!
+//! See `docs/PROFILING.md` for the dual-domain model and the
+//! bench-baseline workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod regress;
+
+pub use profile::{
+    HostClock, NullClock, ProfileNode, ProfileReport, Profiler, SimSpanProfile, TickClock,
+};
+pub use regress::compare;

@@ -1,0 +1,186 @@
+//! Baseline comparison for the committed bench report.
+//!
+//! A bench report (`results/BENCH_core.json`, schema `oocnvm.bench/1`)
+//! splits into two subtrees with different contracts:
+//!
+//! * `"pinned"` — simulated results and invariant checks: integers and
+//!   booleans only, compared **byte-exactly**. Any drift here means the
+//!   simulation changed, which a perf PR must not do silently.
+//! * `"host"` — wall-clock measurements: inherently noisy, so only
+//!   `host.wall_ms.total` is checked, against a generous tolerance band
+//!   above the baseline (regressions fail; speedups always pass).
+//!
+//! [`compare`] returns the list of violations — empty means the current
+//! report is acceptable against the baseline.
+
+use simobs::json::{parse, Json};
+
+/// Compares `current` bench-report text against `baseline` text.
+///
+/// `tol_pct` is the allowed host-time regression in percent: the check
+/// fails when `current host.wall_ms.total > baseline × (1 + tol_pct/100)`.
+/// Returns human-readable violations, empty when the reports agree.
+pub fn compare(baseline: &str, current: &str, tol_pct: u64) -> Vec<String> {
+    let mut out = Vec::new();
+    let base = match parse(baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            out.push(format!("baseline is not valid JSON: {e}"));
+            return out;
+        }
+    };
+    let cur = match parse(current) {
+        Ok(v) => v,
+        Err(e) => {
+            out.push(format!("current report is not valid JSON: {e}"));
+            return out;
+        }
+    };
+    if base.get("format") != cur.get("format") {
+        out.push(format!(
+            "schema mismatch: baseline {:?} vs current {:?}",
+            text_of(base.get("format")),
+            text_of(cur.get("format"))
+        ));
+        return out;
+    }
+    match (base.get("pinned"), cur.get("pinned")) {
+        (Some(b), Some(c)) => diff_exact("pinned", b, c, &mut out),
+        (None, None) => out.push("no \"pinned\" subtree in either report".to_string()),
+        (Some(_), None) => out.push("current report lost the \"pinned\" subtree".to_string()),
+        (None, Some(_)) => out.push("baseline has no \"pinned\" subtree".to_string()),
+    }
+    match (wall_total(&base), wall_total(&cur)) {
+        (Some(b), Some(c)) => {
+            // Integer-safe band: c ≤ b * (100 + tol) / 100, in f64 only
+            // for the final comparison (both sides parsed from text).
+            let limit = b * (100.0 + approx(tol_pct)) / 100.0;
+            if c > limit {
+                out.push(format!(
+                    "host wall_ms.total regressed: {c} > {b} + {tol_pct}% (limit {limit:.1})"
+                ));
+            }
+        }
+        (None, _) => out.push("baseline lacks host.wall_ms.total".to_string()),
+        (_, None) => out.push("current report lacks host.wall_ms.total".to_string()),
+    }
+    out
+}
+
+/// `u64` → `f64` without a bare cast (tolerances are small integers).
+fn approx(v: u64) -> f64 {
+    nvmtypes::convert::approx_f64(v)
+}
+
+/// The `host.wall_ms.total` number, parsed.
+fn wall_total(doc: &Json) -> Option<f64> {
+    match doc.get("host")?.get("wall_ms")?.get("total")? {
+        Json::Num(n) => n.parse().ok(),
+        _ => None,
+    }
+}
+
+fn text_of(v: Option<&Json>) -> String {
+    v.map(Json::render)
+        .unwrap_or_else(|| "<missing>".to_string())
+}
+
+/// Recursively requires `b == c`, reporting every divergence with its
+/// path. Numbers compare by rendered text — the pinned subtree is
+/// integers and booleans, where textual equality *is* value equality.
+fn diff_exact(path: &str, b: &Json, c: &Json, out: &mut Vec<String>) {
+    match (b, c) {
+        (Json::Obj(bf), Json::Obj(cf)) => {
+            for (k, bv) in bf {
+                match c.get(k) {
+                    Some(cv) => diff_exact(&format!("{path}.{k}"), bv, cv, out),
+                    None => out.push(format!("{path}.{k}: missing from current report")),
+                }
+            }
+            for (k, _) in cf {
+                if b.get(k).is_none() {
+                    out.push(format!("{path}.{k}: not in baseline (new field?)"));
+                }
+            }
+        }
+        (Json::Arr(bi), Json::Arr(ci)) => {
+            if bi.len() != ci.len() {
+                out.push(format!(
+                    "{path}: length {} vs baseline {}",
+                    ci.len(),
+                    bi.len()
+                ));
+                return;
+            }
+            for (i, (bv, cv)) in bi.iter().zip(ci).enumerate() {
+                diff_exact(&format!("{path}[{i}]"), bv, cv, out);
+            }
+        }
+        _ => {
+            if b != c {
+                out.push(format!("{path}: {} vs baseline {}", c.render(), b.render()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pinned_x: u64, wall: &str) -> String {
+        format!(
+            "{{\"format\":\"oocnvm.bench/1\",\"pinned\":{{\"x\":{pinned_x},\"ok\":true}},\
+             \"host\":{{\"wall_ms\":{{\"total\":{wall}}}}}}}"
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(7, "120");
+        assert!(compare(&r, &r, 150).is_empty());
+    }
+
+    #[test]
+    fn pinned_drift_is_exact_and_pathed() {
+        let v = compare(&report(7, "120"), &report(8, "120"), 150);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("pinned.x"), "{v:?}");
+        assert!(v[0].contains('8') && v[0].contains('7'), "{v:?}");
+    }
+
+    #[test]
+    fn host_time_gets_a_band_not_equality() {
+        // 2.5x the baseline is within a 150% tolerance.
+        assert!(compare(&report(1, "100"), &report(1, "250"), 150).is_empty());
+        // 2.6x is not.
+        let v = compare(&report(1, "100"), &report(1, "260"), 150);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("regressed"), "{v:?}");
+        // Speedups always pass.
+        assert!(compare(&report(1, "100"), &report(1, "1"), 0).is_empty());
+    }
+
+    #[test]
+    fn structural_changes_are_reported() {
+        let missing = "{\"format\":\"oocnvm.bench/1\",\"host\":{\"wall_ms\":{\"total\":1}}}";
+        let v = compare(&report(1, "1"), missing, 150);
+        assert!(v.iter().any(|m| m.contains("pinned")), "{v:?}");
+        let other_schema = report(1, "1").replace("bench/1", "bench/2");
+        let v = compare(&report(1, "1"), &other_schema, 150);
+        assert!(v.iter().any(|m| m.contains("schema mismatch")), "{v:?}");
+        let v = compare("not json", &report(1, "1"), 150);
+        assert!(v[0].contains("baseline"), "{v:?}");
+    }
+
+    #[test]
+    fn extra_and_missing_fields_both_flagged() {
+        let base =
+            "{\"format\":\"f\",\"pinned\":{\"a\":1,\"b\":2},\"host\":{\"wall_ms\":{\"total\":1}}}";
+        let cur =
+            "{\"format\":\"f\",\"pinned\":{\"a\":1,\"c\":3},\"host\":{\"wall_ms\":{\"total\":1}}}";
+        let v = compare(base, cur, 150);
+        assert!(v.iter().any(|m| m.contains("pinned.b")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("pinned.c")), "{v:?}");
+    }
+}

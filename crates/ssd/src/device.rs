@@ -193,6 +193,10 @@ impl SsdDevice {
         let mut pal_hist = PalHistogram::default();
         let mut pal = PalTracker::new(usize_from_u32(geometry.channels));
         let mut latencies: Vec<Nanos> = Vec::with_capacity(trace.len());
+        // Precision latency distribution, fed on both the traced and
+        // untraced paths from the same values — the observer-freedom
+        // contract extends to it unchanged.
+        let mut latency_hdr = simobs::HdrHistogram::new();
         let mut attribution = LatencyAttribution::default();
         let firmware = cfg.ftl.firmware_ns();
         let split_bytes = cfg.ftl.max_transaction_bytes().unwrap_or(u64::MAX);
@@ -325,6 +329,7 @@ impl SsdDevice {
             pal_hist.add(pal.classify());
             let total_latency = completion.saturating_sub(issue);
             latencies.push(total_latency);
+            latency_hdr.record(total_latency);
             // Sync requests *are* file-system overhead end to end
             // (metadata lookups, journal commits): the whole latency is
             // fs_meta rather than a split of its internals.
@@ -353,6 +358,7 @@ impl SsdDevice {
                     obs.count("ssd.sync_requests", 1);
                 }
                 obs.observe_ns("ssd.latency_ns", total_latency);
+                obs.observe_hdr_ns("ssd.latency_ns", total_latency);
             }
             makespan = makespan.max(completion);
             if req.sync {
@@ -421,6 +427,7 @@ impl SsdDevice {
             wear: ftl.wear().clone(),
             energy,
             latency: LatencyStats::from_latencies(latencies),
+            latency_hdr,
             reliability: rel,
             attribution,
         }

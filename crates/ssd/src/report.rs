@@ -116,6 +116,13 @@ pub struct RunReport {
     pub energy: EnergyReport,
     /// Per-request latency percentiles.
     pub latency: LatencyStats,
+    /// Full per-request latency distribution: the precision HDR
+    /// histogram behind the p50/p99/p999 exports. Always populated
+    /// (traced or not) from exactly the same values as
+    /// [`RunReport::latency`], so attaching a tracer cannot change it;
+    /// batch runners merge these across shards byte-identically
+    /// ([`simobs::HdrHistogram::merge`]).
+    pub latency_hdr: simobs::HdrHistogram,
     /// Fault/recovery accounting (all-zero under `FaultPlan::none()`).
     pub reliability: ReliabilityStats,
     /// Exact per-layer latency attribution: the components sum to the

@@ -38,7 +38,7 @@ pub mod journal;
 pub mod layout;
 pub mod replay;
 
-pub use fs::{FileId, Ufs, UfsParams};
+pub use fs::{FileId, Ufs, UfsParams, WriteAmp};
 pub use harness::{crash_matrix, CrashMatrixParams, CrashMatrixReport};
 pub use journal::RecoveryReport;
 pub use layout::{Extent, FileEntry};

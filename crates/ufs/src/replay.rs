@@ -45,6 +45,18 @@ impl JournaledUfs {
     /// Replays `posix` through a freshly formatted filesystem, returning
     /// the captured block trace, or the error that stopped the replay.
     pub fn try_transform(&self, posix: &PosixTrace) -> Result<BlockTrace, SimError> {
+        self.transform_with_stats(posix).map(|(block, _)| block)
+    }
+
+    /// [`JournaledUfs::try_transform`] plus the filesystem's
+    /// write-amplification counters: how the journaled replay's device
+    /// bytes decompose into COW data, journal records and table applies
+    /// against the application bytes written — the exact breakdown of
+    /// the `ufs` study's replay overhead.
+    pub fn transform_with_stats(
+        &self,
+        posix: &PosixTrace,
+    ) -> Result<(BlockTrace, crate::fs::WriteAmp), SimError> {
         // Size the device to the trace footprint: per-file high-water
         // marks, doubled for copy-on-write headroom, plus metadata.
         let mut high: BTreeMap<u32, u64> = BTreeMap::new();
@@ -91,9 +103,10 @@ impl JournaledUfs {
             }
         }
         fs.sync_all()?;
-        Ok(BlockTrace::from_requests(
-            fs.take_request_log(),
-            self.queue_depth,
+        let wa = fs.write_amp();
+        Ok((
+            BlockTrace::from_requests(fs.take_request_log(), self.queue_depth),
+            wa,
         ))
     }
 }
@@ -109,6 +122,46 @@ impl FileSystemModel for JournaledUfs {
     fn transform(&self, posix: &PosixTrace) -> BlockTrace {
         self.try_transform(posix)
             .unwrap_or_else(|_| BlockTrace::new(self.queue_depth))
+    }
+
+    /// The default observed transform, plus the journal's commit-phase
+    /// accounting: write-amplification counters (`ufs.user_bytes`,
+    /// `ufs.cow_bytes`, `ufs.journal_bytes`, `ufs.apply_bytes`,
+    /// `ufs.commits`) and a `Layer::Ufs` instant summarising the
+    /// journal's byte cost over the user's. The tracer reads finished
+    /// counters only, so the emitted block trace is byte-identical to
+    /// the untraced transform.
+    fn transform_observed(&self, posix: &PosixTrace, obs: &mut simobs::Tracer) -> BlockTrace {
+        let (block, wa) = self.transform_with_stats(posix).unwrap_or_else(|_| {
+            (
+                BlockTrace::new(self.queue_depth),
+                crate::fs::WriteAmp::default(),
+            )
+        });
+        if obs.enabled() {
+            let requests = u64_from_usize(block.len());
+            let syncs = u64_from_usize(block.requests.iter().filter(|r| r.sync).count());
+            obs.instant(
+                simobs::Layer::Fs,
+                self.name(),
+                0,
+                [("requests", requests), ("sync", syncs)],
+            );
+            obs.count("fs.requests", requests);
+            obs.count("fs.sync_requests", syncs);
+            obs.instant(
+                simobs::Layer::Ufs,
+                "journal_commit",
+                0,
+                [("commits", wa.commits), ("journal_bytes", wa.journal_bytes)],
+            );
+            obs.count("ufs.user_bytes", wa.user_bytes);
+            obs.count("ufs.cow_bytes", wa.cow_bytes);
+            obs.count("ufs.journal_bytes", wa.journal_bytes);
+            obs.count("ufs.apply_bytes", wa.apply_bytes);
+            obs.count("ufs.commits", wa.commits);
+        }
+        block
     }
 }
 
@@ -156,6 +209,28 @@ mod tests {
         let m = JournaledUfs::default();
         assert_eq!(m.transform(&posix), m.transform(&posix));
         assert_eq!(m.name(), "ufs-journaled");
+    }
+
+    #[test]
+    fn transform_with_stats_accounts_every_device_write() {
+        let mut posix = PosixTrace::new();
+        posix.push(rec(0, IoOp::Write, 0, 0, 64 * 1024));
+        posix.push(rec(1, IoOp::Read, 0, 0, 64 * 1024));
+        let (block, wa) = JournaledUfs::default()
+            .transform_with_stats(&posix)
+            .expect("replays");
+        assert_eq!(wa.user_bytes, 64 * 1024);
+        assert_eq!(wa.cow_bytes, 64 * 1024, "one COW pass of the content");
+        assert_eq!(wa.commits, 1);
+        // The captured block-trace write bytes equal the accounted
+        // device writes minus the superblock (logging starts post-format).
+        let written: u64 = block
+            .requests
+            .iter()
+            .filter(|r| !r.op.is_read())
+            .map(|r| r.len)
+            .sum();
+        assert_eq!(written + 4096, wa.device_bytes());
     }
 
     #[test]

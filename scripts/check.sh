@@ -46,6 +46,13 @@
 #                       smoke workload, and the study must be byte-
 #                       identical on a same-seed re-run (docs/UFS.md;
 #                       skipped with --fast)
+#  12. bench          — perf-regression smoke: the pinned scenario's
+#                       simulated results must match the committed
+#                       results/BENCH_core.json byte-for-byte, host
+#                       wall time must stay inside the tolerance band,
+#                       and profiling on vs off must not change a
+#                       result byte (docs/PROFILING.md; skipped with
+#                       --fast)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -122,6 +129,9 @@ cargo run --quiet -p simcheck -- --smoke
 if [ "$fast" -eq 0 ]; then
     step "ufs --smoke (exhaustive crash-point recovery sweep)"
     cargo run --release --quiet --bin ufs -- --smoke
+
+    step "bench --smoke (pinned perf baseline + profiler observer effect)"
+    cargo run --release --quiet -p oocnvm-bench --bin bench -- --smoke
 fi
 
 echo

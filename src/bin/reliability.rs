@@ -13,7 +13,7 @@
 //! determinism contract of docs/FAULT_MODEL.md and
 //! docs/PARALLELISM.md). `--smoke` shrinks the workload for CI;
 //! `--json <path>` also writes the study in a stable versioned schema
-//! (`oocnvm.reliability/1`), covered by the same byte-identity check.
+//! (`oocnvm.reliability/2`), covered by the same byte-identity check.
 //!
 //! The study itself lives in [`oocnvm::reliability`].
 

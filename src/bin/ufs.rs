@@ -13,7 +13,7 @@
 //! and finally re-runs the whole study with the same seed to prove the
 //! output is byte-identical. `--smoke` shrinks the workload for CI;
 //! `--json <path>` also writes the study in a stable versioned schema
-//! (`oocnvm.ufs/1`), covered by the same byte-identity check.
+//! (`oocnvm.ufs/2`), covered by the same byte-identity check.
 //!
 //! The study itself lives in [`oocnvm::ufs_study`].
 

@@ -22,8 +22,13 @@ use oocnvm_core::format::Table;
 use oocnvm_core::workload::synthetic_ooc_trace;
 use simobs::json::Json;
 
-/// Schema tag of the reliability JSON document.
-pub const SCHEMA: &str = "oocnvm.reliability/1";
+/// Schema tag of the reliability JSON document. Version 2 adds a
+/// per-plan `cnl_latency_ns` object (p50/p99/p999 of the CNL path's
+/// request latencies under that fault plan, from the run's HDR
+/// histogram) — fault plans move the latency *tail* long before they
+/// dent mean bandwidth, so the sweep now shows it. No v1 field was
+/// renamed or removed (see `docs/PROFILING.md`).
+pub const SCHEMA: &str = "oocnvm.reliability/2";
 
 /// The four presets of the sweep (≥ 3 non-zero settings per the
 /// acceptance bar, plus the all-zero control).
@@ -102,11 +107,19 @@ pub fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> Reliabilit
                 && format!("{:?}", cr.run) == format!("{:?}", base_c.run);
         }
         let rel = &cr.run.reliability;
+        let lat = cr.run.latency_hdr.percentiles();
         sweep_rows.push(
             Json::obj()
                 .field("plan", Json::str(name))
                 .field("ion_mb_s", Json::f64_3(ir.bandwidth_mb_s))
                 .field("cnl_mb_s", Json::f64_3(cr.bandwidth_mb_s))
+                .field(
+                    "cnl_latency_ns",
+                    Json::obj()
+                        .field("p50", Json::u64(lat.p50))
+                        .field("p99", Json::u64(lat.p99))
+                        .field("p999", Json::u64(lat.p999)),
+                )
                 .field("ecc_retries", Json::u64(rel.ecc_retries))
                 .field(
                     "crc_errors",

@@ -20,8 +20,12 @@ use ooctrace::TraceCapture;
 use simobs::json::Json;
 use ufs::{crash_matrix, CrashMatrixParams, UfsParams};
 
-/// Schema tag of the UFS JSON document.
-pub const SCHEMA: &str = "oocnvm.ufs/1";
+/// Schema tag of the UFS JSON document. Version 2 adds
+/// `replay.write_amp` — the journaled replay's device bytes decomposed
+/// into user / COW / journal / apply traffic (from
+/// [`ufs::WriteAmp`]), itemising exactly where the ~390% replay
+/// overhead goes. No v1 field was renamed or removed.
+pub const SCHEMA: &str = "oocnvm.ufs/2";
 
 /// Appends one report line.
 fn line(out: &mut String, s: &str) {
@@ -145,6 +149,26 @@ pub fn render_report(seed: u64, smoke: bool) -> UfsReport {
         &format!("journal byte overhead: {overhead_pct:.2}% over the model path"),
     );
 
+    // Where that overhead goes: the filesystem's own write-amplification
+    // counters decompose the journaled device traffic into user bytes,
+    // copy-on-write data, journal records and metadata applies.
+    let wa = ufs::JournaledUfs::default()
+        .transform_with_stats(&trace)
+        .map(|(_, wa)| wa)
+        .unwrap_or_default();
+    line(
+        &mut out,
+        &format!(
+            "write amplification: user={} cow={} journal={} apply={} bytes, {} commits → {} permille device/user",
+            wa.user_bytes,
+            wa.cow_bytes,
+            wa.journal_bytes,
+            wa.apply_bytes,
+            wa.commits,
+            wa.device_per_user_permille()
+        ),
+    );
+
     // 3. The solver on the real filesystem: LOBPCG over the UFS-backed
     //    panel store must match the in-memory backing bit for bit.
     out.push('\n');
@@ -198,7 +222,21 @@ pub fn render_report(seed: u64, smoke: bool) -> UfsReport {
                 .field("journaled_requests", Json::u64(journaled.run.requests))
                 .field("journaled_bytes", Json::u64(journaled.run.total_bytes))
                 .field("journaled_mb_s", Json::f64_3(journaled.bandwidth_mb_s))
-                .field("journal_overhead_pct", Json::f64_3(overhead_pct)),
+                .field("journal_overhead_pct", Json::f64_3(overhead_pct))
+                .field(
+                    "write_amp",
+                    Json::obj()
+                        .field("user_bytes", Json::u64(wa.user_bytes))
+                        .field("cow_bytes", Json::u64(wa.cow_bytes))
+                        .field("journal_bytes", Json::u64(wa.journal_bytes))
+                        .field("apply_bytes", Json::u64(wa.apply_bytes))
+                        .field("commits", Json::u64(wa.commits))
+                        .field("recovery_replays", Json::u64(wa.recovery_replays))
+                        .field(
+                            "device_per_user_permille",
+                            Json::u64(wa.device_per_user_permille()),
+                        ),
+                ),
         )
         .field(
             "solver",
@@ -223,6 +261,15 @@ mod tests {
         assert!(!a.text.contains("FAIL"), "{}", a.text);
         assert!(a.json.starts_with('{'));
         assert!(a.json.contains(SCHEMA));
+        // The v2 addition: the journal overhead is itemised.
+        let doc = simobs::json::parse(&a.json).expect("well-formed");
+        let wa = doc
+            .get("replay")
+            .and_then(|r| r.get("write_amp"))
+            .expect("v2 carries replay.write_amp");
+        for f in ["user_bytes", "cow_bytes", "journal_bytes", "apply_bytes"] {
+            assert!(wa.get(f).is_some(), "missing write_amp.{f}");
+        }
         let b = render_report(42, true);
         assert_eq!(a.text, b.text);
         assert_eq!(a.json, b.json);
