@@ -7,7 +7,7 @@ use flashsim::{DieOp, MediaConfig, MediaSim};
 use interconnect::sdr400;
 use nvmtypes::{DieIndex, NvmKind, MIB};
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::run_experiment;
+use oocnvm_core::experiment::ExperimentSpec;
 use oocnvm_core::workload::synthetic_ooc_trace;
 use ssd::StripeMap;
 
@@ -65,7 +65,11 @@ fn bench_figure7_cells(c: &mut Criterion) {
     ] {
         g.throughput(Throughput::Bytes(trace.total_bytes()));
         g.bench_with_input(BenchmarkId::from_parameter(cfg.label), &cfg, |b, cfg| {
-            b.iter(|| run_experiment(cfg, NvmKind::Tlc, &trace).bandwidth_mb_s);
+            b.iter(|| {
+                ExperimentSpec::new(cfg, NvmKind::Tlc)
+                    .run(&trace)
+                    .bandwidth_mb_s
+            });
         });
     }
     g.finish();
@@ -78,7 +82,11 @@ fn bench_figure8_cells(c: &mut Criterion) {
     for cfg in SystemConfig::figure8() {
         g.throughput(Throughput::Bytes(trace.total_bytes()));
         g.bench_with_input(BenchmarkId::from_parameter(cfg.label), &cfg, |b, cfg| {
-            b.iter(|| run_experiment(cfg, NvmKind::Pcm, &trace).bandwidth_mb_s);
+            b.iter(|| {
+                ExperimentSpec::new(cfg, NvmKind::Pcm)
+                    .run(&trace)
+                    .bandwidth_mb_s
+            });
         });
     }
     g.finish();

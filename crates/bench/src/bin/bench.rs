@@ -19,25 +19,30 @@
 //! To regenerate the baseline after an intentional scenario change:
 //! `cargo run --release -p oocnvm-bench --bin bench -- --json results/BENCH_core.json`.
 
+use oocnvm_bench::cli::StudyArgs;
 use oocnvm_bench::perf::{render_report, BenchScenario, WallClock, DEFAULT_TOL_PCT};
 use std::process::ExitCode;
 
-fn flag_text(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path = flag_text(&args, "--json");
-    let baseline_path =
-        flag_text(&args, "--baseline").unwrap_or_else(|| "results/BENCH_core.json".to_string());
-    let tolerance = flag_text(&args, "--tolerance")
-        .or_else(|| std::env::var("OOCNVM_BENCH_TOL_PCT").ok())
-        .and_then(|v| v.parse().ok())
+    let args = match StudyArgs::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let smoke = args.smoke;
+    let json_path = args.json;
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| "results/BENCH_core.json".to_string());
+    let tolerance = args
+        .tolerance
+        .or_else(|| {
+            std::env::var("OOCNVM_BENCH_TOL_PCT")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
         .unwrap_or(DEFAULT_TOL_PCT);
 
     let report = render_report(&BenchScenario::pinned(), Box::new(WallClock::new()));

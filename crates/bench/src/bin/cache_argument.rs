@@ -10,7 +10,7 @@ use nvmtypes::{NvmKind, MIB};
 use oocnvm_bench::banner;
 use oocnvm_core::cache::{replay_lru, reuse_distances};
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::run_experiment;
+use oocnvm_core::experiment::ExperimentSpec;
 use oocnvm_core::format::Table;
 use oocnvm_core::workload::synthetic_ooc_trace;
 
@@ -56,7 +56,7 @@ fn main() {
 
     // 3. Project the heat-up to the paper's scale: a multi-TB Hamiltonian
     //    behind the ION link heats at ION bandwidth.
-    let ion = run_experiment(&SystemConfig::ion_gpfs(), NvmKind::Tlc, &trace);
+    let ion = ExperimentSpec::new(&SystemConfig::ion_gpfs(), NvmKind::Tlc).run(&trace);
     let dataset_tb = 10.0;
     let heat_hours = dataset_tb * 1e12 / (ion.bandwidth_mb_s * 1e6) / 3600.0;
     println!(
@@ -68,7 +68,7 @@ fn main() {
 
     // 4. The application-managed alternative: one deliberate preload at
     //    full CNL bandwidth, then every iteration reads local NVM.
-    let cnl = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &trace);
+    let cnl = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc).run(&trace);
     let preload_hours = dataset_tb * 1e12 / (cnl.bandwidth_mb_s * 1e6) / 3600.0;
     println!(
         "an application-managed preload moves the same {dataset_tb} TB once at CNL-UFS\n\

@@ -9,6 +9,7 @@
 //! schema (`oocnvm.headline/2`) for downstream tooling. The whole
 //! computation lives in [`oocnvm_bench::headline`] so the determinism
 //! tests can pin it byte-identical at every thread count.
+use oocnvm_bench::cli::StudyArgs;
 use oocnvm_bench::{banner, headline, standard_trace};
 use std::process::ExitCode;
 
@@ -17,12 +18,14 @@ fn main() -> ExitCode {
         "{}",
         banner("§7 headline", "average improvements across NVM media")
     );
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let args = match StudyArgs::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("headline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json_path = args.json;
     let trace = standard_trace();
     let Some(report) = headline::report(&trace) else {
         eprintln!("headline: the table-2 sweep is missing a labelled configuration");

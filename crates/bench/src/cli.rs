@@ -1,0 +1,179 @@
+//! Shared command-line parsing for the study bins.
+//!
+//! Every study binary (`headline`, `reliability`, `obsreport`, `ufs`,
+//! `bench`, `tenants`) takes the same small flag vocabulary; each used
+//! to carry its own copy-pasted `--key value` scanner. [`StudyArgs`]
+//! is the one parser they all share:
+//!
+//! | flag               | meaning                                       |
+//! |--------------------|-----------------------------------------------|
+//! | `--smoke`          | shrink the workload for CI                    |
+//! | `--seed N`         | workload / fault seed (per-bin default)       |
+//! | `--json PATH`      | write the versioned JSON document to `PATH`   |
+//! | `--out PATH`       | write the auxiliary artifact (trace export)   |
+//! | `--baseline PATH`  | committed baseline to diff against            |
+//! | `--tolerance PCT`  | host-time tolerance band for baseline diffs   |
+//!
+//! Unknown flags and malformed values are *errors*, not silent no-ops:
+//! a typoed `--sed 7` must fail the invocation rather than quietly run
+//! the default seed through a CI gate.
+
+/// Parsed study-bin flags. Every field is optional except `smoke`
+/// (absent means off); the bins apply their own defaults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StudyArgs {
+    /// `--smoke`: CI-sized workload.
+    pub smoke: bool,
+    /// `--seed N`.
+    pub seed: Option<u64>,
+    /// `--json PATH`.
+    pub json: Option<String>,
+    /// `--out PATH`.
+    pub out: Option<String>,
+    /// `--baseline PATH`.
+    pub baseline: Option<String>,
+    /// `--tolerance PCT` (integer percent, matching `simprof::compare`).
+    pub tolerance: Option<u64>,
+}
+
+impl StudyArgs {
+    /// Parses a flag vector (the program name already stripped).
+    ///
+    /// # Errors
+    /// Returns a printable message naming the offending flag when an
+    /// unknown flag appears, a value-taking flag is missing its value,
+    /// or a numeric value does not parse.
+    pub fn parse(args: &[String]) -> Result<StudyArgs, String> {
+        let mut out = StudyArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: usize| -> Result<&String, String> {
+                args.get(i + 1)
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag {
+                "--smoke" => out.smoke = true,
+                "--seed" => {
+                    out.seed =
+                        Some(value(i)?.parse().map_err(|_| {
+                            format!("--seed wants an integer, got {:?}", args[i + 1])
+                        })?);
+                    i += 1;
+                }
+                "--json" => {
+                    out.json = Some(value(i)?.clone());
+                    i += 1;
+                }
+                "--out" => {
+                    out.out = Some(value(i)?.clone());
+                    i += 1;
+                }
+                "--baseline" => {
+                    out.baseline = Some(value(i)?.clone());
+                    i += 1;
+                }
+                "--tolerance" => {
+                    out.tolerance = Some(value(i)?.parse().map_err(|_| {
+                        format!(
+                            "--tolerance wants an integer percent, got {:?}",
+                            args[i + 1]
+                        )
+                    })?);
+                    i += 1;
+                }
+                other => return Err(format!("unknown flag {other:?} (see the bin's docs)")),
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// Parses the current process's arguments (skipping the program
+    /// name). Same error contract as [`StudyArgs::parse`].
+    ///
+    /// # Errors
+    /// See [`StudyArgs::parse`].
+    pub fn from_env() -> Result<StudyArgs, String> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        StudyArgs::parse(&args)
+    }
+
+    /// The seed, or the bin's default.
+    #[must_use]
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_args_are_all_defaults() {
+        let a = StudyArgs::parse(&[]).expect("empty is fine");
+        assert_eq!(a, StudyArgs::default());
+        assert!(!a.smoke);
+        assert_eq!(a.seed_or(42), 42);
+    }
+
+    #[test]
+    fn every_flag_parses() {
+        let a = StudyArgs::parse(&argv(&[
+            "--smoke",
+            "--seed",
+            "7",
+            "--json",
+            "a.json",
+            "--out",
+            "b.trace",
+            "--baseline",
+            "results/B.json",
+            "--tolerance",
+            "150",
+        ]))
+        .expect("all flags valid");
+        assert!(a.smoke);
+        assert_eq!(a.seed, Some(7));
+        assert_eq!(a.seed_or(42), 7);
+        assert_eq!(a.json.as_deref(), Some("a.json"));
+        assert_eq!(a.out.as_deref(), Some("b.trace"));
+        assert_eq!(a.baseline.as_deref(), Some("results/B.json"));
+        assert_eq!(a.tolerance, Some(150));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = StudyArgs::parse(&argv(&["--json", "x", "--smoke"])).expect("valid");
+        let b = StudyArgs::parse(&argv(&["--smoke", "--json", "x"])).expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_flags_are_errors() {
+        let err = StudyArgs::parse(&argv(&["--sed", "7"])).expect_err("typo must fail");
+        assert!(err.contains("--sed"), "message names the flag: {err}");
+    }
+
+    #[test]
+    fn missing_values_are_errors() {
+        for flag in ["--seed", "--json", "--out", "--baseline", "--tolerance"] {
+            let err = StudyArgs::parse(&argv(&[flag])).expect_err("dangling flag must fail");
+            assert!(err.contains(flag), "message names {flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_are_errors() {
+        assert!(StudyArgs::parse(&argv(&["--seed", "seven"])).is_err());
+        assert!(StudyArgs::parse(&argv(&["--tolerance", "wide"])).is_err());
+        // Both are integers: fractional values must be rejected loudly.
+        assert!(StudyArgs::parse(&argv(&["--tolerance", "2.5"])).is_err());
+        assert!(StudyArgs::parse(&argv(&["--seed", "2.5"])).is_err());
+    }
+}

@@ -24,6 +24,7 @@ use oocnvm_core::workload::synthetic_ooc_trace;
 use ooctrace::PosixTrace;
 use simobs::json::Json;
 
+pub mod cli;
 pub mod headline;
 pub mod perf;
 pub mod sweep;

@@ -8,7 +8,7 @@
 
 use nvmtypes::NvmKind;
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::{run_sweep, ExperimentReport};
+use oocnvm_core::experiment::{run_batch, ExperimentReport, ExperimentSpec};
 use oocnvm_core::format::Table;
 use ooctrace::PosixTrace;
 
@@ -24,10 +24,14 @@ impl Sweep {
     /// Runs every `(config, kind)` pair in parallel and captures the
     /// axes alongside the reports for positional lookup.
     pub fn run(configs: &[SystemConfig], kinds: &[NvmKind], posix: &PosixTrace) -> Sweep {
+        let specs = configs
+            .iter()
+            .flat_map(|c| kinds.iter().map(|&k| ExperimentSpec::new(c, k)))
+            .collect();
         Sweep {
             configs: configs.to_vec(),
             kinds: kinds.to_vec(),
-            reports: run_sweep(configs, kinds, posix),
+            reports: run_batch(specs, posix),
         }
     }
 

@@ -7,7 +7,7 @@
 //! simulator's single-node measurements into cluster aggregates.
 
 use crate::config::SystemConfig;
-use crate::experiment::run_experiment;
+use crate::experiment::ExperimentSpec;
 use nvmtypes::NvmKind;
 use ooctrace::PosixTrace;
 use serde::Serialize;
@@ -63,13 +63,13 @@ pub struct NodeRates {
 impl NodeRates {
     /// Measures the three rates with the simulator on `trace` / `kind`.
     pub fn measure(kind: NvmKind, trace: &PosixTrace) -> NodeRates {
-        let ion = run_experiment(&SystemConfig::ion_gpfs(), kind, trace);
-        let local = run_experiment(&SystemConfig::cnl_ufs(), kind, trace);
+        let ion = ExperimentSpec::new(&SystemConfig::ion_gpfs(), kind).run(trace);
+        let local = ExperimentSpec::new(&SystemConfig::cnl_ufs(), kind).run(trace);
         // Server-side ceiling: GPFS-shaped block traffic on the bridged
         // device without the fabric hop.
         let mut server_cfg = SystemConfig::ion_gpfs();
         server_cfg.location = crate::config::Location::ComputeLocal;
-        let server = run_experiment(&server_cfg, kind, trace);
+        let server = ExperimentSpec::new(&server_cfg, kind).run(trace);
         NodeRates {
             per_cn_ion_mb_s: ion.bandwidth_mb_s,
             per_ion_ssd_mb_s: server.bandwidth_mb_s,

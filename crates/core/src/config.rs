@@ -36,12 +36,12 @@ pub enum Controller {
 /// ```
 /// use nvmtypes::{NvmKind, MIB};
 /// use oocnvm_core::config::SystemConfig;
-/// use oocnvm_core::experiment::run_experiment;
+/// use oocnvm_core::experiment::ExperimentSpec;
 /// use oocnvm_core::workload::synthetic_ooc_trace;
 ///
 /// let trace = synthetic_ooc_trace(16 * MIB, 4 * MIB, 1);
-/// let ion = run_experiment(&SystemConfig::ion_gpfs(), NvmKind::Slc, &trace);
-/// let cnl = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Slc, &trace);
+/// let ion = ExperimentSpec::new(&SystemConfig::ion_gpfs(), NvmKind::Slc).run(&trace);
+/// let cnl = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Slc).run(&trace);
 /// assert!(cnl.bandwidth_mb_s > ion.bandwidth_mb_s);
 /// ```
 #[derive(Debug, Clone, Copy, Serialize)]

@@ -59,11 +59,11 @@ pub struct ExperimentReport {
 /// traced run — the tracer only observes).
 #[derive(Debug)]
 pub struct ExperimentSpec<'t> {
-    config: SystemConfig,
-    kind: NvmKind,
-    plan: nvmtypes::FaultPlan,
-    tracer: Option<&'t mut simobs::Tracer>,
-    journaled_ufs: bool,
+    pub(crate) config: SystemConfig,
+    pub(crate) kind: NvmKind,
+    pub(crate) plan: nvmtypes::FaultPlan,
+    pub(crate) tracer: Option<&'t mut simobs::Tracer>,
+    pub(crate) journaled_ufs: bool,
 }
 
 impl ExperimentSpec<'static> {
@@ -134,23 +134,36 @@ impl<'t> ExperimentSpec<'t> {
         };
         let device = self.config.device_with_faults(self.kind, self.plan);
         let run = device.run_observed(&block, obs);
-        ExperimentReport {
-            label: self.config.label,
-            kind: self.kind,
-            bandwidth_mb_s: run.bandwidth_mb_s,
-            remaining_mb_s: run.media.remaining_mb_s,
-            channel_util: run.media.channel_util,
-            package_util: run.media.package_util,
-            breakdown_pct: run.media.breakdown.percent(),
-            pal_pct: run.pal.percent(),
-            run,
-        }
+        report_from_run(self.config.label, self.kind, run)
+    }
+}
+
+/// Wraps a device-level [`RunReport`] into the figure-facing
+/// [`ExperimentReport`] rollup — the one place the projection is
+/// defined, shared by the single-job path above and the multi-tenant
+/// fleet report in [`crate::tenancy`].
+pub(crate) fn report_from_run(
+    label: &'static str,
+    kind: NvmKind,
+    run: RunReport,
+) -> ExperimentReport {
+    ExperimentReport {
+        label,
+        kind,
+        bandwidth_mb_s: run.bandwidth_mb_s,
+        remaining_mb_s: run.media.remaining_mb_s,
+        channel_util: run.media.channel_util,
+        package_util: run.media.package_util,
+        breakdown_pct: run.media.breakdown.percent(),
+        pal_pct: run.pal.percent(),
+        run,
     }
 }
 
 /// Runs `config` with `kind` media against the application's POSIX
-/// trace. Thin wrapper over [`ExperimentSpec`], kept so existing call
-/// sites read unchanged.
+/// trace. Thin wrapper over [`ExperimentSpec`], kept so out-of-tree
+/// call sites keep compiling; everything in-tree uses the builder.
+#[deprecated(note = "use ExperimentSpec::new(config, kind).run(posix)")]
 pub fn run_experiment(
     config: &SystemConfig,
     kind: NvmKind,
@@ -162,6 +175,7 @@ pub fn run_experiment(
 /// Like [`run_experiment`], but injecting deterministic faults from
 /// `plan`. `FaultPlan::none()` reproduces [`run_experiment`] exactly,
 /// byte for byte. Thin wrapper over [`ExperimentSpec`].
+#[deprecated(note = "use ExperimentSpec::new(config, kind).faults(plan).run(posix)")]
 pub fn run_experiment_with_faults(
     config: &SystemConfig,
     kind: NvmKind,
@@ -177,6 +191,7 @@ pub fn run_experiment_with_faults(
 /// — the tracer only reads values each layer has already computed, so
 /// the report is byte-identical whichever sink is attached. Thin wrapper
 /// over [`ExperimentSpec`].
+#[deprecated(note = "use ExperimentSpec::new(config, kind).faults(plan).tracer(obs).run(posix)")]
 pub fn run_experiment_observed(
     config: &SystemConfig,
     kind: NvmKind,
@@ -215,6 +230,8 @@ pub fn run_batch(specs: Vec<ExperimentSpec<'static>>, posix: &PosixTrace) -> Vec
 
 /// Runs every `(config, kind)` pair in parallel on the thread pool;
 /// results are in `configs`-major order regardless of thread count.
+/// Thin wrapper over [`run_batch`], kept for out-of-tree callers.
+#[deprecated(note = "build the ExperimentSpec list and call run_batch(specs, posix)")]
 pub fn run_sweep(
     configs: &[SystemConfig],
     kinds: &[NvmKind],
@@ -245,7 +262,7 @@ mod tests {
     #[test]
     fn single_experiment_produces_sane_numbers() {
         let trace = synthetic_ooc_trace(16 * MIB, 2 * MIB, 3);
-        let rep = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &trace);
+        let rep = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc).run(&trace);
         assert!(rep.bandwidth_mb_s > 100.0);
         assert!(rep.channel_util > 0.0 && rep.channel_util <= 1.0);
         assert!((rep.breakdown_pct.iter().sum::<f64>() - 100.0).abs() < 1e-6);
@@ -253,11 +270,43 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_reproduce_the_builder() {
+        let trace = synthetic_ooc_trace(8 * MIB, MIB, 3);
+        let cfg = SystemConfig::cnl_ufs();
+        let built = ExperimentSpec::new(&cfg, NvmKind::Tlc).run(&trace);
+        let legacy = run_experiment(&cfg, NvmKind::Tlc, &trace);
+        assert_eq!(
+            built.bandwidth_mb_s.to_bits(),
+            legacy.bandwidth_mb_s.to_bits()
+        );
+        let plan = nvmtypes::FaultPlan::light(42);
+        let built = ExperimentSpec::new(&cfg, NvmKind::Tlc)
+            .faults(plan)
+            .run(&trace);
+        let legacy = run_experiment_with_faults(&cfg, NvmKind::Tlc, &trace, plan);
+        assert_eq!(
+            built.bandwidth_mb_s.to_bits(),
+            legacy.bandwidth_mb_s.to_bits()
+        );
+        let swept = run_sweep(&[cfg], &[NvmKind::Tlc], &trace);
+        let built = ExperimentSpec::new(&cfg, NvmKind::Tlc).run(&trace);
+        assert_eq!(
+            swept[0].bandwidth_mb_s.to_bits(),
+            built.bandwidth_mb_s.to_bits()
+        );
+    }
+
+    #[test]
     fn sweep_covers_all_pairs_in_order() {
         let trace = synthetic_ooc_trace(8 * MIB, MIB, 3);
         let configs = [SystemConfig::cnl_ufs(), SystemConfig::cnl_native16()];
         let kinds = [NvmKind::Slc, NvmKind::Pcm];
-        let reports = run_sweep(&configs, &kinds, &trace);
+        let specs = configs
+            .iter()
+            .flat_map(|c| kinds.iter().map(|&k| ExperimentSpec::new(c, k)))
+            .collect();
+        let reports = run_batch(specs, &trace);
         assert_eq!(reports.len(), 4);
         assert_eq!(reports[0].label, "CNL-UFS");
         assert_eq!(reports[0].kind, NvmKind::Slc);
@@ -270,7 +319,7 @@ mod tests {
     #[test]
     fn journaled_ufs_flag_off_is_byte_identical_to_legacy() {
         let trace = synthetic_ooc_trace(8 * MIB, MIB, 3);
-        let legacy = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &trace);
+        let legacy = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc).run(&trace);
         let off = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc)
             .journaled_ufs(false)
             .run(&trace);
@@ -312,8 +361,8 @@ mod tests {
     fn cnl_beats_ion_on_the_same_workload() {
         // The paper's headline direction, at reduced scale.
         let trace = synthetic_ooc_trace(24 * MIB, 2 * MIB, 9);
-        let ion = run_experiment(&SystemConfig::ion_gpfs(), NvmKind::Slc, &trace);
-        let cnl = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Slc, &trace);
+        let ion = ExperimentSpec::new(&SystemConfig::ion_gpfs(), NvmKind::Slc).run(&trace);
+        let cnl = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Slc).run(&trace);
         assert!(
             cnl.bandwidth_mb_s > ion.bandwidth_mb_s,
             "cnl {} vs ion {}",

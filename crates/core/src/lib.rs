@@ -13,6 +13,11 @@
 //! * [`experiment`] — the experiment driver: POSIX trace → file-system
 //!   mutation → SSD simulation → [`experiment::ExperimentReport`], plus
 //!   parallel sweeps over configurations × media;
+//! * [`tenancy`] — multi-tenant traffic studies: sets of tenants
+//!   (eigensolver replays, checkpoint bursts, key-value lookups) with
+//!   seeded bursty arrivals, replayed over one shared device under
+//!   weighted fair queueing with per-tenant tail-latency blocks
+//!   (docs/TENANCY.md);
 //! * [`trends`] — the Figure-1 bandwidth-trend model (networks vs NVM
 //!   devices over time) and its crossover analysis;
 //! * [`cache`] — the case against treating compute-local NVM as an
@@ -32,10 +37,15 @@ pub mod cluster;
 pub mod config;
 pub mod experiment;
 pub mod format;
+pub mod tenancy;
 pub mod trends;
 pub mod workload;
 
 pub use cluster::{degraded_curve, degraded_scaling_point, DegradedPoint};
 pub use config::{Controller, Location, SystemConfig};
+#[allow(deprecated)]
 pub use experiment::{run_experiment, run_experiment_with_faults, run_sweep, ExperimentReport};
-pub use workload::{lobpcg_posix_trace, synthetic_ooc_trace};
+pub use tenancy::{
+    ArrivalProcess, TenancyReport, TenancySpec, TenantProfile, TenantReport, TenantSpec,
+};
+pub use workload::{kv_lookup_trace, lobpcg_posix_trace, synthetic_ooc_trace};

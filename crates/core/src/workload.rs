@@ -127,6 +127,36 @@ pub fn graph_ooc_trace(
     trace
 }
 
+/// A key-value lookup workload: uniformly random point reads of
+/// `value_size` bytes over a store file much larger than the bytes
+/// moved, so there is essentially no spatial reuse. This is the
+/// latency-sensitive tenant of the multi-tenant studies ([`crate::tenancy`]):
+/// every request is small and independent, which makes its tail latency
+/// the first casualty of a bandwidth-hungry co-tenant.
+pub fn kv_lookup_trace(total_bytes: u64, value_size: u64, seed: u64) -> PosixTrace {
+    assert!(value_size >= 4096, "values are at least one block");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x51c7);
+    let mut trace = PosixTrace::new();
+    // The store is 8x the bytes read: lookups effectively never repeat.
+    let slots = ((total_bytes * 8) / value_size).max(1);
+    let mut moved = 0u64;
+    let mut t = 0u64;
+    while moved < total_bytes {
+        let off = rng.gen_range(0..slots) * value_size;
+        let len = value_size.min(total_bytes - moved).max(4096);
+        trace.push(TraceRecord {
+            t,
+            op: IoOp::Read,
+            file: 0,
+            offset: off,
+            len,
+        });
+        t += 1;
+        moved += len;
+    }
+    trace
+}
+
 /// A hybrid-checkpointing workload (the related-work scenario of the
 /// paper's [33]): the read-dominant OoC sweep interleaved with periodic
 /// large sequential checkpoint writes to a separate file. Exercises the
@@ -247,6 +277,24 @@ mod tests {
             assert_eq!(w[1].offset, w[0].offset + w[0].len);
             assert_eq!(w[0].file, 1);
         }
+    }
+
+    #[test]
+    fn kv_lookup_trace_is_small_random_reads() {
+        let tr = kv_lookup_trace(16 << 20, 8192, 7);
+        assert!(tr.total_bytes() >= 16 << 20);
+        assert!((tr.read_fraction() - 1.0).abs() < 1e-12);
+        assert!(tr.records.iter().all(|r| r.len <= 8192));
+        // Random point lookups: near-zero sequentiality.
+        let stats = ooctrace::AccessStats::of_posix(&tr);
+        assert!(
+            stats.sequentiality < 0.2,
+            "sequentiality {}",
+            stats.sequentiality
+        );
+        // Deterministic per seed.
+        assert_eq!(tr, kv_lookup_trace(16 << 20, 8192, 7));
+        assert_ne!(tr, kv_lookup_trace(16 << 20, 8192, 8));
     }
 
     #[test]

@@ -6,6 +6,21 @@ use crate::intervals::{merge, union_len, Interval};
 use nvmtypes::convert::{approx_f64, usize_from_u32};
 use nvmtypes::Nanos;
 use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Per-arbitration-tag accounting: how much die time, how many die-ops
+/// and how many payload bytes one tag (one tenant, in the QoS layer's
+/// vocabulary) consumed on the media. Purely additive — the engine's
+/// schedule never reads it back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TagStats {
+    /// Die busy time (op start to completion) attributed to the tag, ns.
+    pub busy_ns: Nanos,
+    /// Die-ops executed under the tag.
+    pub ops: u64,
+    /// Payload bytes moved (reads + writes; erases move none).
+    pub bytes: u64,
+}
 
 /// The paper's four parallelism levels (§4.5):
 ///
@@ -163,6 +178,11 @@ pub struct RawStats {
     pub blocks_erased: u64,
     /// Number of die-ops executed.
     pub ops: u64,
+    /// Per-tag attribution for ops executed while an arbitration tag was
+    /// set ([`crate::MediaSim::set_arbitration_tag`]). Empty — and free —
+    /// when no tag is ever set; a `BTreeMap` so iteration order (and any
+    /// report derived from it) is deterministic.
+    pub tag_busy: BTreeMap<u32, TagStats>,
 }
 
 impl RawStats {

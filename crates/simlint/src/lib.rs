@@ -63,11 +63,12 @@ pub const STRICT_NO_PANIC_CRATES: [&str; 8] = [
 /// Crates where a silently-discarded `Result` (`let _ = ..`) is *not*
 /// allowlistable: fault injection and recovery live here, and a swallowed
 /// error is exactly how a fault vanishes from the report.
-pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 6] = [
+pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 7] = [
     "flashsim",
     "ssd",
     "interconnect",
     "ufs",
+    "core",
     "simobs",
     "simprof",
 ];
@@ -75,13 +76,14 @@ pub const STRICT_LET_UNDERSCORE_CRATES: [&str; 6] = [
 /// Crates where library-code printing (`println!`/`eprintln!`) is *not*
 /// allowlistable: the simulator pipeline and the tracer must stay
 /// silent — console output is the binaries' job.
-pub const STRICT_NO_PRINTLN_CRATES: [&str; 8] = [
+pub const STRICT_NO_PRINTLN_CRATES: [&str; 9] = [
     "flashsim",
     "ssd",
     "interconnect",
     "fs",
     "ufs",
     "ooc",
+    "core",
     "simobs",
     "simprof",
 ];

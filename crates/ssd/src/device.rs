@@ -68,7 +68,7 @@ struct MediaPhase {
 }
 
 /// Per-request PAL tracking state, reused across requests.
-struct PalTracker {
+pub(crate) struct PalTracker {
     /// Bitmask of dies-in-channel touched, per channel.
     chan_dies: Vec<u32>,
     touched: Vec<u32>,
@@ -111,6 +111,42 @@ impl PalTracker {
     }
 }
 
+/// The mutable per-run engine: device media, translation state, fault
+/// processes aside, and every piece of run accounting — extracted from
+/// the request-servicing loop so the single-trace closed loop
+/// ([`SsdDevice::run_observed`]) and the multi-tenant shared-fleet loop
+/// ([`crate::qos`]) push requests through the *same* servicing code.
+/// One tenant through the QoS path and the legacy path therefore
+/// produce byte-identical reports by construction.
+pub(crate) struct EngineState {
+    /// The media simulator; `pub(crate)` so the QoS layer can bracket
+    /// each tenant's dispatch with an arbitration tag.
+    pub(crate) media: MediaSim,
+    map: StripeMap,
+    ftl: Ftl,
+    host: interconnect::Link,
+    paq: bool,
+    firmware: Nanos,
+    split_bytes: u64,
+    page_size: u64,
+    /// Fleet-level reliability accounting; the QoS layer folds
+    /// per-tenant link-fault stats in before [`EngineState::finish`].
+    pub(crate) rel: ReliabilityStats,
+    host_free: Nanos,
+    last_media_end: Nanos,
+    host_busy: Nanos,
+    dma_intervals: Vec<Interval>,
+    pal_hist: PalHistogram,
+    pal: PalTracker,
+    latencies: Vec<Nanos>,
+    // Precision latency distribution, fed on both the traced and
+    // untraced paths from the same values — the observer-freedom
+    // contract extends to it unchanged.
+    latency_hdr: simobs::HdrHistogram,
+    attribution: LatencyAttribution,
+    makespan: Nanos,
+}
+
 impl SsdDevice {
     /// New device for a configuration.
     pub fn new(cfg: SsdConfig) -> SsdDevice {
@@ -133,15 +169,6 @@ impl SsdDevice {
         self.run_observed(trace, &mut Tracer::off())
     }
 
-    /// Raw die-side vs channel-side activity evidence at one instant; the
-    /// per-request deltas drive the die/channel attribution split.
-    fn media_weights(stats: &RawStats) -> (u64, u64) {
-        (
-            stats.cell_activation + stats.cell_contention,
-            stats.channel_activation + stats.flash_bus_activation + stats.channel_contention,
-        )
-    }
-
     /// [`SsdDevice::run`] with an observer attached: when `obs` is
     /// enabled, the engine emits per-request spans, media die-op spans,
     /// FTL decision markers, host-DMA and link-replay spans, and latency
@@ -151,55 +178,15 @@ impl SsdDevice {
     /// [`Tracer::off`] (pinned by `tests/determinism.rs`).
     pub fn run_observed(&self, trace: &BlockTrace, obs: &mut Tracer) -> RunReport {
         let cfg = &self.cfg;
-        let geometry = cfg.media.geometry;
-        let page_size = u64::from(cfg.media.timing.page_size);
-        let mut media = MediaSim::new(cfg.media);
-        let map = StripeMap::new(geometry, cfg.stripe_order);
-        let mut ftl = Ftl::new(cfg.ftl, geometry, self.pre_erased_rows)
-            .with_page_size(cfg.media.timing.page_size);
-        let host = cfg.host.effective();
         let qd = usize_from_u32(cfg.ncq_depth.min(trace.queue_depth).max(1));
+        let mut state = EngineState::new(self, trace.len());
 
         // Fault-injection state: absent entirely under a zero-rate plan,
         // so the fault-free path is byte-identical to the pre-fault code.
-        let fault_root = cfg.fault_plan.rng();
-        let mut media_faults = if cfg.fault_plan.media.is_none() {
-            None
-        } else {
-            Some(MediaFaultState::new(
-                cfg.fault_plan.media,
-                cfg.media.timing.kind,
-                u64::from(geometry.pages_per_block),
-                fault_root.split(STREAM_MEDIA),
-            ))
-        };
-        let mut link_faults = if cfg.fault_plan.link.is_none() {
-            None
-        } else {
-            Some(LinkFaultSim::new(
-                cfg.fault_plan.link,
-                fault_root.split(STREAM_LINK),
-            ))
-        };
-        let mut rel = ReliabilityStats::default();
+        let (mut media_faults, mut link_faults) = fault_states(&cfg.fault_plan, &cfg.media);
 
         let mut inflight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(qd + 1);
         let mut prev_issue: Nanos = 0;
-        let mut host_free: Nanos = 0;
-        let mut last_media_end: Nanos = 0;
-        let mut makespan: Nanos = 0;
-        let mut host_busy: Nanos = 0;
-        let mut dma_intervals: Vec<Interval> = Vec::with_capacity(trace.len());
-        let mut pal_hist = PalHistogram::default();
-        let mut pal = PalTracker::new(usize_from_u32(geometry.channels));
-        let mut latencies: Vec<Nanos> = Vec::with_capacity(trace.len());
-        // Precision latency distribution, fed on both the traced and
-        // untraced paths from the same values — the observer-freedom
-        // contract extends to it unchanged.
-        let mut latency_hdr = simobs::HdrHistogram::new();
-        let mut attribution = LatencyAttribution::default();
-        let firmware = cfg.ftl.firmware_ns();
-        let split_bytes = cfg.ftl.max_transaction_bytes().unwrap_or(u64::MAX);
 
         for req in &trace.requests {
             // Closed-loop arrival.
@@ -210,157 +197,8 @@ impl SsdDevice {
                 }
             }
 
-            pal.reset();
-            // Snapshots bracketing the media phase: the deltas drive the
-            // die/channel split and the recovery carve-out below.
-            let (die_w0, chan_w0) = Self::media_weights(media.stats());
-            let recovery0 = rel.media_recovery_ns;
-            let (completion, breakdown) = match req.op {
-                IoOp::Read => {
-                    let phase = self.dispatch_media(
-                        &mut media,
-                        &map,
-                        &mut ftl,
-                        &mut pal,
-                        req,
-                        issue,
-                        firmware,
-                        split_bytes,
-                        page_size,
-                        &mut last_media_end,
-                        &mut media_faults,
-                        &mut rel,
-                        obs,
-                    );
-                    // Device buffer -> host DMA after media completes;
-                    // CRC errors replay the transfer (added latency only).
-                    let dma_start = phase.end.max(host_free);
-                    let base_dma = host.request_ns(req.len);
-                    let penalty = link_faults.as_mut().map_or(0, |lf| {
-                        lf.transfer_penalty_traced(base_dma, dma_start + base_dma, obs)
-                    });
-                    let dma_end = dma_start + base_dma + penalty;
-                    host_free = dma_end;
-                    host_busy += dma_end - dma_start;
-                    dma_intervals.push((dma_start, dma_end));
-                    obs.span(
-                        Layer::Link,
-                        "host_dma",
-                        dma_start,
-                        dma_start + base_dma,
-                        [("bytes", req.len), ("", 0)],
-                    );
-                    // Exact decomposition of dma_end - issue: everything
-                    // before media service and between media completion
-                    // and the DMA grant is queueing; the media wall nets
-                    // out recovery, then splits die/channel.
-                    let (die_w, chan_w) = Self::media_weights(media.stats());
-                    let service_wall = phase.end - phase.service_start;
-                    let recovery_media = (rel.media_recovery_ns - recovery0).min(service_wall);
-                    let (die_ns, channel_ns) = RequestBreakdown::split_service(
-                        service_wall - recovery_media,
-                        die_w - die_w0,
-                        chan_w - chan_w0,
-                    );
-                    let bd = RequestBreakdown {
-                        queue_ns: (phase.service_start - issue) + (dma_start - phase.end),
-                        die_ns,
-                        channel_ns,
-                        link_ns: base_dma,
-                        fs_meta_ns: 0,
-                        recovery_ns: recovery_media + penalty,
-                        total_ns: dma_end - issue,
-                    };
-                    (dma_end, bd)
-                }
-                IoOp::Write => {
-                    // Host -> device buffer DMA before media programs.
-                    let dma_start = issue.max(host_free);
-                    let base_dma = host.request_ns(req.len);
-                    let penalty = link_faults.as_mut().map_or(0, |lf| {
-                        lf.transfer_penalty_traced(base_dma, dma_start + base_dma, obs)
-                    });
-                    let dma_end = dma_start + base_dma + penalty;
-                    host_free = dma_end;
-                    host_busy += dma_end - dma_start;
-                    dma_intervals.push((dma_start, dma_end));
-                    obs.span(
-                        Layer::Link,
-                        "host_dma",
-                        dma_start,
-                        dma_start + base_dma,
-                        [("bytes", req.len), ("", 0)],
-                    );
-                    let phase = self.dispatch_media(
-                        &mut media,
-                        &map,
-                        &mut ftl,
-                        &mut pal,
-                        req,
-                        dma_end,
-                        firmware,
-                        split_bytes,
-                        page_size,
-                        &mut last_media_end,
-                        &mut media_faults,
-                        &mut rel,
-                        obs,
-                    );
-                    let (die_w, chan_w) = Self::media_weights(media.stats());
-                    let service_wall = phase.end - phase.service_start;
-                    let recovery_media = (rel.media_recovery_ns - recovery0).min(service_wall);
-                    let (die_ns, channel_ns) = RequestBreakdown::split_service(
-                        service_wall - recovery_media,
-                        die_w - die_w0,
-                        chan_w - chan_w0,
-                    );
-                    let bd = RequestBreakdown {
-                        queue_ns: (dma_start - issue) + (phase.service_start - dma_end),
-                        die_ns,
-                        channel_ns,
-                        link_ns: base_dma,
-                        fs_meta_ns: 0,
-                        recovery_ns: recovery_media + penalty,
-                        total_ns: phase.end - issue,
-                    };
-                    (phase.end, bd)
-                }
-            };
-            pal_hist.add(pal.classify());
-            let total_latency = completion.saturating_sub(issue);
-            latencies.push(total_latency);
-            latency_hdr.record(total_latency);
-            // Sync requests *are* file-system overhead end to end
-            // (metadata lookups, journal commits): the whole latency is
-            // fs_meta rather than a split of its internals.
-            attribution.absorb(if req.sync {
-                RequestBreakdown {
-                    fs_meta_ns: total_latency,
-                    total_ns: total_latency,
-                    ..RequestBreakdown::default()
-                }
-            } else {
-                breakdown
-            });
-            if obs.enabled() {
-                obs.span(
-                    Layer::Ssd,
-                    match req.op {
-                        IoOp::Read => "read",
-                        IoOp::Write => "write",
-                    },
-                    issue,
-                    completion,
-                    [("bytes", req.len), ("sync", u64::from(req.sync))],
-                );
-                obs.count("ssd.requests", 1);
-                if req.sync {
-                    obs.count("ssd.sync_requests", 1);
-                }
-                obs.observe_ns("ssd.latency_ns", total_latency);
-                obs.observe_hdr_ns("ssd.latency_ns", total_latency);
-            }
-            makespan = makespan.max(completion);
+            let (completion, _) =
+                state.service_one(req, issue, &mut media_faults, &mut link_faults, obs);
             if req.sync {
                 // Dependency barrier: nothing later may issue until this
                 // request (a metadata lookup or journal commit) completes.
@@ -372,13 +210,247 @@ impl SsdDevice {
             }
         }
 
+        if let Some(lf) = &link_faults {
+            state.rel.link = lf.stats();
+        }
+        state.finish(
+            cfg,
+            trace.total_bytes(),
+            trace.data_bytes(),
+            trace.len(),
+            obs,
+        )
+    }
+}
+
+/// Builds the per-run fault processes for one fault plan against one
+/// media configuration: `None` under a zero-rate plan so the fault-free
+/// path never even constructs them. The QoS layer calls this once per
+/// tenant — each tenant's plan owns an independent root stream.
+pub(crate) fn fault_states(
+    plan: &nvmtypes::fault::FaultPlan,
+    media_cfg: &flashsim::MediaConfig,
+) -> (Option<MediaFaultState>, Option<LinkFaultSim>) {
+    let fault_root = plan.rng();
+    let media = if plan.media.is_none() {
+        None
+    } else {
+        Some(MediaFaultState::new(
+            plan.media,
+            media_cfg.timing.kind,
+            u64::from(media_cfg.geometry.pages_per_block),
+            fault_root.split(STREAM_MEDIA),
+        ))
+    };
+    let link = if plan.link.is_none() {
+        None
+    } else {
+        Some(LinkFaultSim::new(plan.link, fault_root.split(STREAM_LINK)))
+    };
+    (media, link)
+}
+
+impl EngineState {
+    /// Fresh per-run state for one device. `requests_hint` pre-sizes the
+    /// per-request vectors.
+    pub(crate) fn new(dev: &SsdDevice, requests_hint: usize) -> EngineState {
+        let cfg = &dev.cfg;
+        let geometry = cfg.media.geometry;
+        EngineState {
+            media: MediaSim::new(cfg.media),
+            map: StripeMap::new(geometry, cfg.stripe_order),
+            ftl: Ftl::new(cfg.ftl, geometry, dev.pre_erased_rows)
+                .with_page_size(cfg.media.timing.page_size),
+            host: cfg.host.effective(),
+            paq: cfg.paq,
+            firmware: cfg.ftl.firmware_ns(),
+            split_bytes: cfg.ftl.max_transaction_bytes().unwrap_or(u64::MAX),
+            page_size: u64::from(cfg.media.timing.page_size),
+            rel: ReliabilityStats::default(),
+            host_free: 0,
+            last_media_end: 0,
+            host_busy: 0,
+            dma_intervals: Vec::with_capacity(requests_hint),
+            pal_hist: PalHistogram::default(),
+            pal: PalTracker::new(usize_from_u32(geometry.channels)),
+            latencies: Vec::with_capacity(requests_hint),
+            latency_hdr: simobs::HdrHistogram::new(),
+            attribution: LatencyAttribution::default(),
+            makespan: 0,
+        }
+    }
+
+    /// Raw die-side vs channel-side activity evidence at one instant; the
+    /// per-request deltas drive the die/channel attribution split.
+    fn media_weights(stats: &RawStats) -> (u64, u64) {
+        (
+            stats.cell_activation + stats.cell_contention,
+            stats.channel_activation + stats.flash_bus_activation + stats.channel_contention,
+        )
+    }
+
+    /// Services one request issued at `issue` end to end — media
+    /// dispatch, host DMA, PAL classification, latency recording and
+    /// exact attribution — returning its completion time and the
+    /// breakdown that was absorbed into the run's attribution (already
+    /// collapsed to `fs_meta` for sync requests). The caller owns the
+    /// issue discipline: closed-loop slots, barriers and (in the QoS
+    /// layer) fair-queueing order all happen outside.
+    pub(crate) fn service_one(
+        &mut self,
+        req: &HostRequest,
+        issue: Nanos,
+        media_faults: &mut Option<MediaFaultState>,
+        link_faults: &mut Option<LinkFaultSim>,
+        obs: &mut Tracer,
+    ) -> (Nanos, RequestBreakdown) {
+        self.pal.reset();
+        // Snapshots bracketing the media phase: the deltas drive the
+        // die/channel split and the recovery carve-out below.
+        let (die_w0, chan_w0) = Self::media_weights(self.media.stats());
+        let recovery0 = self.rel.media_recovery_ns;
+        let (completion, breakdown) = match req.op {
+            IoOp::Read => {
+                let phase = self.dispatch_media(req, issue, media_faults, obs);
+                // Device buffer -> host DMA after media completes;
+                // CRC errors replay the transfer (added latency only).
+                let dma_start = phase.end.max(self.host_free);
+                let base_dma = self.host.request_ns(req.len);
+                let penalty = link_faults.as_mut().map_or(0, |lf| {
+                    lf.transfer_penalty_traced(base_dma, dma_start + base_dma, obs)
+                });
+                let dma_end = dma_start + base_dma + penalty;
+                self.host_free = dma_end;
+                self.host_busy += dma_end - dma_start;
+                self.dma_intervals.push((dma_start, dma_end));
+                obs.span(
+                    Layer::Link,
+                    "host_dma",
+                    dma_start,
+                    dma_start + base_dma,
+                    [("bytes", req.len), ("", 0)],
+                );
+                // Exact decomposition of dma_end - issue: everything
+                // before media service and between media completion
+                // and the DMA grant is queueing; the media wall nets
+                // out recovery, then splits die/channel.
+                let (die_w, chan_w) = Self::media_weights(self.media.stats());
+                let service_wall = phase.end - phase.service_start;
+                let recovery_media = (self.rel.media_recovery_ns - recovery0).min(service_wall);
+                let (die_ns, channel_ns) = RequestBreakdown::split_service(
+                    service_wall - recovery_media,
+                    die_w - die_w0,
+                    chan_w - chan_w0,
+                );
+                let bd = RequestBreakdown {
+                    queue_ns: (phase.service_start - issue) + (dma_start - phase.end),
+                    die_ns,
+                    channel_ns,
+                    link_ns: base_dma,
+                    fs_meta_ns: 0,
+                    recovery_ns: recovery_media + penalty,
+                    total_ns: dma_end - issue,
+                };
+                (dma_end, bd)
+            }
+            IoOp::Write => {
+                // Host -> device buffer DMA before media programs.
+                let dma_start = issue.max(self.host_free);
+                let base_dma = self.host.request_ns(req.len);
+                let penalty = link_faults.as_mut().map_or(0, |lf| {
+                    lf.transfer_penalty_traced(base_dma, dma_start + base_dma, obs)
+                });
+                let dma_end = dma_start + base_dma + penalty;
+                self.host_free = dma_end;
+                self.host_busy += dma_end - dma_start;
+                self.dma_intervals.push((dma_start, dma_end));
+                obs.span(
+                    Layer::Link,
+                    "host_dma",
+                    dma_start,
+                    dma_start + base_dma,
+                    [("bytes", req.len), ("", 0)],
+                );
+                let phase = self.dispatch_media(req, dma_end, media_faults, obs);
+                let (die_w, chan_w) = Self::media_weights(self.media.stats());
+                let service_wall = phase.end - phase.service_start;
+                let recovery_media = (self.rel.media_recovery_ns - recovery0).min(service_wall);
+                let (die_ns, channel_ns) = RequestBreakdown::split_service(
+                    service_wall - recovery_media,
+                    die_w - die_w0,
+                    chan_w - chan_w0,
+                );
+                let bd = RequestBreakdown {
+                    queue_ns: (dma_start - issue) + (phase.service_start - dma_end),
+                    die_ns,
+                    channel_ns,
+                    link_ns: base_dma,
+                    fs_meta_ns: 0,
+                    recovery_ns: recovery_media + penalty,
+                    total_ns: phase.end - issue,
+                };
+                (phase.end, bd)
+            }
+        };
+        self.pal_hist.add(self.pal.classify());
+        let total_latency = completion.saturating_sub(issue);
+        self.latencies.push(total_latency);
+        self.latency_hdr.record(total_latency);
+        // Sync requests *are* file-system overhead end to end
+        // (metadata lookups, journal commits): the whole latency is
+        // fs_meta rather than a split of its internals.
+        let absorbed = if req.sync {
+            RequestBreakdown {
+                fs_meta_ns: total_latency,
+                total_ns: total_latency,
+                ..RequestBreakdown::default()
+            }
+        } else {
+            breakdown
+        };
+        self.attribution.absorb(absorbed);
+        if obs.enabled() {
+            obs.span(
+                Layer::Ssd,
+                match req.op {
+                    IoOp::Read => "read",
+                    IoOp::Write => "write",
+                },
+                issue,
+                completion,
+                [("bytes", req.len), ("sync", u64::from(req.sync))],
+            );
+            obs.count("ssd.requests", 1);
+            if req.sync {
+                obs.count("ssd.sync_requests", 1);
+            }
+            obs.observe_ns("ssd.latency_ns", total_latency);
+            obs.observe_hdr_ns("ssd.latency_ns", total_latency);
+        }
+        self.makespan = self.makespan.max(completion);
+        (completion, absorbed)
+    }
+
+    /// Rolls the accumulated state up into the [`RunReport`]. The caller
+    /// sets `rel.link` first (one fault process on the legacy path; a
+    /// per-tenant aggregate on the QoS path).
+    pub(crate) fn finish(
+        self,
+        cfg: &SsdConfig,
+        total_bytes: u64,
+        data_bytes: u64,
+        requests: usize,
+        obs: &mut Tracer,
+    ) -> RunReport {
         // Host-DMA accounting. A request's DMA phase never overlaps its
         // own media phase (reads transfer after sensing, writes before
         // programming), so the lifecycle bucket of Figure 10 is the full
         // host-transfer time; `dma_media_idle` additionally measures how
         // much of it the device spent fully idle (the network-starvation
         // signature of the ION configurations).
-        let stats = media.into_stats();
+        let mut rel = self.rel;
+        let makespan = self.makespan;
+        let stats = self.media.into_stats();
         let busy = merge(
             stats
                 .die_intervals
@@ -386,19 +458,15 @@ impl SsdDevice {
                 .map(|&(_, s, e)| (s, e))
                 .collect(),
         );
-        let dma_media_idle: Nanos = dma_intervals
+        let dma_media_idle: Nanos = self
+            .dma_intervals
             .iter()
             .map(|&(s, e)| uncovered_len(s, e, &busy))
             .sum();
 
-        if let Some(lf) = &link_faults {
-            rel.link = lf.stats();
-        }
-        rel.spare_blocks_left = ftl.spare_blocks_left();
+        rel.spare_blocks_left = self.ftl.spare_blocks_left();
         let energy = flashsim::energy::assess(&stats, &cfg.media, makespan);
-        let media_report = stats.finalize(&cfg.media, makespan, host_busy);
-        let total_bytes = trace.total_bytes();
-        let data_bytes = trace.data_bytes();
+        let media_report = stats.finalize(&cfg.media, makespan, self.host_busy);
         if obs.enabled() {
             obs.span(
                 Layer::Run,
@@ -406,7 +474,7 @@ impl SsdDevice {
                 0,
                 makespan,
                 [
-                    ("requests", u64_from_usize(trace.len())),
+                    ("requests", u64_from_usize(requests)),
                     ("bytes", total_bytes),
                 ],
             );
@@ -415,46 +483,37 @@ impl SsdDevice {
         }
         RunReport {
             makespan,
-            requests: u64_from_usize(trace.len()),
+            requests: u64_from_usize(requests),
             total_bytes,
             data_bytes,
             bandwidth_mb_s: nvmtypes::mb_per_s(total_bytes, makespan),
             data_bandwidth_mb_s: nvmtypes::mb_per_s(data_bytes, makespan),
-            host_busy,
+            host_busy: self.host_busy,
             dma_media_idle,
             media: media_report,
-            pal: pal_hist,
-            wear: ftl.wear().clone(),
+            pal: self.pal_hist,
+            wear: self.ftl.wear().clone(),
             energy,
-            latency: LatencyStats::from_latencies(latencies),
-            latency_hdr,
+            latency: LatencyStats::from_latencies(self.latencies),
+            latency_hdr: self.latency_hdr,
             reliability: rel,
-            attribution,
+            attribution: self.attribution,
         }
     }
 
     /// Translates one request and executes its die-ops; returns the media
     /// phase (earliest service start, last completion).
-    #[allow(clippy::too_many_arguments)]
     fn dispatch_media(
-        &self,
-        media: &mut MediaSim,
-        map: &StripeMap,
-        ftl: &mut Ftl,
-        pal: &mut PalTracker,
+        &mut self,
         req: &HostRequest,
         start: Nanos,
-        firmware: Nanos,
-        split_bytes: u64,
-        page_size: u64,
-        last_media_end: &mut Nanos,
         faults: &mut Option<MediaFaultState>,
-        rel: &mut ReliabilityStats,
         obs: &mut Tracer,
     ) -> MediaPhase {
-        let geometry = map.geometry();
+        let geometry = *self.map.geometry();
         let channels = geometry.channels;
         let planes_per_die = u64::from(geometry.planes_per_die);
+        let page_size = self.page_size;
         let mut media_end = start;
         let mut first_service: Nanos = Nanos::MAX;
         let mut offset = req.offset;
@@ -463,14 +522,14 @@ impl SsdDevice {
         let capacity_pages = geometry.total_pages();
 
         while remaining > 0 {
-            let chunk = remaining.min(split_bytes);
+            let chunk = remaining.min(self.split_bytes);
             split_idx += 1;
             // Each internal transaction pays firmware processing.
-            let mut t0 = start + firmware * split_idx;
-            if !self.cfg.paq {
+            let mut t0 = start + self.firmware * split_idx;
+            if !self.paq {
                 // Without physically-addressed queueing the controller
                 // serialises media service per transaction.
-                t0 = t0.max(*last_media_end);
+                t0 = t0.max(self.last_media_end);
             }
             let piece = HostRequest {
                 op: req.op,
@@ -482,9 +541,9 @@ impl SsdDevice {
             let count = piece.page_count(u32_from(page_size));
 
             let (lpn, erase_rows, gc_moves) = match req.op {
-                IoOp::Read => (ftl.translate_read(first, count) % capacity_pages, 0, 0),
+                IoOp::Read => (self.ftl.translate_read(first, count) % capacity_pages, 0, 0),
                 IoOp::Write => {
-                    let placement = ftl.translate_write(first, count);
+                    let placement = self.ftl.translate_write(first, count);
                     (
                         placement.start_lpn % capacity_pages,
                         placement.rows_to_erase,
@@ -498,20 +557,33 @@ impl SsdDevice {
                 // Garbage collection ahead of the host data: read the
                 // survivors, rewrite them at the frontier.
                 let gc_pages = (gc_moves * 4096).div_ceil(page_size).max(1);
-                for run in map.decompose(lpn, gc_pages) {
+                for run in self.map.decompose(lpn, gc_pages) {
                     let read_op = DieOp::read(run.die, run.planes, run.pages, run.start_row);
                     let read_out = match faults {
-                        Some(fs) => read_with_recovery(media, &read_op, t0, fs, ftl, rel, obs),
-                        None => media.execute_traced(t0, &read_op, obs),
+                        Some(fs) => read_with_recovery(
+                            &mut self.media,
+                            &read_op,
+                            t0,
+                            fs,
+                            &mut self.ftl,
+                            &mut self.rel,
+                            obs,
+                        ),
+                        None => self.media.execute_traced(t0, &read_op, obs),
                     };
                     first_service = first_service.min(read_out.start);
                     media_end = media_end.max(read_out.end);
                     let write_op = DieOp::write(run.die, run.planes, run.pages, run.start_row);
                     let write_out = match faults {
-                        Some(fs) => {
-                            write_with_recovery(media, &write_op, read_out.end, fs, rel, obs)
-                        }
-                        None => media.execute_traced(read_out.end, &write_op, obs),
+                        Some(fs) => write_with_recovery(
+                            &mut self.media,
+                            &write_op,
+                            read_out.end,
+                            fs,
+                            &mut self.rel,
+                            obs,
+                        ),
+                        None => self.media.execute_traced(read_out.end, &write_op, obs),
                     };
                     media_end = media_end.max(write_out.end);
                 }
@@ -529,40 +601,64 @@ impl SsdDevice {
                     let blocks = erase_rows * planes_per_die;
                     let erase_op = DieOp::erase(nvmtypes::DieIndex(die), blocks);
                     let erase_out = match faults {
-                        Some(fs) => erase_with_recovery(media, &erase_op, t0, fs, ftl, rel, obs),
-                        None => media.execute_traced(t0, &erase_op, obs),
+                        Some(fs) => erase_with_recovery(
+                            &mut self.media,
+                            &erase_op,
+                            t0,
+                            fs,
+                            &mut self.ftl,
+                            &mut self.rel,
+                            obs,
+                        ),
+                        None => self.media.execute_traced(t0, &erase_op, obs),
                     };
                     first_service = first_service.min(erase_out.start);
                     media_end = media_end.max(erase_out.end);
                 }
             }
 
-            for run in map.decompose(lpn, count) {
+            for run in self.map.decompose(lpn, count) {
                 let out = match req.op {
                     IoOp::Read => {
                         let op = DieOp::read(run.die, run.planes, run.pages, run.start_row);
                         match faults {
-                            Some(fs) => read_with_recovery(media, &op, t0, fs, ftl, rel, obs),
-                            None => media.execute_traced(t0, &op, obs),
+                            Some(fs) => read_with_recovery(
+                                &mut self.media,
+                                &op,
+                                t0,
+                                fs,
+                                &mut self.ftl,
+                                &mut self.rel,
+                                obs,
+                            ),
+                            None => self.media.execute_traced(t0, &op, obs),
                         }
                     }
                     IoOp::Write => {
                         let op = DieOp::write(run.die, run.planes, run.pages, run.start_row);
                         match faults {
-                            Some(fs) => write_with_recovery(media, &op, t0, fs, rel, obs),
-                            None => media.execute_traced(t0, &op, obs),
+                            Some(fs) => write_with_recovery(
+                                &mut self.media,
+                                &op,
+                                t0,
+                                fs,
+                                &mut self.rel,
+                                obs,
+                            ),
+                            None => self.media.execute_traced(t0, &op, obs),
                         }
                     }
                 };
                 first_service = first_service.min(out.start);
                 media_end = media_end.max(out.end);
-                pal.observe(run.die.channel(geometry), run.die.0 / channels, run.planes);
+                self.pal
+                    .observe(run.die.channel(&geometry), run.die.0 / channels, run.planes);
             }
 
             offset += chunk;
             remaining -= chunk;
         }
-        *last_media_end = (*last_media_end).max(media_end);
+        self.last_media_end = self.last_media_end.max(media_end);
         MediaPhase {
             service_start: if first_service == Nanos::MAX {
                 start

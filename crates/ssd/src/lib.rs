@@ -18,6 +18,9 @@
 //! * [`report`] — the per-run results every figure of the paper is
 //!   computed from (bandwidth, utilization, execution breakdown, PAL
 //!   histogram, bandwidth remaining);
+//! * [`qos`] — the multi-tenant traffic layer: weighted fair queueing
+//!   across tenants sharing one device, FIFO admission control, and
+//!   exact per-tenant latency/die-time attribution (docs/TENANCY.md);
 //! * [`recovery`] — device-side fault recovery: the escalating ECC
 //!   read-retry ladder, program/erase retries and bad-block retirement,
 //!   driven by the deterministic fault plan in `nvmtypes::fault` (see
@@ -35,6 +38,7 @@ pub mod config;
 pub mod device;
 pub mod ftl;
 pub mod mapping;
+pub mod qos;
 pub mod recovery;
 pub mod report;
 
@@ -42,4 +46,5 @@ pub use blockdev::{BlockDevice, SimBlockDevice, SECTOR_BYTES, SECTOR_USIZE};
 pub use config::{FtlMode, SsdConfig};
 pub use device::SsdDevice;
 pub use mapping::{DieRun, Dim, StripeMap};
+pub use qos::{QosPolicy, SharedRunReport, TenantRunStats, TenantWorkload};
 pub use report::{LatencyStats, ReliabilityStats, RunReport};

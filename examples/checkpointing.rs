@@ -33,8 +33,8 @@ fn main() {
         "ckpt energy mJ",
     ]);
     for kind in NvmKind::ALL {
-        let ufs = run_experiment(&SystemConfig::cnl_ufs(), kind, &trace);
-        let ext4 = run_experiment(&SystemConfig::cnl(FsKind::Ext4), kind, &trace);
+        let ufs = ExperimentSpec::new(&SystemConfig::cnl_ufs(), kind).run(&trace);
+        let ext4 = ExperimentSpec::new(&SystemConfig::cnl(FsKind::Ext4), kind).run(&trace);
         table.row([
             kind.label().to_string(),
             format!("{:.0}", ufs.bandwidth_mb_s),
@@ -49,8 +49,8 @@ fn main() {
     print!("{}", table.render());
 
     // The asymmetric-program-latency story.
-    let slc = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Slc, &trace);
-    let tlc = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &trace);
+    let slc = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Slc).run(&trace);
+    let tlc = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc).run(&trace);
     println!(
         "\nTLC checkpoints cost {:.1}x SLC's wall clock for the same workload —\n\
          MSB pages program at 6 ms vs SLC's uniform 250 us (Table 1), which is\n\
@@ -58,7 +58,7 @@ fn main() {
          Hamiltonian lives happily on dense TLC.",
         slc.bandwidth_mb_s / tlc.bandwidth_mb_s
     );
-    let pcm = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Pcm, &trace);
+    let pcm = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Pcm).run(&trace);
     println!(
         "PCM sustains {:.0} MB/s — its 35 us writes on 64-byte pages make it no\n\
          write-bandwidth champion (Table 1), but each checkpoint costs an order\n\

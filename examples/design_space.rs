@@ -8,7 +8,7 @@
 //! ```
 
 use oocnvm::core::config::{Controller, Location, SystemConfig};
-use oocnvm::core::experiment::run_sweep;
+use oocnvm::core::experiment::run_batch;
 use oocnvm::core::format::Table;
 use oocnvm::interconnect::{NvmBusSpeed, PcieGen};
 use oocnvm::oocfs::FsKind;
@@ -31,7 +31,11 @@ fn main() {
         bus: NvmBusSpeed::Sdr400,
     });
 
-    let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+    let specs = configs
+        .iter()
+        .flat_map(|c| NvmKind::ALL.iter().map(|&k| ExperimentSpec::new(c, k)))
+        .collect();
+    let reports = run_batch(specs, &trace);
     let mut table = Table::new(["config", "TLC", "MLC", "SLC", "PCM", "PAL4 %", "rem (TLC)"]);
     for c in &configs {
         let get = |k| {

@@ -78,7 +78,7 @@ fn main() {
         SystemConfig::cnl_ufs(),
         SystemConfig::cnl_native16(),
     ] {
-        let report = run_experiment(&config, NvmKind::Tlc, &posix);
+        let report = ExperimentSpec::new(&config, NvmKind::Tlc).run(&posix);
         let ms = report.run.makespan as f64 / 1e6;
         println!(
             "{:<16} {:>10.0} {:>9.1} ms",

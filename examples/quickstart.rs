@@ -26,7 +26,7 @@ fn main() {
 
     // 3. Run both on TLC NAND and compare.
     for config in [&ion, &cnl] {
-        let report = run_experiment(config, NvmKind::Tlc, &trace);
+        let report = ExperimentSpec::new(config, NvmKind::Tlc).run(&trace);
         println!(
             "\n{:<14} {:>8.1} MB/s  (makespan {:.1} ms)",
             report.label,
@@ -46,8 +46,12 @@ fn main() {
         );
     }
 
-    let ion_bw = run_experiment(&ion, NvmKind::Tlc, &trace).bandwidth_mb_s;
-    let cnl_bw = run_experiment(&cnl, NvmKind::Tlc, &trace).bandwidth_mb_s;
+    let ion_bw = ExperimentSpec::new(&ion, NvmKind::Tlc)
+        .run(&trace)
+        .bandwidth_mb_s;
+    let cnl_bw = ExperimentSpec::new(&cnl, NvmKind::Tlc)
+        .run(&trace)
+        .bandwidth_mb_s;
     println!(
         "\nmigrating the SSD from the I/O node to the compute node: x{:.1}",
         cnl_bw / ion_bw

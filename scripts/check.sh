@@ -53,6 +53,11 @@
 #                       and profiling on vs off must not change a
 #                       result byte (docs/PROFILING.md; skipped with
 #                       --fast)
+#  13. tenants        — multi-tenant QoS smoke: the tenant-density
+#                       sweep must be byte-identical run-to-run and
+#                       match the committed results/BENCH_tenants.json
+#                       byte-for-byte (docs/TENANCY.md; skipped with
+#                       --fast)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -107,8 +112,11 @@ if [ "$fast" -eq 0 ]; then
             cargo run --release --quiet --bin obsreport -- --smoke \
             --out "target/obsreport.t$n.trace.json" \
             --json "target/obsreport.t$n.json" > /dev/null
+        RAYON_NUM_THREADS=$n \
+            cargo run --release --quiet --bin tenants -- --smoke \
+            --json "target/tenants.t$n.json" > /dev/null
     done
-    for doc in headline reliability obsreport; do
+    for doc in headline reliability obsreport tenants; do
         cmp "target/$doc.t1.json" "target/$doc.t8.json" || {
             echo "check.sh: $doc JSON differs between 1 and 8 threads" >&2
             exit 1
@@ -132,6 +140,9 @@ if [ "$fast" -eq 0 ]; then
 
     step "bench --smoke (pinned perf baseline + profiler observer effect)"
     cargo run --release --quiet -p oocnvm-bench --bin bench -- --smoke
+
+    step "tenants --smoke (multi-tenant QoS baseline, byte-identical)"
+    cargo run --release --quiet --bin tenants -- --smoke
 fi
 
 echo

@@ -24,34 +24,28 @@
 //!
 //! The study itself lives in [`oocnvm::obsreport`].
 
+use oocnvm::bench::cli::StudyArgs;
 use oocnvm::obsreport::report;
 use std::process::ExitCode;
-
-fn flag_value(args: &[String], key: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
-fn flag_str(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn check(label: &str, ok: bool) {
     println!("{label}: {}", if ok { "OK" } else { "FAIL" });
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let seed = flag_value(&args, "--seed").unwrap_or(42);
-    let out_path =
-        flag_str(&args, "--out").unwrap_or_else(|| "target/obsreport.trace.json".to_string());
-    let json_path = flag_str(&args, "--json");
+    let args = match StudyArgs::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("obsreport: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let smoke = args.smoke;
+    let seed = args.seed_or(42);
+    let out_path = args
+        .out
+        .unwrap_or_else(|| "target/obsreport.trace.json".to_string());
+    let json_path = args.json;
     let (trace_mib, solver_dim) = if smoke { (4, 120) } else { (32, 240) };
 
     println!("== obsreport: CNL-UFS / TLC, {trace_mib} MiB, light faults, seed {seed} ==");

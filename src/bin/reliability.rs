@@ -13,29 +13,25 @@
 //! determinism contract of docs/FAULT_MODEL.md and
 //! docs/PARALLELISM.md). `--smoke` shrinks the workload for CI;
 //! `--json <path>` also writes the study in a stable versioned schema
-//! (`oocnvm.reliability/2`), covered by the same byte-identity check.
+//! (`oocnvm.reliability/3`), covered by the same byte-identity check.
 //!
 //! The study itself lives in [`oocnvm::reliability`].
 
+use oocnvm::bench::cli::StudyArgs;
 use oocnvm::reliability::render_report;
 use std::process::ExitCode;
 
-fn flag_value(args: &[String], key: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let seed = flag_value(&args, "--seed").unwrap_or(42);
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let args = match StudyArgs::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("reliability: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let smoke = args.smoke;
+    let seed = args.seed_or(42);
+    let json_path = args.json;
     let (trace_mib, solver_dim) = if smoke { (4, 120) } else { (16, 600) };
 
     let report = render_report(seed, trace_mib, solver_dim);

@@ -17,26 +17,22 @@
 //!
 //! The study itself lives in [`oocnvm::ufs_study`].
 
+use oocnvm::bench::cli::StudyArgs;
 use oocnvm::ufs_study::render_report;
 use std::process::ExitCode;
 use std::time::Instant;
 
-fn flag_value(args: &[String], key: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let seed = flag_value(&args, "--seed").unwrap_or(42);
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let args = match StudyArgs::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ufs: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let smoke = args.smoke;
+    let seed = args.seed_or(42);
+    let json_path = args.json;
 
     let wall = Instant::now();
     let report = render_report(seed, smoke);

@@ -35,7 +35,7 @@
 //! // synthetic out-of-core read workload.
 //! let config = SystemConfig::cnl_ufs();
 //! let trace = synthetic_ooc_trace(16 * MIB, 1 * MIB, 42);
-//! let report = run_experiment(&config, NvmKind::Tlc, &trace);
+//! let report = ExperimentSpec::new(&config, NvmKind::Tlc).run(&trace);
 //! assert!(report.bandwidth_mb_s > 0.0);
 //! ```
 
@@ -55,14 +55,16 @@ pub use ufs;
 
 pub mod obsreport;
 pub mod reliability;
+pub mod tenants_study;
 pub mod ufs_study;
 
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
     pub use nvmtypes::{HostRequest, IoOp, MediaTiming, NvmKind, SsdGeometry, GIB, KIB, MIB};
     pub use oocnvm_core::config::SystemConfig;
-    pub use oocnvm_core::experiment::{
-        run_experiment, run_experiment_observed, ExperimentReport, ExperimentSpec,
+    pub use oocnvm_core::experiment::{run_batch, ExperimentReport, ExperimentSpec};
+    pub use oocnvm_core::tenancy::{
+        ArrivalProcess, TenancyReport, TenancySpec, TenantProfile, TenantSpec,
     };
     pub use oocnvm_core::workload::synthetic_ooc_trace;
     pub use ooctrace::{PosixTrace, TraceRecord};

@@ -8,7 +8,7 @@
 //! ```
 
 use oocnvm::core::config::SystemConfig;
-use oocnvm::core::experiment::{run_experiment, run_sweep};
+use oocnvm::core::experiment::run_batch;
 use oocnvm::core::format::Table;
 use oocnvm::ooc::lobpcg::{Lobpcg, LobpcgOptions};
 use oocnvm::ooc::HamiltonianSpec;
@@ -69,7 +69,7 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(6144u64);
             let trace = synthetic_ooc_trace(mib * MIB, rec * 1024, 42);
-            let report = run_experiment(&cfg, kind, &trace);
+            let report = ExperimentSpec::new(&cfg, kind).run(&trace);
             println!("{} on {} ({mib} MiB workload):", report.label, kind.label());
             println!("  bandwidth:      {:>9.1} MB/s", report.bandwidth_mb_s);
             println!(
@@ -109,7 +109,11 @@ fn main() -> ExitCode {
                 .unwrap_or(128u64);
             let trace = synthetic_ooc_trace(mib * MIB, 6 * MIB, 42);
             let configs = SystemConfig::table2();
-            let reports = run_sweep(&configs, &NvmKind::ALL, &trace);
+            let specs = configs
+                .iter()
+                .flat_map(|c| NvmKind::ALL.iter().map(|&k| ExperimentSpec::new(c, k)))
+                .collect();
+            let reports = run_batch(specs, &trace);
             let mut t = Table::new(["config", "TLC", "MLC", "SLC", "PCM"]);
             for c in &configs {
                 let get = |k| {

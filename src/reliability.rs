@@ -19,16 +19,20 @@ use oocnvm_core::cluster::{degraded_curve, ClusterSpec, NodeRates};
 use oocnvm_core::config::SystemConfig;
 use oocnvm_core::experiment::{run_batch, ExperimentSpec};
 use oocnvm_core::format::Table;
-use oocnvm_core::workload::synthetic_ooc_trace;
+use oocnvm_core::workload::{checkpoint_trace, synthetic_ooc_trace};
 use simobs::json::Json;
 
-/// Schema tag of the reliability JSON document. Version 2 adds a
+/// Schema tag of the reliability JSON document. Version 2 added a
 /// per-plan `cnl_latency_ns` object (p50/p99/p999 of the CNL path's
 /// request latencies under that fault plan, from the run's HDR
 /// histogram) — fault plans move the latency *tail* long before they
-/// dent mean bandwidth, so the sweep now shows it. No v1 field was
-/// renamed or removed (see `docs/PROFILING.md`).
-pub const SCHEMA: &str = "oocnvm.reliability/2";
+/// dent mean bandwidth, so the sweep now shows it. Version 3 adds a
+/// `journaled_ufs_sweep` array (the same fault presets replayed through
+/// the crash-consistent journaled UFS on the CNL path, with its own
+/// zero-plan identity bit) so journal write amplification under faults
+/// is pinned too. Purely additive: no v1/v2 field was renamed or
+/// removed (see `docs/PROFILING.md`).
+pub const SCHEMA: &str = "oocnvm.reliability/3";
 
 /// The four presets of the sweep (≥ 3 non-zero settings per the
 /// acceptance bar, plus the all-zero control).
@@ -94,6 +98,23 @@ pub fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> Reliabilit
     specs.push(ExperimentSpec::new(&cnl, NvmKind::Tlc));
     let reports = run_batch(specs, &trace);
 
+    // The same presets once more through the crash-consistent journaled
+    // UFS on the CNL path, plus its own fault-free baseline for the
+    // zero-plan identity check. This sweep replays a write-heavy
+    // checkpoint trace (reads never touch the journal, so the read
+    // trace above would pin a vacuous 1.00x amplification).
+    let ckpt_trace = checkpoint_trace(trace_mib * MIB, 2 * MIB, MIB, MIB, seed);
+    let mut journal_specs = Vec::new();
+    for (_, plan) in plan_list {
+        journal_specs.push(
+            ExperimentSpec::new(&cnl, NvmKind::Tlc)
+                .journaled_ufs(true)
+                .faults(plan),
+        );
+    }
+    journal_specs.push(ExperimentSpec::new(&cnl, NvmKind::Tlc).journaled_ufs(true));
+    let journal_reports = run_batch(journal_specs, &ckpt_trace);
+
     let mut zero_fault_ok = true;
     for (i, (name, plan)) in plan_list.iter().enumerate() {
         let ir = &reports[2 * i];
@@ -148,6 +169,75 @@ pub fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> Reliabilit
         &format!(
             "zero-fault plan reproduces the fault-free driver byte-identically: {}",
             if zero_fault_ok { "OK" } else { "FAIL" }
+        ),
+    );
+
+    out.push('\n');
+    line(
+        &mut out,
+        "== same presets through the journaled UFS (CNL, write-heavy checkpoint trace) ==",
+    );
+    let mut t = Table::new(["plan", "CNL MB/s", "p999 us", "ecc retries", "recov ms"]);
+    let mut journal_rows = Vec::new();
+    let mut journal_zero_ok = true;
+    for (i, (name, plan)) in plan_list.iter().enumerate() {
+        let jr = &journal_reports[i];
+        if plan.is_none() {
+            // Same contract as the direct path: the zero-rate plan must
+            // reproduce the fault-free journaled run byte-identically.
+            let base = &journal_reports[plan_list.len()];
+            journal_zero_ok = format!("{:?}", jr.run) == format!("{:?}", base.run);
+        }
+        let rel = &jr.run.reliability;
+        let lat = jr.run.latency_hdr.percentiles();
+        journal_rows.push(
+            Json::obj()
+                .field("plan", Json::str(name))
+                .field("cnl_mb_s", Json::f64_3(jr.bandwidth_mb_s))
+                .field("total_bytes", Json::u64(jr.run.total_bytes))
+                .field(
+                    "latency_ns",
+                    Json::obj()
+                        .field("p50", Json::u64(lat.p50))
+                        .field("p99", Json::u64(lat.p99))
+                        .field("p999", Json::u64(lat.p999)),
+                )
+                .field("ecc_retries", Json::u64(rel.ecc_retries))
+                .field("bad_blocks_remapped", Json::u64(rel.bad_blocks_remapped))
+                .field("total_recovery_ns", Json::u64(rel.total_recovery_ns())),
+        );
+        t.row([
+            name.to_string(),
+            format!("{:.1}", jr.bandwidth_mb_s),
+            format!("{:.1}", approx_f64(lat.p999) / 1e3),
+            format!("{}", rel.ecc_retries),
+            format!("{:.3}", approx_f64(rel.total_recovery_ns()) / 1e6),
+        ]);
+    }
+    out.push_str(&t.render());
+    // Journal write amplification is a property of the filesystem
+    // transform, not of the fault plan: decompose it once for the
+    // checkpoint trace every plan above replayed.
+    let wa = ufs::JournaledUfs::default()
+        .transform_with_stats(&ckpt_trace)
+        .map(|(_, wa)| wa)
+        .unwrap_or_default();
+    line(
+        &mut out,
+        &format!(
+            "journal write amplification: user={} cow={} journal={} apply={} bytes ({} permille device/user)",
+            wa.user_bytes,
+            wa.cow_bytes,
+            wa.journal_bytes,
+            wa.apply_bytes,
+            wa.device_per_user_permille()
+        ),
+    );
+    line(
+        &mut out,
+        &format!(
+            "zero-fault plan reproduces the fault-free journaled run byte-identically: {}",
+            if journal_zero_ok { "OK" } else { "FAIL" }
         ),
     );
 
@@ -258,10 +348,58 @@ pub fn render_report(seed: u64, trace_mib: u64, solver_dim: usize) -> Reliabilit
         .field("trace_mib", Json::u64(trace_mib))
         .field("zero_fault_identical", Json::Bool(zero_fault_ok))
         .field("fault_sweep", Json::Arr(sweep_rows))
+        .field(
+            "journaled_zero_fault_identical",
+            Json::Bool(journal_zero_ok),
+        )
+        .field(
+            "journaled_write_amp",
+            Json::obj()
+                .field("user_bytes", Json::u64(wa.user_bytes))
+                .field("cow_bytes", Json::u64(wa.cow_bytes))
+                .field("journal_bytes", Json::u64(wa.journal_bytes))
+                .field("apply_bytes", Json::u64(wa.apply_bytes))
+                .field("commits", Json::u64(wa.commits))
+                .field(
+                    "device_per_user_permille",
+                    Json::u64(wa.device_per_user_permille()),
+                ),
+        )
+        .field("journaled_ufs_sweep", Json::Arr(journal_rows))
         .field("solver_recovery", solver_json)
         .field("degraded_curve", Json::Arr(degraded_rows));
     ReliabilityReport {
         text: out,
         json: json_report(SCHEMA, payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_3_documents_carry_the_journaled_sweep() {
+        let a = render_report(42, 2, 60);
+        assert!(!a.text.contains("FAIL"), "{}", a.text);
+        assert!(a.json.contains(SCHEMA));
+        let doc = simobs::json::parse(&a.json).expect("well-formed");
+        // The v3 additions: the journaled-UFS fault sweep and the
+        // journal write-amplification decomposition.
+        assert!(doc.get("journaled_ufs_sweep").is_some());
+        assert!(doc.get("journaled_zero_fault_identical").is_some());
+        let wa = doc
+            .get("journaled_write_amp")
+            .expect("v3 carries journaled_write_amp");
+        for f in ["user_bytes", "cow_bytes", "journal_bytes", "apply_bytes"] {
+            assert!(wa.get(f).is_some(), "missing journaled_write_amp.{f}");
+        }
+        // Additive only: every v2 consumer keeps working.
+        assert!(doc.get("fault_sweep").is_some());
+        assert!(doc.get("solver_recovery").is_some());
+        assert!(doc.get("degraded_curve").is_some());
+        let b = render_report(42, 2, 60);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.json, b.json);
     }
 }

@@ -1,0 +1,223 @@
+//! The multi-tenant QoS study behind the `tenants` bin: what happens to
+//! each job's tail latency as more jobs share one device, on the
+//! ION-remote path vs the compute-local one?
+//!
+//! Lives in the library (not the bin) so `tests/determinism.rs` can pin
+//! the rendered study byte-identical at every thread count: the
+//! config × density fan-out runs through
+//! [`oocnvm_core::tenancy::run_tenancy_batch`] on the thread pool, and
+//! the batch API returns reports in input order regardless of
+//! `RAYON_NUM_THREADS`.
+
+use nvmtypes::{approx_f64, NvmKind, MIB};
+use oocnvm_bench::json_report;
+use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::ExperimentSpec;
+use oocnvm_core::format::Table;
+use oocnvm_core::tenancy::{
+    run_tenancy_batch, ArrivalProcess, TenancyReport, TenantProfile, TenantSpec,
+};
+use simobs::json::Json;
+
+/// Schema tag of the tenants JSON document. Version 1: per
+/// (config, density) cell the fleet rollup plus one block per tenant
+/// with the p50/p90/p99/p999/max of its own request latencies, its
+/// exact attribution total, and its arbitration-tagged die time.
+pub const SCHEMA: &str = "oocnvm.tenants/1";
+
+/// The tenant mix at density `n`: profiles cycle
+/// eigensolve → checkpoint → kv-lookup, each tenant with its own trace
+/// seed. The latency-sensitive kv-lookup tenants carry fair-queueing
+/// weight 4 (the QoS knob under study); the bandwidth tenants weight 1.
+pub fn tenant_mix(n: usize, seed: u64) -> Vec<TenantSpec> {
+    (0..n)
+        .map(|i| {
+            let profile = match i % 3 {
+                0 => TenantProfile::Eigensolve {
+                    total_bytes: 6 * MIB,
+                    record_size: MIB,
+                },
+                1 => TenantProfile::Checkpoint {
+                    read_bytes: 4 * MIB,
+                    ckpt_interval_bytes: 2 * MIB,
+                    ckpt_bytes: MIB,
+                    record_size: MIB,
+                },
+                _ => TenantProfile::KvLookup {
+                    total_bytes: 2 * MIB,
+                    value_size: 8192,
+                },
+            };
+            let weight = if i % 3 == 2 { 4 } else { 1 };
+            TenantSpec::new(profile)
+                .seed(seed.wrapping_add(nvmtypes::u64_from_usize(i)))
+                .weight(weight)
+        })
+        .collect()
+}
+
+/// The rendered multi-tenant study.
+#[derive(Debug, Clone)]
+pub struct TenantsReport {
+    /// Human-readable study (the bin prints it verbatim).
+    pub text: String,
+    /// The [`SCHEMA`] JSON document, via [`oocnvm_bench::json_report`].
+    pub json: String,
+}
+
+fn line(out: &mut String, s: &str) {
+    out.push_str(s);
+    out.push('\n');
+}
+
+/// Worst (max) p999 among the cell's tenants matching `profile`, ns.
+fn worst_p999(report: &TenancyReport, profile: &str) -> u64 {
+    report
+        .tenants
+        .iter()
+        .filter(|t| t.profile == profile)
+        .map(|t| t.latency.p999)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Renders the whole study — text and JSON — so callers can compare two
+/// runs byte-for-byte in both forms. `densities` is the tenant-count
+/// axis of the sweep (same mix recipe at every point).
+pub fn render_report(seed: u64, densities: &[usize]) -> TenantsReport {
+    let configs = [SystemConfig::ion_gpfs(), SystemConfig::cnl_ufs()];
+    let arrivals = ArrivalProcess::bursty(200_000, 0.25, seed);
+
+    // One parallel batch covers the config × density fan-out; reports
+    // come back in spec order.
+    let mut specs = Vec::new();
+    for cfg in &configs {
+        for &n in densities {
+            specs.push(
+                ExperimentSpec::new(cfg, NvmKind::Tlc)
+                    .tenants(tenant_mix(n, seed))
+                    .arrivals(arrivals),
+            );
+        }
+    }
+    let reports = run_tenancy_batch(specs);
+
+    let mut out = String::new();
+    let mut config_rows = Vec::new();
+    line(
+        &mut out,
+        &format!("== tenant-density sweep: ION-GPFS vs CNL-UFS, TLC, seed {seed} =="),
+    );
+    line(
+        &mut out,
+        "mix cycles eigensolve/checkpoint/kv-lookup; kv tenants carry WFQ weight 4",
+    );
+    for (c, cfg) in configs.iter().enumerate() {
+        line(&mut out, &format!("-- {} --", cfg.label));
+        let mut t = Table::new([
+            "tenants",
+            "fleet MB/s",
+            "makespan ms",
+            "eig p999 us",
+            "ckpt p999 us",
+            "kv p999 us",
+        ]);
+        let mut cells = Vec::new();
+        for (d, &n) in densities.iter().enumerate() {
+            let report = &reports[c * densities.len() + d];
+            let tenant_json = report
+                .tenants
+                .iter()
+                .map(|tr| {
+                    Json::obj()
+                        .field("tenant", Json::u64(u64::from(tr.tenant)))
+                        .field("profile", Json::str(tr.profile))
+                        .field("weight", Json::u64(tr.weight))
+                        .field("arrival_ns", Json::u64(tr.arrival_ns))
+                        .field("admitted_ns", Json::u64(tr.admitted_ns))
+                        .field("finish_ns", Json::u64(tr.finish_ns))
+                        .field("requests", Json::u64(tr.requests))
+                        .field("bytes", Json::u64(tr.bytes))
+                        .field(
+                            "latency_ns",
+                            Json::obj()
+                                .field("p50", Json::u64(tr.latency.p50))
+                                .field("p90", Json::u64(tr.latency.p90))
+                                .field("p99", Json::u64(tr.latency.p99))
+                                .field("p999", Json::u64(tr.latency.p999))
+                                .field("max", Json::u64(tr.latency.max)),
+                        )
+                        .field("attributed_ns", Json::u64(tr.attribution.total_ns))
+                        .field("die_busy_ns", Json::u64(tr.media_busy_ns))
+                        .field("media_bytes", Json::u64(tr.media_bytes))
+                })
+                .collect::<Vec<_>>();
+            let fleet = &report.fleet.run;
+            cells.push(
+                Json::obj()
+                    .field("tenants", Json::u64(nvmtypes::u64_from_usize(n)))
+                    .field("fleet_mb_s", Json::f64_3(fleet.bandwidth_mb_s))
+                    .field("makespan_ns", Json::u64(fleet.makespan))
+                    .field(
+                        "attribution_exact",
+                        Json::Bool(fleet.attribution.is_exact()),
+                    )
+                    .field("tenant_blocks", Json::Arr(tenant_json)),
+            );
+            t.row([
+                format!("{n}"),
+                format!("{:.1}", fleet.bandwidth_mb_s),
+                format!("{:.3}", approx_f64(fleet.makespan) / 1e6),
+                format!("{:.1}", approx_f64(worst_p999(report, "eigensolve")) / 1e3),
+                format!("{:.1}", approx_f64(worst_p999(report, "checkpoint")) / 1e3),
+                format!("{:.1}", approx_f64(worst_p999(report, "kv-lookup")) / 1e3),
+            ]);
+        }
+        out.push_str(&t.render());
+        config_rows.push(
+            Json::obj()
+                .field("config", Json::str(cfg.label))
+                .field("cells", Json::Arr(cells)),
+        );
+    }
+
+    // The QoS claim, stated as a checkable line: at the deepest mixed
+    // density on CNL, the weight-4 kv tenants' worst p999 must not
+    // exceed the weight-1 bulk tenants' — the whole point of WFQ.
+    let deepest = &reports[reports.len() - 1];
+    let kv = worst_p999(deepest, "kv-lookup");
+    let bulk = worst_p999(deepest, "eigensolve").max(worst_p999(deepest, "checkpoint"));
+    let qos_holds = deepest.tenants.len() < 3 || kv <= bulk;
+    line(
+        &mut out,
+        &format!(
+            "weighted kv-lookup p999 stays at or below bulk p999 under contention: {}",
+            if qos_holds { "OK" } else { "FAIL" }
+        ),
+    );
+
+    let payload = Json::obj()
+        .field("seed", Json::u64(seed))
+        .field(
+            "densities",
+            Json::Arr(
+                densities
+                    .iter()
+                    .map(|&n| Json::u64(nvmtypes::u64_from_usize(n)))
+                    .collect(),
+            ),
+        )
+        .field(
+            "arrivals",
+            Json::obj()
+                .field("mean_gap_ns", Json::u64(arrivals.mean_gap_ns))
+                .field("burst_fraction", Json::f64_3(arrivals.burst_fraction))
+                .field("seed", Json::u64(arrivals.seed)),
+        )
+        .field("qos_holds", Json::Bool(qos_holds))
+        .field("configs", Json::Arr(config_rows));
+    TenantsReport {
+        text: out,
+        json: json_report(SCHEMA, payload),
+    }
+}

@@ -234,6 +234,38 @@ fn ufs_study_is_byte_identical_at_every_thread_count() {
 }
 
 #[test]
+fn tenants_study_is_byte_identical_at_every_thread_count() {
+    // The multi-tenant QoS study fans the config × density sweep out on
+    // the pool, and inside each cell the tenants share one simulated
+    // device through the fair-queueing scheduler; neither level may see
+    // the worker count, and a same-seed re-run must be byte-identical.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let runs: Vec<_> = [1usize, 2, 8]
+        .into_iter()
+        .map(|n| {
+            with_threads(n, || {
+                let r = oocnvm::tenants_study::render_report(7, &[1, 3]);
+                (r.text, r.json)
+            })
+        })
+        .collect();
+    assert_eq!(
+        runs[0], runs[1],
+        "tenants study diverged between 1 and 2 threads"
+    );
+    assert_eq!(
+        runs[0], runs[2],
+        "tenants study diverged between 1 and 8 threads"
+    );
+    let again = oocnvm::tenants_study::render_report(7, &[1, 3]);
+    assert_eq!(
+        runs[0],
+        (again.text, again.json),
+        "tenants study diverged between same-seed re-runs"
+    );
+}
+
+#[test]
 fn ufs_path_with_empty_fault_plan_is_byte_identical_to_no_plan() {
     // `FaultPlan::none()` through the journaled-UFS experiment path must
     // be indistinguishable from running that path with no plan at all:
@@ -289,5 +321,58 @@ proptest! {
         let seq: Vec<u64> = xs.iter().copied().map(f).collect();
         let par: Vec<u64> = xs.into_par_iter().map(f).collect();
         prop_assert_eq!(par, seq);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Per-tenant latency attribution is exact, not sampled: across any
+    /// tenant mix, seed and QoS weight, the tenants' attributed
+    /// nanoseconds and request counts sum to the fleet totals.
+    #[test]
+    fn tenant_attribution_sums_to_the_fleet_total(
+        seed in prop::num::u64::ANY,
+        n in 1usize..5,
+        kv_weight in 1u64..8,
+    ) {
+        use oocnvm_core::config::SystemConfig;
+        use oocnvm_core::experiment::ExperimentSpec;
+        use oocnvm_core::tenancy::{ArrivalProcess, TenantProfile, TenantSpec};
+        let cnl = SystemConfig::cnl_ufs();
+        let tenants = (0..n)
+            .map(|i| {
+                let profile = match i % 3 {
+                    0 => TenantProfile::Eigensolve {
+                        total_bytes: 2 * MIB,
+                        record_size: MIB,
+                    },
+                    1 => TenantProfile::Checkpoint {
+                        read_bytes: 2 * MIB,
+                        ckpt_interval_bytes: MIB,
+                        ckpt_bytes: MIB,
+                        record_size: MIB,
+                    },
+                    _ => TenantProfile::KvLookup {
+                        total_bytes: MIB,
+                        value_size: 8192,
+                    },
+                };
+                TenantSpec::new(profile)
+                    .seed(seed.wrapping_add(nvmtypes::u64_from_usize(i)))
+                    .weight(if i % 3 == 2 { kv_weight } else { 1 })
+            })
+            .collect();
+        let report = ExperimentSpec::new(&cnl, NvmKind::Tlc)
+            .tenants(tenants)
+            .arrivals(ArrivalProcess::bursty(100_000, 0.25, seed))
+            .run();
+        prop_assert!(report.fleet.run.attribution.is_exact());
+        let attributed: u64 = report.tenants.iter().map(|t| t.attribution.total_ns).sum();
+        prop_assert_eq!(attributed, report.fleet.run.attribution.total_ns);
+        let requests: u64 = report.tenants.iter().map(|t| t.requests).sum();
+        prop_assert_eq!(requests, report.fleet.run.requests);
+        let bytes: u64 = report.tenants.iter().map(|t| t.bytes).sum();
+        prop_assert_eq!(bytes, report.fleet.run.total_bytes);
     }
 }

@@ -6,15 +6,15 @@ use ooc::dooc::{migrate, DataPool, Prefetcher};
 use oocnvm_core::cache::{replay_lru, reuse_distances};
 use oocnvm_core::cluster::{ion_saturation_nodes, scaling_curve, ClusterSpec, NodeRates};
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::run_experiment;
+use oocnvm_core::experiment::ExperimentSpec;
 use oocnvm_core::workload::{checkpoint_trace, graph_ooc_trace, synthetic_ooc_trace};
 use std::sync::Arc;
 
 #[test]
 fn energy_per_byte_favors_compute_local() {
     let trace = synthetic_ooc_trace(48 * MIB, 6 * MIB, 11);
-    let ion = run_experiment(&SystemConfig::ion_gpfs(), NvmKind::Tlc, &trace);
-    let cnl = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &trace);
+    let ion = ExperimentSpec::new(&SystemConfig::ion_gpfs(), NvmKind::Tlc).run(&trace);
+    let cnl = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc).run(&trace);
     // Same bytes, but the slow ION run burns static die power ~4x longer
     // on top of identical dynamic read energy...
     let ion_njb = ion.run.energy.nj_per_byte();
@@ -34,8 +34,14 @@ fn energy_per_byte_favors_compute_local() {
 fn pcm_dynamic_read_energy_beats_nand() {
     let trace = synthetic_ooc_trace(48 * MIB, 6 * MIB, 11);
     let config = SystemConfig::cnl_ufs();
-    let tlc = run_experiment(&config, NvmKind::Tlc, &trace).run.energy;
-    let pcm = run_experiment(&config, NvmKind::Pcm, &trace).run.energy;
+    let tlc = ExperimentSpec::new(&config, NvmKind::Tlc)
+        .run(&trace)
+        .run
+        .energy;
+    let pcm = ExperimentSpec::new(&config, NvmKind::Pcm)
+        .run(&trace)
+        .run
+        .energy;
     assert!(pcm.read_mj < tlc.read_mj);
 }
 
@@ -44,8 +50,12 @@ fn faster_architectures_use_less_total_energy_for_the_same_work() {
     // The static-power argument: NATIVE-16 finishes ~4x sooner than UFS,
     // so it spends less idle energy on identical payload bytes.
     let trace = synthetic_ooc_trace(48 * MIB, 6 * MIB, 11);
-    let ufs = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &trace).run;
-    let n16 = run_experiment(&SystemConfig::cnl_native16(), NvmKind::Tlc, &trace).run;
+    let ufs = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc)
+        .run(&trace)
+        .run;
+    let n16 = ExperimentSpec::new(&SystemConfig::cnl_native16(), NvmKind::Tlc)
+        .run(&trace)
+        .run;
     assert_eq!(ufs.energy.bytes, n16.energy.bytes);
     assert!(n16.energy.total_mj() < ufs.energy.total_mj());
 }
@@ -92,19 +102,16 @@ fn checkpoint_workload_runs_and_wears_the_device() {
     let trace = checkpoint_trace(48 * MIB, 12 * MIB, 6 * MIB, 4 * MIB, 7);
     let config = SystemConfig::cnl_ufs();
     // UFS mode doesn't inject erases (app-managed); traditional FTL does.
-    let trad = run_experiment(
-        &SystemConfig::cnl(oocfs::FsKind::Ext4),
-        NvmKind::Slc,
-        &trace,
-    );
+    let trad =
+        ExperimentSpec::new(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Slc).run(&trace);
     assert!(trad.run.wear.erases > 0, "no erases under the FTL");
-    let ufs = run_experiment(&config, NvmKind::Slc, &trace);
+    let ufs = ExperimentSpec::new(&config, NvmKind::Slc).run(&trace);
     assert!(ufs.bandwidth_mb_s > 0.0);
     // Mixed read/write is slower than the pure-read workload of the same
     // volume on TLC (program latencies bite).
     let pure = synthetic_ooc_trace(trace.total_bytes(), 4 * MIB, 7);
-    let mixed_tlc = run_experiment(&config, NvmKind::Tlc, &trace);
-    let pure_tlc = run_experiment(&config, NvmKind::Tlc, &pure);
+    let mixed_tlc = ExperimentSpec::new(&config, NvmKind::Tlc).run(&trace);
+    let pure_tlc = ExperimentSpec::new(&config, NvmKind::Tlc).run(&pure);
     assert!(mixed_tlc.bandwidth_mb_s < pure_tlc.bandwidth_mb_s);
 }
 
@@ -119,8 +126,9 @@ fn graph_analytics_widen_the_ufs_advantage() {
     let streaming = graph_ooc_trace(48 * MIB, 2 * MIB, 0.0, 5);
     let mixed = graph_ooc_trace(48 * MIB, 2 * MIB, 0.4, 5);
     let ratio = |trace| {
-        let ufs = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, trace);
-        let ext4 = run_experiment(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Tlc, trace);
+        let ufs = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc).run(trace);
+        let ext4 =
+            ExperimentSpec::new(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Tlc).run(trace);
         ufs.bandwidth_mb_s / ext4.bandwidth_mb_s
     };
     let r_stream = ratio(&streaming);
@@ -134,8 +142,8 @@ fn graph_analytics_widen_the_ufs_advantage() {
         "mixed advantage {r_mixed} should exceed streaming {r_stream}"
     );
     // But mixing random reads costs everyone absolute bandwidth.
-    let ufs_stream = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &streaming);
-    let ufs_mixed = run_experiment(&SystemConfig::cnl_ufs(), NvmKind::Tlc, &mixed);
+    let ufs_stream = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc).run(&streaming);
+    let ufs_mixed = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc).run(&mixed);
     assert!(ufs_mixed.bandwidth_mb_s < ufs_stream.bandwidth_mb_s);
 }
 

@@ -4,7 +4,7 @@
 
 use nvmtypes::{NvmKind, MIB};
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::{find, run_experiment, run_sweep, ExperimentReport};
+use oocnvm_core::experiment::{find, run_batch, ExperimentReport, ExperimentSpec};
 use oocnvm_core::workload::synthetic_ooc_trace;
 use ooctrace::PosixTrace;
 
@@ -13,7 +13,11 @@ fn trace() -> PosixTrace {
 }
 
 fn sweep(configs: &[SystemConfig], kinds: &[NvmKind]) -> Vec<ExperimentReport> {
-    run_sweep(configs, kinds, &trace())
+    let specs = configs
+        .iter()
+        .flat_map(|c| kinds.iter().map(|&k| ExperimentSpec::new(c, k)))
+        .collect();
+    run_batch(specs, &trace())
 }
 
 #[test]
@@ -259,9 +263,8 @@ fn fig10_execution_breakdown_claims() {
 
 #[test]
 fn headline_ratios_hold() {
-    let t = trace();
     let configs = SystemConfig::table2();
-    let reports = run_sweep(&configs, &NvmKind::ALL, &t);
+    let reports = sweep(&configs, &NvmKind::ALL);
     let bw = |l: &str, k| find(&reports, l, k).unwrap().bandwidth_mb_s;
     let trad = [
         "CNL-JFS",
@@ -303,8 +306,8 @@ fn headline_ratios_hold() {
 #[test]
 fn experiments_are_deterministic() {
     let t = trace();
-    let a = run_experiment(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Tlc, &t);
-    let b = run_experiment(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Tlc, &t);
+    let a = ExperimentSpec::new(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Tlc).run(&t);
+    let b = ExperimentSpec::new(&SystemConfig::cnl(oocfs::FsKind::Ext4), NvmKind::Tlc).run(&t);
     assert_eq!(a.run.makespan, b.run.makespan);
     assert_eq!(a.run.total_bytes, b.run.total_bytes);
     assert_eq!(a.pal_pct, b.pal_pct);

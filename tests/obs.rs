@@ -19,7 +19,7 @@ use flashsim::MediaConfig;
 use interconnect::{ddr800, pcie, LinkChain, PcieGen};
 use nvmtypes::{FaultPlan, HostRequest, NvmKind, KIB, MIB};
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::{run_experiment_observed, run_experiment_with_faults};
+use oocnvm_core::experiment::ExperimentSpec;
 use oocnvm_core::workload::synthetic_ooc_trace;
 use ooctrace::BlockTrace;
 use proptest::prelude::*;
@@ -60,13 +60,10 @@ fn trace_export_is_byte_identical_across_runs() {
     let run = || {
         let trace = synthetic_ooc_trace(4 * MIB, MIB, 7);
         let mut obs = Tracer::ring(16_384);
-        let rep = run_experiment_observed(
-            &SystemConfig::cnl_ufs(),
-            NvmKind::Tlc,
-            &trace,
-            FaultPlan::light(7),
-            &mut obs,
-        );
+        let rep = ExperimentSpec::new(&SystemConfig::cnl_ufs(), NvmKind::Tlc)
+            .faults(FaultPlan::light(7))
+            .tracer(&mut obs)
+            .run(&trace);
         let log = obs.finish();
         (format!("{:?}", rep.run), chrome_trace(&log), rollup(&log))
     };
@@ -189,9 +186,9 @@ proptest! {
         );
         // And the experiment-level pipeline agrees with itself, too.
         let posix = synthetic_ooc_trace(2 * MIB, MIB, seed);
-        let plain = run_experiment_with_faults(&SystemConfig::cnl_ufs(), kind, &posix, plan);
+        let plain = ExperimentSpec::new(&SystemConfig::cnl_ufs(), kind).faults(plan).run(&posix);
         let mut obs2 = Tracer::ring(4096);
-        let observed = run_experiment_observed(&SystemConfig::cnl_ufs(), kind, &posix, plan, &mut obs2);
+        let observed = ExperimentSpec::new(&SystemConfig::cnl_ufs(), kind).faults(plan).tracer(&mut obs2).run(&posix);
         prop_assert_eq!(format!("{:?}", plain.run), format!("{:?}", observed.run));
     }
 }

@@ -6,6 +6,7 @@ use ooc::lobpcg::{Lobpcg, LobpcgOptions, Operator, TracedOperator};
 use ooc::{CsrMatrix, HamiltonianSpec, OocMatrix};
 use oocfs::FsKind;
 use oocnvm_core::config::SystemConfig;
+use oocnvm_core::experiment::ExperimentSpec;
 use ooctrace::{AccessStats, TraceCapture};
 
 fn hamiltonian(n: usize) -> CsrMatrix {
@@ -121,7 +122,7 @@ fn full_stack_replay_runs_on_every_architecture() {
     let (trace, eigs) = oocnvm_core::workload::lobpcg_posix_trace(1200, 4, 6, 120);
     assert!(eigs.iter().all(|v| v.is_finite()));
     for config in SystemConfig::table2() {
-        let report = oocnvm_core::experiment::run_experiment(&config, NvmKind::Mlc, &trace);
+        let report = ExperimentSpec::new(&config, NvmKind::Mlc).run(&trace);
         assert!(
             report.bandwidth_mb_s > 50.0,
             "{} too slow: {}",
@@ -150,7 +151,7 @@ fn preload_then_iterate_write_then_read() {
     assert!(trace.read_fraction() > 0.6 && trace.read_fraction() < 0.7);
 
     let config = SystemConfig::cnl_ufs();
-    let report = oocnvm_core::experiment::run_experiment(&config, NvmKind::Slc, &trace);
+    let report = ExperimentSpec::new(&config, NvmKind::Slc).run(&trace);
     assert!(report.bandwidth_mb_s > 100.0);
     assert_eq!(report.run.total_bytes, trace.total_bytes());
 }

@@ -27,7 +27,7 @@ use ooc::checkpoint::solve_with_recovery;
 use ooc::lobpcg::{Lobpcg, LobpcgOptions};
 use ooc::HamiltonianSpec;
 use oocnvm_core::config::SystemConfig;
-use oocnvm_core::experiment::{run_experiment, run_experiment_with_faults};
+use oocnvm_core::experiment::ExperimentSpec;
 use oocnvm_core::workload::synthetic_ooc_trace;
 use proptest::prelude::*;
 use ssd::config::FtlMode;
@@ -423,8 +423,8 @@ proptest! {
         for config in [SystemConfig::ion_gpfs(), SystemConfig::cnl_ufs()] {
             // FaultPlan::none() must not perturb a single byte of the
             // fault-free report — not even via RNG state or reordering.
-            let base = run_experiment(&config, kind, &trace);
-            let zero = run_experiment_with_faults(&config, kind, &trace, FaultPlan::none());
+            let base = ExperimentSpec::new(&config, kind).run(&trace);
+            let zero = ExperimentSpec::new(&config, kind).faults(FaultPlan::none()).run(&trace);
             prop_assert_eq!(
                 format!("{:?}", base.run),
                 format!("{:?}", zero.run),
@@ -433,8 +433,8 @@ proptest! {
             );
             // Any plan is a pure function of (config, trace, seed).
             let plan = FaultPlan::heavy(plan_seed);
-            let a = run_experiment_with_faults(&config, kind, &trace, plan);
-            let b = run_experiment_with_faults(&config, kind, &trace, plan);
+            let a = ExperimentSpec::new(&config, kind).faults(plan).run(&trace);
+            let b = ExperimentSpec::new(&config, kind).faults(plan).run(&trace);
             prop_assert_eq!(format!("{:?}", a.run), format!("{:?}", b.run));
         }
     }
