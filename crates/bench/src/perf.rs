@@ -29,16 +29,16 @@ use ooctrace::TraceCapture;
 use simobs::json::Json;
 use simobs::HdrHistogram;
 use simprof::{HostClock, Profiler, SimSpanProfile};
-use ufs::JournaledUfs;
 
 /// Schema tag of the bench JSON document.
 pub const SCHEMA: &str = "oocnvm.bench/1";
 
 /// Default host-time regression tolerance, percent over baseline.
-/// Generous on purpose: CI machines vary wildly; the band only catches
-/// order-of-magnitude regressions. Override with `--tolerance` or
-/// `OOCNVM_BENCH_TOL_PCT`.
-pub const DEFAULT_TOL_PCT: u64 = 150;
+/// Generous on purpose: CI machines vary wildly (single-core runners
+/// show 2–3x run-to-run spread under load), and the committed baseline
+/// records a good warm run — the band only catches order-of-magnitude
+/// regressions. Override with `--tolerance` or `OOCNVM_BENCH_TOL_PCT`.
+pub const DEFAULT_TOL_PCT: u64 = 300;
 
 /// A real host clock for the profiler: nanoseconds since construction.
 /// Lives here — not in `simprof` — because the bench crate is the one
@@ -192,7 +192,9 @@ pub fn render_report(sc: &BenchScenario, clock: Box<dyn HostClock>) -> BenchRepo
     let untraced = ExperimentSpec::new(&cnl, NvmKind::Tlc)
         .journaled_ufs(true)
         .run(&trace);
-    let observer_zero = format!("{traced:?}") == format!("{untraced:?}");
+    // Structural comparison, not Debug-string rendering: formatting two
+    // multi-kilobyte reports allocated and walked O(report) text per run.
+    let observer_zero = traced == untraced;
     let log = obs.finish();
     let span_prof = SimSpanProfile::build(&log);
     prof.add_sim(traced.run.makespan);
@@ -208,12 +210,20 @@ pub fn render_report(sc: &BenchScenario, clock: Box<dyn HostClock>) -> BenchRepo
     out.push_str(&indent(&span_prof.render(), "  "));
 
     // Phase 3 — the journal's write-amplification decomposition on the
-    // same trace (the ufs study's replay overhead, itemised).
+    // same trace (the ufs study's replay overhead, itemised). The traced
+    // run already performed this exact replay and recorded the
+    // filesystem's counters ([`JournaledUfs::transform_observed`]), so
+    // this phase reads them back rather than replaying a third time —
+    // same deterministic values, one less full-trace replay per bench.
     prof.enter("journal");
-    let wa = JournaledUfs::default()
-        .transform_with_stats(&trace)
-        .map(|(_, wa)| wa)
-        .unwrap_or_default();
+    let wa = ufs::WriteAmp {
+        user_bytes: log.metrics.counter("ufs.user_bytes"),
+        cow_bytes: log.metrics.counter("ufs.cow_bytes"),
+        journal_bytes: log.metrics.counter("ufs.journal_bytes"),
+        apply_bytes: log.metrics.counter("ufs.apply_bytes"),
+        commits: log.metrics.counter("ufs.commits"),
+        recovery_replays: 0,
+    };
     prof.exit();
     line(
         &mut out,

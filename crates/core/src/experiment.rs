@@ -8,7 +8,7 @@ use serde::Serialize;
 use ssd::RunReport;
 
 /// Result of running one workload on one configuration with one medium.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ExperimentReport {
     /// Configuration label (Figure x-axis).
     pub label: &'static str,

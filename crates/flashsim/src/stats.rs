@@ -202,7 +202,7 @@ impl RawStats {
 }
 
 /// Finished media-side report for one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MediaReport {
     /// End-to-end simulated time (ns) — set by the caller (SSD layer),
     /// since completion includes host DMA.

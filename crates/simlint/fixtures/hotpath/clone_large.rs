@@ -1,0 +1,26 @@
+// Planted bug: clone of a large struct in a helper that is only hot
+// because it is called from inside the hot root's loop (tests
+// interprocedural loop-context propagation).
+// Expected: 1 per-event finding (clone).
+pub struct Table {
+    rows: Vec<u64>,
+}
+
+pub struct SsdDevice {
+    table: Table,
+}
+
+impl SsdDevice {
+    pub fn run_observed(&self, n: u64) -> u64 {
+        let mut acc = 0;
+        for _ in 0..n {
+            acc += self.snapshot();
+        }
+        acc
+    }
+
+    fn snapshot(&self) -> u64 {
+        let copy = self.table.clone();
+        copy.rows.len() as u64
+    }
+}

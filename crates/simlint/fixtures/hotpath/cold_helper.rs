@@ -1,0 +1,10 @@
+// True negative: allocates in a loop, but nothing on a hot path calls
+// it, so it is not hot-reachable.
+// Expected: 0 findings, 0 inventory sites.
+pub fn summarize(names: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in names {
+        out.push(format!("{n}!"));
+    }
+    out
+}

@@ -1,0 +1,18 @@
+// True negative: the buffer is allocated once outside the loop and
+// reused via clear()/push() — amortised growth is not a site, and the
+// hoisted allocation is per-run (inventory only, no finding).
+// Expected: 0 findings, 1 per-run inventory site.
+pub struct SsdDevice;
+
+impl SsdDevice {
+    pub fn run_observed(&self, n: u64) -> u64 {
+        let mut buf: Vec<u64> = Vec::with_capacity(64);
+        let mut total = 0;
+        for i in 0..n {
+            buf.clear();
+            buf.push(i);
+            total += buf.len() as u64;
+        }
+        total
+    }
+}

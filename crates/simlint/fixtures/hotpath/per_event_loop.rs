@@ -1,0 +1,15 @@
+// Planted bug: fresh allocations inside a loop of a hot root.
+// Expected: 2 per-event findings (vec![] and collect).
+pub struct SsdDevice;
+
+impl SsdDevice {
+    pub fn run_observed(&self, n: u64) -> u64 {
+        let mut total = 0;
+        for i in 0..n {
+            let scratch = vec![0u8; 16];
+            let ids: Vec<u64> = (0..i).collect();
+            total += scratch.len() as u64 + ids.len() as u64;
+        }
+        total
+    }
+}

@@ -34,6 +34,7 @@ pub mod allow;
 pub mod ast;
 pub mod astrules;
 pub mod concurrency;
+pub mod hotpath;
 pub mod lexer;
 pub mod parser;
 pub mod resolve;
@@ -135,6 +136,11 @@ pub struct Report {
     pub counts: BTreeMap<(Rule, String), usize>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Hot-path allocation-site inventory (both severities), from the
+    /// interprocedural hotpath pass.
+    pub hot_sites: Vec<hotpath::Site>,
+    /// Number of hot-reachable functions in the call graph.
+    pub hot_fns: usize,
 }
 
 impl Report {
@@ -213,6 +219,12 @@ pub fn rules_for(path: &str) -> Vec<Rule> {
     // workspace-wide artifact.
     rules.push(Rule::AtomicOrdering);
     rules.push(Rule::LockOrder);
+    // The hotpath pass reports on the crates hosting the simulator's
+    // event loops and everything they call (same scope as taint: the
+    // determinism crates plus the out-of-core algorithms).
+    if DETERMINISM_CRATES.contains(&krate) || krate == "ooc" {
+        rules.push(Rule::HotPathAlloc);
+    }
     rules
 }
 
@@ -268,9 +280,11 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Located> {
             Rule::ThreadSpawn => astrules::thread_spawn(&clean, &trees, &file),
             // Semantic passes need the cross-file index; they run in
             // `scan_workspace`, not per-file.
-            Rule::NondetTaint | Rule::UnitMismatch | Rule::AtomicOrdering | Rule::LockOrder => {
-                Vec::new()
-            }
+            Rule::NondetTaint
+            | Rule::UnitMismatch
+            | Rule::AtomicOrdering
+            | Rule::LockOrder
+            | Rule::HotPathAlloc => Vec::new(),
         };
         out.extend(findings.into_iter().map(|finding| Located {
             path: path.to_string(),
@@ -312,6 +326,10 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
     let unit_scope = |p: &str| rules_for(p).contains(&Rule::UnitMismatch);
     let atomic_scope = |p: &str| rules_for(p).contains(&Rule::AtomicOrdering);
     let lock_scope = |p: &str| rules_for(p).contains(&Rule::LockOrder);
+    let hot_scope = |p: &str| rules_for(p).contains(&Rule::HotPathAlloc);
+    let hot = hotpath::run(&file_asts, &index, &hot_scope);
+    report.hot_sites = hot.sites;
+    report.hot_fns = hot.hot_fns;
     for located in taint::run(&file_asts, &index, &taint_scope)
         .into_iter()
         .chain(units::run(&file_asts, &index, &unit_scope))
@@ -321,6 +339,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
             &atomic_scope,
             &lock_scope,
         ))
+        .chain(hot.findings)
     {
         *report
             .counts

@@ -10,20 +10,28 @@
 //! cargo run -p simlint -- --root DIR   # scan a different tree
 //! ```
 //!
-//! The JSON export (schema `oocnvm.simlint/2`; v2 added the
-//! `atomic_ordering` and `lock_order` concurrency passes) carries
-//! per-`(rule, path)` finding counts plus the allowlist total; the
-//! baseline diff fails on any growth (new `(rule, path)` pairs, higher
-//! counts, or a larger allowlist) and treats shrinkage as an advisory
-//! to refresh the baseline. Counts, not line numbers, so unrelated
-//! edits don't churn the committed file. Baselines written by the v1
-//! schema still parse: the rule set only grew, so a v1 document is a
-//! valid (if rule-poorer) count table.
+//! The JSON export (schema `oocnvm.simlint/3`; v2 added the
+//! `atomic_ordering`/`lock_order` concurrency passes, v3 the
+//! interprocedural `hotpath` pass and its per-crate allocation-site
+//! inventory) carries per-`(rule, path)` finding counts plus the
+//! allowlist total and a `hotpath` section; the baseline diff fails on
+//! any growth (new `(rule, path)` pairs, higher counts, a larger
+//! allowlist, or more hot-path allocation sites per crate) and treats
+//! shrinkage as an advisory to refresh the baseline. Counts, not line
+//! numbers, so unrelated edits don't churn the committed file.
+//! Baselines written by the v1/v2 schemas still parse: the rule set
+//! only grew, so an older document is a valid (if rule-poorer) count
+//! table, and a missing `hotpath` section just means the inventory
+//! ratchet starts from this scan.
+//!
+//! `--json --baseline F` composes: the export goes to stdout, the diff
+//! to stderr, and regressions still fail the exit code.
 //!
 //! Exit codes: 0 clean, 1 violations/stale/forbidden entries or baseline
 //! regressions, 2 usage or I/O errors.
 
 use simlint::allow::Allowlist;
+use simlint::hotpath::Severity;
 use simlint::rules::Rule;
 use simlint::Report;
 use simobs::json::{self, Json};
@@ -32,12 +40,17 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Schema tag for the findings export.
-const SCHEMA: &str = "oocnvm.simlint/2";
+const SCHEMA: &str = "oocnvm.simlint/3";
 
-/// Prior schema tag, still accepted on the *read* side of the baseline
-/// diff: v2 only added rules (`atomic_ordering`, `lock_order`), so a
-/// v1 count table diffs cleanly — any finding under a new rule simply
-/// counts as growth from zero.
+/// Prior schema tags, still accepted on the *read* side of the baseline
+/// diff: each bump only added rules (v2: `atomic_ordering`,
+/// `lock_order`; v3: `hotpath_alloc` + the `hotpath` inventory), so an
+/// older count table diffs cleanly — any finding under a new rule
+/// simply counts as growth from zero, and a missing `hotpath` section
+/// skips the inventory ratchet.
+const SCHEMA_V2: &str = "oocnvm.simlint/2";
+
+/// The original schema tag (pre-concurrency-pass), also accepted.
 const SCHEMA_V1: &str = "oocnvm.simlint/1";
 
 /// Workspace-relative path of the committed baseline.
@@ -120,8 +133,63 @@ fn export(report: &Report, allow: &Allowlist) -> String {
         .field("files_scanned", Json::u64(report.files_scanned as u64))
         .field("allow_total", Json::u64(allow_total(allow)))
         .field("counts", counts)
-        .field("findings", findings);
+        .field("findings", findings)
+        .field("hotpath", hotpath_json(report));
     json::report(SCHEMA, payload)
+}
+
+/// The v3 `hotpath` section: declared roots, hot-fn count, per-crate
+/// allocation-site inventory (the ratcheted quantity), and the full
+/// site list for humans chasing a regression.
+fn hotpath_json(report: &Report) -> Json {
+    let mut per_crate: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for site in &report.hot_sites {
+        let entry = per_crate.entry(site.krate.clone()).or_insert((0, 0));
+        match site.severity {
+            Severity::PerEvent => entry.0 += 1,
+            Severity::PerRun => entry.1 += 1,
+        }
+    }
+    let crates = Json::Arr(
+        per_crate
+            .iter()
+            .map(|(krate, (per_event, per_run))| {
+                Json::obj()
+                    .field("crate", Json::str(krate))
+                    .field("per_event", Json::u64(*per_event))
+                    .field("per_run", Json::u64(*per_run))
+            })
+            .collect(),
+    );
+    let sites = Json::Arr(
+        report
+            .hot_sites
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .field("crate", Json::str(&s.krate))
+                    .field("path", Json::str(&s.path))
+                    .field("fn", Json::str(&s.fn_path))
+                    .field("line", Json::u64(s.line as u64))
+                    .field("col", Json::u64(s.col as u64))
+                    .field("kind", Json::str(s.kind))
+                    .field("severity", Json::str(s.severity.id()))
+            })
+            .collect(),
+    );
+    Json::obj()
+        .field(
+            "roots",
+            Json::Arr(
+                simlint::hotpath::HOT_ROOTS
+                    .iter()
+                    .map(|r| Json::str(r))
+                    .collect(),
+            ),
+        )
+        .field("hot_fns", Json::u64(report.hot_fns as u64))
+        .field("crates", crates)
+        .field("sites", sites)
 }
 
 /// Total violations granted by the allowlist (the ratchet quantity).
@@ -142,11 +210,11 @@ struct BaselineDiff {
 fn diff_baseline(text: &str, report: &Report, allow: &Allowlist) -> Result<BaselineDiff, String> {
     let doc = json::parse(text).map_err(|e| format!("malformed baseline: {e}"))?;
     match doc.get("format") {
-        Some(Json::Str(s)) if s == SCHEMA || s == SCHEMA_V1 => {}
+        Some(Json::Str(s)) if s == SCHEMA || s == SCHEMA_V2 || s == SCHEMA_V1 => {}
         other => {
             return Err(format!(
                 "baseline schema is {other:?}, expected {SCHEMA:?} (or the \
-                 readable predecessor {SCHEMA_V1:?})"
+                 readable predecessors {SCHEMA_V2:?} / {SCHEMA_V1:?})"
             ))
         }
     }
@@ -203,7 +271,104 @@ fn diff_baseline(text: &str, report: &Report, allow: &Allowlist) -> Result<Basel
             "simlint.allow down to {now_allow} from {base_allow} — refresh with --write-baseline"
         ));
     }
+    // Hot-path inventory ratchet (v3 baselines only: v1/v2 documents
+    // have no `hotpath` section, so the inventory ratchet starts from
+    // the first v3 baseline; per-event *findings* still ratchet from
+    // zero through the count table above).
+    if let Some(hp) = doc.get("hotpath") {
+        let mut base_inv: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        if let Some(Json::Arr(items)) = hp.get("crates") {
+            for item in items {
+                let (Some(Json::Str(krate)), Some(Json::Num(pe)), Some(Json::Num(pr))) = (
+                    item.get("crate"),
+                    item.get("per_event"),
+                    item.get("per_run"),
+                ) else {
+                    return Err("baseline hotpath entry missing crate/per_event/per_run".into());
+                };
+                let pe: u64 = pe
+                    .parse()
+                    .map_err(|_| format!("non-integer per_event {pe:?} in baseline"))?;
+                let pr: u64 = pr
+                    .parse()
+                    .map_err(|_| format!("non-integer per_run {pr:?} in baseline"))?;
+                base_inv.insert(krate.clone(), (pe, pr));
+            }
+        }
+        let mut now_inv: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for site in &report.hot_sites {
+            let entry = now_inv.entry(site.krate.clone()).or_insert((0, 0));
+            match site.severity {
+                Severity::PerEvent => entry.0 += 1,
+                Severity::PerRun => entry.1 += 1,
+            }
+        }
+        let crates: std::collections::BTreeSet<&String> =
+            base_inv.keys().chain(now_inv.keys()).collect();
+        for krate in crates {
+            let (base_pe, base_pr) = base_inv.get(krate).copied().unwrap_or((0, 0));
+            let (now_pe, now_pr) = now_inv.get(krate).copied().unwrap_or((0, 0));
+            if now_pe > base_pe || now_pr > base_pr {
+                diff.regressions.push(format!(
+                    "crate `{krate}`: hot-path allocation inventory grew to \
+                     {now_pe} per-event / {now_pr} per-run site(s), baseline has \
+                     {base_pe} / {base_pr} — hoist the buffer (docs/STATIC_ANALYSIS.md)"
+                ));
+            } else if now_pe < base_pe || now_pr < base_pr {
+                diff.improvements.push(format!(
+                    "crate `{krate}`: hot-path inventory down to {now_pe} per-event / \
+                     {now_pr} per-run from {base_pe} / {base_pr} — refresh with --write-baseline"
+                ));
+            }
+        }
+    }
     Ok(diff)
+}
+
+/// Reads and diffs a committed baseline; messages go to stderr when
+/// `quiet_stdout` (the `--json` export owns stdout). Returns `true`
+/// when regressions were found, `Err` with an exit code on I/O or
+/// parse failure.
+fn run_baseline_diff(
+    baseline: &std::path::Path,
+    report: &Report,
+    allow: &Allowlist,
+    quiet_stdout: bool,
+) -> Result<bool, ExitCode> {
+    let text = match std::fs::read_to_string(baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("simlint: cannot read {}: {e}", baseline.display());
+            return Err(ExitCode::from(2));
+        }
+    };
+    let diff = match diff_baseline(&text, report, allow) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("simlint: {}: {e}", baseline.display());
+            return Err(ExitCode::from(2));
+        }
+    };
+    for r in &diff.regressions {
+        eprintln!("simlint: baseline regression: {r}");
+    }
+    let say = |msg: String| {
+        if quiet_stdout {
+            eprintln!("{msg}");
+        } else {
+            println!("{msg}");
+        }
+    };
+    for i in &diff.improvements {
+        say(format!("simlint: baseline improvement: {i}"));
+    }
+    if diff.regressions.is_empty() {
+        say(format!(
+            "simlint: no regressions against {}",
+            baseline.display()
+        ));
+    }
+    Ok(!diff.regressions.is_empty())
 }
 
 fn main() -> ExitCode {
@@ -265,6 +430,13 @@ fn main() -> ExitCode {
 
     if opts.json {
         println!("{}", export(&report, &allow));
+        if let Some(baseline) = &opts.baseline {
+            match run_baseline_diff(baseline, &report, &allow, true) {
+                Ok(true) => return ExitCode::FAILURE,
+                Ok(false) => {}
+                Err(code) => return code,
+            }
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -297,29 +469,9 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     if let Some(baseline) = &opts.baseline {
-        match std::fs::read_to_string(baseline) {
-            Ok(text) => match diff_baseline(&text, &report, &allow) {
-                Ok(diff) => {
-                    for r in &diff.regressions {
-                        eprintln!("simlint: baseline regression: {r}");
-                        failed = true;
-                    }
-                    for i in &diff.improvements {
-                        println!("simlint: baseline improvement: {i}");
-                    }
-                    if diff.regressions.is_empty() {
-                        println!("simlint: no regressions against {}", baseline.display());
-                    }
-                }
-                Err(e) => {
-                    eprintln!("simlint: {}: {e}", baseline.display());
-                    return ExitCode::from(2);
-                }
-            },
-            Err(e) => {
-                eprintln!("simlint: cannot read {}: {e}", baseline.display());
-                return ExitCode::from(2);
-            }
+        match run_baseline_diff(baseline, &report, &allow, false) {
+            Ok(regressed) => failed = regressed,
+            Err(code) => return code,
         }
     }
 
@@ -381,12 +533,84 @@ mod tests {
         assert!(diff.regressions[0].contains("lock_order"));
     }
 
-    /// Unknown schemas are rejected, naming both accepted tags.
+    /// A v2-schema baseline (pre-hotpath) must still parse and diff
+    /// after the `/3` bump, mirroring the v1 guarantee: the count table
+    /// diffs as usual and the absent `hotpath` section just skips the
+    /// inventory ratchet.
+    #[test]
+    fn v2_baselines_still_diff() {
+        let v2 = concat!(
+            "{\"format\":\"oocnvm.simlint/2\",\"files_scanned\":120,",
+            "\"allow_total\":0,\"counts\":[],\"findings\":[]}"
+        );
+        let mut report = Report::default();
+        report.hot_sites.push(simlint::hotpath::Site {
+            path: "crates/ssd/src/mapping.rs".into(),
+            krate: "ssd".into(),
+            fn_path: "ssd::mapping::StripeMap::decompose".into(),
+            line: 136,
+            col: 9,
+            kind: "Vec::new",
+            severity: Severity::PerRun,
+        });
+        let diff = diff_baseline(v2, &report, &Allowlist::default()).expect("v2 baseline parses");
+        // No `hotpath` section in a v2 document: the inventory is not
+        // ratcheted, so present-day sites are neither growth nor shrink.
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.improvements.is_empty(), "{:?}", diff.improvements);
+        // The per-(rule, path) count ratchet still applies.
+        report
+            .counts
+            .insert((Rule::HotPathAlloc, "crates/ssd/src/mapping.rs".into()), 1);
+        let diff = diff_baseline(v2, &report, &Allowlist::default()).expect("v2 baseline parses");
+        assert_eq!(diff.regressions.len(), 1, "{:?}", diff.regressions);
+        assert!(diff.regressions[0].contains("hotpath_alloc"));
+    }
+
+    /// The v3 per-crate hot-path inventory ratchets: growth in either
+    /// the per-event or per-run site count of any crate is a
+    /// regression, shrinkage an improvement.
+    #[test]
+    fn hotpath_inventory_growth_is_a_regression() {
+        let v3 = concat!(
+            "{\"format\":\"oocnvm.simlint/3\",\"files_scanned\":130,",
+            "\"allow_total\":0,\"counts\":[],\"findings\":[],",
+            "\"hotpath\":{\"roots\":[],\"hot_fns\":12,\"crates\":[",
+            "{\"crate\":\"ssd\",\"per_event\":0,\"per_run\":1}],\"sites\":[]}}"
+        );
+        let site = |severity| simlint::hotpath::Site {
+            path: "crates/ssd/src/mapping.rs".into(),
+            krate: "ssd".into(),
+            fn_path: "ssd::mapping::StripeMap::decompose".into(),
+            line: 136,
+            col: 9,
+            kind: "Vec::new",
+            severity,
+        };
+        let mut report = Report::default();
+        report.hot_sites.push(site(Severity::PerRun));
+        let diff = diff_baseline(v3, &report, &Allowlist::default()).expect("v3 baseline parses");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        // A new per-event site in the same crate regresses the ratchet.
+        report.hot_sites.push(site(Severity::PerEvent));
+        let diff = diff_baseline(v3, &report, &Allowlist::default()).expect("v3 baseline parses");
+        assert_eq!(diff.regressions.len(), 1, "{:?}", diff.regressions);
+        assert!(diff.regressions[0].contains("hot-path allocation inventory grew"));
+        // Dropping below the baseline is an improvement prompt.
+        report.hot_sites.clear();
+        let diff = diff_baseline(v3, &report, &Allowlist::default()).expect("v3 baseline parses");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert_eq!(diff.improvements.len(), 1, "{:?}", diff.improvements);
+        assert!(diff.improvements[0].contains("down to 0 per-event / 0 per-run"));
+    }
+
+    /// Unknown schemas are rejected, naming every accepted tag.
     #[test]
     fn unknown_baseline_schemas_are_rejected() {
         let doc = "{\"format\":\"oocnvm.simlint/99\",\"allow_total\":0,\"counts\":[]}";
         let err = diff_baseline(doc, &Report::default(), &Allowlist::default())
             .expect_err("future schema must be rejected");
+        assert!(err.contains("oocnvm.simlint/3"), "{err}");
         assert!(err.contains("oocnvm.simlint/2"), "{err}");
         assert!(err.contains("oocnvm.simlint/1"), "{err}");
     }

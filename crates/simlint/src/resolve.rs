@@ -289,6 +289,43 @@ impl Index {
     }
 }
 
+/// Walks function definitions with their canonical path (the same
+/// path construction as [`Index::build`]), skipping test-gated items.
+/// The callback receives `(fn, canonical_path, is_pub, span)`.
+pub fn visit_fns_with_path(
+    items: &[Item],
+    module: &[String],
+    file: &FileAst,
+    f: &mut impl FnMut(&FnDef, &String, bool, Span),
+) {
+    for item in items {
+        if item.cfg_test || file.line_in_test(item.span.line) {
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Fn(fd) => {
+                let mut segs = module.to_vec();
+                segs.push(fd.name.clone());
+                f(fd, &segs.join("::"), item.is_pub, item.span);
+            }
+            ItemKind::Mod { name, items } => {
+                let mut sub = module.to_vec();
+                sub.push(name.clone());
+                visit_fns_with_path(items, &sub, file, f);
+            }
+            ItemKind::Impl { self_ty, items } => {
+                let mut sub = module.to_vec();
+                if !self_ty.is_empty() {
+                    sub.push(self_ty.clone());
+                }
+                visit_fns_with_path(items, &sub, file, f);
+            }
+            ItemKind::Trait { items, .. } => visit_fns_with_path(items, module, file, f),
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,6 +54,13 @@ pub enum Rule {
     /// holding `b` elsewhere) — an AB-BA deadlock awaiting the right
     /// interleaving. Never allowlistable.
     LockOrder,
+    /// Hotpath pass: a fresh allocation or copy (`Vec::new`, `vec![]`,
+    /// `collect`, `clone`, `Box::new`, `format!`, ...) that executes
+    /// once per simulated event — inside a loop of a hot-root-reachable
+    /// function, or in a function called from a hot loop. Hoist the
+    /// buffer into reusable per-run state (docs/STATIC_ANALYSIS.md).
+    /// Allowlistable: this is performance debt, not a correctness bug.
+    HotPathAlloc,
 }
 
 impl Rule {
@@ -72,6 +79,7 @@ impl Rule {
             Rule::UnitMismatch => "unit_mismatch",
             Rule::AtomicOrdering => "atomic_ordering",
             Rule::LockOrder => "lock_order",
+            Rule::HotPathAlloc => "hotpath_alloc",
         }
     }
 
@@ -90,12 +98,13 @@ impl Rule {
             "unit_mismatch" => Rule::UnitMismatch,
             "atomic_ordering" => Rule::AtomicOrdering,
             "lock_order" => Rule::LockOrder,
+            "hotpath_alloc" => Rule::HotPathAlloc,
             _ => return None,
         })
     }
 
     /// Every rule, in report order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::NoPanic,
         Rule::NondeterministicCollection,
         Rule::WallClock,
@@ -108,6 +117,7 @@ impl Rule {
         Rule::UnitMismatch,
         Rule::AtomicOrdering,
         Rule::LockOrder,
+        Rule::HotPathAlloc,
     ];
 }
 

@@ -22,7 +22,7 @@
 
 use crate::ast::{Block, Expr, ExprKind, FnDef, Item, ItemKind, Stmt};
 use crate::parser::Span;
-use crate::resolve::{FileAst, Index};
+use crate::resolve::{visit_fns_with_path, FileAst, Index};
 use crate::rules::{Finding, Rule};
 use crate::Located;
 use std::collections::{BTreeMap, BTreeSet};
@@ -113,41 +113,6 @@ pub fn run(files: &[FileAst], index: &Index, in_scope: &dyn Fn(&str) -> bool) ->
         }
     }
     out
-}
-
-/// Walks fns with their canonical path, skipping test-gated items.
-fn visit_fns_with_path(
-    items: &[Item],
-    module: &[String],
-    file: &FileAst,
-    f: &mut impl FnMut(&FnDef, &String, bool, Span),
-) {
-    for item in items {
-        if item.cfg_test || file.line_in_test(item.span.line) {
-            continue;
-        }
-        match &item.kind {
-            ItemKind::Fn(fd) => {
-                let mut segs = module.to_vec();
-                segs.push(fd.name.clone());
-                f(fd, &segs.join("::"), item.is_pub, item.span);
-            }
-            ItemKind::Mod { name, items } => {
-                let mut sub = module.to_vec();
-                sub.push(name.clone());
-                visit_fns_with_path(items, &sub, file, f);
-            }
-            ItemKind::Impl { self_ty, items } => {
-                let mut sub = module.to_vec();
-                if !self_ty.is_empty() {
-                    sub.push(self_ty.clone());
-                }
-                visit_fns_with_path(items, &sub, file, f);
-            }
-            ItemKind::Trait { items, .. } => visit_fns_with_path(items, module, file, f),
-            _ => {}
-        }
-    }
 }
 
 struct Ctx<'a> {

@@ -3,7 +3,7 @@
 
 use crate::config::SsdConfig;
 use crate::ftl::Ftl;
-use crate::mapping::StripeMap;
+use crate::mapping::{DecomposeScratch, StripeMap};
 use crate::recovery::{erase_with_recovery, read_with_recovery, write_with_recovery};
 use crate::report::{LatencyStats, ReliabilityStats, RunReport};
 use flashsim::intervals::{merge, uncovered_len, Interval};
@@ -145,6 +145,10 @@ pub(crate) struct EngineState {
     latency_hdr: simobs::HdrHistogram,
     attribution: LatencyAttribution,
     makespan: Nanos,
+    // Reused per-request working memory for stripe decomposition: the
+    // service loop runs per event, so its buffers are hoisted here
+    // (simlint `hotpath_alloc` keeps this path allocation-free).
+    dmap: DecomposeScratch,
 }
 
 impl SsdDevice {
@@ -277,6 +281,7 @@ impl EngineState {
             latency_hdr: simobs::HdrHistogram::new(),
             attribution: LatencyAttribution::default(),
             makespan: 0,
+            dmap: DecomposeScratch::new(),
         }
     }
 
@@ -557,7 +562,9 @@ impl EngineState {
                 // Garbage collection ahead of the host data: read the
                 // survivors, rewrite them at the frontier.
                 let gc_pages = (gc_moves * 4096).div_ceil(page_size).max(1);
-                for run in self.map.decompose(lpn, gc_pages) {
+                self.map.decompose_into(lpn, gc_pages, &mut self.dmap);
+                for i in 0..self.dmap.runs.len() {
+                    let run = self.dmap.runs[i];
                     let read_op = DieOp::read(run.die, run.planes, run.pages, run.start_row);
                     let read_out = match faults {
                         Some(fs) => read_with_recovery(
@@ -617,7 +624,9 @@ impl EngineState {
                 }
             }
 
-            for run in self.map.decompose(lpn, count) {
+            self.map.decompose_into(lpn, count, &mut self.dmap);
+            for i in 0..self.dmap.runs.len() {
+                let run = self.dmap.runs[i];
                 let out = match req.op {
                     IoOp::Read => {
                         let op = DieOp::read(run.die, run.planes, run.pages, run.start_row);

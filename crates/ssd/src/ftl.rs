@@ -27,7 +27,7 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Wear-levelling and garbage-collection statistics.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct WearStats {
     /// Total block erases performed.
     pub erases: u64,
@@ -125,6 +125,10 @@ pub struct Ftl {
     /// Spare blocks still available to absorb retirements (the
     /// over-provisioning pool).
     spare_blocks: u64,
+    /// Reused survivor-key buffer for GC migration: collection runs on
+    /// the per-event write path, so its scratch is hoisted here
+    /// (simlint `hotpath_alloc`).
+    gc_keys: Vec<u64>,
 }
 
 /// Over-provisioning reserved for bad-block remapping: 2% of the
@@ -154,6 +158,7 @@ impl Ftl {
             },
             bad_blocks: 0,
             spare_blocks: (total_blocks / SPARE_FRACTION_DENOM).max(1),
+            gc_keys: Vec::new(),
         }
     }
 
@@ -280,13 +285,17 @@ impl Ftl {
         // entries now point at the frontier row.
         let mut remapped = 0;
         if moves > 0 {
-            let keys: Vec<u64> = self
-                .map
-                .iter()
-                .filter(|&(_, &phys)| usize_from(phys / upr) == victim)
-                .map(|(&l, _)| l)
-                .collect();
-            for l in keys {
+            // Survivor keys buffered through the hoisted scratch: the map
+            // cannot be mutated mid-iteration, and GC runs per event.
+            self.gc_keys.clear();
+            let map = &self.map;
+            self.gc_keys.extend(
+                map.iter()
+                    .filter(|&(_, &phys)| usize_from(phys / upr) == victim)
+                    .map(|(&l, _)| l),
+            );
+            for i in 0..self.gc_keys.len() {
+                let l = self.gc_keys[i];
                 let new_phys = u64_from_usize(frontier_row) * upr + remapped;
                 self.map.insert(l, new_phys);
                 remapped += 1;

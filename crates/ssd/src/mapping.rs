@@ -49,6 +49,36 @@ pub struct DieRun {
     pub start_row: u64,
 }
 
+/// Reusable working memory for [`StripeMap::decompose_into`]: per-die
+/// accumulators plus the output run list, sized once and reused across
+/// every request of a run so the per-event service loop allocates
+/// nothing.
+#[derive(Debug, Default, Clone)]
+pub struct DecomposeScratch {
+    /// Pages accumulated per die (dense, indexed by flat die index).
+    pages: Vec<u64>,
+    /// Distinct-plane bitmask per die.
+    plane_mask: Vec<u32>,
+    /// The decomposed runs — the output of the last `decompose_into`.
+    pub runs: Vec<DieRun>,
+}
+
+impl DecomposeScratch {
+    /// Fresh, empty scratch; buffers grow on first use and stay.
+    pub fn new() -> DecomposeScratch {
+        DecomposeScratch::default()
+    }
+
+    /// Resets the accumulators for `n_dies` dies without shrinking.
+    fn reset(&mut self, n_dies: usize) {
+        self.pages.clear();
+        self.pages.resize(n_dies, 0);
+        self.plane_mask.clear();
+        self.plane_mask.resize(n_dies, 0);
+        self.runs.clear();
+    }
+}
+
 /// Deterministic logical-page → physical-slot mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct StripeMap {
@@ -131,48 +161,56 @@ impl StripeMap {
     /// start_lpn + count)` into per-die work. Runs are returned in
     /// ascending die order; each die's `planes` is the number of distinct
     /// planes its pages land on.
+    ///
+    /// Convenience wrapper that allocates; the per-event service loop
+    /// uses [`StripeMap::decompose_into`] with a hoisted
+    /// [`DecomposeScratch`] instead.
     pub fn decompose(&self, start_lpn: u64, count: u64) -> Vec<DieRun> {
+        let mut scratch = DecomposeScratch::new();
+        self.decompose_into(start_lpn, count, &mut scratch);
+        scratch.runs
+    }
+
+    /// Allocation-free decomposition: accumulates into `scratch` and
+    /// leaves the result in `scratch.runs` (cleared first). Buffers are
+    /// resized to the die count once and reused thereafter.
+    pub fn decompose_into(&self, start_lpn: u64, count: u64, scratch: &mut DecomposeScratch) {
+        let n_dies = usize_from_u32(self.geometry.total_dies());
+        scratch.reset(n_dies);
         if count == 0 {
-            return Vec::new();
+            return;
         }
         let w = self.stripe_width();
         let full_rows = count / w;
         let rem = count % w;
-        let n_dies = usize_from_u32(self.geometry.total_dies());
         let planes_per_die = self.geometry.planes_per_die;
-
-        // pages[d], plane_mask[d] accumulated per die.
-        let mut pages = vec![0u64; n_dies];
-        let mut plane_mask = vec![0u32; n_dies];
 
         if full_rows > 0 {
             // Every slot is hit `full_rows` times: each die gets
             // planes_per_die slots per stripe.
             for d in 0..n_dies {
-                pages[d] += full_rows * u64::from(planes_per_die);
-                plane_mask[d] |= (1u32 << planes_per_die) - 1;
+                scratch.pages[d] += full_rows * u64::from(planes_per_die);
+                scratch.plane_mask[d] |= (1u32 << planes_per_die) - 1;
             }
         }
         for i in 0..rem {
             let pos = (start_lpn + full_rows * w + i) % w;
             let (die, plane) = self.locate(pos);
-            pages[usize_from_u32(die.0)] += 1;
-            plane_mask[usize_from_u32(die.0)] |= 1 << plane;
+            scratch.pages[usize_from_u32(die.0)] += 1;
+            scratch.plane_mask[usize_from_u32(die.0)] |= 1 << plane;
         }
 
         let start_row = start_lpn / w;
-        let mut runs = Vec::new();
         for d in 0..n_dies {
-            if pages[d] > 0 {
-                runs.push(DieRun {
+            if scratch.pages[d] > 0 {
+                scratch.runs.push(DieRun {
                     die: DieIndex(u32_from(u64_from_usize(d))),
-                    planes: plane_mask[d].count_ones().max(1),
-                    pages: pages[d],
+                    planes: scratch.plane_mask[d].count_ones().max(1),
+                    pages: scratch.pages[d],
                     start_row,
                 });
             }
         }
-        runs
     }
 }
 
@@ -293,6 +331,23 @@ mod tests {
     #[test]
     fn empty_decomposition() {
         assert!(paper_map().decompose(42, 0).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_allocating_path() {
+        // `decompose_into` with one reused scratch must agree with the
+        // allocating wrapper across a sequence of differently-shaped
+        // requests — stale accumulator state must not leak between calls.
+        let m = paper_map();
+        let mut scratch = DecomposeScratch::new();
+        for (start, count) in [(0u64, 8u64), (14, 4), (0, 512), (42, 0), (3, 33)] {
+            m.decompose_into(start, count, &mut scratch);
+            assert_eq!(
+                scratch.runs,
+                m.decompose(start, count),
+                "start={start} count={count}"
+            );
+        }
     }
 
     #[test]

@@ -87,7 +87,9 @@ impl LatencyStats {
 }
 
 /// Results of replaying one block trace through one device configuration.
-#[derive(Debug, Clone, Serialize)]
+/// `PartialEq` compares every field (the bench's observer-effect check
+/// relies on this being exhaustive — a new field is compared by default).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunReport {
     /// End-to-end simulated time, ns.
     pub makespan: Nanos,

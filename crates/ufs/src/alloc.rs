@@ -70,6 +70,10 @@ impl ExtentAllocator {
     /// that holds the whole request wins (one extent, fully sequential);
     /// only a fragmented region falls back to gathering several runs in
     /// address order, capped at [`MAX_EXTENTS`] pieces.
+    ///
+    /// Hot-path audit (`hotpath_alloc`, allowlisted): the owned extent
+    /// list is the API — it is moved into the committed [`FileEntry`] —
+    /// and holds at most [`MAX_EXTENTS`] (8) elements.
     pub fn allocate(&mut self, sectors: u64) -> Result<Vec<Extent>, SimError> {
         if sectors == 0 {
             return Ok(Vec::new());

@@ -24,8 +24,8 @@
 use crate::alloc::ExtentAllocator;
 use crate::journal::{plan_recovery, RecoveryReport};
 use crate::layout::{
-    content_from_sectors, content_sectors, ring_slot, sector_offset, FileEntry, JournalRecord,
-    RecordKind, Superblock, MAX_EXTENTS, MAX_NAME,
+    ring_slot, sector_offset, FileEntry, JournalRecord, RecordKind, Superblock, MAX_EXTENTS,
+    MAX_NAME,
 };
 use nvmtypes::convert::{u32_from, u64_from_usize, usize_from, usize_from_u32};
 use nvmtypes::{HostRequest, SimError};
@@ -378,6 +378,9 @@ impl<D: BlockDevice> Ufs<D> {
                 .ok_or(SimError::ResourceExhausted {
                     resource: "ufs file-table slots".into(),
                 })?;
+        // Hot-path audit (`hotpath_alloc`, allowlisted): the table entry
+        // owns its name, and the two `Vec::new`s are zero-capacity (no
+        // heap touch until first write) — once per file creation.
         self.table[slot] = Some(FileEntry {
             name: name.to_string(),
             size: 0,
@@ -412,6 +415,12 @@ impl<D: BlockDevice> Ufs<D> {
         }
         self.wa.user_bytes += u64_from_usize(data.len());
         let buf = self.staged.entry(id.0).or_default();
+        if usize_from(offset) == buf.len() {
+            // Pure append (the replay's steady state): one copy, no
+            // zero-fill of bytes that are about to be overwritten.
+            buf.extend_from_slice(data);
+            return Ok(());
+        }
         let end = usize_from(offset) + data.len();
         if buf.len() < end {
             buf.resize(end, 0);
@@ -431,9 +440,19 @@ impl<D: BlockDevice> Ufs<D> {
             out.copy_from_slice(&buf[usize_from(offset)..usize_from(end)]);
             return Ok(());
         }
+        // Hot-path audit (`hotpath_alloc`, allowlisted): metadata-small
+        // clone (name + <=8 extents) releasing the table borrow before
+        // the mutable device read below.
         let entry = self.entry(id)?.clone();
         if end > entry.size {
             return Err(read_past_eof(end, entry.size));
+        }
+        if offset == 0 && end == entry.size {
+            // Whole-file window (the out-of-core replay's common case):
+            // fill `out` straight from the device, skipping the
+            // content-sized bounce buffer. The logged request stream is
+            // identical — every extent sector is still read in order.
+            return self.read_extents_into(&entry, out);
         }
         let content = self.read_extents(&entry)?;
         out.copy_from_slice(&content[usize_from(offset)..usize_from(end)]);
@@ -444,9 +463,27 @@ impl<D: BlockDevice> Ufs<D> {
     /// transaction (see the module docs for the write ordering). A no-op
     /// if the file has no staged changes.
     pub fn fsync(&mut self, id: FileId) -> Result<(), SimError> {
-        let Some(content) = self.staged.get(&id.0).cloned() else {
+        // Take the staged content out rather than cloning it — it can be
+        // the whole file, and fsync runs per event. A failed commit puts
+        // it back, so the sync stays retryable and read-your-writes
+        // holds.
+        let Some(content) = self.staged.remove(&id.0) else {
             return Ok(());
         };
+        let r = self.commit_staged(id, &content);
+        if r.is_err() {
+            self.staged.insert(id.0, content);
+        }
+        r
+    }
+
+    /// The five-phase journaled commit of `content` for slot `id`; the
+    /// caller ([`Ufs::fsync`]) owns the staged-map bookkeeping.
+    fn commit_staged(&mut self, id: FileId, content: &[u8]) -> Result<(), SimError> {
+        // Hot-path audit (`hotpath_alloc`, allowlisted): the three entry
+        // clones in this function (old entry, its name, the journal copy
+        // of the new entry) are metadata-small — a <=64-byte name and
+        // <=8 extents — while the content itself moves without copying.
         let old_entry = self.entry(id)?.clone();
         let sectors = u64_from_usize(content.len()).div_ceil(u64_from_usize(SECTOR_USIZE));
 
@@ -459,12 +496,22 @@ impl<D: BlockDevice> Ufs<D> {
                 resource: "ufs data extents".into(),
             });
         }
-        let images = content_sectors(&content);
-        let mut img = images.iter();
-        for ext in &new_extents {
+        // Full sectors write straight from the staged content; only the
+        // final partial chunk is zero-padded through one stack buffer
+        // (no per-sector Vec list, no full-content bounce copy).
+        let mut image = [0u8; SECTOR_USIZE];
+        let mut chunks = content.chunks(SECTOR_USIZE);
+        'cow: for ext in &new_extents {
             for s in 0..ext.len {
-                if let Some(image) = img.next() {
-                    self.write_data(ext.start + s, image)?;
+                let Some(chunk) = chunks.next() else {
+                    break 'cow;
+                };
+                if chunk.len() == SECTOR_USIZE {
+                    self.write_data(ext.start + s, chunk)?;
+                } else {
+                    image[..chunk.len()].copy_from_slice(chunk);
+                    image[chunk.len()..].fill(0);
+                    self.write_data(ext.start + s, &image)?;
                 }
             }
         }
@@ -491,7 +538,8 @@ impl<D: BlockDevice> Ufs<D> {
         // Phase 4: apply in place.
         let lba = self.sb.table_start + u64::from(id.0);
         self.wa.apply_bytes += u64_from_usize(SECTOR_USIZE);
-        self.write_meta(lba, &new_entry.encode())?;
+        new_entry.encode_into(&mut image);
+        self.write_meta(lba, &image)?;
 
         // Phase 5: checkpoint; the journal records are now dead.
         self.append_record(RecordKind::Checkpoint, tid)?;
@@ -501,7 +549,6 @@ impl<D: BlockDevice> Ufs<D> {
             self.alloc.release(*ext);
         }
         self.table[usize_from_u32(id.0)] = Some(new_entry);
-        self.staged.remove(&id.0);
         self.wa.commits += 1;
         Ok(())
     }
@@ -533,24 +580,48 @@ impl<D: BlockDevice> Ufs<D> {
 
     /// Durable (on-device) content of the file, ignoring staged state.
     fn read_all_durable(&mut self, id: FileId) -> Result<Vec<u8>, SimError> {
+        // Hot-path audit (`hotpath_alloc`, allowlisted): metadata-small
+        // clone releasing the table borrow for the device reads.
         let entry = self.entry(id)?.clone();
         self.read_extents(&entry)
     }
 
     fn read_extents(&mut self, entry: &FileEntry) -> Result<Vec<u8>, SimError> {
-        let mut sectors = Vec::new();
-        let mut buf = vec![0u8; SECTOR_USIZE];
+        // Hot-path audit (`hotpath_alloc`, allowlisted): one
+        // content-sized buffer filled sector by sector in place — the
+        // owned return is the API (the caller keeps or stages it); the
+        // per-sector images are not materialised separately.
+        let mut content = vec![0u8; usize_from(entry.size)];
+        self.read_extents_into(entry, &mut content)?;
+        Ok(content)
+    }
+
+    /// Reads every sector of every extent, in order, into `out`
+    /// (`out.len()` must equal the entry's byte size). Tail sectors past
+    /// the file size are still read whole — the logged request stream is
+    /// exactly [`Ufs::read_extents`]'s — but only the in-bounds prefix
+    /// lands in `out`.
+    fn read_extents_into(&mut self, entry: &FileEntry, out: &mut [u8]) -> Result<(), SimError> {
+        let mut at = 0usize;
+        let mut image = [0u8; SECTOR_USIZE];
         for ext in &entry.extents {
             for s in 0..ext.len {
-                self.dev.read_sector(ext.start + s, &mut buf)?;
+                let take = SECTOR_USIZE.min(out.len() - at);
+                if take == SECTOR_USIZE {
+                    self.dev
+                        .read_sector(ext.start + s, &mut out[at..at + SECTOR_USIZE])?;
+                } else {
+                    self.dev.read_sector(ext.start + s, &mut image)?;
+                    out[at..at + take].copy_from_slice(&image[..take]);
+                }
                 self.log_io(HostRequest::read(
                     sector_offset(ext.start + s),
                     u64_from_usize(SECTOR_USIZE),
                 ));
-                sectors.push(buf.clone());
+                at += take;
             }
         }
-        Ok(content_from_sectors(&sectors, entry.size))
+        Ok(())
     }
 
     /// Appends one journal record at the ring slot of its sequence number.
@@ -560,7 +631,9 @@ impl<D: BlockDevice> Ufs<D> {
         let rec = JournalRecord { seq, tid, kind };
         let lba = self.sb.journal_start + ring_slot(seq, self.sb.journal_sectors);
         self.wa.journal_bytes += u64_from_usize(SECTOR_USIZE);
-        self.write_meta(lba, &rec.encode())
+        let mut image = [0u8; SECTOR_USIZE];
+        rec.encode_into(&mut image);
+        self.write_meta(lba, &image)
     }
 
     /// A metadata write: journal records, file-table applies and the

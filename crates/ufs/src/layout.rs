@@ -175,19 +175,29 @@ impl FileEntry {
     /// Encodes into a zero-padded sector image.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = vec![0u8; SECTOR_USIZE];
-        put_u32(&mut buf, 0, ENTRY_MAGIC);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// [`FileEntry::encode`] into a caller-provided sector buffer
+    /// (`SECTOR_USIZE` bytes, overwritten entirely) — the fsync path
+    /// encodes per event and reuses a stack buffer instead of
+    /// allocating.
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), SECTOR_USIZE);
+        buf.fill(0);
+        put_u32(buf, 0, ENTRY_MAGIC);
         let name = self.name.as_bytes();
-        put_u32(&mut buf, 4, u32_from(u64_from_usize(name.len())));
+        put_u32(buf, 4, u32_from(u64_from_usize(name.len())));
         buf[8..8 + name.len().min(MAX_NAME)].copy_from_slice(&name[..name.len().min(MAX_NAME)]);
-        put_u64(&mut buf, 72, self.size);
-        put_u32(&mut buf, 80, u32_from(u64_from_usize(self.extents.len())));
+        put_u64(buf, 72, self.size);
+        put_u32(buf, 80, u32_from(u64_from_usize(self.extents.len())));
         for (i, e) in self.extents.iter().take(MAX_EXTENTS).enumerate() {
-            put_u64(&mut buf, 88 + i * 16, e.start);
-            put_u64(&mut buf, 96 + i * 16, e.len);
+            put_u64(buf, 88 + i * 16, e.start);
+            put_u64(buf, 96 + i * 16, e.len);
         }
         let crc = crc32(&buf[..ENTRY_CRC_OFF]);
-        put_u32(&mut buf, ENTRY_CRC_OFF, crc);
-        buf
+        put_u32(buf, ENTRY_CRC_OFF, crc);
     }
 
     /// Decodes a file-table sector. `Ok(None)` is a vacant (all-zero)
@@ -286,22 +296,34 @@ impl JournalRecord {
     /// Encodes into a zero-padded sector image.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = vec![0u8; SECTOR_USIZE];
-        put_u32(&mut buf, 0, JREC_MAGIC);
-        put_u32(&mut buf, 4, self.kind.tag());
-        put_u64(&mut buf, 8, self.seq);
-        put_u64(&mut buf, 16, self.tid);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// [`JournalRecord::encode`] into a caller-provided sector buffer
+    /// (`SECTOR_USIZE` bytes, overwritten entirely) — journal appends
+    /// run per event and reuse a stack buffer instead of allocating.
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), SECTOR_USIZE);
+        buf.fill(0);
+        put_u32(buf, 0, JREC_MAGIC);
+        put_u32(buf, 4, self.kind.tag());
+        put_u64(buf, 8, self.seq);
+        put_u64(buf, 16, self.tid);
         match &self.kind {
             RecordKind::Update { slot, entry } => {
-                put_u32(&mut buf, 24, *slot);
-                let image = entry.encode();
+                put_u32(buf, 24, *slot);
+                // The embedded entry image is built on the stack; only
+                // its leading `ENTRY_BYTES` (CRC included) are carried.
+                let mut image = [0u8; SECTOR_USIZE];
+                entry.encode_into(&mut image);
                 buf[32..32 + ENTRY_BYTES].copy_from_slice(&image[..ENTRY_BYTES]);
             }
-            RecordKind::Commit { n_updates } => put_u32(&mut buf, 24, *n_updates),
+            RecordKind::Commit { n_updates } => put_u32(buf, 24, *n_updates),
             RecordKind::Begin | RecordKind::Checkpoint => {}
         }
         let crc = crc32(&buf[..JREC_CRC_OFF]);
-        put_u32(&mut buf, JREC_CRC_OFF, crc);
-        buf
+        put_u32(buf, JREC_CRC_OFF, crc);
     }
 
     /// Decodes a journal-ring sector. `None` means "no usable record

@@ -15,6 +15,7 @@ use oocfs::FileSystemModel;
 use ooctrace::{BlockTrace, PosixTrace};
 use ssd::{SimBlockDevice, SECTOR_USIZE};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// The real journaled UFS as a trace transformer.
 ///
@@ -73,11 +74,24 @@ impl JournaledUfs {
 
         let mut ids: BTreeMap<u32, FileId> = BTreeMap::new();
         let mut dirty: BTreeMap<u32, bool> = BTreeMap::new();
+        // Per-record scratch, hoisted out of the replay loop and resized
+        // in place — the loop body allocates nothing at steady state.
+        // `payload` only ever holds the 0xA5 write pattern, so it is
+        // refilled only when the record length changes (the synthetic
+        // out-of-core traces use one record size: one fill total);
+        // `scratch` receives reads, whose prior contents are dead.
+        let mut name = String::new();
+        let mut payload: Vec<u8> = Vec::new();
+        let mut scratch: Vec<u8> = Vec::new();
         for r in &posix.records {
             let id = match ids.get(&r.file) {
                 Some(&id) => id,
                 None => {
-                    let id = fs.create(&format!("f{}", r.file))?;
+                    name.clear();
+                    write!(name, "f{}", r.file).map_err(|_| {
+                        SimError::invalid_config("ufs.replay", "file-name format failed")
+                    })?;
+                    let id = fs.create(&name)?;
                     ids.insert(r.file, id);
                     id
                 }
@@ -86,19 +100,26 @@ impl JournaledUfs {
                 // Materialise anything the trace reads before writing.
                 if fs.size(id)? < r.end() {
                     let have = fs.size(id)?;
-                    fs.write(id, have, &vec![0u8; usize_from(r.end() - have)])?;
+                    scratch.clear();
+                    scratch.resize(usize_from(r.end() - have), 0);
+                    fs.write(id, have, &scratch)?;
                     dirty.insert(r.file, true);
                 }
                 if dirty.remove(&r.file).is_some() {
                     fs.fsync(id)?;
                 }
-                let mut sink = vec![0u8; usize_from(r.len)];
-                fs.read(id, r.offset, &mut sink)?;
+                // Only the length matters: `fs.read` overwrites every
+                // byte, so resize without clearing (fills on growth only).
+                scratch.resize(usize_from(r.len), 0);
+                fs.read(id, r.offset, &mut scratch)?;
             } else {
                 // Deterministic payload; the bytes never surface in the
                 // trace, only the request shapes do.
-                let body = vec![0xA5u8; usize_from(r.len)];
-                fs.write(id, r.offset, &body)?;
+                if payload.len() != usize_from(r.len) {
+                    payload.clear();
+                    payload.resize(usize_from(r.len), 0xA5);
+                }
+                fs.write(id, r.offset, &payload)?;
                 dirty.insert(r.file, true);
             }
         }

@@ -58,6 +58,14 @@
 #                       match the committed results/BENCH_tenants.json
 #                       byte-for-byte (docs/TENANCY.md; skipped with
 #                       --fast)
+#  14. hotpath ratchet — `simlint --json --baseline`: the versioned
+#                       oocnvm.simlint/3 document (including the
+#                       hot-path allocation inventory: per-crate
+#                       per_event/per_run site counts from the
+#                       interprocedural hotpath pass) must not grow
+#                       versus results/simlint.baseline.json — any new
+#                       per-event allocation on a hot path fails the
+#                       gate (docs/STATIC_ANALYSIS.md)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -144,6 +152,10 @@ if [ "$fast" -eq 0 ]; then
     step "tenants --smoke (multi-tenant QoS baseline, byte-identical)"
     cargo run --release --quiet --bin tenants -- --smoke
 fi
+
+step "simlint --json --baseline (hot-path allocation inventory ratchet)"
+cargo run --quiet -p simlint -- --json --baseline results/simlint.baseline.json \
+    > target/simlint.json
 
 echo
 echo "check.sh: all gates passed"
